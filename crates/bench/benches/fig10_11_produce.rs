@@ -1,0 +1,77 @@
+//! Figures 10 & 11 — the produce datapath with replication disabled (§5.1).
+//! Four systems: Kafka, OSU Kafka, exclusive KafkaDirect, shared KafkaDirect.
+//! Run with `cargo bench --bench fig10_11_produce`.
+
+use kafkadirect::SystemKind;
+use kdbench::harness::{produce_bandwidth_mibps, produce_latency_us, ProduceOpts, ProducerMode};
+use kdbench::stats::{fmt, size_label, Table};
+
+const LAT_SIZES: [usize; 13] = [
+    32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+];
+const BW_SIZES: [usize; 11] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+fn fig10() {
+    println!();
+    println!("# Fig 10 — Produce latency (us), no replication, no batching");
+    println!("# paper: Kafka ~300+ us small; OSU ~90 us lower; KafkaDirect ~90 us;");
+    println!("#        shared ~2.5 us above exclusive (one FAA).");
+    let mut table = Table::new(&["size", "Kafka", "OSU Kafka", "Excl KD", "Shared KD"]);
+    for size in LAT_SIZES {
+        let samples = 40;
+        let kafka = produce_latency_us(
+            &ProduceOpts::new(SystemKind::Kafka, ProducerMode::Rpc, size),
+            samples,
+        );
+        let osu = produce_latency_us(
+            &ProduceOpts::new(SystemKind::OsuKafka, ProducerMode::Rpc, size),
+            samples,
+        );
+        let excl = produce_latency_us(
+            &ProduceOpts::new(SystemKind::KafkaDirect, ProducerMode::RdmaExclusive, size),
+            samples,
+        );
+        let shared = produce_latency_us(
+            &ProduceOpts::new(SystemKind::KafkaDirect, ProducerMode::RdmaShared, size),
+            samples,
+        );
+        table.row(vec![
+            size_label(size),
+            fmt(kafka),
+            fmt(osu),
+            fmt(excl),
+            fmt(shared),
+        ]);
+    }
+    table.print();
+}
+
+fn fig11() {
+    println!();
+    println!("# Fig 11 — Produce goodput to one partition (MiB/s), no replication");
+    println!("# paper: Kafka lowest (280 MiB/s @32K); OSU ~2x Kafka @512B;");
+    println!("#        exclusive ~10x @512B, 1.65 GiB/s @32K; shared ~5x.");
+    let mut table = Table::new(&["size", "Kafka", "OSU Kafka", "Excl KD", "Shared KD"]);
+    for size in BW_SIZES {
+        let records = (6 << 20) / size.max(256); // enough for steady state
+        let mk = |system, mode| {
+            let mut o = ProduceOpts::new(system, mode, size);
+            o.records = records.clamp(200, 8000);
+            o.window = 32;
+            produce_bandwidth_mibps(&o)
+        };
+        table.row(vec![
+            size_label(size),
+            fmt(mk(SystemKind::Kafka, ProducerMode::Rpc)),
+            fmt(mk(SystemKind::OsuKafka, ProducerMode::Rpc)),
+            fmt(mk(SystemKind::KafkaDirect, ProducerMode::RdmaExclusive)),
+            fmt(mk(SystemKind::KafkaDirect, ProducerMode::RdmaShared)),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    fig10();
+    fig11();
+}

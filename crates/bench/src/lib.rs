@@ -1,0 +1,14 @@
+//! Benchmark support for regenerating every table and figure of the paper.
+//!
+//! * [`stats`] — percentile accumulators, goodput math, table printing.
+//! * [`harness`] — full-system measurement drivers (produce/consume/e2e
+//!   latency and bandwidth across all three systems).
+//! * [`micro`] — raw-fabric microbenchmarks (Figs 6–8: the C/C++
+//!   microbenchmarks of §4, here against the simulated verbs).
+//!
+//! The figure binaries live in `benches/` (run with `cargo bench`); each
+//! prints the paper's series as an aligned table.
+
+pub mod harness;
+pub mod micro;
+pub mod stats;

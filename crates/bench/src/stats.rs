@@ -1,0 +1,155 @@
+//! Measurement accumulators and table formatting for the figure harnesses.
+
+use std::time::Duration;
+
+/// Collects latency samples (virtual time) and reports percentiles.
+#[derive(Default, Clone)]
+pub struct LatencyStats {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_nanos() as f64 / 1000.0);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.samples_us.is_empty());
+        let mut v = self.samples_us.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((v.len() - 1) as f64 * p / 100.0).round() as usize;
+        v[idx]
+    }
+
+    /// Median in microseconds — the paper's latency metric ("We measure the
+    /// median latency", §5.1).
+    pub fn median_us(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    /// Absorbs another accumulator's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+}
+
+/// Goodput over a measured interval.
+pub fn goodput_mibps(bytes: u64, elapsed: Duration) -> f64 {
+    bytes as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0)
+}
+
+pub fn goodput_gibps(bytes: u64, elapsed: Duration) -> f64 {
+    goodput_mibps(bytes, elapsed) / 1024.0
+}
+
+/// Human label for a byte size (the paper's x-axes: 32B ... 128K).
+pub fn size_label(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes}B")
+    } else if bytes.is_multiple_of(1024 * 1024) {
+        format!("{}M", bytes / (1024 * 1024))
+    } else {
+        format!("{}K", bytes / 1024)
+    }
+}
+
+/// Aligned-table printer: figures print their series as rows so the output
+/// can be diffed against EXPERIMENTS.md.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{cell:>w$}"));
+            }
+            s
+        };
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100u64 {
+            s.record(Duration::from_micros(i));
+        }
+        assert!((s.median_us() - 50.0).abs() <= 1.0);
+        assert!((s.percentile(99.0) - 99.0).abs() <= 1.0);
+        assert!((s.mean_us() - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn goodput_math() {
+        let g = goodput_mibps(1024 * 1024, Duration::from_secs(1));
+        assert!((g - 1.0).abs() < 1e-9);
+        assert!((goodput_gibps(1 << 30, Duration::from_secs(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(size_label(32), "32B");
+        assert_eq!(size_label(2048), "2K");
+        assert_eq!(size_label(1024 * 1024), "1M");
+    }
+}

@@ -1,0 +1,167 @@
+//! The cluster harness: a fabric, N broker machines, and client machines,
+//! mirroring the paper's 12-node InfiniBand testbed (§5 "Settings").
+
+use kdbroker::Broker;
+use kdclient::Admin;
+use kdstorage::LogConfig;
+use kdwire::BrokerAddr;
+use netsim::profile::Profile;
+use netsim::{Fabric, NodeHandle};
+
+use crate::systems::SystemKind;
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    pub profile: Profile,
+    pub log: LogConfig,
+    /// Overrides the per-system default broker config modifier.
+    pub api_workers: Option<usize>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            profile: Profile::testbed(),
+            // Experiments default to modest segments so sweeps stay within
+            // memory; the paper's 1 GiB is configurable.
+            log: LogConfig {
+                segment_size: 32 * 1024 * 1024,
+                max_batch_size: 1024 * 1024 + 4096,
+            },
+            api_workers: None,
+        }
+    }
+}
+
+/// A running simulated cluster.
+pub struct SimCluster {
+    pub fabric: Fabric,
+    pub system: SystemKind,
+    brokers: Vec<Broker>,
+    broker_nodes: Vec<NodeHandle>,
+    admin_node: NodeHandle,
+}
+
+impl SimCluster {
+    /// Starts `n` brokers of the given system with default options.
+    pub fn start(system: SystemKind, n: usize) -> SimCluster {
+        Self::start_with(system, n, ClusterOptions::default())
+    }
+
+    /// Starts `n` brokers with explicit options.
+    pub fn start_with(system: SystemKind, n: usize, opts: ClusterOptions) -> SimCluster {
+        assert!(n > 0);
+        let fabric = Fabric::new(opts.profile.clone());
+        let mut broker_nodes = Vec::new();
+        let mut peers = Vec::new();
+        let mut config = system.broker_config().with_log(opts.log.clone());
+        if let Some(w) = opts.api_workers {
+            config = config.with_workers(w);
+        }
+        for i in 0..n {
+            let node = fabric.add_node(&format!("broker{i}"));
+            peers.push(BrokerAddr {
+                node: node.id.0,
+                port: config.tcp_port,
+                rdma_port: config.rdma_port,
+            });
+            broker_nodes.push(node);
+        }
+        let brokers = broker_nodes
+            .iter()
+            .map(|node| Broker::start(node, config.clone(), peers.clone()))
+            .collect();
+        let admin_node = fabric.add_node("admin");
+        SimCluster {
+            fabric,
+            system,
+            brokers,
+            broker_nodes,
+            admin_node,
+        }
+    }
+
+    /// Address of the bootstrap (controller) broker.
+    pub fn bootstrap(&self) -> BrokerAddr {
+        self.brokers[0].addr()
+    }
+
+    pub fn broker(&self, i: usize) -> &Broker {
+        &self.brokers[i]
+    }
+
+    pub fn brokers(&self) -> &[Broker] {
+        &self.brokers
+    }
+
+    pub fn broker_node(&self, i: usize) -> &NodeHandle {
+        &self.broker_nodes[i]
+    }
+
+    /// Adds a client machine to the fabric.
+    pub fn add_client_node(&self, name: &str) -> NodeHandle {
+        self.fabric.add_node(name)
+    }
+
+    /// Creates a topic through the controller and waits until its leaders
+    /// are installed.
+    pub async fn create_topic(&self, topic: &str, partitions: u32, replication: u32) {
+        let admin = Admin::connect(&self.admin_node, self.bootstrap())
+            .await
+            .expect("admin connect");
+        admin
+            .create_topic(topic, partitions, replication)
+            .await
+            .expect("create topic");
+    }
+
+    /// Address of the leader broker for a partition.
+    pub async fn leader_of(&self, topic: &str, partition: u32) -> BrokerAddr {
+        let admin = Admin::connect(&self.admin_node, self.bootstrap())
+            .await
+            .expect("admin connect");
+        admin.leader_of(topic, partition).await.expect("leader")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_starts_and_creates_topics() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let cluster = SimCluster::start(SystemKind::Kafka, 3);
+            cluster.create_topic("t", 4, 2).await;
+            // Leaders spread round-robin over the three brokers.
+            let l0 = cluster.leader_of("t", 0).await;
+            let l1 = cluster.leader_of("t", 1).await;
+            let l2 = cluster.leader_of("t", 2).await;
+            let l3 = cluster.leader_of("t", 3).await;
+            assert_ne!(l0.node, l1.node);
+            assert_ne!(l1.node, l2.node);
+            assert_eq!(l0.node, l3.node);
+        });
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let cluster = SimCluster::start(SystemKind::Kafka, 1);
+            cluster.create_topic("t", 1, 1).await;
+            let admin = Admin::connect(&cluster.admin_node, cluster.bootstrap())
+                .await
+                .unwrap();
+            let err = admin.create_topic("t", 1, 1).await.err();
+            assert_eq!(
+                err,
+                Some(kdclient::ClientError::Broker(
+                    kdwire::ErrorCode::AlreadyExists
+                ))
+            );
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! The three systems the paper compares (§5 "Implementation"), plus
+//! per-datapath KafkaDirect variants for the module-isolation experiments.
+
+use kdbroker::{BrokerConfig, RdmaToggles};
+use kdclient::ClientTransport;
+
+/// Which system a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Unmodified Apache Kafka over IPoIB: TCP everywhere.
+    Kafka,
+    /// OSU RDMA-Kafka: two-sided RDMA Send/Recv messaging, intermediate
+    /// buffer copies, no one-sided datapaths.
+    OsuKafka,
+    /// KafkaDirect with every RDMA module enabled.
+    KafkaDirect,
+    /// KafkaDirect with a chosen subset of RDMA datapaths ("KafkaDirect
+    /// supports enabling only particular RDMA modules", §5.3).
+    KafkaDirectWith(RdmaToggles),
+}
+
+impl SystemKind {
+    /// The broker configuration of this system.
+    pub fn broker_config(self) -> BrokerConfig {
+        match self {
+            SystemKind::Kafka => BrokerConfig::kafka(),
+            SystemKind::OsuKafka => BrokerConfig::osu(),
+            SystemKind::KafkaDirect => BrokerConfig::kafkadirect(RdmaToggles::all()),
+            SystemKind::KafkaDirectWith(t) => BrokerConfig::kafkadirect(t),
+        }
+    }
+
+    /// The request/response transport clients of this system use.
+    pub fn client_transport(self) -> ClientTransport {
+        match self {
+            SystemKind::OsuKafka => ClientTransport::Osu,
+            _ => ClientTransport::Tcp,
+        }
+    }
+
+    /// Whether producers use the one-sided RDMA produce datapath.
+    pub fn rdma_produce(self) -> bool {
+        self.broker_config().rdma.produce
+    }
+
+    /// Whether consumers use the one-sided RDMA consume datapath.
+    pub fn rdma_consume(self) -> bool {
+        self.broker_config().rdma.consume
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Kafka => "Kafka",
+            SystemKind::OsuKafka => "OSU Kafka",
+            SystemKind::KafkaDirect => "KafkaDirect",
+            SystemKind::KafkaDirectWith(t) => match (t.produce, t.replicate, t.consume) {
+                (true, false, false) => "RDMA Prod.",
+                (false, true, false) => "RDMA Repl.",
+                (false, false, true) => "RDMA Cons.",
+                (true, true, false) => "RDMA Prod.+Repl.",
+                (true, false, true) => "RDMA Prod.+Cons.",
+                _ => "KafkaDirect (partial)",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdbroker::Transport;
+
+    #[test]
+    fn configs_match_paper_systems() {
+        assert_eq!(SystemKind::Kafka.broker_config().transport, Transport::Tcp);
+        assert!(!SystemKind::Kafka.broker_config().rdma.any());
+        assert_eq!(
+            SystemKind::OsuKafka.broker_config().transport,
+            Transport::RdmaSendRecv
+        );
+        assert!(!SystemKind::OsuKafka.broker_config().rdma.any());
+        assert!(SystemKind::KafkaDirect.broker_config().rdma.produce);
+        assert_eq!(
+            SystemKind::OsuKafka.client_transport(),
+            ClientTransport::Osu
+        );
+        let prod_only = SystemKind::KafkaDirectWith(RdmaToggles {
+            produce: true,
+            ..RdmaToggles::none()
+        });
+        assert_eq!(prod_only.label(), "RDMA Prod.");
+    }
+}

@@ -1,0 +1,1189 @@
+//! API workers (paper Fig 2 ➌➍): dequeue work items, verify and commit
+//! records, answer fetches, and serve the RDMA control plane.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use kdstorage::{AppendError, TopicPartition};
+use kdwire::messages::{ProduceMode, Request, Response};
+use kdwire::slots::{pack_shared_word, shared_word_addend, unpack_shared_word, SharedWord};
+use kdwire::{
+    ConsumeAccessResp, ErrorCode, FetchResp, ProduceAccessResp, RemoteRegion, SlotGrant,
+};
+use netsim::profile::copy_time;
+use netsim::NodeId;
+use rnic::{SendWr, ShmBuf, WorkRequest};
+use sim::sync::oneshot;
+
+use crate::broker::BrokerInner;
+use crate::data::Partition;
+use crate::rdma_consume::{self, SlotRef};
+use crate::rdma_net::send_ack;
+use crate::rdma_produce::Grant;
+use crate::requests::{AckRoute, WorkItem};
+
+/// Cost of trivial control-plane requests (metadata, offsets, grants).
+const CONTROL_COST: Duration = Duration::from_micros(3);
+
+/// Sleeps `cost` of worker time and accounts it as CPU load.
+pub async fn charge_worker(b: &Rc<BrokerInner>, cost: Duration) {
+    b.metrics
+        .add(&b.metrics.worker_busy_ns, cost.as_nanos() as u64);
+    sim::time::sleep(cost).await;
+}
+
+/// One API worker thread.
+pub async fn worker_loop(b: Rc<BrokerInner>) {
+    loop {
+        let item = match b.queue.try_recv() {
+            Some(i) => i,
+            None => {
+                let Some(i) = b.queue.recv().await else {
+                    return;
+                };
+                // The worker was parked; waking it costs (§5.1).
+                sim::time::sleep(b.profile.cpu.wakeup).await;
+                i
+            }
+        };
+        dispatch(&b, item).await;
+    }
+}
+
+async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
+    match item {
+        WorkItem::Rpc {
+            peer,
+            request,
+            reply,
+        } => handle_rpc(b, peer, request, reply).await,
+        WorkItem::RdmaCommit {
+            file_id,
+            order,
+            byte_len,
+            seq,
+            ack,
+        } => handle_rdma_commit(b, file_id, order, byte_len, seq, ack).await,
+    }
+}
+
+fn send(reply: oneshot::Sender<Response>, resp: Response) {
+    let _ = reply.send(resp);
+}
+
+async fn handle_rpc(
+    b: &Rc<BrokerInner>,
+    peer: NodeId,
+    request: Request,
+    reply: oneshot::Sender<Response>,
+) {
+    match request {
+        Request::Metadata { topics } => {
+            charge_worker(b, CONTROL_COST).await;
+            let metas = if topics.is_empty() {
+                b.store.all_topics()
+            } else {
+                topics
+                    .iter()
+                    .filter_map(|t| b.store.topic_meta(t))
+                    .collect()
+            };
+            send(
+                reply,
+                Response::Metadata {
+                    error: ErrorCode::None,
+                    brokers: b.peers.clone(),
+                    topics: metas,
+                },
+            );
+        }
+        Request::CreateTopic {
+            topic,
+            partitions,
+            replication,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            // Topic management runs off-worker (it performs cluster RPCs).
+            let b2 = Rc::clone(b);
+            sim::spawn(async move {
+                let error = create_topic(&b2, &topic, partitions, replication).await;
+                send(reply, Response::CreateTopic { error });
+            });
+        }
+        Request::InternalAddPartition {
+            topic,
+            partition,
+            leader,
+            replicas,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            apply_add_partition(b, &topic, partition, leader, replicas);
+            send(
+                reply,
+                Response::InternalAddPartition {
+                    error: ErrorCode::None,
+                },
+            );
+        }
+        Request::Produce {
+            topic,
+            partition,
+            acks,
+            batch,
+        } => handle_produce(b, &TopicPartition::new(&*topic, partition), acks, batch, reply).await,
+        Request::Fetch {
+            topic,
+            partition,
+            offset,
+            max_bytes,
+            replica_id,
+        } => {
+            handle_fetch(
+                b,
+                &TopicPartition::new(&*topic, partition),
+                offset,
+                max_bytes,
+                replica_id,
+                reply,
+            )
+            .await
+        }
+        Request::ListOffsets { topic, partition } => {
+            charge_worker(b, CONTROL_COST).await;
+            let resp = match b.store.get(&TopicPartition::new(&*topic, partition)) {
+                Some(p) if p.is_leader => Response::ListOffsets {
+                    error: ErrorCode::None,
+                    earliest: 0,
+                    latest: p.log.high_watermark(),
+                },
+                Some(_) => Response::ListOffsets {
+                    error: ErrorCode::NotLeader,
+                    earliest: 0,
+                    latest: 0,
+                },
+                None => Response::ListOffsets {
+                    error: ErrorCode::UnknownTopicOrPartition,
+                    earliest: 0,
+                    latest: 0,
+                },
+            };
+            send(reply, resp);
+        }
+        Request::OffsetCommit {
+            group,
+            topic,
+            partition,
+            offset,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            b.offsets
+                .borrow_mut()
+                .insert((group, topic, partition), offset);
+            send(
+                reply,
+                Response::OffsetCommit {
+                    error: ErrorCode::None,
+                },
+            );
+        }
+        Request::OffsetFetch {
+            group,
+            topic,
+            partition,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            let key = (group, topic, partition);
+            // An RDMA-committed offset (slot) takes precedence over the
+            // TCP-committed map when newer.
+            let tcp = b.offsets.borrow().get(&key).copied().unwrap_or(u64::MAX);
+            let slot = b
+                .offset_slots
+                .borrow()
+                .get(&key)
+                .map(|(buf, _)| buf.read_u64(0))
+                .unwrap_or(u64::MAX);
+            let offset = match (tcp, slot) {
+                (u64::MAX, s) => s,
+                (t, u64::MAX) => t,
+                (t, s) => t.max(s),
+            };
+            send(
+                reply,
+                Response::OffsetFetch {
+                    error: ErrorCode::None,
+                    offset,
+                },
+            );
+        }
+        Request::OffsetSlotAccess {
+            group,
+            topic,
+            partition,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            if !b.config.rdma.consume {
+                send(
+                    reply,
+                    Response::OffsetSlotAccess {
+                        error: ErrorCode::InvalidRequest,
+                        region: RemoteRegion { addr: 0, rkey: 0, len: 0 },
+                    },
+                );
+                return;
+            }
+            let key = (group, topic, partition);
+            let region = {
+                let mut slots = b.offset_slots.borrow_mut();
+                let (_, mr) = slots.entry(key).or_insert_with(|| {
+                    let buf = ShmBuf::zeroed(8);
+                    buf.write_u64(0, u64::MAX);
+                    let mr = b
+                        .nic
+                        .reg_mr(buf.clone(), rnic::Access::REMOTE_WRITE | rnic::Access::REMOTE_READ);
+                    b.metrics.add(&b.metrics.registered_bytes, 8);
+                    (buf, mr)
+                });
+                RemoteRegion {
+                    addr: mr.addr(),
+                    rkey: mr.rkey(),
+                    len: 8,
+                }
+            };
+            send(
+                reply,
+                Response::OffsetSlotAccess {
+                    error: ErrorCode::None,
+                    region,
+                },
+            );
+        }
+        Request::ProduceAccess {
+            topic,
+            partition,
+            mode,
+            min_bytes,
+        } => {
+            handle_produce_access(
+                b,
+                peer,
+                &TopicPartition::new(&*topic, partition),
+                mode,
+                min_bytes,
+                reply,
+            )
+            .await
+        }
+        Request::ProduceRelease { topic, partition } => {
+            charge_worker(b, CONTROL_COST).await;
+            if let Some(p) = b.store.get(&TopicPartition::new(&*topic, partition)) {
+                let grant = p.grant.borrow().clone();
+                if let Some(g) = grant {
+                    if g.owner == peer || g.mode == ProduceMode::Shared {
+                        revoke_grant(b, &p, &g, ErrorCode::AccessDenied);
+                    }
+                }
+            }
+            send(
+                reply,
+                Response::ProduceRelease {
+                    error: ErrorCode::None,
+                },
+            );
+        }
+        Request::ConsumeAccess {
+            topic,
+            partition,
+            offset,
+            consumer_id,
+        } => {
+            handle_consume_access(
+                b,
+                &TopicPartition::new(&*topic, partition),
+                offset,
+                consumer_id,
+                reply,
+            )
+            .await
+        }
+        Request::ConsumeRelease {
+            topic,
+            partition,
+            consumer_id,
+            segment,
+        } => {
+            charge_worker(b, CONTROL_COST).await;
+            if let Some(p) = b.store.get(&TopicPartition::new(&*topic, partition)) {
+                rdma_consume::release_read(&b.nic, &b.metrics, &p, segment);
+                b.consume_module.free_slot(consumer_id, &p.tp, segment);
+                p.slot_refs
+                    .borrow_mut()
+                    .retain(|r| !(r.consumer_id == consumer_id && r.segment == segment));
+            }
+            send(
+                reply,
+                Response::ConsumeRelease {
+                    error: ErrorCode::None,
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topic management (controller role).
+// ---------------------------------------------------------------------------
+
+async fn create_topic(b: &Rc<BrokerInner>, topic: &str, partitions: u32, replication: u32) -> ErrorCode {
+    let controller = b.peers[0];
+    if b.me.node != controller.node {
+        // Forward to the controller.
+        let Some(client) = b.peer_client(controller).await else {
+            return ErrorCode::Internal;
+        };
+        return match client
+            .call(&Request::CreateTopic {
+                topic: topic.to_string(),
+                partitions,
+                replication,
+            })
+            .await
+        {
+            Ok(Response::CreateTopic { error }) => error,
+            _ => ErrorCode::Internal,
+        };
+    }
+    if partitions == 0 || replication == 0 || replication as usize > b.peers.len() {
+        return ErrorCode::InvalidRequest;
+    }
+    if b.store.topic_exists(topic) {
+        return ErrorCode::AlreadyExists;
+    }
+    let n = b.peers.len();
+    for pt in 0..partitions {
+        let leader = b.peers[pt as usize % n];
+        let followers: Vec<_> = (1..replication as usize)
+            .map(|k| b.peers[(pt as usize + k) % n])
+            .collect();
+        // Install on every broker (full metadata view everywhere).
+        for target in b.peers.clone() {
+            let req = Request::InternalAddPartition {
+                topic: topic.to_string(),
+                partition: pt,
+                leader,
+                replicas: followers.clone(),
+            };
+            if target.node == b.me.node {
+                apply_add_partition(b, topic, pt, leader, followers.clone());
+            } else if let Some(client) = b.peer_client(target).await {
+                let _ = client.call(&req).await;
+            }
+        }
+    }
+    ErrorCode::None
+}
+
+/// Installs partition metadata and, when this broker hosts it, the local
+/// replica plus its replication machinery.
+pub fn apply_add_partition(
+    b: &Rc<BrokerInner>,
+    topic: &str,
+    partition: u32,
+    leader: kdwire::BrokerAddr,
+    followers: Vec<kdwire::BrokerAddr>,
+) {
+    b.store.record_meta(
+        topic,
+        kdwire::PartitionMeta {
+            partition,
+            leader,
+            replicas: followers.clone(),
+        },
+    );
+    let tp = TopicPartition::new(topic, partition);
+    let is_leader = leader.node == b.me.node;
+    let is_follower = followers.iter().any(|f| f.node == b.me.node);
+    if !(is_leader || is_follower) || b.store.get(&tp).is_some() {
+        return;
+    }
+    let p = Partition::new(tp, b.config.log.clone(), leader, followers, is_leader);
+    b.store.insert(Rc::clone(&p));
+    if is_leader {
+        crate::repl::maybe_start_push(b, &p);
+    } else if !b.config.rdma.replicate {
+        crate::repl::start_pull_fetcher(b, &p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Produce (TCP datapath, §4.2.1).
+// ---------------------------------------------------------------------------
+
+async fn handle_produce(
+    b: &Rc<BrokerInner>,
+    tp: &TopicPartition,
+    acks: u8,
+    batch: Vec<u8>,
+    reply: oneshot::Sender<Response>,
+) {
+    b.metrics.add(&b.metrics.produce_requests, 1);
+    b.metrics.add(&b.metrics.produce_bytes, batch.len() as u64);
+    let Some(p) = b.store.get(tp) else {
+        let error = if b.store.topic_exists(tp.topic.as_str()) {
+            ErrorCode::NotLeader
+        } else {
+            ErrorCode::UnknownTopicOrPartition
+        };
+        send(reply, Response::Produce { error, base_offset: 0 });
+        return;
+    };
+    if !p.is_leader {
+        send(
+            reply,
+            Response::Produce {
+                error: ErrorCode::NotLeader,
+                base_offset: 0,
+            },
+        );
+        return;
+    }
+    // A TCP produce into an RDMA-shared file must reserve through the same
+    // atomic word as the remote producers (§4.2.2 "Shared RDMA/TCP access").
+    let grant = p.grant.borrow().clone();
+    if let Some(g) = grant.filter(|g| g.mode == ProduceMode::Shared && !g.closed.get()) {
+        produce_via_shared(b, &p, &g, batch, reply).await;
+        return;
+    }
+
+    let cpu = &b.profile.cpu;
+    let len = batch.len() as u64;
+    let guard = p.write_lock.lock().await;
+    // Verify (CRC) + the receive-buffer → file-buffer copy (§4.2.1's second
+    // redundant copy; the copy itself really happens in `append_batch`).
+    charge_worker(
+        b,
+        cpu.api_produce_base
+            + copy_time(len, cpu.crc_bandwidth)
+            + copy_time(len, cpu.heap_copy_bandwidth),
+    )
+    .await;
+    b.metrics.add(&b.metrics.heap_copied_bytes, len);
+    let res = p.log.append_batch(&batch);
+    drop(guard);
+    match res {
+        Ok(info) => {
+            after_local_commit(b, &p);
+            finish_produce_rpc(b, &p, acks, info.base_offset, info.record_count, reply);
+        }
+        Err(e) => send(
+            reply,
+            Response::Produce {
+                error: map_append_error(e),
+                base_offset: 0,
+            },
+        ),
+    }
+}
+
+/// Post-commit bookkeeping shared by every produce path.
+fn after_local_commit(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    p.announce_leo();
+    if p.replication_factor() == 1 {
+        p.recompute_hw();
+        on_hw_advanced(b, p);
+    }
+}
+
+/// Completes a TCP produce according to its `acks` mode.
+fn finish_produce_rpc(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    acks: u8,
+    base_offset: u64,
+    record_count: u32,
+    reply: oneshot::Sender<Response>,
+) {
+    let needs_full_commit = acks >= 2 && p.replication_factor() > 1;
+    if needs_full_commit {
+        let p = Rc::clone(p);
+        let _ = b;
+        sim::spawn(async move {
+            p.wait_committed(base_offset + u64::from(record_count)).await;
+            send(
+                reply,
+                Response::Produce {
+                    error: ErrorCode::None,
+                    base_offset,
+                },
+            );
+        });
+    } else {
+        send(
+            reply,
+            Response::Produce {
+                error: ErrorCode::None,
+                base_offset,
+            },
+        );
+    }
+}
+
+fn map_append_error(e: AppendError) -> ErrorCode {
+    match e {
+        AppendError::TooLarge { .. } => ErrorCode::InvalidRequest,
+        AppendError::Batch(_) => ErrorCode::CorruptBatch,
+        AppendError::NonContiguousCommit { .. } | AppendError::OffsetMismatch { .. } => {
+            ErrorCode::Internal
+        }
+    }
+}
+
+/// TCP produce into a shared-RDMA file: reserve via a loopback FAA, copy the
+/// bytes into the reserved region, and join the completion-ordered commit
+/// stream.
+async fn produce_via_shared(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    g: &Rc<Grant>,
+    batch: Vec<u8>,
+    reply: oneshot::Sender<Response>,
+) {
+    let shared = g.shared.as_ref().expect("shared grant");
+    let word_region = RemoteRegion {
+        addr: shared.word_mr.addr(),
+        rkey: shared.word_mr.rkey(),
+        len: 8,
+    };
+    let len = batch.len() as u64;
+    let Some(old) = b.self_faa(word_region, shared_word_addend(len)).await else {
+        send(
+            reply,
+            Response::Produce {
+                error: ErrorCode::Internal,
+                base_offset: 0,
+            },
+        );
+        return;
+    };
+    let w = unpack_shared_word(old);
+    let seg = p.log.segment(g.segment).expect("grant segment");
+    if w.offset + len > u64::from(seg.capacity()) {
+        // Out of space: abort the shared session and fall back to a plain
+        // append on the fresh head file.
+        revoke_grant(b, p, g, ErrorCode::OutOfSpace);
+        roll_head(b, p);
+        let cpu = &b.profile.cpu;
+        let guard = p.write_lock.lock().await;
+        charge_worker(
+            b,
+            cpu.api_produce_base
+                + copy_time(len, cpu.crc_bandwidth)
+                + copy_time(len, cpu.heap_copy_bandwidth),
+        )
+        .await;
+        let res = p.log.append_batch(&batch);
+        drop(guard);
+        match res {
+            Ok(info) => {
+                after_local_commit(b, p);
+                finish_produce_rpc(b, p, 2, info.base_offset, info.record_count, reply);
+            }
+            Err(e) => send(
+                reply,
+                Response::Produce {
+                    error: map_append_error(e),
+                    base_offset: 0,
+                },
+            ),
+        }
+        return;
+    }
+    // Copy the records into the reserved region (this path still copies —
+    // it is the TCP datapath; zero copy is the RDMA producers' privilege).
+    let cpu = &b.profile.cpu;
+    charge_worker(b, copy_time(len, cpu.heap_copy_bandwidth)).await;
+    b.metrics.add(&b.metrics.heap_copied_bytes, len);
+    seg.write_at(w.offset as u32, &batch);
+    seg.advance_write_pos(w.offset as u32 + len as u32);
+    // Join the completion-ordered commit stream at the current sequence.
+    let seq = g.next_seq.get();
+    g.next_seq.set(seq + 1);
+    let item = WorkItem::RdmaCommit {
+        file_id: g.file_id,
+        order: w.order,
+        byte_len: len as u32,
+        seq,
+        ack: AckRoute::Rpc(reply),
+    };
+    crate::rdma_net::enqueue_in_order(b, g, seq, item);
+}
+
+// ---------------------------------------------------------------------------
+// RDMA produce commits (§4.2.2).
+// ---------------------------------------------------------------------------
+
+/// Outcome of committing one produce span.
+struct SpanInfo {
+    base_offset: u64,
+    next_offset: u64,
+}
+
+async fn handle_rdma_commit(
+    b: &Rc<BrokerInner>,
+    file_id: u16,
+    order: u16,
+    byte_len: u32,
+    seq: u64,
+    ack: AckRoute,
+) {
+    let Some((tp, grant)) = b.produce_module.lookup(file_id) else {
+        ack_error(b, ack, ErrorCode::AccessDenied);
+        return;
+    };
+    // Enforce completion-order processing per file (§4.2.2).
+    grant.chain.wait_turn(seq).await;
+    let p = b.store.get(&tp).expect("grant partition exists");
+    if grant.closed.get() {
+        grant.chain.advance(seq);
+        ack_error(b, ack, ErrorCode::OutOfSpace);
+        return;
+    }
+    let ready = match grant.mode {
+        ProduceMode::Shared => grant.on_shared_arrival(order, byte_len, ack),
+        _ => vec![(byte_len, ack)],
+    };
+    if ready.is_empty() {
+        // Parked out-of-order: arm the hole timeout (§4.2.2).
+        arm_order_timeout(b, &p, &grant, order);
+        grant.chain.advance(seq);
+        return;
+    }
+    let mut results = Vec::with_capacity(ready.len());
+    {
+        let _guard = p.write_lock.lock().await;
+        for (len, route) in ready {
+            if grant.closed.get() {
+                results.push((Err(ErrorCode::OutOfSpace), route, len));
+                continue;
+            }
+            // Verify in place: CRC over bytes already in the file; no copy.
+            charge_worker(
+                b,
+                b.profile.cpu.api_produce_base
+                    + copy_time(u64::from(len), b.profile.cpu.crc_bandwidth),
+            )
+            .await;
+            let res = commit_span(b, &p, &grant, len);
+            results.push((res, route, len));
+        }
+    }
+    grant.chain.advance(seq);
+    let mut committed = false;
+    for (res, route, len) in results {
+        match res {
+            Ok(span) => {
+                committed = true;
+                b.metrics.add(&b.metrics.rdma_commits, 1);
+                b.metrics.add(&b.metrics.rdma_commit_bytes, u64::from(len));
+                finish_rdma_ack(b, &p, &grant, span, route);
+            }
+            Err(code) => ack_error(b, route, code),
+        }
+    }
+    if committed {
+        after_local_commit(b, &p);
+    }
+}
+
+/// Verifies and commits `len` bytes sitting at the committed frontier of
+/// the grant's file. May contain several batches (push replication merges
+/// contiguous writes, §4.3.2).
+fn commit_span(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    grant: &Rc<Grant>,
+    len: u32,
+) -> Result<SpanInfo, ErrorCode> {
+    if grant.segment != p.log.head_index() {
+        return Err(ErrorCode::OutOfSpace);
+    }
+    let head = p.log.head();
+    let start = head.committed_pos();
+    if u64::from(start) + u64::from(len) > u64::from(head.capacity()) {
+        return Err(ErrorCode::OutOfSpace);
+    }
+    head.advance_write_pos(start + len);
+    let mut base_offset = None;
+    let mut next_offset = p.log.next_offset();
+    while head.committed_pos() < start + len {
+        match p.log.commit_in_place(head.committed_pos()) {
+            Ok(info) => {
+                base_offset.get_or_insert(info.base_offset);
+                next_offset = info.base_offset + u64::from(info.record_count);
+            }
+            Err(_) => {
+                // Corrupt bytes inside the span: drop the uncommitted tail
+                // and kill the session (clients must re-request access).
+                head.truncate_to_committed();
+                revoke_grant(b, p, grant, ErrorCode::CorruptBatch);
+                return Err(ErrorCode::CorruptBatch);
+            }
+        }
+    }
+    Ok(SpanInfo {
+        base_offset: base_offset.unwrap_or(next_offset),
+        next_offset,
+    })
+}
+
+/// Sends the produce result to its origin, deferring until full replication
+/// where required.
+fn finish_rdma_ack(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    grant: &Rc<Grant>,
+    span: SpanInfo,
+    route: AckRoute,
+) {
+    match grant.mode {
+        ProduceMode::Replication => {
+            // Follower side of push replication: track our own progress and
+            // return a credit to the leader (§4.3.2).
+            p.follower_set_hw(p.log.next_offset());
+            on_hw_advanced(b, p);
+            if let AckRoute::Qp(qpn) = route {
+                send_ack(b, qpn, ErrorCode::None, span.next_offset);
+            }
+        }
+        _ => {
+            if p.replication_factor() > 1 {
+                let b2 = Rc::clone(b);
+                let p2 = Rc::clone(p);
+                sim::spawn(async move {
+                    p2.wait_committed(span.next_offset).await;
+                    deliver_ack(&b2, route, ErrorCode::None, span.base_offset);
+                });
+            } else {
+                deliver_ack(b, route, ErrorCode::None, span.base_offset);
+            }
+        }
+    }
+}
+
+fn deliver_ack(b: &Rc<BrokerInner>, route: AckRoute, error: ErrorCode, base_offset: u64) {
+    match route {
+        AckRoute::Qp(qpn) => send_ack(b, qpn, error, base_offset),
+        AckRoute::Rpc(reply) => send(
+            reply,
+            Response::Produce {
+                error,
+                base_offset,
+            },
+        ),
+        AckRoute::None => {}
+    }
+}
+
+fn ack_error(b: &Rc<BrokerInner>, route: AckRoute, error: ErrorCode) {
+    deliver_ack(b, route, error, 0);
+}
+
+/// Arms the §4.2.2 hole watchdog: if `order` is still parked when the
+/// timeout fires, the whole shared session is aborted and access revoked.
+fn arm_order_timeout(b: &Rc<BrokerInner>, p: &Rc<Partition>, grant: &Rc<Grant>, order: u16) {
+    let generation = grant
+        .shared
+        .as_ref()
+        .map(|s| s.generation.get())
+        .unwrap_or(0);
+    let timeout = b.config.shared_order_timeout;
+    let b = Rc::clone(b);
+    let p = Rc::clone(p);
+    let grant = Rc::clone(grant);
+    sim::spawn(async move {
+        sim::time::sleep(timeout).await;
+        if grant.is_pending(order, generation) {
+            b.metrics.add(&b.metrics.produce_aborts, 1);
+            revoke_grant(&b, &p, &grant, ErrorCode::OrderTimeout);
+        }
+    });
+}
+
+/// Revokes a grant: deregisters memory (in-flight writes fault), fails
+/// parked completions, discards reserved-but-uncommitted bytes.
+pub fn revoke_grant(b: &Rc<BrokerInner>, p: &Rc<Partition>, grant: &Rc<Grant>, error: ErrorCode) {
+    let failed = b.produce_module.revoke(&b.nic, grant);
+    for route in failed {
+        ack_error(b, route, error);
+    }
+    if let Some(seg) = p.log.segment(grant.segment) {
+        if !seg.is_sealed() {
+            seg.truncate_to_committed();
+        }
+        b.metrics
+            .registered_bytes
+            .set(b.metrics.registered_bytes.get().saturating_sub(u64::from(seg.capacity())));
+    }
+    let mut cell = p.grant.borrow_mut();
+    if cell.as_ref().is_some_and(|g| Rc::ptr_eq(g, grant)) {
+        *cell = None;
+    }
+    b.metrics.add(&b.metrics.grants_revoked, 1);
+}
+
+/// Revokes exclusive/replication grants owned by a disconnected node
+/// (§4.2.2: "If the RDMA producer fails, its exclusive RDMA access will be
+/// revoked").
+pub fn revoke_grants_of_node(b: &Rc<BrokerInner>, node: NodeId) {
+    for p in b.store.local_partitions() {
+        let grant = p.grant.borrow().clone();
+        if let Some(g) = grant {
+            if g.owner == node && g.mode != ProduceMode::Shared && !g.closed.get() {
+                revoke_grant(b, &p, &g, ErrorCode::AccessDenied);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Produce access grants (§4.2.2 "Getting RDMA access").
+// ---------------------------------------------------------------------------
+
+fn roll_head(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    p.log.roll();
+    // The old head just became immutable: let consumers know (§4.4.2).
+    on_hw_advanced(b, p);
+}
+
+async fn handle_produce_access(
+    b: &Rc<BrokerInner>,
+    peer: NodeId,
+    tp: &TopicPartition,
+    mode: ProduceMode,
+    min_bytes: u32,
+    reply: oneshot::Sender<Response>,
+) {
+    charge_worker(b, CONTROL_COST).await;
+    let fail = |error: ErrorCode| {
+        Response::ProduceAccess(ProduceAccessResp {
+            error,
+            file_id: 0,
+            segment: 0,
+            region: RemoteRegion {
+                addr: 0,
+                rkey: 0,
+                len: 0,
+            },
+            write_pos: 0,
+            next_offset: 0,
+            shared_word: None,
+            credits: 0,
+        })
+    };
+    let Some(p) = b.store.get(tp) else {
+        send(reply, fail(ErrorCode::UnknownTopicOrPartition));
+        return;
+    };
+    let allowed = match mode {
+        ProduceMode::Replication => {
+            b.config.rdma.replicate && !p.is_leader && peer.0 == p.leader.node
+        }
+        _ => b.config.rdma.produce && p.is_leader,
+    };
+    if !allowed {
+        let code = if p.is_leader || mode == ProduceMode::Replication {
+            ErrorCode::AccessDenied
+        } else {
+            ErrorCode::NotLeader
+        };
+        send(reply, fail(code));
+        return;
+    }
+
+    let existing = p.grant.borrow().clone().filter(|g| !g.closed.get());
+    if let Some(g) = existing {
+        let needs_roll =
+            g.segment != p.log.head_index() || p.log.head().remaining() < min_bytes;
+        let compatible = g.mode == mode
+            && (mode == ProduceMode::Shared || g.owner == peer);
+        if !compatible {
+            send(reply, fail(ErrorCode::AccessDenied));
+            return;
+        }
+        if !needs_roll {
+            send(reply, grant_response(b, &p, &g));
+            return;
+        }
+        // Roll: retire the old session, seal the file, open a new head.
+        revoke_grant(b, &p, &g, ErrorCode::OutOfSpace);
+        roll_head(b, &p);
+    } else if p.log.head().remaining() < min_bytes {
+        roll_head(b, &p);
+    }
+
+    let head = p.log.head();
+    head.truncate_to_committed();
+    let grant = b.produce_module.create_grant(
+        &b.nic,
+        tp,
+        p.log.head_index(),
+        head.shared_buf(),
+        mode,
+        peer,
+    );
+    if let Some(shared) = &grant.shared {
+        shared.word_buf.write_u64(
+            0,
+            pack_shared_word(SharedWord {
+                order: 0,
+                offset: u64::from(head.committed_pos()),
+            }),
+        );
+    }
+    b.metrics
+        .add(&b.metrics.registered_bytes, u64::from(head.capacity()));
+    *p.grant.borrow_mut() = Some(Rc::clone(&grant));
+    send(reply, grant_response(b, &p, &grant));
+}
+
+fn grant_response(b: &Rc<BrokerInner>, p: &Rc<Partition>, g: &Rc<Grant>) -> Response {
+    let head = p.log.segment(g.segment).expect("grant segment");
+    Response::ProduceAccess(ProduceAccessResp {
+        error: ErrorCode::None,
+        file_id: g.file_id,
+        segment: g.segment,
+        region: RemoteRegion {
+            addr: g.mr.addr(),
+            rkey: g.mr.rkey(),
+            len: g.mr.len() as u64,
+        },
+        write_pos: head.committed_pos(),
+        next_offset: p.log.next_offset(),
+        shared_word: g.shared.as_ref().map(|s| RemoteRegion {
+            addr: s.word_mr.addr(),
+            rkey: s.word_mr.rkey(),
+            len: 8,
+        }),
+        credits: b.config.replication_credits,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fetch (consumers §4.4.1 and pull replication §4.3.1).
+// ---------------------------------------------------------------------------
+
+async fn handle_fetch(
+    b: &Rc<BrokerInner>,
+    tp: &TopicPartition,
+    offset: u64,
+    max_bytes: u32,
+    replica_id: u32,
+    reply: oneshot::Sender<Response>,
+) {
+    let fail = |error: ErrorCode| {
+        Response::Fetch(FetchResp {
+            error,
+            high_watermark: 0,
+            log_end: 0,
+            start_offset: offset,
+            next_offset: offset,
+            bytes: Vec::new(),
+        })
+    };
+    let Some(p) = b.store.get(tp) else {
+        send(reply, fail(ErrorCode::UnknownTopicOrPartition));
+        return;
+    };
+    if !p.is_leader {
+        send(reply, fail(ErrorCode::NotLeader));
+        return;
+    }
+    let is_replica = replica_id != u32::MAX;
+    charge_worker(b, b.profile.cpu.api_fetch_base).await;
+    if is_replica {
+        // A fetch at `offset` acknowledges everything before it.
+        let before = p.log.high_watermark();
+        p.follower_ack(replica_id, offset);
+        if p.log.high_watermark() != before {
+            on_hw_advanced(b, &p);
+        }
+        let f = p.log.read_from(offset, max_bytes, false);
+        if f.bytes.is_empty() {
+            // Long-poll: park off-worker until data appears (Kafka's fetch
+            // purgatory).
+            let b2 = Rc::clone(b);
+            let p2 = Rc::clone(&p);
+            let wait = b.config.replica_fetch_wait;
+            sim::spawn(async move {
+                let deadline = sim::now() + wait;
+                let mut rx = p2.leo_tx.subscribe();
+                while p2.log.next_offset() <= offset && sim::now() < deadline {
+                    let remaining = deadline.saturating_since(sim::now());
+                    if sim::time::timeout(remaining, rx.changed()).await.is_err() {
+                        break;
+                    }
+                }
+                let f = p2.log.read_from(offset, max_bytes, false);
+                b2.metrics.add(&b2.metrics.fetch_bytes, f.bytes.len() as u64);
+                send(reply, fetch_response(&p2, f));
+            });
+            return;
+        }
+        b.metrics.add(&b.metrics.fetch_bytes, f.bytes.len() as u64);
+        send(reply, fetch_response(&p, f));
+    } else {
+        b.metrics.add(&b.metrics.fetch_requests, 1);
+        let f = p.log.read_from(offset, max_bytes, true);
+        if f.bytes.is_empty() {
+            b.metrics.add(&b.metrics.empty_fetches, 1);
+        }
+        b.metrics.add(&b.metrics.fetch_bytes, f.bytes.len() as u64);
+        send(reply, fetch_response(&p, f));
+    }
+}
+
+fn fetch_response(p: &Rc<Partition>, f: kdstorage::log::FetchSlice) -> Response {
+    Response::Fetch(FetchResp {
+        error: ErrorCode::None,
+        high_watermark: p.log.high_watermark(),
+        log_end: p.log.next_offset(),
+        start_offset: f.start_offset,
+        next_offset: f.next_offset,
+        bytes: f.bytes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Consume access (§4.4.2).
+// ---------------------------------------------------------------------------
+
+async fn handle_consume_access(
+    b: &Rc<BrokerInner>,
+    tp: &TopicPartition,
+    offset: u64,
+    consumer_id: u64,
+    reply: oneshot::Sender<Response>,
+) {
+    charge_worker(b, CONTROL_COST).await;
+    let fail = |error: ErrorCode| {
+        Response::ConsumeAccess(ConsumeAccessResp {
+            error,
+            segment: 0,
+            region: RemoteRegion {
+                addr: 0,
+                rkey: 0,
+                len: 0,
+            },
+            start_pos: 0,
+            start_offset: 0,
+            last_readable: 0,
+            mutable: false,
+            slot: None,
+            high_watermark: 0,
+        })
+    };
+    if !b.config.rdma.consume {
+        send(reply, fail(ErrorCode::InvalidRequest));
+        return;
+    }
+    let Some(p) = b.store.get(tp) else {
+        send(reply, fail(ErrorCode::UnknownTopicOrPartition));
+        return;
+    };
+    if !p.is_leader {
+        send(reply, fail(ErrorCode::NotLeader));
+        return;
+    }
+    let hw = p.log.high_watermark();
+    let hwp = p.log.high_watermark_position();
+    let (segment, start_pos, start_offset) = if offset < hw {
+        match p.log.locate(offset) {
+            Some((seg, entry)) => (seg, entry.pos, entry.base_offset),
+            None => {
+                send(reply, fail(ErrorCode::InvalidRequest));
+                return;
+            }
+        }
+    } else {
+        (hwp.segment, hwp.pos, hw)
+    };
+    let mr = rdma_consume::register_read(&b.nic, &b.metrics, &p, segment);
+    let view = rdma_consume::slot_view_for(&p, segment);
+    let slot = if view.mutable {
+        match b
+            .consume_module
+            .alloc_slot(&b.nic, &b.metrics, consumer_id, tp, segment)
+        {
+            Some((slots, index)) => {
+                let r = SlotRef {
+                    consumer_id,
+                    slot: index,
+                    segment,
+                };
+                if !p.slot_refs.borrow().contains(&r) {
+                    p.slot_refs.borrow_mut().push(r);
+                }
+                slots
+                    .buf
+                    .write_at(index * kdwire::SLOT_SIZE, &view.encode());
+                Some(SlotGrant {
+                    region: RemoteRegion {
+                        addr: slots.mr.addr(),
+                        rkey: slots.mr.rkey(),
+                        len: slots.mr.len() as u64,
+                    },
+                    index: index as u32,
+                    active_span: slots.active_span(),
+                })
+            }
+            None => {
+                rdma_consume::release_read(&b.nic, &b.metrics, &p, segment);
+                send(reply, fail(ErrorCode::AccessDenied));
+                return;
+            }
+        }
+    } else {
+        None
+    };
+    send(
+        reply,
+        Response::ConsumeAccess(ConsumeAccessResp {
+            error: ErrorCode::None,
+            segment,
+            region: RemoteRegion {
+                addr: mr.addr(),
+                rkey: mr.rkey(),
+                len: mr.len() as u64,
+            },
+            start_pos,
+            start_offset,
+            last_readable: view.last_readable,
+            mutable: view.mutable,
+            slot,
+            high_watermark: hw,
+        }),
+    );
+}
+
+/// High-watermark side effects: refresh every RDMA-readable metadata slot
+/// attached to the partition (§4.4.2).
+pub fn on_hw_advanced(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    rdma_consume::update_partition_slots(p, &b.consume_module, &b.metrics);
+}
+
+/// Sends a batch on the broker's loopback QP — used by `self_faa`.
+pub(crate) fn post_self(
+    qp: &rnic::QueuePair,
+    local: ShmBuf,
+    region: RemoteRegion,
+    add: u64,
+) -> Result<(), rnic::PostError> {
+    qp.post_send(SendWr::new(
+        0,
+        WorkRequest::FetchAdd {
+            local: local.as_slice(),
+            remote_addr: region.addr,
+            rkey: region.rkey,
+            add,
+        },
+    ))
+}

@@ -1,0 +1,216 @@
+//! Broker assembly: wires the network modules, worker pool, RDMA modules,
+//! and data management together (paper Fig 2) and exposes the public handle.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use kdwire::{BrokerAddr, RemoteRegion, RpcClient};
+use netsim::profile::Profile;
+use netsim::NodeHandle;
+use rnic::{CompletionQueue, QpOptions, QueuePair, RNic, ShmBuf};
+use sim::sync::mpmc::WorkQueue;
+
+use crate::busy::ServicePool;
+use crate::config::{BrokerConfig, Transport};
+use crate::data::PartitionStore;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::rdma_consume::ConsumeModule;
+use crate::rdma_produce::ProduceModule;
+use crate::requests::WorkItem;
+
+/// An RDMA-writable consumer-offset slot (buffer + its registration).
+pub type OffsetSlot = (rnic::ShmBuf, rnic::MemoryRegion);
+
+/// Lazily-created loopback QP the broker uses to issue atomics to itself
+/// (§4.2.2: a TCP produce into a shared file "needs to reserve a memory
+/// region by issuing an RDMA atomic to itself").
+pub struct SelfRdma {
+    qp: QueuePair,
+    send_cq: CompletionQueue,
+    lock: sim::sync::Mutex<()>,
+}
+
+/// Shared state of one broker. Module code receives `Rc<BrokerInner>`.
+pub struct BrokerInner {
+    pub node: NodeHandle,
+    pub me: BrokerAddr,
+    pub config: BrokerConfig,
+    pub profile: Rc<Profile>,
+    pub nic: RNic,
+    pub metrics: Metrics,
+    pub store: PartitionStore,
+    pub queue: WorkQueue<WorkItem>,
+    pub net_pool: ServicePool,
+    /// Every broker of the cluster, sorted by node id; `peers[0]` acts as
+    /// the controller.
+    pub peers: Vec<BrokerAddr>,
+    peer_clients: RefCell<HashMap<u32, RpcClient>>,
+    pub offsets: RefCell<HashMap<(String, String, u32), u64>>,
+    /// EXTENSION (§5.4 future work): RDMA-writable offset slots keyed by
+    /// (group, topic, partition). `u64::MAX` = nothing committed.
+    pub offset_slots: RefCell<HashMap<(String, String, u32), OffsetSlot>>,
+    /// Accepted produce/replication QPs by QP number (ack routing).
+    pub produce_qps: RefCell<HashMap<u32, QueuePair>>,
+    /// Consumer QPs are held only to keep them alive; they never generate
+    /// broker-side work.
+    pub consume_qps: RefCell<Vec<QueuePair>>,
+    /// Shared receive CQ of the RDMA produce module (§4.1).
+    pub recv_cq: CompletionQueue,
+    /// Send CQ for (unsignaled) acks.
+    pub ack_send_cq: CompletionQueue,
+    pub produce_module: ProduceModule,
+    pub consume_module: ConsumeModule,
+    self_rdma: RefCell<Option<Rc<SelfRdma>>>,
+}
+
+impl BrokerInner {
+    /// Lazily connects (and caches) an RPC client to a peer broker.
+    pub async fn peer_client(&self, addr: BrokerAddr) -> Option<RpcClient> {
+        if let Some(c) = self.peer_clients.borrow().get(&addr.node) {
+            if !c.is_dead() {
+                return Some(c.clone());
+            }
+        }
+        let stream = netsim::tcp::connect(&self.node, netsim::NodeId(addr.node), addr.port)
+            .await
+            .ok()?;
+        let client = RpcClient::new(stream);
+        self.peer_clients
+            .borrow_mut()
+            .insert(addr.node, client.clone());
+        Some(client)
+    }
+
+    /// Issues a fetch-and-add to this broker's own NIC (loopback RC QP) and
+    /// returns the old value.
+    pub async fn self_faa(&self, region: RemoteRegion, add: u64) -> Option<u64> {
+        let s = self.ensure_self_rdma().await?;
+        let _guard = s.lock.lock().await;
+        let result = ShmBuf::zeroed(8);
+        crate::api::post_self(&s.qp, result.clone(), region, add).ok()?;
+        let cqe = s.send_cq.next().await?;
+        if !cqe.ok() {
+            return None;
+        }
+        cqe.atomic_old.or_else(|| Some(result.read_u64(0)))
+    }
+
+    async fn ensure_self_rdma(&self) -> Option<Rc<SelfRdma>> {
+        if let Some(s) = self.self_rdma.borrow().clone() {
+            return Some(s);
+        }
+        let send_cq = self.nic.create_cq(64);
+        let recv_cq = self.nic.create_cq(64);
+        let qp = self
+            .nic
+            .connect(
+                self.node.id,
+                self.config.rdma_port + crate::rdma_net::PRODUCE_PORT_OFF,
+                send_cq.clone(),
+                recv_cq,
+                QpOptions::default(),
+            )
+            .await
+            .ok()?;
+        let s = Rc::new(SelfRdma {
+            qp,
+            send_cq,
+            lock: sim::sync::Mutex::new(()),
+        });
+        // Another task may have raced us; keep the first.
+        let mut slot = self.self_rdma.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(Rc::clone(&s));
+        }
+        Some(slot.clone().unwrap())
+    }
+}
+
+/// A running broker.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Rc<BrokerInner>,
+}
+
+impl Broker {
+    /// Starts a broker on `node`. `peers` must list every broker of the
+    /// cluster (including this one) with identical ordering everywhere;
+    /// `peers[0]` is the controller.
+    pub fn start(node: &NodeHandle, config: BrokerConfig, peers: Vec<BrokerAddr>) -> Broker {
+        let mut peers = peers;
+        peers.sort_by_key(|p| p.node);
+        let me = *peers
+            .iter()
+            .find(|p| p.node == node.id.0)
+            .expect("this broker must be in the peer list");
+        assert_eq!(me.port, config.tcp_port, "peer list port mismatch");
+        let profile = node.profile();
+        let nic = RNic::new(node);
+        let recv_cq = nic.create_cq(config.cq_capacity);
+        let ack_send_cq = nic.create_cq(config.cq_capacity);
+        let inner = Rc::new(BrokerInner {
+            node: node.clone(),
+            me,
+            profile: Rc::clone(&profile),
+            nic,
+            metrics: Metrics::default(),
+            store: PartitionStore::default(),
+            queue: WorkQueue::new(config.request_queue_depth),
+            net_pool: ServicePool::new(config.net_threads, profile.cpu.wakeup),
+            peers,
+            peer_clients: RefCell::new(HashMap::new()),
+            offsets: RefCell::new(HashMap::new()),
+            offset_slots: RefCell::new(HashMap::new()),
+            produce_qps: RefCell::new(HashMap::new()),
+            consume_qps: RefCell::new(Vec::new()),
+            recv_cq,
+            ack_send_cq,
+            produce_module: ProduceModule::default(),
+            consume_module: ConsumeModule::new(config.slots_per_consumer),
+            self_rdma: RefCell::new(None),
+            config,
+        });
+
+        // Front ends.
+        crate::server_tcp::start(&inner);
+        if inner.config.transport == Transport::RdmaSendRecv {
+            crate::server_osu::start(&inner);
+        }
+        if inner.config.rdma.any() || inner.config.transport == Transport::RdmaSendRecv {
+            crate::rdma_net::start(&inner);
+        }
+        // Worker pool.
+        for _ in 0..inner.config.api_workers {
+            let b = Rc::clone(&inner);
+            sim::spawn(async move { crate::api::worker_loop(b).await });
+        }
+        Broker { inner }
+    }
+
+    pub fn addr(&self) -> BrokerAddr {
+        self.inner.me
+    }
+
+    pub fn node_id(&self) -> netsim::NodeId {
+        self.inner.node.id
+    }
+
+    /// Creates topic metadata directly (admin path used by the cluster
+    /// harness); equivalent to sending `CreateTopic` to the controller.
+    pub fn inner(&self) -> &Rc<BrokerInner> {
+        &self.inner
+    }
+
+    /// Telemetry snapshot, including network-thread busy time.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut s = self.inner.metrics.snapshot();
+        s.net_busy_ns = self.inner.net_pool.busy_ns();
+        s
+    }
+
+    /// One-sided RDMA traffic served by this broker's NIC (no CPU).
+    pub fn nic_stats(&self) -> rnic::NicStats {
+        self.inner.nic.stats()
+    }
+}

@@ -1,0 +1,135 @@
+//! Thread-occupancy modelling.
+//!
+//! The simulation runs every logical thread as a task, so "a thread is busy"
+//! must be modelled explicitly. [`ServiceQueue`] represents one OS thread
+//! multiplexing many event sources (a Kafka network processor thread
+//! serving its connections): requests queue FIFO behind one another, and a
+//! request that finds the thread idle pays the blocking-poll wakeup latency
+//! the paper measures (§5.1: "thread invocations due to blocking polling").
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use sim::SimTime;
+
+/// One logical OS thread shared by many tasks.
+pub struct ServiceQueue {
+    busy_until: Cell<u64>,
+    wakeup: Duration,
+    busy_ns: Cell<u64>,
+}
+
+impl ServiceQueue {
+    pub fn new(wakeup: Duration) -> Self {
+        ServiceQueue {
+            busy_until: Cell::new(0),
+            wakeup,
+            busy_ns: Cell::new(0),
+        }
+    }
+
+    /// Occupies the thread for `cost`, waiting behind earlier work. If the
+    /// thread was idle, the wakeup latency is paid first (but does not count
+    /// as busy time).
+    pub async fn run(&self, cost: Duration) {
+        let now = sim::now().as_nanos();
+        let busy = self.busy_until.get();
+        let start = if busy <= now {
+            now + self.wakeup.as_nanos() as u64
+        } else {
+            busy
+        };
+        let end = start + cost.as_nanos() as u64;
+        self.busy_until.set(end);
+        self.busy_ns.set(self.busy_ns.get() + cost.as_nanos() as u64);
+        sim::time::sleep_until(SimTime::from_nanos(end)).await;
+    }
+
+    /// Total virtual time this thread spent doing work (CPU-load metric).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.get()
+    }
+}
+
+/// A pool of [`ServiceQueue`]s with round-robin assignment (how connections
+/// are spread over Kafka's network threads).
+pub struct ServicePool {
+    threads: Vec<ServiceQueue>,
+    next: Cell<usize>,
+}
+
+impl ServicePool {
+    pub fn new(n: usize, wakeup: Duration) -> Self {
+        assert!(n > 0);
+        ServicePool {
+            threads: (0..n).map(|_| ServiceQueue::new(wakeup)).collect(),
+            next: Cell::new(0),
+        }
+    }
+
+    /// Assigns the next thread index round-robin.
+    pub fn assign(&self) -> usize {
+        let i = self.next.get();
+        self.next.set((i + 1) % self.threads.len());
+        i
+    }
+
+    pub fn thread(&self, i: usize) -> &ServiceQueue {
+        &self.threads[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    pub fn busy_ns(&self) -> u64 {
+        self.threads.iter().map(ServiceQueue::busy_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_thread_pays_wakeup() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let q = ServiceQueue::new(Duration::from_micros(10));
+            let t0 = sim::now();
+            q.run(Duration::from_micros(5)).await;
+            assert_eq!((sim::now() - t0).as_nanos(), 15_000);
+            assert_eq!(q.busy_ns(), 5_000);
+        });
+    }
+
+    #[test]
+    fn busy_thread_queues_without_wakeup() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let q = std::rc::Rc::new(ServiceQueue::new(Duration::from_micros(10)));
+            let q2 = std::rc::Rc::clone(&q);
+            let a = sim::spawn(async move { q2.run(Duration::from_micros(5)).await });
+            let q3 = std::rc::Rc::clone(&q);
+            let b = sim::spawn(async move { q3.run(Duration::from_micros(5)).await });
+            a.await.unwrap();
+            b.await.unwrap();
+            // wakeup(10) + 5 + 5 serialised: done at t=20us.
+            assert_eq!(sim::now().as_nanos(), 20_000);
+            assert_eq!(q.busy_ns(), 10_000);
+        });
+    }
+
+    #[test]
+    fn pool_round_robin() {
+        let p = ServicePool::new(3, Duration::ZERO);
+        assert_eq!(
+            (0..7).map(|_| p.assign()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Broker configuration.
+
+use std::time::Duration;
+
+use kdstorage::LogConfig;
+
+/// Which transport serves the *request/response* datapaths (produce RPCs,
+/// fetches, control plane). This is the axis that separates the paper's
+/// three systems:
+///
+/// * `Tcp` + all RDMA toggles off  → "Kafka" (the unmodified baseline),
+/// * `RdmaSendRecv` + toggles off  → "OSU Kafka" (two-sided RDMA messaging
+///   with intermediate-buffer copies, §4),
+/// * `Tcp` + RDMA toggles on       → "KafkaDirect" (TCP control plane,
+///   one-sided RDMA datapaths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    Tcp,
+    RdmaSendRecv,
+}
+
+/// Per-datapath RDMA switches (§5: each module evaluated in isolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RdmaToggles {
+    /// §4.2.2 — producers write records straight into TP files.
+    pub produce: bool,
+    /// §4.3.2 — leaders push records to followers with WriteWithImm.
+    pub replicate: bool,
+    /// §4.4.2 — consumers fetch records and metadata slots with RDMA Reads.
+    pub consume: bool,
+}
+
+impl RdmaToggles {
+    pub fn all() -> Self {
+        RdmaToggles {
+            produce: true,
+            replicate: true,
+            consume: true,
+        }
+    }
+
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn any(&self) -> bool {
+        self.produce || self.replicate || self.consume
+    }
+}
+
+/// Full broker configuration. Defaults follow the paper's §5 "Settings":
+/// eight API threads, three network threads, preallocated log files.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// TCP control/data port.
+    pub tcp_port: u16,
+    /// RDMA CM base port; the broker binds `rdma_port` (produce QPs),
+    /// `rdma_port + 1` (OSU transport), `rdma_port + 2` (consumer read-only
+    /// QPs).
+    pub rdma_port: u16,
+    pub transport: Transport,
+    pub rdma: RdmaToggles,
+    /// Network processor threads (default 3).
+    pub net_threads: usize,
+    /// API worker threads (default 8).
+    pub api_workers: usize,
+    /// RDMA completion pollers (threads of the RDMA network module ➋).
+    pub rdma_pollers: usize,
+    /// Shared request queue depth (Kafka `queued.max.requests`).
+    pub request_queue_depth: usize,
+    pub log: LogConfig,
+    /// Credits a follower grants a push-replication leader (§4.3.2).
+    pub replication_credits: u32,
+    /// Maximum bytes merged into one push-replication RDMA Write. The paper
+    /// selects 1 KiB from the Fig 8 sweep.
+    pub replication_max_batch: u32,
+    /// Replica long-poll wait when no data is available (§4.3.1 pull).
+    pub replica_fetch_wait: Duration,
+    /// Replica fetch size cap.
+    pub replica_fetch_max_bytes: u32,
+    /// Shared-mode hole timeout: how long a produce completion may wait for
+    /// its predecessors before the session is aborted (§4.2.2).
+    pub shared_order_timeout: Duration,
+    /// Receive-CQ capacity of the RDMA produce module.
+    pub cq_capacity: usize,
+    /// Receives pre-posted per accepted produce QP.
+    pub recv_depth: usize,
+    /// Metadata slots per consumer (Fig 9 region size).
+    pub slots_per_consumer: usize,
+    /// OSU transport: request receive buffer size (must fit the largest
+    /// produce request).
+    pub osu_recv_buf: usize,
+    /// OSU transport: pre-posted request buffers per connection.
+    pub osu_recv_depth: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            tcp_port: 9092,
+            rdma_port: 18515,
+            transport: Transport::Tcp,
+            rdma: RdmaToggles::none(),
+            net_threads: 3,
+            api_workers: 8,
+            rdma_pollers: 2,
+            request_queue_depth: 500,
+            log: LogConfig::default(),
+            replication_credits: 16,
+            replication_max_batch: 1024,
+            replica_fetch_wait: Duration::from_millis(500),
+            replica_fetch_max_bytes: 1024 * 1024,
+            shared_order_timeout: Duration::from_millis(2),
+            cq_capacity: 8192,
+            recv_depth: 256,
+            slots_per_consumer: 64,
+            osu_recv_buf: 1200 * 1024,
+            osu_recv_depth: 8,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// The unmodified-Kafka baseline.
+    pub fn kafka() -> Self {
+        BrokerConfig::default()
+    }
+
+    /// The OSU-Kafka baseline: request messaging over two-sided RDMA, no
+    /// one-sided datapaths.
+    pub fn osu() -> Self {
+        BrokerConfig {
+            transport: Transport::RdmaSendRecv,
+            ..BrokerConfig::default()
+        }
+    }
+
+    /// KafkaDirect with the given datapath toggles.
+    pub fn kafkadirect(rdma: RdmaToggles) -> Self {
+        BrokerConfig {
+            rdma,
+            ..BrokerConfig::default()
+        }
+    }
+
+    pub fn with_log(mut self, log: LogConfig) -> Self {
+        self.log = log;
+        self
+    }
+
+    pub fn with_workers(mut self, api_workers: usize) -> Self {
+        self.api_workers = api_workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_settings() {
+        let c = BrokerConfig::default();
+        assert_eq!(c.api_workers, 8);
+        assert_eq!(c.net_threads, 3);
+        assert_eq!(c.replication_max_batch, 1024);
+        assert!(!c.rdma.any());
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(BrokerConfig::kafka().transport, Transport::Tcp);
+        assert_eq!(BrokerConfig::osu().transport, Transport::RdmaSendRecv);
+        assert!(BrokerConfig::kafkadirect(RdmaToggles::all()).rdma.any());
+    }
+}

@@ -1,0 +1,211 @@
+//! The RDMA network module (paper Fig 2, ➋): accepts client queue pairs,
+//! polls the shared receive completion queue, and turns WriteWithImm
+//! completions into work items — in completion order, which the produce
+//! module's correctness depends on (§4.2.2).
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use rnic::{CqOpcode, QpOptions, RdmaListener, RecvWr, SendWr, ShmBuf, WorkRequest};
+
+use crate::broker::BrokerInner;
+use crate::requests::{AckRoute, WorkItem};
+
+/// Port offsets on top of `config.rdma_port`.
+pub const PRODUCE_PORT_OFF: u16 = 0;
+pub const OSU_PORT_OFF: u16 = 1;
+pub const CONSUME_PORT_OFF: u16 = 2;
+
+/// Cost of handling one RDMA completion on a poller thread (cheap: no
+/// copies, just demux). The wakeup cost when idle is modelled by the poller
+/// loop itself.
+pub const POLL_COST: Duration = Duration::from_nanos(500);
+
+pub fn start(b: &Rc<BrokerInner>) {
+    start_produce_listener(b);
+    start_consume_listener(b);
+    for _ in 0..b.config.rdma_pollers {
+        let b = Rc::clone(b);
+        sim::spawn(async move { poller_loop(b).await });
+    }
+    // Drain the ack send CQ (acks are unsignaled; only errors complete).
+    let ack_cq = b.ack_send_cq.clone();
+    sim::spawn(async move { while ack_cq.next().await.is_some() {} });
+}
+
+/// Accepts produce/replication QPs: they share the broker receive CQ and get
+/// zero-length receives replenished by the pollers.
+fn start_produce_listener(b: &Rc<BrokerInner>) {
+    let mut listener = RdmaListener::bind(&b.nic, b.config.rdma_port + PRODUCE_PORT_OFF);
+    let b = Rc::clone(b);
+    sim::spawn(async move {
+        while let Some(inc) = listener.accept().await {
+            let from = inc.from();
+            let qp = inc.accept(
+                &b.nic,
+                b.ack_send_cq.clone(),
+                b.recv_cq.clone(),
+                QpOptions::default(),
+            );
+            for i in 0..b.config.recv_depth {
+                let _ = qp.post_recv(RecvWr {
+                    wr_id: i as u64,
+                    buf: None,
+                });
+            }
+            let qpn = qp.qpn();
+            b.produce_qps.borrow_mut().insert(qpn, qp.clone());
+            // Watch for client failure: revoke produce grants held by that
+            // node (§4.2.2 failure handling).
+            let b2 = Rc::clone(&b);
+            sim::spawn(async move {
+                qp.disconnected().await;
+                b2.produce_qps.borrow_mut().remove(&qpn);
+                crate::api::revoke_grants_of_node(&b2, from);
+            });
+        }
+    });
+}
+
+/// Accepts consumer QPs. Consumers only issue RDMA Reads, which never
+/// involve this broker's tasks — the CQs here exist only to satisfy the
+/// verbs API. This is the "no CPU involvement" path of §4.4.2/§5.3.
+fn start_consume_listener(b: &Rc<BrokerInner>) {
+    let mut listener = RdmaListener::bind(&b.nic, b.config.rdma_port + CONSUME_PORT_OFF);
+    let b = Rc::clone(b);
+    sim::spawn(async move {
+        while let Some(inc) = listener.accept().await {
+            let send_cq = b.nic.create_cq(64);
+            let recv_cq = b.nic.create_cq(64);
+            let qp = inc.accept(&b.nic, send_cq, recv_cq, QpOptions::default());
+            b.consume_qps.borrow_mut().push(qp);
+        }
+    });
+}
+
+/// One RDMA-module poller thread: completion → (file id, order) → shared
+/// request queue. Sequence numbers are assigned here, in completion order.
+async fn poller_loop(b: Rc<BrokerInner>) {
+    let wakeup = b.profile.cpu.wakeup;
+    loop {
+        // Pop the completion and assign its commit sequence in one
+        // synchronous step: with several poller threads, interleaving a
+        // sleep between pop and sequencing could invert the completion
+        // order — exactly the race §4.2.2 rules out ("processing RDMA
+        // produce requests in the same order as the corresponding
+        // completion events are generated").
+        let (cqe, was_idle) = match b.recv_cq.poll() {
+            Some(c) => (c, false),
+            None => {
+                let Some(c) = b.recv_cq.next().await else {
+                    // CQ overflow: the produce module is dead. Real brokers
+                    // would tear down; benches never reach this.
+                    return;
+                };
+                (c, true)
+            }
+        };
+        let seq = if cqe.ok() && cqe.opcode == CqOpcode::RecvRdmaWithImm {
+            let (file_id, _) = kdwire::unpack_imm(cqe.imm.unwrap_or(0));
+            b.produce_module.lookup(file_id).map(|(_, grant)| {
+                let s = grant.next_seq.get();
+                grant.next_seq.set(s + 1);
+                s
+            })
+        } else {
+            None
+        };
+        // Costs: blocking-poll wakeup (when idle) + per-event handling.
+        if was_idle {
+            sim::time::sleep(wakeup).await;
+        }
+        sim::time::sleep(POLL_COST).await;
+        if !cqe.ok() || cqe.opcode != CqOpcode::RecvRdmaWithImm {
+            continue; // flushed recv of a dead QP
+        }
+        let (file_id, order) = kdwire::unpack_imm(cqe.imm.unwrap_or(0));
+        // Replenish the consumed receive.
+        if let Some(qp) = b.produce_qps.borrow().get(&cqe.qpn) {
+            let _ = qp.post_recv(RecvWr {
+                wr_id: cqe.wr_id,
+                buf: None,
+            });
+        }
+        let Some(seq) = seq else {
+            // Unknown file: answer with an error ack.
+            send_ack(&b, cqe.qpn, kdwire::ErrorCode::AccessDenied, 0);
+            continue;
+        };
+        let item = WorkItem::RdmaCommit {
+            file_id,
+            order,
+            byte_len: cqe.byte_len,
+            seq,
+            ack: AckRoute::Qp(cqe.qpn),
+        };
+        let (_, grant) = b.produce_module.lookup(file_id).expect("seq implies grant");
+        enqueue_in_order(&b, &grant, seq, item);
+    }
+}
+
+/// Stages `item` and hands any now-consecutive run to the API workers (the
+/// 11 µs queue transfer, overlapped across requests). Keeping the shared
+/// queue in sequence order is what lets a lone API worker make progress:
+/// a worker never waits on a commit that is still queued behind it.
+pub fn enqueue_in_order(
+    b: &Rc<BrokerInner>,
+    grant: &Rc<crate::rdma_produce::Grant>,
+    seq: u64,
+    item: WorkItem,
+) {
+    let ready = grant.stage_enqueue(seq, item);
+    let handoff = b.profile.cpu.handoff;
+    for item in ready {
+        let b2 = Rc::clone(b);
+        sim::spawn(async move {
+            sim::time::sleep(handoff).await;
+            let _ = b2.queue.send(item).await;
+        });
+    }
+}
+
+/// Sends a produce acknowledgment (or replication credit return) on a
+/// client QP: `[error u8][base_offset u64]`, unsignaled.
+pub fn send_ack(b: &Rc<BrokerInner>, qpn: u32, error: kdwire::ErrorCode, base_offset: u64) {
+    let qp = match b.produce_qps.borrow().get(&qpn) {
+        Some(qp) => qp.clone(),
+        None => return,
+    };
+    let mut payload = vec![0u8; 9];
+    payload[0] = error as u8;
+    payload[1..9].copy_from_slice(&base_offset.to_le_bytes());
+    let buf = ShmBuf::from_vec(payload);
+    let _ = qp.post_send(SendWr::unsignaled(
+        0,
+        WorkRequest::Send {
+            local: buf.as_slice(),
+        },
+    ));
+    b.metrics.add(&b.metrics.acks_sent, 1);
+}
+
+/// Decodes an ack payload on the client side.
+pub fn decode_ack(bytes: &[u8]) -> (kdwire::ErrorCode, u64) {
+    let error = match bytes.first() {
+        Some(0) => kdwire::ErrorCode::None,
+        Some(1) => kdwire::ErrorCode::UnknownTopicOrPartition,
+        Some(2) => kdwire::ErrorCode::NotLeader,
+        Some(3) => kdwire::ErrorCode::CorruptBatch,
+        Some(4) => kdwire::ErrorCode::AccessDenied,
+        Some(5) => kdwire::ErrorCode::OutOfSpace,
+        Some(6) => kdwire::ErrorCode::InvalidRequest,
+        Some(7) => kdwire::ErrorCode::AlreadyExists,
+        Some(8) => kdwire::ErrorCode::OrderTimeout,
+        _ => kdwire::ErrorCode::Internal,
+    };
+    let base_offset = bytes
+        .get(1..9)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0);
+    (error, base_offset)
+}

@@ -1,0 +1,320 @@
+//! Replication (paper §4.3).
+//!
+//! * **TCP pull** (➏, §4.3.1): follower fetcher tasks long-poll the leader
+//!   with replica fetch requests and append the returned batches; the
+//!   leader treats a fetch at offset X as an acknowledgment of everything
+//!   before X.
+//! * **RDMA push** (➐, §4.3.2): the leader obtains produce access to the
+//!   replica file on each follower and writes committed bytes straight from
+//!   its own mapped file into the follower's — zero copies on both ends —
+//!   with credit-based flow control and opportunistic batching of
+//!   contiguous writes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use kdstorage::record::verify_batch;
+use kdwire::messages::{ProduceMode, Request, Response};
+use kdwire::ProduceAccessResp;
+use netsim::profile::copy_time;
+use rnic::{CompletionQueue, CqOpcode, QpOptions, QueuePair, RecvWr, SendWr, ShmBuf, WorkRequest};
+use sim::sync::Semaphore;
+
+use crate::broker::BrokerInner;
+use crate::data::Partition;
+
+/// Starts the pull fetcher for a follower replica (original Kafka).
+pub fn start_pull_fetcher(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    let b = Rc::clone(b);
+    let p = Rc::clone(p);
+    sim::spawn(async move { pull_loop(b, p).await });
+}
+
+async fn pull_loop(b: Rc<BrokerInner>, p: Rc<Partition>) {
+    let leader = p.leader;
+    loop {
+        let client = match b.peer_client(leader).await {
+            Some(c) => c,
+            None => {
+                sim::time::sleep(Duration::from_millis(10)).await;
+                continue;
+            }
+        };
+        let req = Request::Fetch {
+            topic: p.tp.topic.as_str().to_string(),
+            partition: p.tp.partition,
+            offset: p.log.next_offset(),
+            max_bytes: b.config.replica_fetch_max_bytes,
+            replica_id: b.me.node,
+        };
+        let resp = match client.call(&req).await {
+            Ok(Response::Fetch(f)) => f,
+            Ok(_) | Err(_) => {
+                sim::time::sleep(Duration::from_millis(10)).await;
+                continue;
+            }
+        };
+        if !resp.error.is_ok() {
+            // Leader not ready yet (topic creation racing): back off.
+            sim::time::sleep(Duration::from_millis(1)).await;
+            continue;
+        }
+        b.metrics.add(&b.metrics.replica_fetches, 1);
+        if !resp.bytes.is_empty() {
+            apply_replicated(&b, &p, &resp.bytes).await;
+        }
+        p.follower_set_hw(resp.high_watermark);
+        crate::rdma_consume::update_partition_slots(&p, &b.consume_module, &b.metrics);
+        // No data → the leader long-polled already; loop immediately.
+    }
+}
+
+/// Applies a run of replicated batches on the follower: verify + the two
+/// receive-side copies the paper attributes to pull replication (§5.2).
+async fn apply_replicated(b: &Rc<BrokerInner>, p: &Rc<Partition>, bytes: &[u8]) {
+    let cpu = &b.profile.cpu;
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let Ok(header) = verify_batch(&bytes[at..]) else {
+            return; // corrupt replication stream: stop (leader will resend)
+        };
+        let total = header.total_len();
+        let cost = cpu.api_produce_base
+            + copy_time(total as u64, cpu.crc_bandwidth)
+            + copy_time(total as u64, cpu.heap_copy_bandwidth);
+        crate::api::charge_worker(b, cost).await;
+        b.metrics.add(&b.metrics.heap_copied_bytes, total as u64);
+        if p.log.append_replica(&bytes[at..at + total]).is_err() {
+            return; // offset mismatch: retry from our log end next round
+        }
+        at += total;
+    }
+    p.announce_leo();
+}
+
+/// Starts push-replication tasks (one per follower) for a leader partition.
+pub fn maybe_start_push(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    if p.push_started.get() || !p.is_leader || p.replicas.is_empty() || !b.config.rdma.replicate {
+        return;
+    }
+    p.push_started.set(true);
+    for follower in p.replicas.clone() {
+        let b = Rc::clone(b);
+        let p = Rc::clone(p);
+        sim::spawn(async move { push_loop(b, p, follower).await });
+    }
+}
+
+struct PushSession {
+    qp: QueuePair,
+    grant: ProduceAccessResp,
+    credits: Semaphore,
+}
+
+/// Leader-side push loop for one follower.
+async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::BrokerAddr) {
+    let mut leo_rx = p.leo_tx.subscribe();
+    let mut cursor_seg: u32 = 0;
+    let mut cursor_pos: u32 = 0;
+    // Index of the next not-yet-pushed batch within the cursor segment.
+    let mut cursor_idx: usize = 0;
+    let mut session: Option<PushSession> = None;
+    let acked = Rc::new(Cell::new(0u64));
+
+    loop {
+        // Wait for new committed-to-leader bytes at the cursor.
+        loop {
+            let seg = p.log.segment(cursor_seg).expect("cursor segment");
+            if seg.committed_pos() > cursor_pos {
+                break;
+            }
+            if seg.is_sealed() && seg.committed_pos() == cursor_pos {
+                // Move to the next file; the session must be re-established
+                // on the follower's next head file.
+                cursor_seg += 1;
+                cursor_pos = 0;
+                cursor_idx = 0;
+                session = None;
+                continue;
+            }
+            if leo_rx.changed().await.is_err() {
+                return;
+            }
+        }
+
+        // Establish the session lazily: "get RDMA produce address" on the
+        // follower (§4.3.2), then an RC QP.
+        if session.is_none() {
+            session = establish(&b, &p, follower, cursor_seg, Rc::clone(&acked)).await;
+            if session.is_none() {
+                sim::time::sleep(Duration::from_millis(1)).await;
+                continue;
+            }
+        }
+        let s = session.as_ref().unwrap();
+
+        // Opportunistic batching: merge contiguous committed batches up to
+        // the configured cap (the paper settles on 1 KiB, Fig 8/17), but
+        // always at batch granularity and at least one batch.
+        let seg = p.log.segment(cursor_seg).expect("cursor segment");
+        let mut end = cursor_pos;
+        let mut last_offset = 0u64;
+        while let Some(entry) = seg.batch_at(cursor_idx) {
+            debug_assert_eq!(entry.pos, end, "push cursor at batch boundary");
+            let new_end = entry.end_pos();
+            if end > cursor_pos && new_end - cursor_pos > b.config.replication_max_batch {
+                break;
+            }
+            end = new_end;
+            last_offset = entry.next_offset();
+            cursor_idx += 1;
+        }
+        if end == cursor_pos {
+            sim::time::sleep(Duration::from_micros(1)).await;
+            continue;
+        }
+
+        // The replication worker pays a per-post cost (the reason batching
+        // matters for floods of small records, §4.3.2 / Fig 17).
+        sim::time::sleep(b.profile.cpu.repl_post_cost).await;
+        // Flow control: one credit per outstanding replicate request.
+        let Ok(permit) = s.credits.acquire(1).await else {
+            session = None;
+            continue;
+        };
+        permit.forget(); // returned by the collector on the follower's ack
+
+        let len = end - cursor_pos;
+        let local = ShmBuf::from_shared(seg.shared_buf()).slice(cursor_pos as usize, len as usize);
+        let wr = SendWr::new(
+            last_offset, // wr_id doubles as "follower LEO when acked"
+            WorkRequest::WriteImm {
+                local,
+                remote_addr: s.grant.region.addr + u64::from(cursor_pos),
+                rkey: s.grant.region.rkey,
+                imm: kdwire::pack_imm(s.grant.file_id, 0),
+            },
+        );
+        if s.qp.post_send(wr).is_err() {
+            session = None;
+            continue;
+        }
+        b.metrics.add(&b.metrics.push_writes, 1);
+        b.metrics.add(&b.metrics.push_bytes, u64::from(len));
+        cursor_pos = end;
+    }
+}
+
+/// Gets produce access on the follower and connects the push QP; spawns the
+/// completion collector.
+async fn establish(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    follower: kdwire::BrokerAddr,
+    cursor_seg: u32,
+    acked: Rc<Cell<u64>>,
+) -> Option<PushSession> {
+    let client = b.peer_client(follower).await?;
+    // First file: attach wherever the follower's head is. Later files: the
+    // follower must roll (its old head mirrors our sealed file exactly).
+    let min_bytes = if cursor_seg == 0 {
+        0
+    } else {
+        b.config.log.segment_size
+    };
+    let resp = client
+        .call(&Request::ProduceAccess {
+            topic: p.tp.topic.as_str().to_string(),
+            partition: p.tp.partition,
+            mode: ProduceMode::Replication,
+            min_bytes,
+        })
+        .await
+        .ok()?;
+    let Response::ProduceAccess(grant) = resp else {
+        return None;
+    };
+    if !grant.error.is_ok() {
+        return None;
+    }
+    let send_cq = b.nic.create_cq(4096);
+    let recv_cq = b.nic.create_cq(4096);
+    let qp = b
+        .nic
+        .connect(
+            netsim::NodeId(follower.node),
+            follower.rdma_port + crate::rdma_net::PRODUCE_PORT_OFF,
+            send_cq.clone(),
+            recv_cq.clone(),
+            QpOptions::default(),
+        )
+        .await
+        .ok()?;
+    // Post receives for the follower's credit-return acks.
+    let ack_buf = ShmBuf::zeroed(16 * 64);
+    for i in 0..64 {
+        let _ = qp.post_recv(RecvWr {
+            wr_id: i,
+            buf: Some(ack_buf.slice(i as usize * 16, 16)),
+        });
+    }
+    let credits = Semaphore::new(grant.credits as usize);
+    spawn_collector(
+        b,
+        p,
+        follower.node,
+        qp.clone(),
+        send_cq,
+        recv_cq,
+        credits.clone(),
+        ack_buf,
+        acked,
+    );
+    Some(PushSession { qp, grant, credits })
+}
+
+/// Collects completions of one push session: write acks advance the high
+/// watermark; credit-return receives replenish the leader's credits.
+#[allow(clippy::too_many_arguments)]
+fn spawn_collector(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    follower_node: u32,
+    qp: QueuePair,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    credits: Semaphore,
+    ack_buf: ShmBuf,
+    acked: Rc<Cell<u64>>,
+) {
+    // Write acks: the record "is fully replicated" once the RDMA write is
+    // acknowledged by the follower's NIC.
+    let b2 = Rc::clone(b);
+    let p2 = Rc::clone(p);
+    sim::spawn(async move {
+        while let Some(cqe) = send_cq.next().await {
+            if !cqe.ok() {
+                break;
+            }
+            if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
+                acked.set(cqe.wr_id);
+                p2.follower_ack(follower_node, cqe.wr_id);
+                crate::api::on_hw_advanced(&b2, &p2);
+            }
+        }
+    });
+    // Credit returns.
+    sim::spawn(async move {
+        while let Some(cqe) = recv_cq.next().await {
+            if !cqe.ok() {
+                break;
+            }
+            credits.add_permits(1);
+            let _ = qp.post_recv(RecvWr {
+                wr_id: cqe.wr_id,
+                buf: Some(ack_buf.slice(cqe.wr_id as usize * 16, 16)),
+            });
+        }
+    });
+}

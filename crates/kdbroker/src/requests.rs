@@ -1,0 +1,39 @@
+//! Work items flowing through the shared request queue (paper Fig 2 ➊➋➌).
+
+use kdwire::{Request, Response};
+use netsim::NodeId;
+use sim::sync::oneshot;
+
+/// How the result of a produce commit reaches the producer.
+pub enum AckRoute {
+    /// RDMA producers: a small Send on their queue pair (Fig 3's
+    /// "Acknowledgement"). Identified by QP number.
+    Qp(u32),
+    /// TCP producers writing into an RDMA-shared file (§4.2.2 "Shared
+    /// RDMA/TCP access"): the RPC response channel.
+    Rpc(oneshot::Sender<Response>),
+    /// Push replication: no ack message; the leader observes the RDMA write
+    /// completion instead (§4.3.2).
+    None,
+}
+
+/// A unit of work for the API worker pool.
+pub enum WorkItem {
+    /// A decoded RPC from the TCP or OSU transport.
+    Rpc {
+        peer: NodeId,
+        request: Request,
+        reply: oneshot::Sender<Response>,
+    },
+    /// A WriteWithImm completion from the RDMA produce module: records were
+    /// already written into a TP file; verify and commit them (§4.2.2).
+    RdmaCommit {
+        file_id: u16,
+        order: u16,
+        byte_len: u32,
+        /// Sequence assigned by the poller in completion order; workers
+        /// must process commits of one file in this order.
+        seq: u64,
+        ack: AckRoute,
+    },
+}

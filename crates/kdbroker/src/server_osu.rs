@@ -1,0 +1,143 @@
+//! The OSU-Kafka transport (§4, "RDMA-based Apache Kafka" baseline): the
+//! TCP sockets are replaced with two-sided RDMA Send/Recv, but requests are
+//! still copied out of (and responses into) intermediate network buffers and
+//! flow through the same request queue — "its performance is still
+//! obstructed by the need to copy messages from and to network buffers of
+//! the multipurpose request processing module".
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use netsim::profile::copy_time;
+use rnic::{CqOpcode, QpOptions, QueuePair, RdmaListener, RecvWr, SendWr, ShmBuf, WorkRequest};
+use sim::sync::{mpsc, oneshot};
+use sim::SimTime;
+
+use crate::broker::BrokerInner;
+use crate::requests::WorkItem;
+
+/// Per-message processing cost of the OSU network module: no kernel stack,
+/// but still parse/serialize on a network thread.
+pub const OSU_REQUEST_COST: Duration = Duration::from_micros(5);
+
+pub fn start(b: &Rc<BrokerInner>) {
+    let mut listener = RdmaListener::bind(&b.nic, b.config.rdma_port + crate::rdma_net::OSU_PORT_OFF);
+    let b = Rc::clone(b);
+    sim::spawn(async move {
+        while let Some(inc) = listener.accept().await {
+            let from = inc.from();
+            let send_cq = b.nic.create_cq(1024);
+            let recv_cq = b.nic.create_cq(1024);
+            let qp = inc.accept(&b.nic, send_cq.clone(), recv_cq.clone(), QpOptions::default());
+            let b2 = Rc::clone(&b);
+            sim::spawn(async move {
+                serve_connection(b2, qp, recv_cq, from).await;
+            });
+            // Drain send completions (responses are unsignaled; errors only).
+            sim::spawn(async move { while send_cq.next().await.is_some() {} });
+        }
+    });
+}
+
+async fn serve_connection(
+    b: Rc<BrokerInner>,
+    qp: QueuePair,
+    recv_cq: rnic::CompletionQueue,
+    peer: netsim::NodeId,
+) {
+    let net_idx = b.net_pool.assign();
+    // Pre-post the request receive buffers (the "network buffers" whose
+    // copies define this baseline).
+    let bufs: Vec<ShmBuf> = (0..b.config.osu_recv_depth)
+        .map(|_| ShmBuf::zeroed(b.config.osu_recv_buf))
+        .collect();
+    for (i, buf) in bufs.iter().enumerate() {
+        let _ = qp.post_recv(RecvWr {
+            wr_id: i as u64,
+            buf: Some(buf.as_slice()),
+        });
+    }
+
+    // Response path: copy into a send buffer, post a Send.
+    let (reply_tx, mut reply_rx) = mpsc::unbounded::<(u64, SimTime, kdwire::Response)>();
+    let bw = Rc::clone(&b);
+    let qp_resp = qp.clone();
+    sim::spawn(async move {
+        let kcopy = bw.profile.net.kernel_copy_bandwidth;
+        while let Some((corr, ready_at, resp)) = reply_rx.recv().await {
+            sim::time::sleep_until(ready_at).await;
+            let body = resp.encode();
+            // Serialize + copy into the send buffer on a network thread.
+            bw.net_pool
+                .thread(net_idx)
+                .run(OSU_REQUEST_COST + copy_time(body.len() as u64, kcopy))
+                .await;
+            let mut frame = Vec::with_capacity(8 + body.len());
+            frame.extend_from_slice(&corr.to_le_bytes());
+            frame.extend_from_slice(&body);
+            let buf = ShmBuf::from_vec(frame);
+            if qp_resp
+                .post_send(SendWr::unsignaled(
+                    0,
+                    WorkRequest::Send {
+                        local: buf.as_slice(),
+                    },
+                ))
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    loop {
+        let Some(cqe) = recv_cq.next().await else {
+            break;
+        };
+        if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
+            break;
+        }
+        let buf = &bufs[cqe.wr_id as usize];
+        let frame = buf.read_at(0, cqe.byte_len as usize);
+        // The copy out of the network receive buffer, charged on the
+        // network thread.
+        b.net_pool
+            .thread(net_idx)
+            .run(
+                OSU_REQUEST_COST
+                    + copy_time(frame.len() as u64, b.profile.net.kernel_copy_bandwidth),
+            )
+            .await;
+        // Recycle the buffer.
+        let _ = qp.post_recv(RecvWr {
+            wr_id: cqe.wr_id,
+            buf: Some(buf.as_slice()),
+        });
+        if frame.len() < 8 {
+            break;
+        }
+        let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
+        let Ok(request) = kdwire::Request::decode(&frame[8..]) else {
+            break;
+        };
+        let (tx, rx) = oneshot::channel();
+        let reply_tx2 = reply_tx.clone();
+        let handoff = b.profile.cpu.handoff;
+        sim::spawn(async move {
+            if let Ok(resp) = rx.await {
+                let ready_at = sim::now() + handoff;
+                let _ = reply_tx2.try_send((corr, ready_at, resp));
+            }
+        });
+        let item = WorkItem::Rpc {
+            peer,
+            request,
+            reply: tx,
+        };
+        let b2 = Rc::clone(&b);
+        sim::spawn(async move {
+            sim::time::sleep(b2.profile.cpu.handoff).await;
+            let _ = b2.queue.send(item).await;
+        });
+    }
+}

@@ -1,0 +1,82 @@
+//! The TCP network module (paper Fig 2 ➊): the unmodified-Kafka front end,
+//! fully reused by KafkaDirect for its control plane (§4.1).
+
+use std::rc::Rc;
+
+use netsim::tcp::TcpListener;
+use sim::sync::{mpsc, oneshot};
+use sim::SimTime;
+
+use crate::broker::BrokerInner;
+use crate::requests::WorkItem;
+
+pub fn start(b: &Rc<BrokerInner>) {
+    let mut listener = TcpListener::bind(&b.node, b.config.tcp_port);
+    let b = Rc::clone(b);
+    sim::spawn(async move {
+        while let Some(stream) = listener.accept().await {
+            let b = Rc::clone(&b);
+            sim::spawn(async move { serve_connection(b, stream).await });
+        }
+    });
+}
+
+async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
+    let peer = stream.peer();
+    let net_idx = b.net_pool.assign();
+    let (mut read, mut write) = stream.into_split();
+    let (reply_tx, mut reply_rx) = mpsc::unbounded::<(u64, SimTime, kdwire::Response)>();
+
+    // Response writer: waits out the worker→net handoff per message, then
+    // occupies the network thread to serialise + send.
+    let bw = Rc::clone(&b);
+    sim::spawn(async move {
+        let cost = bw.profile.cpu.net_request_cost;
+        while let Some((corr, ready_at, resp)) = reply_rx.recv().await {
+            sim::time::sleep_until(ready_at).await;
+            bw.net_pool.thread(net_idx).run(cost).await;
+            if kdwire::write_frame(&mut write, corr, &resp.encode())
+                .await
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    // Request reader loop (the processor thread's receive side).
+    loop {
+        let Ok((corr, payload)) = kdwire::read_frame(&mut read).await else {
+            break; // connection closed
+        };
+        b.net_pool
+            .thread(net_idx)
+            .run(b.profile.cpu.net_request_cost)
+            .await;
+        let Ok(request) = kdwire::Request::decode(&payload) else {
+            break; // protocol error: drop the connection
+        };
+        let (tx, rx) = oneshot::channel();
+        // Route the eventual response back through this connection.
+        let reply_tx2 = reply_tx.clone();
+        let handoff = b.profile.cpu.handoff;
+        sim::spawn(async move {
+            if let Ok(resp) = rx.await {
+                // Worker → network thread handoff.
+                let ready_at = sim::now() + handoff;
+                let _ = reply_tx2.try_send((corr, ready_at, resp));
+            }
+        });
+        // Network thread → API worker handoff (➊→queue), overlapped.
+        let item = WorkItem::Rpc {
+            peer,
+            request,
+            reply: tx,
+        };
+        let b2 = Rc::clone(&b);
+        sim::spawn(async move {
+            sim::time::sleep(b2.profile.cpu.handoff).await;
+            let _ = b2.queue.send(item).await;
+        });
+    }
+}

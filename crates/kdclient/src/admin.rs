@@ -1,0 +1,148 @@
+//! Administrative client: topic creation and metadata discovery.
+
+use kdwire::{BrokerAddr, Request, Response, TopicMeta};
+use netsim::NodeHandle;
+
+use crate::conn::{ClientTransport, Conn};
+use crate::error::{check, ClientError};
+
+/// Admin client bound to one bootstrap broker.
+pub struct Admin {
+    conn: Conn,
+}
+
+impl Admin {
+    pub async fn connect(node: &NodeHandle, broker: BrokerAddr) -> Result<Admin, ClientError> {
+        Ok(Admin {
+            conn: Conn::connect(node, broker, ClientTransport::Tcp).await?,
+        })
+    }
+
+    /// Creates a topic with `partitions` partitions replicated `replication`
+    /// times (leader included).
+    pub async fn create_topic(
+        &self,
+        topic: &str,
+        partitions: u32,
+        replication: u32,
+    ) -> Result<(), ClientError> {
+        let resp = self
+            .conn
+            .call(&Request::CreateTopic {
+                topic: topic.to_string(),
+                partitions,
+                replication,
+            })
+            .await?;
+        match resp {
+            Response::CreateTopic { error } => check(error),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Fetches metadata; empty `topics` lists everything.
+    pub async fn metadata(
+        &self,
+        topics: &[&str],
+    ) -> Result<(Vec<BrokerAddr>, Vec<TopicMeta>), ClientError> {
+        let resp = self
+            .conn
+            .call(&Request::Metadata {
+                topics: topics.iter().map(|t| t.to_string()).collect(),
+            })
+            .await?;
+        match resp {
+            Response::Metadata {
+                error,
+                brokers,
+                topics,
+            } => {
+                check(error)?;
+                Ok((brokers, topics))
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Resolves the leader of a topic partition.
+    pub async fn leader_of(&self, topic: &str, partition: u32) -> Result<BrokerAddr, ClientError> {
+        let (_, topics) = self.metadata(&[topic]).await?;
+        topics
+            .iter()
+            .find(|t| t.name == topic)
+            .and_then(|t| t.partitions.iter().find(|p| p.partition == partition))
+            .map(|p| p.leader)
+            .ok_or(ClientError::Broker(
+                kdwire::ErrorCode::UnknownTopicOrPartition,
+            ))
+    }
+
+    /// Commits a consumer-group offset (over TCP, as in §5.4).
+    pub async fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<(), ClientError> {
+        let resp = self
+            .conn
+            .call(&Request::OffsetCommit {
+                group: group.to_string(),
+                topic: topic.to_string(),
+                partition,
+                offset,
+            })
+            .await?;
+        match resp {
+            Response::OffsetCommit { error } => check(error),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Fetches a committed consumer-group offset (`None` if absent).
+    pub async fn fetch_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+    ) -> Result<Option<u64>, ClientError> {
+        let resp = self
+            .conn
+            .call(&Request::OffsetFetch {
+                group: group.to_string(),
+                topic: topic.to_string(),
+                partition,
+            })
+            .await?;
+        match resp {
+            Response::OffsetFetch { error, offset } => {
+                check(error)?;
+                Ok((offset != u64::MAX).then_some(offset))
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Earliest/latest (high watermark) offsets of a partition.
+    pub async fn list_offsets(&self, topic: &str, partition: u32) -> Result<(u64, u64), ClientError> {
+        let resp = self
+            .conn
+            .call(&Request::ListOffsets {
+                topic: topic.to_string(),
+                partition,
+            })
+            .await?;
+        match resp {
+            Response::ListOffsets {
+                error,
+                earliest,
+                latest,
+            } => {
+                check(error)?;
+                Ok((earliest, latest))
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+}

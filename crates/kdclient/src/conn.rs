@@ -1,0 +1,186 @@
+//! Client RPC transports: framed TCP (the Kafka default and KafkaDirect's
+//! control plane) and the OSU-Kafka two-sided RDMA Send/Recv transport.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use kdwire::{BrokerAddr, Request, Response, RpcClient};
+use netsim::profile::copy_time;
+use netsim::NodeHandle;
+use rnic::{CqOpcode, QpOptions, QueuePair, RNic, RecvWr, SendWr, ShmBuf, WorkRequest};
+
+use crate::error::ClientError;
+
+/// Which transport a client speaks for request/response RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientTransport {
+    /// Kernel TCP (Kafka baseline; also KafkaDirect's control plane).
+    Tcp,
+    /// Two-sided RDMA Send/Recv (OSU-Kafka baseline).
+    Osu,
+}
+
+/// A connection to one broker over either transport.
+#[derive(Clone)]
+pub enum Conn {
+    Tcp(RpcClient),
+    Osu(Rc<OsuConn>),
+}
+
+impl Conn {
+    /// Connects from `node` to `broker` using the chosen transport.
+    pub async fn connect(
+        node: &NodeHandle,
+        broker: BrokerAddr,
+        transport: ClientTransport,
+    ) -> Result<Conn, ClientError> {
+        match transport {
+            ClientTransport::Tcp => {
+                let stream =
+                    netsim::tcp::connect(node, netsim::NodeId(broker.node), broker.port)
+                        .await
+                        .map_err(|_| ClientError::Disconnected)?;
+                Ok(Conn::Tcp(RpcClient::new(stream)))
+            }
+            ClientTransport::Osu => Ok(Conn::Osu(Rc::new(
+                OsuConn::connect(node, broker, 256 * 1024, 8).await?,
+            ))),
+        }
+    }
+
+    pub async fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        match self {
+            Conn::Tcp(c) => c.call(req).await.map_err(ClientError::from),
+            Conn::Osu(c) => c.call(req).await,
+        }
+    }
+}
+
+/// The OSU-Kafka client transport: requests leave as RDMA Sends, responses
+/// arrive into pre-posted receive buffers. Both directions copy through
+/// those intermediate buffers — this is the "two-sided RDMA messaging"
+/// baseline, not zero copy.
+pub struct OsuConn {
+    node: NodeHandle,
+    qp: QueuePair,
+    pending: Rc<RefCell<HashMap<u64, sim::sync::oneshot::Sender<Response>>>>,
+    next_corr: Cell<u64>,
+    dead: Rc<Cell<bool>>,
+}
+
+impl OsuConn {
+    pub async fn connect(
+        node: &NodeHandle,
+        broker: BrokerAddr,
+        recv_buf: usize,
+        recv_depth: usize,
+    ) -> Result<OsuConn, ClientError> {
+        let nic = RNic::new(node);
+        let send_cq = nic.create_cq(1024);
+        let recv_cq = nic.create_cq(1024);
+        let qp = nic
+            .connect(
+                netsim::NodeId(broker.node),
+                broker.rdma_port + 1, // OSU_PORT_OFF
+                send_cq.clone(),
+                recv_cq.clone(),
+                QpOptions::default(),
+            )
+            .await
+            .map_err(|_| ClientError::Disconnected)?;
+        let bufs: Vec<ShmBuf> = (0..recv_depth).map(|_| ShmBuf::zeroed(recv_buf)).collect();
+        for (i, b) in bufs.iter().enumerate() {
+            let _ = qp.post_recv(RecvWr {
+                wr_id: i as u64,
+                buf: Some(b.as_slice()),
+            });
+        }
+        let pending: Rc<RefCell<HashMap<u64, sim::sync::oneshot::Sender<Response>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let dead = Rc::new(Cell::new(false));
+
+        // Response reader.
+        let pending2 = Rc::clone(&pending);
+        let dead2 = Rc::clone(&dead);
+        let qp2 = qp.clone();
+        let node2 = node.clone();
+        sim::spawn(async move {
+            loop {
+                let Some(cqe) = recv_cq.next().await else { break };
+                if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
+                    break;
+                }
+                // Copy out of the network receive buffer (the OSU cost).
+                let kcopy = node2.profile().net.kernel_copy_bandwidth;
+                sim::time::sleep(copy_time(u64::from(cqe.byte_len), kcopy)).await;
+                let buf = &bufs[cqe.wr_id as usize];
+                let frame = buf.read_at(0, cqe.byte_len as usize);
+                let _ = qp2.post_recv(RecvWr {
+                    wr_id: cqe.wr_id,
+                    buf: Some(buf.as_slice()),
+                });
+                if frame.len() < 8 {
+                    continue;
+                }
+                let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
+                if let (Some(tx), Ok(resp)) = (
+                    pending2.borrow_mut().remove(&corr),
+                    Response::decode(&frame[8..]),
+                ) {
+                    let _ = tx.send(resp);
+                }
+            }
+            dead2.set(true);
+            pending2.borrow_mut().clear();
+        });
+        // Drain the send CQ (sends are unsignaled; errors only).
+        sim::spawn(async move { while send_cq.next().await.is_some() {} });
+
+        Ok(OsuConn {
+            node: node.clone(),
+            qp,
+            pending,
+            next_corr: Cell::new(1),
+            dead,
+        })
+    }
+
+    pub async fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        if self.dead.get() {
+            return Err(ClientError::Disconnected);
+        }
+        let corr = self.next_corr.get();
+        self.next_corr.set(corr + 1);
+        let body = req.encode();
+        // Copy into the send buffer.
+        let kcopy = self.node.profile().net.kernel_copy_bandwidth;
+        sim::time::sleep(copy_time(body.len() as u64, kcopy)).await;
+        let mut frame = Vec::with_capacity(8 + body.len());
+        frame.extend_from_slice(&corr.to_le_bytes());
+        frame.extend_from_slice(&body);
+        let (tx, rx) = sim::sync::oneshot::channel();
+        self.pending.borrow_mut().insert(corr, tx);
+        let buf = ShmBuf::from_vec(frame);
+        self.qp
+            .post_send(SendWr::unsignaled(
+                corr,
+                WorkRequest::Send {
+                    local: buf.as_slice(),
+                },
+            ))
+            .map_err(|_| ClientError::Disconnected)?;
+        rx.await.map_err(|_| ClientError::Disconnected)
+    }
+}
+
+/// Expects a specific response variant; anything else is a protocol error.
+#[macro_export]
+macro_rules! expect_response {
+    ($resp:expr, $variant:path) => {
+        match $resp {
+            $variant(inner) => Ok(inner),
+            _ => Err($crate::ClientError::Protocol),
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! The original Kafka consumer (§4.4.1): periodic fetch requests,
+//! regardless of data availability — the CPU burden §5.3 quantifies.
+
+use kdstorage::record::{decode_batch, peek_total_len, RecordView};
+use kdwire::{BrokerAddr, Request, Response};
+use netsim::profile::copy_time;
+use netsim::NodeHandle;
+
+use crate::conn::{ClientTransport, Conn};
+use crate::error::{check, ClientError};
+
+/// A fetch-polling consumer bound to one topic partition.
+pub struct TcpConsumer {
+    node: NodeHandle,
+    conn: Conn,
+    topic: String,
+    partition: u32,
+    /// Next record offset to deliver.
+    pub offset: u64,
+    pub max_bytes: u32,
+    /// Telemetry: fetches issued / empty responses.
+    pub fetches: u64,
+    pub empty_fetches: u64,
+}
+
+impl TcpConsumer {
+    pub async fn connect(
+        node: &NodeHandle,
+        broker: BrokerAddr,
+        transport: ClientTransport,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<TcpConsumer, ClientError> {
+        let conn = Conn::connect(node, broker, transport).await?;
+        Ok(TcpConsumer {
+            node: node.clone(),
+            conn,
+            topic: topic.to_string(),
+            partition,
+            offset,
+            max_bytes: 1024 * 1024,
+            fetches: 0,
+            empty_fetches: 0,
+        })
+    }
+
+    /// Issues one fetch request; returns the decoded records at/after the
+    /// current offset (possibly empty).
+    pub async fn poll(&mut self) -> Result<Vec<RecordView>, ClientError> {
+        let cpu = &self.node.profile().cpu;
+        sim::time::sleep(cpu.handoff).await;
+        self.fetches += 1;
+        let resp = self
+            .conn
+            .call(&Request::Fetch {
+                topic: self.topic.clone(),
+                partition: self.partition,
+                offset: self.offset,
+                max_bytes: self.max_bytes,
+                replica_id: u32::MAX,
+            })
+            .await?;
+        sim::time::sleep(cpu.wakeup).await;
+        let f = match resp {
+            Response::Fetch(f) => f,
+            _ => return Err(ClientError::Protocol),
+        };
+        check(f.error)?;
+        if f.bytes.is_empty() {
+            self.empty_fetches += 1;
+            return Ok(Vec::new());
+        }
+        // Client-side integrity check + copy into application records.
+        sim::time::sleep(
+            copy_time(f.bytes.len() as u64, cpu.crc_bandwidth)
+                + copy_time(f.bytes.len() as u64, cpu.memcpy_bandwidth),
+        )
+        .await;
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        while at < f.bytes.len() {
+            let total = peek_total_len(&f.bytes[at..]).map_err(|_| ClientError::Corrupt)?;
+            let records =
+                decode_batch(&f.bytes[at..at + total]).map_err(|_| ClientError::Corrupt)?;
+            for rv in records {
+                if rv.offset >= self.offset {
+                    out.push(rv);
+                }
+            }
+            at += total;
+        }
+        if let Some(last) = out.last() {
+            self.offset = last.offset + 1;
+        } else {
+            self.offset = f.next_offset.max(self.offset);
+        }
+        Ok(out)
+    }
+
+    /// Polls until at least one record arrives.
+    pub async fn next_records(&mut self) -> Result<Vec<RecordView>, ClientError> {
+        loop {
+            let records = self.poll().await?;
+            if !records.is_empty() {
+                return Ok(records);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The original Kafka producer (§4.2.1): produce RPCs over TCP (or the OSU
+//! transport), with the client-side costs the paper measures — the
+//! defensive copy of user data and the producer pipeline overheads (§5.1).
+
+use std::rc::Rc;
+
+use kdstorage::record::BatchBuilder;
+use kdstorage::Record;
+use kdwire::{Request, Response};
+use netsim::profile::copy_time;
+use netsim::NodeHandle;
+
+use crate::conn::{ClientTransport, Conn};
+use crate::error::{check, ClientError};
+
+/// Acknowledgment mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acks {
+    /// Fire and forget.
+    None,
+    /// Leader commit.
+    Leader,
+    /// All in-sync replicas (the paper's replication experiments).
+    All,
+}
+
+impl Acks {
+    fn wire(self) -> u8 {
+        match self {
+            Acks::None => 0,
+            Acks::Leader => 1,
+            Acks::All => 2,
+        }
+    }
+}
+
+/// A TCP (or OSU) producer bound to one topic partition.
+pub struct TcpProducer {
+    node: NodeHandle,
+    conn: Conn,
+    topic: String,
+    partition: u32,
+    producer_id: u64,
+    pub acks: Acks,
+}
+
+impl TcpProducer {
+    pub async fn connect(
+        node: &NodeHandle,
+        broker: kdwire::BrokerAddr,
+        transport: ClientTransport,
+        topic: &str,
+        partition: u32,
+    ) -> Result<TcpProducer, ClientError> {
+        let conn = Conn::connect(node, broker, transport).await?;
+        Ok(TcpProducer {
+            node: node.clone(),
+            conn,
+            topic: topic.to_string(),
+            partition,
+            producer_id: sim::rng::range_u64(1..u64::MAX),
+            acks: Acks::All,
+        })
+    }
+
+    /// Client-side cost of preparing one produce request: the defensive
+    /// copy plus the Java producer pipeline (accumulator, sender thread,
+    /// selector — §5.1).
+    async fn charge_send_path(&self, bytes: u64) {
+        let cpu = &self.node.profile().cpu;
+        sim::time::sleep(
+            cpu.producer_copy_base
+                + copy_time(bytes, cpu.memcpy_bandwidth)
+                + cpu.tcp_client_extra
+                + cpu.handoff,
+        )
+        .await;
+    }
+
+    /// Builds a single-record batch and produces it, waiting for the ack.
+    /// Returns the assigned offset.
+    pub async fn send(&self, record: &Record) -> Result<u64, ClientError> {
+        self.send_many(std::slice::from_ref(record)).await
+    }
+
+    /// Produces several records as one batch (base offset returned).
+    pub async fn send_many(&self, records: &[Record]) -> Result<u64, ClientError> {
+        let mut builder = BatchBuilder::new(self.producer_id);
+        for r in records {
+            builder.append(r);
+        }
+        let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+        self.charge_send_path(batch.len() as u64).await;
+        let resp = self
+            .conn
+            .call(&Request::Produce {
+                topic: self.topic.clone(),
+                partition: self.partition,
+                acks: self.acks.wire(),
+                batch,
+            })
+            .await?;
+        // Response dispatch back to the caller thread.
+        sim::time::sleep(self.node.profile().cpu.wakeup).await;
+        match resp {
+            Response::Produce { error, base_offset } => {
+                check(error)?;
+                Ok(base_offset)
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Fires a produce without waiting; the returned handle resolves with
+    /// the assigned offset. Used to pipeline requests ("the producer
+    /// dispatches as many requests as possible", §5.1).
+    pub fn send_pipelined(&self, record: &Record) -> sim::JoinHandle<Result<u64, ClientError>> {
+        let conn = self.conn.clone();
+        let node = self.node.clone();
+        let topic = self.topic.clone();
+        let partition = self.partition;
+        let acks = self.acks.wire();
+        let producer_id = self.producer_id;
+        let record = record.clone();
+        sim::spawn(async move {
+            let mut builder = BatchBuilder::new(producer_id);
+            builder.append(&record);
+            let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+            let cpu = Rc::clone(&node.profile());
+            sim::time::sleep(
+                cpu.cpu.producer_copy_base
+                    + copy_time(batch.len() as u64, cpu.cpu.memcpy_bandwidth)
+                    + cpu.cpu.tcp_client_extra
+                    + cpu.cpu.handoff,
+            )
+            .await;
+            let resp = conn
+                .call(&Request::Produce {
+                    topic,
+                    partition,
+                    acks,
+                    batch,
+                })
+                .await?;
+            match resp {
+                Response::Produce { error, base_offset } => {
+                    check(error)?;
+                    Ok(base_offset)
+                }
+                _ => Err(ClientError::Protocol),
+            }
+        })
+    }
+}

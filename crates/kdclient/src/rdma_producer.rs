@@ -1,0 +1,431 @@
+//! The KafkaDirect RDMA producer (§4.2.2, Fig 3).
+//!
+//! * **Exclusive mode**: the producer owns the head file and writes records
+//!   contiguously with WriteWithImm; the immediate data carries the file ID
+//!   (Fig 4). One round trip per produce.
+//! * **Shared mode**: before writing, the producer fetches-and-adds the
+//!   64-bit order/offset word (Fig 5) to reserve a region and take an order
+//!   number; overflowing reservations are detected from the FAA result and
+//!   trigger a head-file re-request.
+//!
+//! Acks arrive as small Sends from the broker, strictly in write order per
+//! QP, so a FIFO of pending completions suffices for correlation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use kdstorage::record::BatchBuilder;
+use kdstorage::Record;
+use kdwire::messages::{ProduceMode, Request, Response};
+use kdwire::{unpack_shared_word, BrokerAddr, ErrorCode, ProduceAccessResp};
+use netsim::profile::copy_time;
+use netsim::NodeHandle;
+use rnic::{CqOpcode, QpOptions, QueuePair, RNic, RecvWr, SendWr, ShmBuf, WorkRequest};
+use sim::sync::oneshot;
+
+use crate::conn::{ClientTransport, Conn};
+use crate::error::{check, ClientError};
+
+const ACK_BUF: usize = 16;
+const ACK_DEPTH: usize = 512;
+
+/// A pending produce ack.
+type AckWaiter = oneshot::Sender<(ErrorCode, u64)>;
+
+/// The RDMA producer.
+pub struct RdmaProducer {
+    node: NodeHandle,
+    broker: BrokerAddr,
+    ctrl: Conn,
+    nic: RNic,
+    qp: QueuePair,
+    qp_send_cq: rnic::CompletionQueue,
+    topic: String,
+    partition: u32,
+    mode: ProduceMode,
+    producer_id: u64,
+    grant: ProduceAccessResp,
+    /// Exclusive mode: next write position (producer-tracked).
+    write_pos: u32,
+    pending: Rc<RefCell<VecDeque<AckWaiter>>>,
+    faa_result: ShmBuf,
+    dead: Rc<std::cell::Cell<bool>>,
+}
+
+impl RdmaProducer {
+    /// Connects the control plane, requests produce access, and establishes
+    /// the data-plane QP.
+    pub async fn connect(
+        node: &NodeHandle,
+        broker: BrokerAddr,
+        topic: &str,
+        partition: u32,
+        shared: bool,
+    ) -> Result<RdmaProducer, ClientError> {
+        let ctrl = Conn::connect(node, broker, ClientTransport::Tcp).await?;
+        let mode = if shared {
+            ProduceMode::Shared
+        } else {
+            ProduceMode::Exclusive
+        };
+        let nic = RNic::new(node);
+        let pending: Rc<RefCell<VecDeque<AckWaiter>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let dead = Rc::new(std::cell::Cell::new(false));
+        let (qp, send_cq) =
+            Self::setup_data_plane(node, &nic, broker, Rc::clone(&pending), Rc::clone(&dead))
+                .await?;
+        let mut producer = RdmaProducer {
+            node: node.clone(),
+            broker,
+            ctrl,
+            nic,
+            qp,
+            qp_send_cq: send_cq,
+            topic: topic.to_string(),
+            partition,
+            mode,
+            producer_id: sim::rng::range_u64(1..u64::MAX),
+            grant: empty_grant(),
+            write_pos: 0,
+            pending,
+            faa_result: ShmBuf::zeroed(8),
+            dead,
+        };
+        producer.acquire_access(0).await?;
+        Ok(producer)
+    }
+
+    /// Creates the data-plane QP and its ack reader task. Used at connect
+    /// time and again when a revoked session broke the previous QP.
+    async fn setup_data_plane(
+        node: &NodeHandle,
+        nic: &RNic,
+        broker: BrokerAddr,
+        pending: Rc<RefCell<VecDeque<AckWaiter>>>,
+        dead: Rc<std::cell::Cell<bool>>,
+    ) -> Result<(QueuePair, rnic::CompletionQueue), ClientError> {
+        let send_cq = nic.create_cq(4096);
+        let recv_cq = nic.create_cq(ACK_DEPTH * 2);
+        let qp = nic
+            .connect(
+                netsim::NodeId(broker.node),
+                broker.rdma_port, // PRODUCE_PORT_OFF
+                send_cq.clone(),
+                recv_cq.clone(),
+                QpOptions::default(),
+            )
+            .await
+            .map_err(|_| ClientError::Disconnected)?;
+        // Ack receive buffers + reader task: acks resolve pending waiters
+        // strictly FIFO (RC ordering guarantees this matches write order).
+        let bufs: Vec<ShmBuf> = (0..ACK_DEPTH).map(|_| ShmBuf::zeroed(ACK_BUF)).collect();
+        for (i, buf) in bufs.iter().enumerate() {
+            let _ = qp.post_recv(RecvWr {
+                wr_id: i as u64,
+                buf: Some(buf.as_slice()),
+            });
+        }
+        {
+            let qp = qp.clone();
+            let wakeup = node.profile().cpu.wakeup;
+            sim::spawn(async move {
+                loop {
+                    let cqe = match recv_cq.poll() {
+                        Some(c) => c,
+                        None => {
+                            let Some(c) = recv_cq.next().await else { break };
+                            // Blocking-poll wakeup (§5.1 client overheads).
+                            sim::time::sleep(wakeup).await;
+                            c
+                        }
+                    };
+                    if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
+                        break;
+                    }
+                    let payload = bufs[cqe.wr_id as usize].read_at(0, cqe.byte_len as usize);
+                    let _ = qp.post_recv(RecvWr {
+                        wr_id: cqe.wr_id,
+                        buf: Some(bufs[cqe.wr_id as usize].as_slice()),
+                    });
+                    let (error, base_offset) = kdbroker_ack_decode(&payload);
+                    if let Some(waiter) = pending.borrow_mut().pop_front() {
+                        let _ = waiter.send((error, base_offset));
+                    }
+                }
+                dead.set(true);
+                // Fail anything still pending.
+                for w in pending.borrow_mut().drain(..) {
+                    let _ = w.send((ErrorCode::Internal, 0));
+                }
+            });
+        }
+        Ok((qp, send_cq))
+    }
+
+    /// Requests (or re-requests) produce access; `min_bytes` forces a roll
+    /// when the head cannot fit the next record (§4.2.2).
+    async fn acquire_access(&mut self, min_bytes: u32) -> Result<(), ClientError> {
+        let resp = self
+            .ctrl
+            .call(&Request::ProduceAccess {
+                topic: self.topic.clone(),
+                partition: self.partition,
+                mode: self.mode,
+                min_bytes,
+            })
+            .await?;
+        let grant = match resp {
+            Response::ProduceAccess(g) => g,
+            _ => return Err(ClientError::Protocol),
+        };
+        check(grant.error)?;
+        self.write_pos = grant.write_pos;
+        self.grant = grant;
+        Ok(())
+    }
+
+    /// Encodes `record` into a batch in a (registered) staging buffer —
+    /// the producer's defensive copy of user data (§5.1).
+    async fn stage(&self, record: &Record) -> Result<ShmBuf, ClientError> {
+        let mut builder = BatchBuilder::new(self.producer_id);
+        builder.append(record);
+        let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+        let cpu = &self.node.profile().cpu;
+        // Only the defensive copy occupies the caller; the API→network
+        // thread handoff is pipeline latency and is charged on the ack path.
+        sim::time::sleep(
+            cpu.producer_copy_base + copy_time(batch.len() as u64, cpu.memcpy_bandwidth),
+        )
+        .await;
+        Ok(ShmBuf::from_vec(batch))
+    }
+
+    /// Produces one record, waiting for the broker acknowledgment; returns
+    /// the assigned base offset.
+    pub async fn send(&mut self, record: &Record) -> Result<u64, ClientError> {
+        let ack = self.send_pipelined(record).await?;
+        let (error, offset) = ack.await.map_err(|_| ClientError::Disconnected)?;
+        // Dispatch chain: API→net handoff on send + CQ poller→API handoff +
+        // wakeup on the ack (§5.1's client-side overheads).
+        let cpu = &self.node.profile().cpu;
+        sim::time::sleep(cpu.handoff + cpu.handoff + cpu.wakeup).await;
+        check(error)?;
+        Ok(offset)
+    }
+
+    /// Posts one produce and returns a future resolving with its ack —
+    /// the pipelined path used by the bandwidth experiments.
+    pub async fn send_pipelined(
+        &mut self,
+        record: &Record,
+    ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, ClientError> {
+        let staged = self.stage(record).await?;
+        let len = staged.len() as u32;
+        for attempt in 0..4 {
+            if self.dead.get() {
+                self.reconnect_data_plane().await?;
+            }
+            let result = match self.mode {
+                ProduceMode::Shared => self.try_send_shared(&staged, len).await,
+                _ => self.try_send_exclusive(&staged, len).await,
+            };
+            match result {
+                Ok(rx) => return Ok(rx),
+                Err(NeedAccess) => {
+                    // Out of space (or revoked): wait out our own pipeline,
+                    // then re-request the head file (§4.2.2).
+                    self.drain_pending().await;
+                    self.acquire_access(len).await?;
+                    let _ = attempt;
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted)
+    }
+
+    /// Exclusive produce: one WriteWithImm at the producer-tracked position.
+    async fn try_send_exclusive(
+        &mut self,
+        staged: &ShmBuf,
+        len: u32,
+    ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, NeedAccess> {
+        if u64::from(self.write_pos) + u64::from(len) > self.grant.region.len {
+            return Err(NeedAccess);
+        }
+        let (tx, rx) = oneshot::channel();
+        self.pending.borrow_mut().push_back(tx);
+        let wr = SendWr::unsignaled(
+            0,
+            WorkRequest::WriteImm {
+                local: staged.as_slice(),
+                remote_addr: self.grant.region.addr + u64::from(self.write_pos),
+                rkey: self.grant.region.rkey,
+                imm: kdwire::pack_imm(self.grant.file_id, 0),
+            },
+        );
+        if self.qp.post_send(wr).is_err() {
+            self.pending.borrow_mut().pop_back();
+            return Err(NeedAccess);
+        }
+        self.write_pos += len;
+        Ok(rx)
+    }
+
+    /// Shared produce: FAA the order/offset word, then WriteWithImm into the
+    /// reserved region with the order in the immediate data.
+    async fn try_send_shared(
+        &mut self,
+        staged: &ShmBuf,
+        len: u32,
+    ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, NeedAccess> {
+        let word = self.grant.shared_word.ok_or(NeedAccess)?;
+        // Reserve: FAA always succeeds (§4.2.2); overflow shows in the
+        // returned offset.
+        let old = self.faa(word.addr, word.rkey, len).await?;
+        let w = unpack_shared_word(old);
+        if w.offset + u64::from(len) > self.grant.region.len {
+            return Err(NeedAccess);
+        }
+        let (tx, rx) = oneshot::channel();
+        self.pending.borrow_mut().push_back(tx);
+        let wr = SendWr::unsignaled(
+            0,
+            WorkRequest::WriteImm {
+                local: staged.as_slice(),
+                remote_addr: self.grant.region.addr + w.offset,
+                rkey: self.grant.region.rkey,
+                imm: kdwire::pack_imm(self.grant.file_id, w.order),
+            },
+        );
+        if self.qp.post_send(wr).is_err() {
+            self.pending.borrow_mut().pop_back();
+            return Err(NeedAccess);
+        }
+        Ok(rx)
+    }
+
+    async fn faa(&self, addr: u64, rkey: u32, len: u32) -> Result<u64, NeedAccess> {
+        let wr = SendWr::new(
+            1,
+            WorkRequest::FetchAdd {
+                local: self.faa_result.as_slice(),
+                remote_addr: addr,
+                rkey,
+                add: kdwire::slots::shared_word_addend(u64::from(len)),
+            },
+        );
+        if self.qp.post_send(wr).is_err() {
+            return Err(NeedAccess);
+        }
+        // FAAs are the only signaled WRs on this QP: the next send
+        // completion is ours.
+        loop {
+            let Some(cqe) = self.send_cq().next().await else {
+                return Err(NeedAccess);
+            };
+            if cqe.opcode == CqOpcode::FetchAdd {
+                if !cqe.ok() {
+                    return Err(NeedAccess);
+                }
+                return cqe.atomic_old.ok_or(NeedAccess);
+            }
+            if !cqe.ok() {
+                return Err(NeedAccess);
+            }
+        }
+    }
+
+    fn send_cq(&self) -> rnic::CompletionQueue {
+        self.qp_send_cq.clone()
+    }
+
+    /// Waits until every in-flight produce is acknowledged (used before
+    /// re-requesting access so error acks don't interleave with new writes).
+    pub async fn drain_pending(&self) {
+        while !self.pending.borrow().is_empty() && !self.dead.get() {
+            sim::time::yield_now().await;
+            sim::time::sleep(std::time::Duration::from_micros(1)).await;
+        }
+    }
+
+    async fn reconnect_data_plane(&mut self) -> Result<(), ClientError> {
+        // The old reader already failed anything pending.
+        self.pending.borrow_mut().clear();
+        let (qp, send_cq) = Self::setup_data_plane(
+            &self.node,
+            &self.nic,
+            self.broker,
+            Rc::clone(&self.pending),
+            Rc::clone(&self.dead),
+        )
+        .await?;
+        self.qp = qp;
+        self.qp_send_cq = send_cq;
+        self.dead.set(false);
+        Ok(())
+    }
+
+    /// Current file-id / segment of the grant (diagnostics).
+    pub fn grant(&self) -> &ProduceAccessResp {
+        &self.grant
+    }
+
+    /// Simulates a client crash: tears the data-plane QP down without any
+    /// release protocol. The broker observes the disconnect and revokes the
+    /// grant (§4.2.2 failure handling).
+    pub fn crash(&self) {
+        self.qp.close();
+        self.dead.set(true);
+    }
+
+    /// Failure-injection helper (shared mode): reserves `len` bytes through
+    /// the FAA word but never writes them — the "hole" of §4.2.2 that the
+    /// broker's order timeout must detect and abort.
+    pub async fn poison_reservation(&self, len: u32) {
+        if let Some(word) = self.grant.shared_word {
+            let _ = self.faa(word.addr, word.rkey, len).await;
+        }
+    }
+}
+
+/// Internal marker: the producer must (re)acquire access.
+struct NeedAccess;
+
+fn empty_grant() -> ProduceAccessResp {
+    ProduceAccessResp {
+        error: ErrorCode::None,
+        file_id: 0,
+        segment: 0,
+        region: kdwire::RemoteRegion {
+            addr: 0,
+            rkey: 0,
+            len: 0,
+        },
+        write_pos: 0,
+        next_offset: 0,
+        shared_word: None,
+        credits: 0,
+    }
+}
+
+/// Decodes the broker's 9-byte ack payload.
+fn kdbroker_ack_decode(bytes: &[u8]) -> (ErrorCode, u64) {
+    let error = match bytes.first().copied().unwrap_or(9) {
+        0 => ErrorCode::None,
+        1 => ErrorCode::UnknownTopicOrPartition,
+        2 => ErrorCode::NotLeader,
+        3 => ErrorCode::CorruptBatch,
+        4 => ErrorCode::AccessDenied,
+        5 => ErrorCode::OutOfSpace,
+        6 => ErrorCode::InvalidRequest,
+        7 => ErrorCode::AlreadyExists,
+        8 => ErrorCode::OrderTimeout,
+        _ => ErrorCode::Internal,
+    };
+    let base_offset = bytes
+        .get(1..9)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0);
+    (error, base_offset)
+}

@@ -1,0 +1,158 @@
+//! Client-side behaviours against a directly-constructed broker: ack modes,
+//! offset skipping, counters, and error surfaces.
+
+use kdbroker::{Broker, BrokerConfig, RdmaToggles};
+use kdclient::producer::Acks;
+use kdclient::{Admin, ClientTransport, RdmaProducer, TcpConsumer, TcpProducer};
+use kdstorage::Record;
+use kdwire::BrokerAddr;
+use netsim::profile::Profile;
+use netsim::{Fabric, NodeHandle};
+
+async fn broker(fabric: &Fabric, config: BrokerConfig) -> (Broker, BrokerAddr, NodeHandle) {
+    let node = fabric.add_node("broker");
+    let addr = BrokerAddr {
+        node: node.id.0,
+        port: config.tcp_port,
+        rdma_port: config.rdma_port,
+    };
+    let b = Broker::start(&node, config, vec![addr]);
+    let client = fabric.add_node("client");
+    let admin = Admin::connect(&client, addr).await.unwrap();
+    admin.create_topic("t", 1, 1).await.unwrap();
+    (b, addr, client)
+}
+
+#[test]
+fn acks_modes_all_deliver() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        let (_b, addr, client) =
+            broker(&fabric, BrokerConfig::kafkadirect(RdmaToggles::all())).await;
+        let mut p = TcpProducer::connect(&client, addr, ClientTransport::Tcp, "t", 0)
+            .await
+            .unwrap();
+        let mut latencies = Vec::new();
+        for acks in [Acks::None, Acks::Leader, Acks::All] {
+            p.acks = acks;
+            let t0 = sim::now();
+            p.send(&Record::value(b"x".to_vec())).await.unwrap();
+            latencies.push((sim::now() - t0).as_nanos());
+        }
+        // RF=1: all modes commit at the leader; fire-and-forget is not
+        // slower than leader-ack.
+        assert!(latencies[0] <= latencies[1] + 1000);
+        let admin = Admin::connect(&client, addr).await.unwrap();
+        let (_, hw) = admin.list_offsets("t", 0).await.unwrap();
+        assert_eq!(hw, 3);
+    });
+}
+
+#[test]
+fn consumer_skips_mid_batch_offsets() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        let (_b, addr, client) = broker(&fabric, BrokerConfig::kafka()).await;
+        let p = TcpProducer::connect(&client, addr, ClientTransport::Tcp, "t", 0)
+            .await
+            .unwrap();
+        // One batch of 5 records (offsets 0..5).
+        let records: Vec<Record> = (0..5u8).map(|i| Record::value(vec![i])).collect();
+        p.send_many(&records).await.unwrap();
+        // Start mid-batch: the broker returns the whole batch; the client
+        // must skip records below the requested offset.
+        let mut c = TcpConsumer::connect(&client, addr, ClientTransport::Tcp, "t", 0, 3)
+            .await
+            .unwrap();
+        let got = c.next_records().await.unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].offset, 3);
+        assert_eq!(got[1].offset, 4);
+    });
+}
+
+#[test]
+fn consumer_counters_track_empty_fetches() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        let (_b, addr, client) = broker(&fabric, BrokerConfig::kafka()).await;
+        let mut c = TcpConsumer::connect(&client, addr, ClientTransport::Tcp, "t", 0, 0)
+            .await
+            .unwrap();
+        for _ in 0..5 {
+            assert!(c.poll().await.unwrap().is_empty());
+        }
+        assert_eq!(c.fetches, 5);
+        assert_eq!(c.empty_fetches, 5);
+        let p = TcpProducer::connect(&client, addr, ClientTransport::Tcp, "t", 0)
+            .await
+            .unwrap();
+        p.send(&Record::value(b"x".to_vec())).await.unwrap();
+        assert_eq!(c.next_records().await.unwrap().len(), 1);
+        assert_eq!(c.empty_fetches, 5, "non-empty polls don't count");
+    });
+}
+
+#[test]
+fn rdma_producer_grant_reflects_broker_state() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        let (_b, addr, client) =
+            broker(&fabric, BrokerConfig::kafkadirect(RdmaToggles::all())).await;
+        let mut p = RdmaProducer::connect(&client, addr, "t", 0, false).await.unwrap();
+        assert_eq!(p.grant().segment, 0);
+        assert_eq!(p.grant().write_pos, 0);
+        assert_eq!(p.grant().next_offset, 0);
+        p.send(&Record::value(vec![1u8; 64])).await.unwrap();
+        // A shared producer on the same TP conflicts with the live
+        // exclusive grant.
+        let shared = RdmaProducer::connect(&client, addr, "t", 0, true).await;
+        assert!(matches!(
+            shared,
+            Err(kdclient::ClientError::Broker(kdwire::ErrorCode::AccessDenied))
+        ));
+    });
+}
+
+#[test]
+fn producer_send_many_batches_share_one_offset_run() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        let (_b, addr, client) = broker(&fabric, BrokerConfig::kafka()).await;
+        let p = TcpProducer::connect(&client, addr, ClientTransport::Tcp, "t", 0)
+            .await
+            .unwrap();
+        let base = p
+            .send_many(&[
+                Record::value(b"a".to_vec()),
+                Record::value(b"b".to_vec()),
+                Record::value(b"c".to_vec()),
+            ])
+            .await
+            .unwrap();
+        assert_eq!(base, 0);
+        let next = p.send(&Record::value(b"d".to_vec())).await.unwrap();
+        assert_eq!(next, 3, "batch occupied offsets 0..3");
+    });
+}
+
+#[test]
+fn rdma_disabled_broker_rejects_produce_access() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let fabric = Fabric::new(Profile::testbed());
+        // OSU config: RDMA transport listeners exist, but one-sided
+        // datapaths are off → produce access must be denied.
+        let (_b, addr, client) = broker(&fabric, BrokerConfig::osu()).await;
+        let denied = RdmaProducer::connect(&client, addr, "t", 0, false).await;
+        assert!(matches!(
+            denied,
+            Err(kdclient::ClientError::Broker(kdwire::ErrorCode::AccessDenied))
+        ));
+    });
+}

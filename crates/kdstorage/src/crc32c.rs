@@ -1,0 +1,164 @@
+//! CRC32C (Castagnoli) — the checksum Kafka uses for record batches and the
+//! integrity check charged to API workers in §5.1 ("including CRC32C
+//! checksum calculation").
+//!
+//! Table-driven (slice-by-8) implementation built from the reflected
+//! polynomial 0x82F63B78. No external crates; verified against published
+//! test vectors and a bitwise reference implementation under proptest.
+
+const POLY: u32 = 0x82F6_3B78;
+
+/// 8 tables × 256 entries, built at first use.
+struct Tables([[u32; 256]; 8]);
+
+fn build_tables() -> Tables {
+    let mut t = [[0u32; 256]; 8];
+    for (i, entry) in t[0].iter_mut().enumerate() {
+        let mut crc = i as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+        *entry = crc;
+    }
+    for i in 0..256 {
+        let mut crc = t[0][i];
+        for table in 1..8 {
+            crc = t[0][(crc & 0xff) as usize] ^ (crc >> 8);
+            t[table][i] = crc;
+        }
+    }
+    Tables(t)
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+/// Streaming CRC32C state.
+#[derive(Clone)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, mut data: &[u8]) {
+        let t = &tables().0;
+        let mut crc = self.state;
+        while data.len() >= 8 {
+            let lo = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) ^ crc;
+            let hi = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+            crc = t[7][(lo & 0xff) as usize]
+                ^ t[6][((lo >> 8) & 0xff) as usize]
+                ^ t[5][((lo >> 16) & 0xff) as usize]
+                ^ t[4][((lo >> 24) & 0xff) as usize]
+                ^ t[3][(hi & 0xff) as usize]
+                ^ t[2][((hi >> 8) & 0xff) as usize]
+                ^ t[1][((hi >> 16) & 0xff) as usize]
+                ^ t[0][((hi >> 24) & 0xff) as usize];
+            data = &data[8..];
+        }
+        for &b in data {
+            crc = t[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Finishes, returning the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32C of a byte slice.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(data);
+    c.finalize()
+}
+
+/// Bit-at-a-time reference implementation (kept for property testing).
+pub fn crc32c_reference(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / published CRC32C test vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..255).cycle().take(10_000).collect();
+        let mut c = Crc32c::new();
+        for chunk in data.chunks(37) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32c(&data));
+    }
+
+    #[test]
+    fn fast_matches_reference() {
+        let data: Vec<u8> = (0u32..4096).map(|i| (i * 31 % 251) as u8).collect();
+        assert_eq!(crc32c(&data), crc32c_reference(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![7u8; 100];
+        let orig = crc32c(&data);
+        data[50] ^= 0x10;
+        assert_ne!(crc32c(&data), orig);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn matches_bitwise_reference(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(crc32c(&data), crc32c_reference(&data));
+        }
+
+        #[test]
+        fn split_invariance(data in proptest::collection::vec(any::<u8>(), 0..1024), split in 0usize..1024) {
+            let split = split.min(data.len());
+            let mut c = Crc32c::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            prop_assert_eq!(c.finalize(), crc32c(&data));
+        }
+    }
+}

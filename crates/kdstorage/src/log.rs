@@ -1,0 +1,669 @@
+//! The topic-partition log: an ordered chain of segments (paper Fig 1).
+//!
+//! Responsibilities:
+//! * rolling to a new preallocated head file when the current one fills,
+//! * dense offset assignment at commit time,
+//! * the high watermark (replication-committed offset) and its byte-level
+//!   position — what the broker publishes to RDMA consumers as the "last
+//!   readable byte" of each file (§4.4.2),
+//! * byte-range reads for TCP fetches and pull replication.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::record::{self, BatchError};
+use crate::segment::{BatchIndexEntry, Segment};
+
+/// Log configuration.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Segment ("file") size; the paper deploys 1 GiB (§5 Settings). Tests
+    /// and benches use smaller segments to bound memory.
+    pub segment_size: u32,
+    /// Maximum encoded batch size (Kafka's 1 MiB record limit, §3).
+    pub max_batch_size: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_size: 64 * 1024 * 1024,
+            max_batch_size: 1024 * 1024,
+        }
+    }
+}
+
+impl LogConfig {
+    pub fn with_segment_size(mut self, size: u32) -> Self {
+        self.segment_size = size;
+        self
+    }
+}
+
+/// Byte-level position in a log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogPosition {
+    /// Index into the segment chain.
+    pub segment: u32,
+    /// Byte position within that segment.
+    pub pos: u32,
+}
+
+/// Result of a successful append/commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendInfo {
+    pub base_offset: u64,
+    pub record_count: u32,
+    pub position: LogPosition,
+    pub total_len: u32,
+    /// True if this append created a new head file.
+    pub rolled: bool,
+}
+
+/// Errors from append/commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// Batch bigger than `max_batch_size` (or than a whole segment).
+    TooLarge { len: usize, max: usize },
+    /// Validation failed.
+    Batch(BatchError),
+    /// In-place commit position does not match the committed frontier.
+    NonContiguousCommit { expected: u32, got: u32 },
+    /// A replicated batch's leader-assigned base offset does not match this
+    /// replica's log end.
+    OffsetMismatch { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::TooLarge { len, max } => write!(f, "batch {len} B exceeds max {max} B"),
+            AppendError::Batch(e) => write!(f, "{e}"),
+            AppendError::NonContiguousCommit { expected, got } => {
+                write!(f, "commit at {got} but committed frontier is {expected}")
+            }
+            AppendError::OffsetMismatch { expected, got } => {
+                write!(f, "replica batch at offset {got} but log end is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+impl From<BatchError> for AppendError {
+    fn from(e: BatchError) -> Self {
+        AppendError::Batch(e)
+    }
+}
+
+/// Result of a byte-range read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchSlice {
+    /// Raw bytes of zero or more whole batches.
+    pub bytes: Vec<u8>,
+    /// Offset of the first record in `bytes` (may precede the requested
+    /// offset: reads start at a batch boundary, as in Kafka).
+    pub start_offset: u64,
+    /// Offset to request next.
+    pub next_offset: u64,
+}
+
+/// A topic-partition log.
+pub struct Log {
+    config: LogConfig,
+    segments: RefCell<Vec<Rc<Segment>>>,
+    /// First offset not yet replicated to the configured in-sync replicas;
+    /// consumers may not read at or past this (§4.4.2).
+    high_watermark: Cell<u64>,
+    /// Byte position equivalent of `high_watermark`.
+    hw_position: Cell<LogPosition>,
+}
+
+impl Log {
+    pub fn new(config: LogConfig) -> Log {
+        let head = Segment::new(0, config.segment_size);
+        Log {
+            config,
+            segments: RefCell::new(vec![head]),
+            high_watermark: Cell::new(0),
+            hw_position: Cell::new(LogPosition { segment: 0, pos: 0 }),
+        }
+    }
+
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// The mutable head file.
+    pub fn head(&self) -> Rc<Segment> {
+        Rc::clone(self.segments.borrow().last().expect("log has a head"))
+    }
+
+    /// Index of the head segment.
+    pub fn head_index(&self) -> u32 {
+        self.segments.borrow().len() as u32 - 1
+    }
+
+    pub fn segment(&self, index: u32) -> Option<Rc<Segment>> {
+        self.segments.borrow().get(index as usize).cloned()
+    }
+
+    pub fn segment_count(&self) -> u32 {
+        self.segments.borrow().len() as u32
+    }
+
+    /// Log end offset: the offset the next record will get.
+    pub fn next_offset(&self) -> u64 {
+        self.head().next_offset()
+    }
+
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark.get()
+    }
+
+    /// Byte position of the high watermark (segment index + last readable
+    /// byte in it).
+    pub fn high_watermark_position(&self) -> LogPosition {
+        self.hw_position.get()
+    }
+
+    /// Seals the head and opens a new preallocated head file.
+    pub fn roll(&self) -> Rc<Segment> {
+        let next_offset = self.next_offset();
+        let mut segments = self.segments.borrow_mut();
+        segments.last().unwrap().seal();
+        let head = Segment::new(next_offset, self.config.segment_size);
+        segments.push(Rc::clone(&head));
+        head
+    }
+
+    fn check_size(&self, len: usize) -> Result<(), AppendError> {
+        let max = self
+            .config
+            .max_batch_size
+            .min(self.config.segment_size) as usize;
+        if len > max {
+            return Err(AppendError::TooLarge { len, max });
+        }
+        Ok(())
+    }
+
+    /// Appends an already-encoded batch by copying it into the head file
+    /// (the TCP produce path ➍: "copies data from the network receive
+    /// buffer to the file buffer", §4.2.1). Verifies, assigns offsets,
+    /// commits.
+    pub fn append_batch(&self, bytes: &[u8]) -> Result<AppendInfo, AppendError> {
+        self.check_size(bytes.len())?;
+        let header = record::verify_batch(bytes)?;
+        let total = header.total_len() as u32;
+        let mut rolled = false;
+        let mut head = self.head();
+        let pos = match head.reserve(total) {
+            Some(pos) => pos,
+            None => {
+                head = self.roll();
+                rolled = true;
+                head.reserve(total).expect("fresh segment fits max batch")
+            }
+        };
+        head.write_at(pos, bytes);
+        let info = self.commit_at_unchecked(&head, pos, header.record_count, total)?;
+        Ok(AppendInfo { rolled, ..info })
+    }
+
+    /// Appends a batch replicated from the leader (pull replication ➏):
+    /// offsets were already assigned by the leader and must line up with
+    /// this replica's log end.
+    pub fn append_replica(&self, bytes: &[u8]) -> Result<AppendInfo, AppendError> {
+        self.check_size(bytes.len())?;
+        let header = record::verify_batch(bytes)?;
+        if header.base_offset != self.next_offset() {
+            return Err(AppendError::OffsetMismatch {
+                expected: self.next_offset(),
+                got: header.base_offset,
+            });
+        }
+        let total = header.total_len() as u32;
+        let mut rolled = false;
+        let mut head = self.head();
+        let pos = match head.reserve(total) {
+            Some(pos) => pos,
+            None => {
+                head = self.roll();
+                rolled = true;
+                head.reserve(total).expect("fresh segment fits max batch")
+            }
+        };
+        head.write_at(pos, bytes);
+        head.push_committed(crate::segment::BatchIndexEntry {
+            base_offset: header.base_offset,
+            pos,
+            len: total,
+            record_count: header.record_count,
+        });
+        Ok(AppendInfo {
+            base_offset: header.base_offset,
+            record_count: header.record_count,
+            position: LogPosition {
+                segment: self.head_index(),
+                pos,
+            },
+            total_len: total,
+            rolled,
+        })
+    }
+
+    /// Commits a batch whose bytes are **already in** the head file at
+    /// `pos` — the RDMA produce path: the NIC wrote the bytes, the API
+    /// worker verifies in place and assigns offsets without any copy
+    /// (§4.2.2).
+    pub fn commit_in_place(&self, pos: u32) -> Result<AppendInfo, AppendError> {
+        let head = self.head();
+        if pos != head.committed_pos() {
+            return Err(AppendError::NonContiguousCommit {
+                expected: head.committed_pos(),
+                got: pos,
+            });
+        }
+        // Parse the length prefix, then verify the full batch in place.
+        let avail = head.capacity() - pos;
+        let prefix_len = (record::LENGTH_PREFIX_LEN as u32).min(avail);
+        let total = head
+            .with_slice(pos, prefix_len, record::peek_total_len)
+            .map_err(AppendError::from)? as u32;
+        self.check_size(total as usize)?;
+        if pos + total > head.capacity() {
+            return Err(AppendError::Batch(BatchError::Corrupt(
+                crate::codec::WireError::BadLength,
+            )));
+        }
+        let header = head
+            .with_slice(pos, total, record::verify_batch)
+            .map_err(AppendError::from)?;
+        self.commit_at_unchecked(&head, pos, header.record_count, total)
+    }
+
+    /// Shared tail of both commit paths: assign the base offset in place
+    /// and index the batch.
+    fn commit_at_unchecked(
+        &self,
+        head: &Rc<Segment>,
+        pos: u32,
+        record_count: u32,
+        total: u32,
+    ) -> Result<AppendInfo, AppendError> {
+        let base_offset = head.next_offset();
+        head.with_slice_mut(pos, total, |bytes| {
+            record::assign_base_offset(bytes, base_offset);
+        });
+        head.push_committed(BatchIndexEntry {
+            base_offset,
+            pos,
+            len: total,
+            record_count,
+        });
+        Ok(AppendInfo {
+            base_offset,
+            record_count,
+            position: LogPosition {
+                segment: self.head_index(),
+                pos,
+            },
+            total_len: total,
+            rolled: false,
+        })
+    }
+
+    /// Advances the high watermark to `offset` (must land on a batch
+    /// boundary — replication acknowledges whole batches).
+    pub fn set_high_watermark(&self, offset: u64) {
+        let current = self.high_watermark.get();
+        if offset <= current {
+            return;
+        }
+        assert!(
+            offset <= self.next_offset(),
+            "high watermark beyond log end"
+        );
+        // Replication acknowledges whole batches, so `offset` is always the
+        // `next_offset` of some committed batch: locate it directly.
+        let segments = self.segments.borrow();
+        let last = offset - 1;
+        let seg_idx = segments
+            .partition_point(|s| s.base_offset() <= last)
+            .saturating_sub(1);
+        let seg = &segments[seg_idx];
+        let i = seg
+            .batch_index_of(last)
+            .expect("high watermark inside committed region");
+        let b = seg.batch_at(i).unwrap();
+        // Replication normally acknowledges whole batches; if an ack lands
+        // mid-batch, round the watermark down to the batch start (a record
+        // is visible only when its whole batch is replicated).
+        let (offset, pos) = if b.next_offset() == offset {
+            (offset, b.end_pos())
+        } else {
+            (b.base_offset, b.pos)
+        };
+        if offset <= current {
+            return;
+        }
+        self.hw_position.set(LogPosition {
+            segment: seg_idx as u32,
+            pos,
+        });
+        self.high_watermark.set(offset);
+    }
+
+    /// Reads up to `max_bytes` of whole batches starting at the batch
+    /// containing `offset`. `committed_only` limits to the high watermark
+    /// (consumer fetch); replication fetch reads to the log end.
+    pub fn read_from(&self, offset: u64, max_bytes: u32, committed_only: bool) -> FetchSlice {
+        let limit = if committed_only {
+            self.high_watermark.get()
+        } else {
+            self.next_offset()
+        };
+        if offset >= limit {
+            return FetchSlice {
+                bytes: Vec::new(),
+                start_offset: offset,
+                next_offset: offset,
+            };
+        }
+        // Locate the segment containing `offset`.
+        let segments = self.segments.borrow();
+        let seg_idx = segments
+            .partition_point(|s| s.base_offset() <= offset)
+            .saturating_sub(1);
+        let mut bytes = Vec::new();
+        let mut start_offset = None;
+        let mut next_offset = offset;
+        'outer: for seg in segments.iter().skip(seg_idx) {
+            let Some(mut i) = seg.batch_index_of(next_offset.max(seg.base_offset())) else {
+                continue;
+            };
+            while let Some(b) = seg.batch_at(i) {
+                if b.next_offset() > limit {
+                    break 'outer;
+                }
+                if !bytes.is_empty() && bytes.len() + b.len as usize > max_bytes as usize {
+                    break 'outer;
+                }
+                bytes.extend_from_slice(&seg.read(b.pos, b.len));
+                start_offset.get_or_insert(b.base_offset);
+                next_offset = b.next_offset();
+                i += 1;
+                if bytes.len() >= max_bytes as usize {
+                    break 'outer;
+                }
+            }
+        }
+        FetchSlice {
+            start_offset: start_offset.unwrap_or(offset),
+            next_offset,
+            bytes,
+        }
+    }
+
+    /// Finds the committed batch containing `offset` and its segment index.
+    pub fn locate(&self, offset: u64) -> Option<(u32, BatchIndexEntry)> {
+        let segments = self.segments.borrow();
+        let seg_idx = segments
+            .partition_point(|s| s.base_offset() <= offset)
+            .checked_sub(1)?;
+        // The batch may live in an earlier segment than the partition point
+        // suggests only if offsets were sparse — they are dense here.
+        let entry = segments[seg_idx].find_batch(offset)?;
+        Some((seg_idx as u32, entry))
+    }
+
+    /// Total committed bytes across all segments (telemetry).
+    pub fn committed_bytes(&self) -> u64 {
+        self.segments
+            .borrow()
+            .iter()
+            .map(|s| u64::from(s.committed_pos()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{single_record_batch, BatchBuilder, Record};
+
+    fn batch(n: usize, size: usize) -> Vec<u8> {
+        let mut b = BatchBuilder::new(1);
+        for i in 0..n {
+            b.append(&Record::value(vec![i as u8; size]));
+        }
+        b.build().unwrap()
+    }
+
+    fn small_log() -> Log {
+        Log::new(LogConfig {
+            segment_size: 4096,
+            max_batch_size: 2048,
+        })
+    }
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let log = small_log();
+        let a = log.append_batch(&batch(3, 10)).unwrap();
+        let b = log.append_batch(&batch(2, 10)).unwrap();
+        assert_eq!(a.base_offset, 0);
+        assert_eq!(b.base_offset, 3);
+        assert_eq!(log.next_offset(), 5);
+    }
+
+    #[test]
+    fn rolls_to_new_head_when_full() {
+        let log = small_log();
+        let payload = batch(1, 900); // ~1 KiB each
+        let mut rolled = 0;
+        for _ in 0..8 {
+            if log.append_batch(&payload).unwrap().rolled {
+                rolled += 1;
+            }
+        }
+        assert!(rolled >= 1);
+        assert!(log.segment_count() >= 2);
+        // Every non-head segment is sealed.
+        for i in 0..log.segment_count() - 1 {
+            assert!(log.segment(i).unwrap().is_sealed());
+        }
+        assert!(!log.head().is_sealed());
+        // Base offsets chain correctly.
+        let s1 = log.segment(1).unwrap();
+        assert_eq!(s1.base_offset(), log.segment(0).unwrap().next_offset());
+    }
+
+    #[test]
+    fn oversize_batch_rejected() {
+        let log = small_log();
+        let big = batch(1, 3000);
+        assert!(matches!(
+            log.append_batch(&big),
+            Err(AppendError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_in_place_is_zero_copy() {
+        let log = small_log();
+        let head = log.head();
+        let bytes = batch(2, 16);
+        // Simulate an RDMA write landing directly in the head file.
+        head.write_at(0, &bytes);
+        head.advance_write_pos(bytes.len() as u32);
+        let info = log.commit_in_place(0).unwrap();
+        assert_eq!(info.base_offset, 0);
+        assert_eq!(info.record_count, 2);
+        // In-place offset assignment is visible in the segment bytes.
+        let stored = head.read(0, bytes.len() as u32);
+        let hdr = crate::record::verify_batch(&stored).unwrap();
+        assert_eq!(hdr.base_offset, 0);
+    }
+
+    #[test]
+    fn commit_in_place_rejects_holes() {
+        let log = small_log();
+        let head = log.head();
+        let bytes = batch(1, 16);
+        head.write_at(100, &bytes);
+        assert!(matches!(
+            log.commit_in_place(100),
+            Err(AppendError::NonContiguousCommit { expected: 0, got: 100 })
+        ));
+    }
+
+    #[test]
+    fn commit_in_place_rejects_bad_crc() {
+        let log = small_log();
+        let head = log.head();
+        let mut bytes = batch(1, 16);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        head.write_at(0, &bytes);
+        assert!(matches!(
+            log.commit_in_place(0),
+            Err(AppendError::Batch(BatchError::BadCrc { .. }))
+        ));
+    }
+
+    #[test]
+    fn read_respects_high_watermark() {
+        let log = small_log();
+        log.append_batch(&batch(2, 8)).unwrap();
+        log.append_batch(&batch(2, 8)).unwrap();
+        // Nothing replicated yet: committed read sees nothing.
+        let f = log.read_from(0, 4096, true);
+        assert!(f.bytes.is_empty());
+        // Replication read sees everything.
+        let f = log.read_from(0, 4096, false);
+        assert_eq!(f.next_offset, 4);
+        // Advance HW past the first batch only.
+        log.set_high_watermark(2);
+        let f = log.read_from(0, 4096, true);
+        assert_eq!(f.next_offset, 2);
+        let decoded = crate::record::decode_batch(&f.bytes).unwrap();
+        assert_eq!(decoded.len(), 2);
+    }
+
+    #[test]
+    fn read_starts_at_batch_boundary() {
+        let log = small_log();
+        log.append_batch(&batch(5, 8)).unwrap();
+        log.set_high_watermark(5);
+        // Request offset 3: read returns the whole containing batch,
+        // start_offset tells the consumer to skip.
+        let f = log.read_from(3, 4096, true);
+        assert_eq!(f.start_offset, 0);
+        assert_eq!(f.next_offset, 5);
+    }
+
+    #[test]
+    fn read_spans_segments() {
+        let log = small_log();
+        let payload = batch(1, 900);
+        for _ in 0..8 {
+            log.append_batch(&payload).unwrap();
+        }
+        log.set_high_watermark(log.next_offset());
+        let mut offset = 0;
+        let mut seen = 0;
+        loop {
+            let f = log.read_from(offset, 100_000, true);
+            if f.bytes.is_empty() {
+                break;
+            }
+            let mut at = 0;
+            while at < f.bytes.len() {
+                let h = crate::record::verify_batch(&f.bytes[at..]).unwrap();
+                seen += h.record_count;
+                at += h.total_len();
+            }
+            offset = f.next_offset;
+        }
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn max_bytes_limits_but_returns_at_least_one_batch() {
+        let log = small_log();
+        log.append_batch(&batch(1, 400)).unwrap();
+        log.append_batch(&batch(1, 400)).unwrap();
+        log.set_high_watermark(2);
+        let f = log.read_from(0, 10, true); // tiny cap
+        assert_eq!(f.next_offset, 1, "one whole batch still returned");
+        let h = crate::record::verify_batch(&f.bytes).unwrap();
+        assert_eq!(h.record_count, 1);
+    }
+
+    #[test]
+    fn hw_position_tracks_bytes_across_segments() {
+        let log = small_log();
+        let payload = batch(1, 900);
+        let mut infos = Vec::new();
+        for _ in 0..8 {
+            infos.push(log.append_batch(&payload).unwrap());
+        }
+        log.set_high_watermark(3);
+        let p = log.high_watermark_position();
+        let expected = infos[2];
+        assert_eq!(p.segment, expected.position.segment);
+        assert_eq!(p.pos, expected.position.pos + expected.total_len);
+        // Move HW to the end: position is in the head segment.
+        log.set_high_watermark(8);
+        let p = log.high_watermark_position();
+        assert_eq!(p.segment, log.head_index());
+        assert_eq!(p.pos, log.head().committed_pos());
+    }
+
+    #[test]
+    fn batch_exactly_filling_segment_rolls_cleanly() {
+        // Craft a batch, then a segment sized to exactly fit it.
+        let payload = batch(1, 500);
+        let log = Log::new(LogConfig {
+            segment_size: payload.len() as u32,
+            max_batch_size: payload.len() as u32,
+        });
+        let a = log.append_batch(&payload).unwrap();
+        assert!(!a.rolled);
+        assert_eq!(log.head().remaining(), 0);
+        let b = log.append_batch(&payload).unwrap();
+        assert!(b.rolled, "second batch must open a new file");
+        assert_eq!(b.position.segment, 1);
+        assert_eq!(b.base_offset, 1);
+        assert!(log.segment(0).unwrap().is_sealed());
+    }
+
+    #[test]
+    fn locate_spans_segments() {
+        let log = small_log();
+        let payload = batch(2, 900);
+        for _ in 0..6 {
+            log.append_batch(&payload).unwrap();
+        }
+        assert!(log.segment_count() >= 2);
+        for offset in 0..12u64 {
+            let (seg, entry) = log.locate(offset).expect("every offset locatable");
+            assert!(entry.base_offset <= offset && offset < entry.next_offset());
+            assert!(log.segment(seg).is_some());
+        }
+        assert!(log.locate(12).is_none(), "past the end");
+    }
+
+    #[test]
+    fn single_record_batches_commit() {
+        let log = small_log();
+        for i in 0..10u8 {
+            let b = single_record_batch(9, &Record::value(vec![i]));
+            log.append_batch(&b).unwrap();
+        }
+        assert_eq!(log.next_offset(), 10);
+    }
+}

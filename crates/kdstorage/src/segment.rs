@@ -1,0 +1,295 @@
+//! Preallocated log segments ("files", paper Fig 1).
+//!
+//! A segment is a fixed-capacity byte buffer created full-size up front —
+//! the paper enables Kafka's file preallocation because "RNICs ... only can
+//! write data to an already preallocated memory region" (§4.2.2). The head
+//! segment of a partition is mutable; once full it is sealed and becomes
+//! immutable forever (consumers rely on that to read it with RDMA without
+//! coordination, §4.4.2).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Index entry for one committed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchIndexEntry {
+    /// First Kafka offset in the batch.
+    pub base_offset: u64,
+    /// Byte position of the batch within the segment.
+    pub pos: u32,
+    /// Total encoded length.
+    pub len: u32,
+    /// Number of records.
+    pub record_count: u32,
+}
+
+impl BatchIndexEntry {
+    pub fn end_pos(&self) -> u32 {
+        self.pos + self.len
+    }
+
+    pub fn next_offset(&self) -> u64 {
+        self.base_offset + u64::from(self.record_count)
+    }
+}
+
+/// A preallocated, fixed-size segment file.
+pub struct Segment {
+    base_offset: u64,
+    buf: Rc<RefCell<Vec<u8>>>,
+    /// Bytes written (or reserved) so far; the append point.
+    write_pos: Cell<u32>,
+    /// Bytes covered by committed (verified, offset-assigned) batches.
+    committed_pos: Cell<u32>,
+    sealed: Cell<bool>,
+    batches: RefCell<Vec<BatchIndexEntry>>,
+}
+
+impl Segment {
+    /// Preallocates a segment of `capacity` bytes whose first record will
+    /// have offset `base_offset`.
+    pub fn new(base_offset: u64, capacity: u32) -> Rc<Segment> {
+        Rc::new(Segment {
+            base_offset,
+            buf: Rc::new(RefCell::new(vec![0u8; capacity as usize])),
+            write_pos: Cell::new(0),
+            committed_pos: Cell::new(0),
+            sealed: Cell::new(false),
+            batches: RefCell::new(Vec::new()),
+        })
+    }
+
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    pub fn capacity(&self) -> u32 {
+        self.buf.borrow().len() as u32
+    }
+
+    pub fn write_pos(&self) -> u32 {
+        self.write_pos.get()
+    }
+
+    pub fn committed_pos(&self) -> u32 {
+        self.committed_pos.get()
+    }
+
+    pub fn remaining(&self) -> u32 {
+        self.capacity() - self.write_pos.get()
+    }
+
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.get()
+    }
+
+    /// Offset after the last committed record, if any batch is committed.
+    pub fn next_offset(&self) -> u64 {
+        self.batches
+            .borrow()
+            .last()
+            .map_or(self.base_offset, BatchIndexEntry::next_offset)
+    }
+
+    /// The raw storage, shareable with `rnic::ShmBuf::from_shared` for RDMA
+    /// registration.
+    pub fn shared_buf(&self) -> Rc<RefCell<Vec<u8>>> {
+        Rc::clone(&self.buf)
+    }
+
+    /// Marks the segment immutable.
+    pub fn seal(&self) {
+        self.sealed.set(true);
+    }
+
+    /// Reserves `len` bytes at the current append point (local/exclusive
+    /// path). Returns the start position, or `None` if the segment cannot
+    /// hold them (the caller rolls to a new head file).
+    pub fn reserve(&self, len: u32) -> Option<u32> {
+        if self.sealed.get() || self.remaining() < len {
+            return None;
+        }
+        let pos = self.write_pos.get();
+        self.write_pos.set(pos + len);
+        Some(pos)
+    }
+
+    /// Moves the append point forward to `pos` (shared-RDMA mode: the
+    /// broker mirrors the FAA-reserved offset word here, §4.2.2).
+    pub fn advance_write_pos(&self, pos: u32) {
+        assert!(!self.sealed.get(), "cannot write a sealed segment");
+        assert!(pos <= self.capacity(), "write pos beyond preallocation");
+        if pos > self.write_pos.get() {
+            self.write_pos.set(pos);
+        }
+    }
+
+    /// Discards reserved-but-uncommitted bytes (used when aborting shared
+    /// RDMA produce after a client failure, §4.2.2: the broker "prohibits
+    /// holes").
+    pub fn truncate_to_committed(&self) {
+        self.write_pos.set(self.committed_pos.get());
+    }
+
+    /// Copies bytes into the segment at `pos` (the TCP datapath's second
+    /// memory copy; the RDMA datapath never calls this — the NIC wrote the
+    /// bytes already).
+    pub fn write_at(&self, pos: u32, data: &[u8]) {
+        assert!(!self.sealed.get(), "cannot write a sealed segment");
+        let pos = pos as usize;
+        self.buf.borrow_mut()[pos..pos + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies `len` bytes out of the segment.
+    pub fn read(&self, pos: u32, len: u32) -> Vec<u8> {
+        let pos = pos as usize;
+        self.buf.borrow()[pos..pos + len as usize].to_vec()
+    }
+
+    /// Runs `f` over the segment bytes at `[pos, pos+len)` without copying.
+    pub fn with_slice<R>(&self, pos: u32, len: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        let pos = pos as usize;
+        f(&self.buf.borrow()[pos..pos + len as usize])
+    }
+
+    /// Mutates the segment bytes at `[pos, pos+len)` in place (offset
+    /// assignment).
+    pub fn with_slice_mut<R>(&self, pos: u32, len: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let pos = pos as usize;
+        f(&mut self.buf.borrow_mut()[pos..pos + len as usize])
+    }
+
+    /// Records a committed batch. Commits must be contiguous: `entry.pos`
+    /// must equal the current committed position.
+    pub fn push_committed(&self, entry: BatchIndexEntry) {
+        assert_eq!(
+            entry.pos,
+            self.committed_pos.get(),
+            "commits must be contiguous (no holes)"
+        );
+        debug_assert_eq!(entry.base_offset, self.next_offset());
+        self.committed_pos.set(entry.end_pos());
+        if self.write_pos.get() < entry.end_pos() {
+            self.write_pos.set(entry.end_pos());
+        }
+        self.batches.borrow_mut().push(entry);
+    }
+
+    /// Number of committed batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.borrow().len()
+    }
+
+    /// Finds the committed batch containing `offset`.
+    pub fn find_batch(&self, offset: u64) -> Option<BatchIndexEntry> {
+        let batches = self.batches.borrow();
+        if batches.is_empty() {
+            return None;
+        }
+        let idx = batches.partition_point(|b| b.base_offset <= offset);
+        if idx == 0 {
+            return None;
+        }
+        let entry = batches[idx - 1];
+        (offset < entry.next_offset()).then_some(entry)
+    }
+
+    /// The committed batch at index `i`.
+    pub fn batch_at(&self, i: usize) -> Option<BatchIndexEntry> {
+        self.batches.borrow().get(i).copied()
+    }
+
+    /// Index of the committed batch containing `offset`.
+    pub fn batch_index_of(&self, offset: u64) -> Option<usize> {
+        let batches = self.batches.borrow();
+        let idx = batches.partition_point(|b| b.base_offset <= offset);
+        if idx == 0 {
+            return None;
+        }
+        (offset < batches[idx - 1].next_offset()).then_some(idx - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_roll_point() {
+        let s = Segment::new(100, 64);
+        assert_eq!(s.reserve(40), Some(0));
+        assert_eq!(s.reserve(30), None); // only 24 left
+        assert_eq!(s.reserve(24), Some(40));
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn sealed_rejects_reserve() {
+        let s = Segment::new(0, 64);
+        s.seal();
+        assert_eq!(s.reserve(1), None);
+        assert!(s.is_sealed());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = Segment::new(0, 32);
+        s.write_at(4, b"abcd");
+        assert_eq!(s.read(4, 4), b"abcd");
+        s.with_slice(4, 4, |b| assert_eq!(b, b"abcd"));
+    }
+
+    #[test]
+    fn committed_batches_index() {
+        let s = Segment::new(10, 1024);
+        s.push_committed(BatchIndexEntry {
+            base_offset: 10,
+            pos: 0,
+            len: 100,
+            record_count: 5,
+        });
+        s.push_committed(BatchIndexEntry {
+            base_offset: 15,
+            pos: 100,
+            len: 50,
+            record_count: 2,
+        });
+        assert_eq!(s.next_offset(), 17);
+        assert_eq!(s.committed_pos(), 150);
+        assert_eq!(s.find_batch(9), None);
+        assert_eq!(s.find_batch(10).unwrap().pos, 0);
+        assert_eq!(s.find_batch(14).unwrap().pos, 0);
+        assert_eq!(s.find_batch(15).unwrap().pos, 100);
+        assert_eq!(s.find_batch(16).unwrap().pos, 100);
+        assert_eq!(s.find_batch(17), None);
+        assert_eq!(s.batch_index_of(16), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_commit_panics() {
+        let s = Segment::new(0, 1024);
+        s.push_committed(BatchIndexEntry {
+            base_offset: 0,
+            pos: 8,
+            len: 10,
+            record_count: 1,
+        });
+    }
+
+    #[test]
+    fn truncate_discards_reserved() {
+        let s = Segment::new(0, 128);
+        s.push_committed(BatchIndexEntry {
+            base_offset: 0,
+            pos: 0,
+            len: 32,
+            record_count: 1,
+        });
+        s.advance_write_pos(96);
+        assert_eq!(s.write_pos(), 96);
+        s.truncate_to_committed();
+        assert_eq!(s.write_pos(), 32);
+        assert_eq!(s.committed_pos(), 32);
+    }
+}

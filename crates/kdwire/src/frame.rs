@@ -1,0 +1,252 @@
+//! Length-prefixed framing over the simulated TCP byte stream, and a
+//! pipelining RPC client.
+//!
+//! Frame layout: `u32 LE total-length | u64 LE correlation id | payload`.
+//! Correlation ids let a client keep many requests in flight on one
+//! connection (Kafka pipelines produce requests the same way).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use netsim::tcp::{Closed, ReadHalf, TcpStream, WriteHalf};
+use sim::sync::oneshot;
+
+use crate::messages::{Request, Response};
+
+/// Upper bound on a frame; a decoded length above this means stream
+/// corruption (fail fast rather than allocate absurdly).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Errors surfaced by the RPC client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// Connection closed (peer gone / broker shut down).
+    Closed,
+    /// Peer sent bytes that do not decode.
+    Protocol,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Closed => write!(f, "connection closed"),
+            RpcError::Protocol => write!(f, "protocol decode error"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<Closed> for RpcError {
+    fn from(_: Closed) -> Self {
+        RpcError::Closed
+    }
+}
+
+/// Writes one `(correlation, payload)` frame.
+pub async fn write_frame(w: &mut WriteHalf, correlation: u64, payload: &[u8]) -> Result<(), Closed> {
+    let total = 8 + payload.len();
+    let mut frame = Vec::with_capacity(4 + total);
+    frame.extend_from_slice(&(total as u32).to_le_bytes());
+    frame.extend_from_slice(&correlation.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame).await
+}
+
+/// Reads one `(correlation, payload)` frame.
+pub async fn read_frame(r: &mut ReadHalf) -> Result<(u64, Vec<u8>), Closed> {
+    let len_bytes = r.read_exact(4).await?;
+    let total = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    if !(8..=MAX_FRAME).contains(&total) {
+        return Err(Closed);
+    }
+    let body = r.read_exact(total).await?;
+    let correlation = u64::from_le_bytes(body[..8].try_into().unwrap());
+    Ok((correlation, body[8..].to_vec()))
+}
+
+struct RpcShared {
+    pending: RefCell<HashMap<u64, oneshot::Sender<Response>>>,
+    next_correlation: std::cell::Cell<u64>,
+    dead: std::cell::Cell<bool>,
+}
+
+/// A client connection that pipelines requests: `call` may be invoked from
+/// many tasks concurrently; responses are demultiplexed by correlation id by
+/// a background reader task.
+#[derive(Clone)]
+pub struct RpcClient {
+    write: Rc<sim::sync::Mutex<WriteHalf>>,
+    shared: Rc<RpcShared>,
+}
+
+impl RpcClient {
+    /// Wraps a connected stream, spawning the demux reader task.
+    pub fn new(stream: TcpStream) -> RpcClient {
+        let (mut read, write) = stream.into_split();
+        let shared = Rc::new(RpcShared {
+            pending: RefCell::new(HashMap::new()),
+            next_correlation: std::cell::Cell::new(1),
+            dead: std::cell::Cell::new(false),
+        });
+        let shared2 = Rc::clone(&shared);
+        sim::spawn(async move {
+            while let Ok((correlation, payload)) = read_frame(&mut read).await {
+                let waiter = shared2.pending.borrow_mut().remove(&correlation);
+                if let (Some(tx), Ok(resp)) = (waiter, Response::decode(&payload)) {
+                    let _ = tx.send(resp);
+                }
+            }
+            // Connection gone: fail everything pending.
+            shared2.dead.set(true);
+            shared2.pending.borrow_mut().clear();
+        });
+        RpcClient {
+            write: Rc::new(sim::sync::Mutex::new(write)),
+            shared,
+        }
+    }
+
+    /// True once the connection has failed.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.get()
+    }
+
+    /// Sends a request and waits for its response. Multiple `call`s from
+    /// different tasks pipeline on the wire.
+    pub async fn call(&self, request: &Request) -> Result<Response, RpcError> {
+        if self.shared.dead.get() {
+            return Err(RpcError::Closed);
+        }
+        let correlation = self.shared.next_correlation.get();
+        self.shared.next_correlation.set(correlation + 1);
+        let (tx, rx) = oneshot::channel();
+        self.shared.pending.borrow_mut().insert(correlation, tx);
+        {
+            let mut w = self.write.lock().await;
+            if write_frame(&mut w, correlation, &request.encode())
+                .await
+                .is_err()
+            {
+                self.shared.pending.borrow_mut().remove(&correlation);
+                return Err(RpcError::Closed);
+            }
+        }
+        rx.await.map_err(|_| RpcError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ErrorCode;
+    use netsim::profile::Profile;
+    use netsim::tcp::TcpListener;
+    use netsim::Fabric;
+
+    #[test]
+    fn frame_round_trip() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let mut l = TcpListener::bind(&b, 1);
+            sim::spawn(async move {
+                let s = l.accept().await.unwrap();
+                let (mut r, mut w) = s.into_split();
+                let (corr, payload) = read_frame(&mut r).await.unwrap();
+                assert_eq!(corr, 42);
+                write_frame(&mut w, corr, &payload).await.unwrap();
+            });
+            let s = netsim::tcp::connect(&a, b.id, 1).await.unwrap();
+            let (mut r, mut w) = s.into_split();
+            write_frame(&mut w, 42, b"hello").await.unwrap();
+            let (corr, echoed) = read_frame(&mut r).await.unwrap();
+            assert_eq!(corr, 42);
+            assert_eq!(echoed, b"hello");
+        });
+    }
+
+    #[test]
+    fn rpc_client_pipelines_and_demuxes() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let mut l = TcpListener::bind(&b, 1);
+            // Server answering ListOffsets with latest = partition, in
+            // REVERSE arrival order, to exercise demux.
+            sim::spawn(async move {
+                let s = l.accept().await.unwrap();
+                let (mut r, mut w) = s.into_split();
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    got.push(read_frame(&mut r).await.unwrap());
+                }
+                got.reverse();
+                for (corr, payload) in got {
+                    let req = Request::decode(&payload).unwrap();
+                    let Request::ListOffsets { partition, .. } = req else {
+                        panic!("unexpected request");
+                    };
+                    let resp = Response::ListOffsets {
+                        error: ErrorCode::None,
+                        earliest: 0,
+                        latest: u64::from(partition),
+                    };
+                    write_frame(&mut w, corr, &resp.encode()).await.unwrap();
+                }
+            });
+            let s = netsim::tcp::connect(&a, b.id, 1).await.unwrap();
+            let client = RpcClient::new(s);
+            let mut handles = Vec::new();
+            for p in 0..3u32 {
+                let c = client.clone();
+                handles.push(sim::spawn(async move {
+                    let resp = c
+                        .call(&Request::ListOffsets {
+                            topic: "t".into(),
+                            partition: p,
+                        })
+                        .await
+                        .unwrap();
+                    match resp {
+                        Response::ListOffsets { latest, .. } => {
+                            assert_eq!(latest, u64::from(p));
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn rpc_client_fails_cleanly_on_close() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let mut l = TcpListener::bind(&b, 1);
+            sim::spawn(async move {
+                let s = l.accept().await.unwrap();
+                drop(s); // immediate close
+            });
+            let s = netsim::tcp::connect(&a, b.id, 1).await.unwrap();
+            let client = RpcClient::new(s);
+            let err = client
+                .call(&Request::Metadata { topics: vec![] })
+                .await
+                .err();
+            assert_eq!(err, Some(RpcError::Closed));
+            assert!(client.is_dead());
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! Binary layouts shared by broker and clients *outside* the RPC protocol:
+//! values read or written with one-sided RDMA, where both ends must agree on
+//! bytes with no request to negotiate them.
+
+/// Packs the 32-bit immediate value of a WriteWithImm produce request
+/// (paper Fig 4): high 16 bits identify the target file, low 16 bits carry
+/// the producer order (shared mode; 0 in exclusive mode).
+pub fn pack_imm(file_id: u16, order: u16) -> u32 {
+    (u32::from(file_id) << 16) | u32::from(order)
+}
+
+/// Inverse of [`pack_imm`] → `(file_id, order)`.
+pub fn unpack_imm(imm: u32) -> (u16, u16) {
+    ((imm >> 16) as u16, (imm & 0xffff) as u16)
+}
+
+/// The 64-bit atomic word coordinating shared produce access (paper Fig 5):
+/// high 16 bits = producer order, low 48 bits = file offset. Producers
+/// FAA `(1 << 48) + record_len` to reserve a region *and* take an order
+/// number in one round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedWord {
+    pub order: u16,
+    pub offset: u64,
+}
+
+/// Bit position of the order field.
+pub const ORDER_SHIFT: u32 = 48;
+/// Mask of the 48-bit offset field.
+pub const OFFSET_MASK: u64 = (1 << ORDER_SHIFT) - 1;
+
+/// FAA addend that takes one order number and reserves `len` bytes.
+pub fn shared_word_addend(len: u64) -> u64 {
+    debug_assert!(len <= OFFSET_MASK);
+    (1u64 << ORDER_SHIFT) + len
+}
+
+pub fn pack_shared_word(w: SharedWord) -> u64 {
+    debug_assert!(w.offset <= OFFSET_MASK);
+    (u64::from(w.order) << ORDER_SHIFT) | (w.offset & OFFSET_MASK)
+}
+
+pub fn unpack_shared_word(v: u64) -> SharedWord {
+    SharedWord {
+        order: (v >> ORDER_SHIFT) as u16,
+        offset: v & OFFSET_MASK,
+    }
+}
+
+/// Size of one RDMA-readable metadata slot (§4.4.2). A consumer fetches the
+/// slots of all its subscribed files with a single RDMA Read of
+/// `n * SLOT_SIZE` bytes.
+pub const SLOT_SIZE: usize = 16;
+
+/// Decoded view of a metadata slot.
+///
+/// Layout (little-endian):
+/// ```text
+/// 0..4   last_readable: u32   -- first byte a consumer may NOT read
+/// 4      flags: u8            -- bit0: file still mutable
+/// 5..8   padding
+/// 8..16  high_watermark: u64  -- committed record offset (lag accounting)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Byte position after the last fully replicated record in the file
+    /// ("the last readable byte", §4.4.2).
+    pub last_readable: u32,
+    /// False once the file is sealed; the consumer must request access to
+    /// the next head file.
+    pub mutable: bool,
+    /// Record-offset high watermark, for consumer lag metrics.
+    pub high_watermark: u64,
+}
+
+impl SlotView {
+    pub fn encode(&self) -> [u8; SLOT_SIZE] {
+        let mut b = [0u8; SLOT_SIZE];
+        b[0..4].copy_from_slice(&self.last_readable.to_le_bytes());
+        b[4] = u8::from(self.mutable);
+        b[8..16].copy_from_slice(&self.high_watermark.to_le_bytes());
+        b
+    }
+
+    pub fn decode(b: &[u8]) -> SlotView {
+        assert!(b.len() >= SLOT_SIZE);
+        SlotView {
+            last_readable: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            mutable: b[4] & 1 != 0,
+            high_watermark: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_round_trip() {
+        for (f, o) in [(0u16, 0u16), (1, 2), (0xffff, 0xffff), (0x1234, 0xabcd)] {
+            assert_eq!(unpack_imm(pack_imm(f, o)), (f, o));
+        }
+    }
+
+    #[test]
+    fn shared_word_round_trip() {
+        for w in [
+            SharedWord { order: 0, offset: 0 },
+            SharedWord { order: 0xffff, offset: OFFSET_MASK },
+            SharedWord { order: 7, offset: 4 * 1024 * 1024 * 1024 }, // past 4 GiB file: overflow detectable
+        ] {
+            assert_eq!(unpack_shared_word(pack_shared_word(w)), w);
+        }
+    }
+
+    #[test]
+    fn faa_addend_increments_order_and_offset() {
+        let w0 = pack_shared_word(SharedWord { order: 9, offset: 1000 });
+        let w1 = unpack_shared_word(w0.wrapping_add(shared_word_addend(512)));
+        assert_eq!(w1, SharedWord { order: 10, offset: 1512 });
+    }
+
+    #[test]
+    fn order_wraps_without_touching_offset() {
+        let w0 = pack_shared_word(SharedWord { order: 0xffff, offset: 42 });
+        let w1 = unpack_shared_word(w0.wrapping_add(shared_word_addend(8)));
+        assert_eq!(w1.order, 0);
+        assert_eq!(w1.offset, 50);
+    }
+
+    #[test]
+    fn offset_overflow_is_detectable_not_destructive() {
+        // Paper §4.2.2: the 6-byte offset lets producers detect running past
+        // the (≤4 GiB) file without corrupting the order field.
+        let file_len = 1u64 << 32;
+        let w0 = pack_shared_word(SharedWord { order: 3, offset: file_len - 100 });
+        let w1 = unpack_shared_word(w0.wrapping_add(shared_word_addend(4096)));
+        assert_eq!(w1.order, 4);
+        assert!(w1.offset > file_len, "reservation beyond file is visible");
+    }
+
+    #[test]
+    fn slot_round_trip() {
+        let s = SlotView {
+            last_readable: 123_456,
+            mutable: true,
+            high_watermark: 99,
+        };
+        let enc = s.encode();
+        assert_eq!(SlotView::decode(&enc), s);
+        let sealed = SlotView { mutable: false, ..s };
+        assert_eq!(SlotView::decode(&sealed.encode()), sealed);
+    }
+}

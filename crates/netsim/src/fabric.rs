@@ -1,0 +1,278 @@
+//! The fabric: a registry of nodes ("machines") joined by a switch.
+//!
+//! Each node has an egress and an ingress NIC port ([`Link`]). A transfer
+//! from A to B serialises on A's egress, crosses the switch (propagation
+//! delay), then serialises on B's ingress. This reproduces the two real
+//! contention points of an RDMA cluster — sender injection and receiver
+//! delivery — without simulating the switch core (which is never the
+//! bottleneck in the paper's experiments).
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use sim::SimTime;
+
+use crate::link::Link;
+use crate::profile::Profile;
+
+/// Identifies a node on a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+pub(crate) struct Node {
+    pub(crate) name: String,
+    pub(crate) egress: Link,
+    pub(crate) ingress: Link,
+    /// Per-8-byte-address serialisation point for RDMA atomics (paper
+    /// §4.2.2: single-counter atomics cap at 2.68 Mops/s).
+    pub(crate) atomic_busy: RefCell<HashMap<u64, u64>>,
+}
+
+pub(crate) struct FabricInner {
+    pub(crate) profile: Rc<Profile>,
+    pub(crate) nodes: RefCell<Vec<Rc<Node>>>,
+    pub(crate) tcp_listeners: RefCell<HashMap<(NodeId, u16), crate::tcp::ListenerSlot>>,
+    pub(crate) next_auto_port: std::cell::Cell<u16>,
+    /// Typed extension slots: higher layers (e.g. the RDMA device registry in
+    /// the `rnic` crate) attach their fabric-global state here.
+    pub(crate) extensions: RefCell<HashMap<TypeId, Rc<dyn Any>>>,
+}
+
+/// A handle to the whole simulated network. Cheap to clone.
+#[derive(Clone)]
+pub struct Fabric {
+    pub(crate) inner: Rc<FabricInner>,
+}
+
+impl Fabric {
+    pub fn new(profile: Profile) -> Self {
+        Fabric {
+            inner: Rc::new(FabricInner {
+                profile: Rc::new(profile),
+                nodes: RefCell::new(Vec::new()),
+                tcp_listeners: RefCell::new(HashMap::new()),
+                next_auto_port: std::cell::Cell::new(40000),
+                extensions: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    pub fn profile(&self) -> Rc<Profile> {
+        Rc::clone(&self.inner.profile)
+    }
+
+    /// Adds a machine to the fabric.
+    pub fn add_node(&self, name: &str) -> NodeHandle {
+        let bw = self.inner.profile.net.link_bandwidth;
+        let node = Rc::new(Node {
+            name: name.to_string(),
+            egress: Link::new(bw),
+            ingress: Link::new(bw),
+            atomic_busy: RefCell::new(HashMap::new()),
+        });
+        let mut nodes = self.inner.nodes.borrow_mut();
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(node);
+        NodeHandle {
+            id,
+            fabric: self.clone(),
+        }
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> Rc<Node> {
+        Rc::clone(&self.inner.nodes.borrow()[id.0 as usize])
+    }
+
+    pub fn node_name(&self, id: NodeId) -> String {
+        self.inner.nodes.borrow()[id.0 as usize].name.clone()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.borrow().len()
+    }
+
+    /// Reserves the full src→dst path for one message at verbs goodput and
+    /// returns its arrival time at dst. `min_occupancy` models the per-op
+    /// initiation gap (message-rate limit) on both ports.
+    pub fn reserve_path(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        min_occupancy: Duration,
+    ) -> SimTime {
+        let p = &self.inner.profile.net;
+        let total = bytes + p.header_bytes;
+        let src_node = self.node(src);
+        let dst_node = self.node(dst);
+        let egress = src_node.egress.reserve(now, total, min_occupancy);
+        if src == dst {
+            // Loopback (e.g. a broker issuing an atomic to itself, §4.2.2)
+            // still pays the NIC round trip but not ingress contention
+            // against remote traffic on a second port.
+            return egress.end + p.propagation;
+        }
+        let at_switch = egress.end + p.propagation;
+        let ingress = dst_node.ingress.reserve(at_switch, total, min_occupancy);
+        ingress.end
+    }
+
+    /// As [`reserve_path`](Self::reserve_path) but at TCP goodput.
+    pub fn reserve_tcp_path(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> SimTime {
+        let p = &self.inner.profile.net;
+        let bw = p.link_bandwidth * p.tcp_bandwidth_factor;
+        let total = bytes + p.header_bytes;
+        let src_node = self.node(src);
+        let dst_node = self.node(dst);
+        let egress = src_node.egress.reserve_at(now, total, bw, Duration::ZERO);
+        if src == dst {
+            return egress.end + p.propagation;
+        }
+        let at_switch = egress.end + p.propagation;
+        let ingress = dst_node
+            .ingress
+            .reserve_at(at_switch, total, bw, Duration::ZERO);
+        ingress.end
+    }
+
+    /// Serialises an atomic on the target address: returns the execution
+    /// time of an atomic arriving at `arrival`, enforcing the per-address
+    /// rate limit.
+    pub fn reserve_atomic(&self, node: NodeId, addr: u64, arrival: SimTime) -> SimTime {
+        let p = &self.inner.profile.net;
+        let node = self.node(node);
+        let mut busy = node.atomic_busy.borrow_mut();
+        let slot = busy.entry(addr & !7).or_insert(0);
+        let start = arrival.as_nanos().max(*slot);
+        let exec_done = start + p.atomic_exec.as_nanos() as u64;
+        *slot = start + p.atomic_same_addr_gap.as_nanos() as u64;
+        SimTime::from_nanos(exec_done)
+    }
+
+    /// Telemetry: bytes carried by a node's ports `(egress, ingress)`.
+    pub fn node_bytes(&self, id: NodeId) -> (u64, u64) {
+        let n = self.node(id);
+        (n.egress.bytes_carried(), n.ingress.bytes_carried())
+    }
+
+    /// Returns the fabric-global extension of type `T`, creating it with
+    /// `init` on first access. Used by higher layers (e.g. the `rnic` crate's
+    /// device registry) to share state across a fabric without netsim
+    /// depending on them.
+    pub fn extension<T: 'static>(&self, init: impl FnOnce() -> T) -> Rc<T> {
+        let key = TypeId::of::<T>();
+        if let Some(ext) = self.inner.extensions.borrow().get(&key) {
+            return Rc::clone(ext).downcast::<T>().expect("extension type");
+        }
+        let ext: Rc<T> = Rc::new(init());
+        self.inner
+            .extensions
+            .borrow_mut()
+            .insert(key, Rc::clone(&ext) as Rc<dyn Any>);
+        ext
+    }
+
+    pub(crate) fn alloc_port(&self) -> u16 {
+        let p = self.inner.next_auto_port.get();
+        self.inner.next_auto_port.set(p + 1);
+        p
+    }
+}
+
+/// A handle to one machine on the fabric. Cheap to clone.
+#[derive(Clone)]
+pub struct NodeHandle {
+    pub id: NodeId,
+    pub fabric: Fabric,
+}
+
+impl NodeHandle {
+    pub fn name(&self) -> String {
+        self.fabric.node_name(self.id)
+    }
+
+    pub fn profile(&self) -> Rc<Profile> {
+        self.fabric.profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profile, GIB};
+
+    #[test]
+    fn reserve_path_adds_propagation() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let arrival = f.reserve_path(sim::now(), a.id, b.id, 0, Duration::ZERO);
+            // header bytes only: tiny wire time + 600ns prop
+            assert!(arrival.as_nanos() >= 600 && arrival.as_nanos() < 1000);
+        });
+    }
+
+    #[test]
+    fn parallel_senders_share_receiver_ingress() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let c = f.add_node("c");
+            let sz = GIB / 8; // ~128 MiB each
+            let t1 = f.reserve_path(sim::now(), a.id, c.id, sz, Duration::ZERO);
+            let t2 = f.reserve_path(sim::now(), b.id, c.id, sz, Duration::ZERO);
+            // Two senders into one ingress: second arrival roughly doubles.
+            let one = 1e9 * sz as f64 / (6.0 * GIB as f64);
+            assert!((t1.as_nanos() as f64) > one * 0.99);
+            assert!((t2.as_nanos() as f64) > one * 1.9, "t2={t2:?}");
+        });
+    }
+
+    #[test]
+    fn atomics_to_same_address_serialise_at_paper_rate() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let now = sim::now();
+            let e1 = f.reserve_atomic(a.id, 4096, now);
+            let e2 = f.reserve_atomic(a.id, 4096, now);
+            let e3 = f.reserve_atomic(a.id, 4100, now); // same 8-byte word
+            let other = f.reserve_atomic(a.id, 8192, now); // different word
+            assert_eq!(e2.as_nanos() - e1.as_nanos(), 373);
+            assert_eq!(e3.as_nanos() - e2.as_nanos(), 373);
+            assert_eq!(other, e1);
+        });
+    }
+
+    #[test]
+    fn loopback_allowed() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let t = f.reserve_path(sim::now(), a.id, a.id, 64, Duration::ZERO);
+            assert!(t.as_nanos() > 0);
+        });
+    }
+}

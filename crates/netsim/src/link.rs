@@ -1,0 +1,151 @@
+//! FIFO link serialisation.
+//!
+//! A [`Link`] models one direction of a NIC port: transfers queue behind one
+//! another at a fixed bandwidth, and optionally at a minimum per-message
+//! occupancy (the verbs message-rate limit). Reservation is O(1): the link
+//! keeps only the time until which it is busy.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use sim::SimTime;
+
+/// One direction of a network port.
+pub struct Link {
+    /// Bandwidth in bytes/second.
+    bandwidth: f64,
+    busy_until: Cell<u64>,
+    bytes_carried: Cell<u64>,
+    messages: Cell<u64>,
+}
+
+/// Outcome of a [`Link::reserve`]: when the message starts and finishes
+/// occupying the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Link {
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0);
+        Link {
+            bandwidth,
+            busy_until: Cell::new(0),
+            bytes_carried: Cell::new(0),
+            messages: Cell::new(0),
+        }
+    }
+
+    /// Serialisation delay of `bytes` at this link's bandwidth.
+    pub fn wire_time(&self, bytes: u64) -> Duration {
+        Duration::from_nanos((bytes as f64 * 1e9 / self.bandwidth) as u64)
+    }
+
+    /// Reserves the link for a message of `bytes`, occupying it for at least
+    /// `min_occupancy`. `now` is the earliest possible start.
+    pub fn reserve(&self, now: SimTime, bytes: u64, min_occupancy: Duration) -> Reservation {
+        let occupancy = self.wire_time(bytes).max(min_occupancy);
+        let start_ns = now.as_nanos().max(self.busy_until.get());
+        let end_ns = start_ns + occupancy.as_nanos() as u64;
+        self.busy_until.set(end_ns);
+        self.bytes_carried.set(self.bytes_carried.get() + bytes);
+        self.messages.set(self.messages.get() + 1);
+        Reservation {
+            start: SimTime::from_nanos(start_ns),
+            end: SimTime::from_nanos(end_ns),
+        }
+    }
+
+    /// Reserves at an explicit bandwidth share (used by the TCP path, which
+    /// achieves only a fraction of the verbs goodput).
+    pub fn reserve_at(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        bandwidth: f64,
+        min_occupancy: Duration,
+    ) -> Reservation {
+        let wire = Duration::from_nanos((bytes as f64 * 1e9 / bandwidth) as u64);
+        let occupancy = wire.max(min_occupancy);
+        let start_ns = now.as_nanos().max(self.busy_until.get());
+        let end_ns = start_ns + occupancy.as_nanos() as u64;
+        self.busy_until.set(end_ns);
+        self.bytes_carried.set(self.bytes_carried.get() + bytes);
+        self.messages.set(self.messages.get() + 1);
+        Reservation {
+            start: SimTime::from_nanos(start_ns),
+            end: SimTime::from_nanos(end_ns),
+        }
+    }
+
+    /// Earliest time a new reservation could start.
+    pub fn busy_until(&self) -> SimTime {
+        SimTime::from_nanos(self.busy_until.get())
+    }
+
+    /// Total payload bytes carried (telemetry).
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried.get()
+    }
+
+    /// Total messages carried (telemetry).
+    pub fn messages(&self) -> u64 {
+        self.messages.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let l = Link::new(1e9); // 1 GB/s -> 1 ns per byte
+        let r = l.reserve(t(100), 500, Duration::ZERO);
+        assert_eq!(r.start, t(100));
+        assert_eq!(r.end, t(600));
+    }
+
+    #[test]
+    fn back_to_back_serialises() {
+        let l = Link::new(1e9);
+        let a = l.reserve(t(0), 1000, Duration::ZERO);
+        let b = l.reserve(t(0), 1000, Duration::ZERO);
+        assert_eq!(a.end, t(1000));
+        assert_eq!(b.start, t(1000));
+        assert_eq!(b.end, t(2000));
+    }
+
+    #[test]
+    fn min_occupancy_caps_message_rate() {
+        let l = Link::new(1e12);
+        let gap = Duration::from_nanos(120);
+        let a = l.reserve(t(0), 8, gap);
+        let b = l.reserve(t(0), 8, gap);
+        assert_eq!(a.end, t(120));
+        assert_eq!(b.end, t(240));
+    }
+
+    #[test]
+    fn gap_in_traffic_leaves_link_idle() {
+        let l = Link::new(1e9);
+        l.reserve(t(0), 100, Duration::ZERO);
+        let r = l.reserve(t(10_000), 100, Duration::ZERO);
+        assert_eq!(r.start, t(10_000));
+    }
+
+    #[test]
+    fn telemetry_counts() {
+        let l = Link::new(1e9);
+        l.reserve(t(0), 100, Duration::ZERO);
+        l.reserve(t(0), 200, Duration::ZERO);
+        assert_eq!(l.bytes_carried(), 300);
+        assert_eq!(l.messages(), 2);
+    }
+}

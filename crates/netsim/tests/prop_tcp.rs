@@ -1,0 +1,70 @@
+//! Property tests of the simulated TCP byte stream: arbitrary write/read
+//! chunkings must deliver exactly the written bytes, in order, with
+//! monotonic link timing.
+
+use proptest::prelude::*;
+
+use netsim::profile::Profile;
+use netsim::tcp::{connect, TcpListener};
+use netsim::Fabric;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Bytes written in arbitrary chunks are read back exactly, regardless
+    /// of the reader's own chunking.
+    #[test]
+    fn byte_stream_integrity(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..5000), 1..12),
+        read_chunk in 1usize..8192,
+    ) {
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let b = f.add_node("b");
+            let mut listener = TcpListener::bind(&b, 1);
+            let total: usize = writes.iter().map(Vec::len).sum();
+            let expect: Vec<u8> = writes.iter().flatten().copied().collect();
+            let reader = sim::spawn(async move {
+                let mut s = listener.accept().await.unwrap();
+                let mut got = Vec::with_capacity(total);
+                while got.len() < total {
+                    let n = read_chunk.min(total - got.len());
+                    got.extend(s.read_exact(n).await.unwrap());
+                }
+                got
+            });
+            let mut c = connect(&a, b.id, 1).await.unwrap();
+            for w in &writes {
+                c.write_all(w).await.unwrap();
+            }
+            let got = reader.await.unwrap();
+            assert_eq!(got, expect);
+        });
+    }
+
+    /// Link reservations never travel back in time and carry all bytes.
+    #[test]
+    fn link_reservations_monotonic(
+        ops in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..64),
+    ) {
+        use netsim::Link;
+        use std::time::Duration;
+        let l = Link::new(1e9);
+        let mut last_end = 0u64;
+        let mut now = 0u64;
+        let mut total = 0u64;
+        for (advance, bytes) in ops {
+            now += advance;
+            let r = l.reserve(sim::SimTime::from_nanos(now), bytes, Duration::ZERO);
+            assert!(r.start.as_nanos() >= now.min(last_end.max(now)));
+            assert!(r.end > r.start || bytes == 0);
+            assert!(r.start.as_nanos() >= last_end || last_end == 0 || r.start.as_nanos() >= last_end,
+                "FIFO violated");
+            last_end = r.end.as_nanos();
+            total += bytes;
+        }
+        assert_eq!(l.bytes_carried(), total);
+    }
+}

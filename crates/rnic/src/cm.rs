@@ -1,0 +1,308 @@
+//! Connection management: rendezvous between nodes to establish RC QPs.
+//!
+//! Real applications (and KafkaDirect, §4.2.2) exchange QP attributes over a
+//! TCP control channel before moving to verbs; the model charges the same
+//! connection-setup latency without simulating the exchange byte-by-byte.
+
+use std::fmt;
+
+use netsim::NodeId;
+use sim::sync::{mpsc, oneshot};
+
+use crate::cq::CompletionQueue;
+use crate::nic::{RNic, Registry};
+use crate::qp::{QpOptions, QueuePair};
+
+/// Error establishing an RDMA connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaConnectError {
+    /// No listener at the destination.
+    ConnectionRefused,
+    /// The listener dropped the request without accepting.
+    Rejected,
+}
+
+impl fmt::Display for RdmaConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaConnectError::ConnectionRefused => write!(f, "rdma connection refused"),
+            RdmaConnectError::Rejected => write!(f, "rdma connection rejected"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaConnectError {}
+
+pub(crate) struct ConnRequest {
+    pub(crate) from: NodeId,
+    reply: oneshot::Sender<QueuePair>,
+    initiator_cqs: (CompletionQueue, CompletionQueue),
+    initiator_opts: QpOptions,
+    initiator_nic: RNic,
+}
+
+/// A pending inbound connection; accept it to create the QP pair.
+pub struct IncomingConnection {
+    request: ConnRequest,
+}
+
+impl IncomingConnection {
+    /// Node asking to connect.
+    pub fn from(&self) -> NodeId {
+        self.request.from
+    }
+
+    /// Accepts, creating the local endpoint with the given CQs/options. The
+    /// initiator's `connect` resolves with its own endpoint.
+    pub fn accept(
+        self,
+        nic: &RNic,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        opts: QpOptions,
+    ) -> QueuePair {
+        let (initiator, acceptor) = QueuePair::create_connected_pair(
+            &self.request.initiator_nic.inner,
+            &nic.inner,
+            self.request.initiator_cqs,
+            (send_cq, recv_cq),
+            self.request.initiator_opts,
+            opts,
+        );
+        // If the initiator vanished, the pair is dropped and the acceptor
+        // side observes a dead peer on first use.
+        let _ = self.request.reply.send(initiator);
+        acceptor
+    }
+
+    /// Declines the connection.
+    pub fn reject(self) {
+        drop(self.request.reply);
+    }
+}
+
+/// A listening RDMA service id (port).
+pub struct RdmaListener {
+    nic: RNic,
+    port: u16,
+    incoming: mpsc::Receiver<ConnRequest>,
+}
+
+impl RdmaListener {
+    /// Binds a service id on the NIC's node.
+    ///
+    /// # Panics
+    /// Panics if the port is already bound.
+    pub fn bind(nic: &RNic, port: u16) -> RdmaListener {
+        let registry = Registry::get(&nic.node().fabric);
+        let (tx, rx) = mpsc::unbounded();
+        let prev = registry
+            .cm_listeners
+            .borrow_mut()
+            .insert((nic.node().id, port), tx);
+        assert!(prev.is_none(), "rdma port {port} already bound");
+        RdmaListener {
+            nic: nic.clone(),
+            port,
+            incoming: rx,
+        }
+    }
+
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Waits for the next inbound connection request.
+    pub async fn accept(&mut self) -> Option<IncomingConnection> {
+        self.incoming
+            .recv()
+            .await
+            .map(|request| IncomingConnection { request })
+    }
+}
+
+impl Drop for RdmaListener {
+    fn drop(&mut self) {
+        let registry = Registry::get(&self.nic.node().fabric);
+        registry
+            .cm_listeners
+            .borrow_mut()
+            .remove(&(self.nic.node().id, self.port));
+    }
+}
+
+impl RNic {
+    /// Connects to an [`RdmaListener`] at `(dst, port)`, paying connection
+    /// setup latency. Returns the initiator-side endpoint once accepted.
+    pub async fn connect(
+        &self,
+        dst: NodeId,
+        port: u16,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        opts: QpOptions,
+    ) -> Result<QueuePair, RdmaConnectError> {
+        let registry = Registry::get(&self.node().fabric);
+        let slot = registry.cm_listeners.borrow().get(&(dst, port)).cloned();
+        let slot = slot.ok_or(RdmaConnectError::ConnectionRefused)?;
+        // QP attribute exchange happens over TCP in real deployments.
+        sim::time::sleep(self.node().profile().net.tcp_connect).await;
+        let (reply_tx, reply_rx) = oneshot::channel();
+        slot.try_send(ConnRequest {
+            from: self.node().id,
+            reply: reply_tx,
+            initiator_cqs: (send_cq, recv_cq),
+            initiator_opts: opts,
+            initiator_nic: self.clone(),
+        })
+        .map_err(|_| RdmaConnectError::ConnectionRefused)?;
+        reply_rx.await.map_err(|_| RdmaConnectError::Rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr::{Access, ShmBuf};
+    use crate::verbs::{RecvWr, SendWr, WorkRequest};
+    use netsim::profile::Profile;
+    use netsim::Fabric;
+
+    #[test]
+    fn connect_and_write() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let na = f.add_node("a");
+            let nb = f.add_node("b");
+            let nic_a = RNic::new(&na);
+            let nic_b = RNic::new(&nb);
+            let mut listener = RdmaListener::bind(&nic_b, 1);
+            let b_send = nic_b.create_cq(16);
+            let b_recv = nic_b.create_cq(16);
+            let nic_b2 = nic_b.clone();
+            let accept = sim::spawn(async move {
+                let inc = listener.accept().await.unwrap();
+                assert_eq!(inc.from(), netsim::NodeId(0));
+                inc.accept(&nic_b2, b_send, b_recv, QpOptions::default())
+            });
+            let a_send = nic_a.create_cq(16);
+            let a_recv = nic_a.create_cq(16);
+            let qp_a = nic_a
+                .connect(nb.id, 1, a_send.clone(), a_recv, QpOptions::default())
+                .await
+                .unwrap();
+            let _qp_b = accept.await.unwrap();
+
+            // One-sided write into b's registered memory.
+            let target = ShmBuf::zeroed(64);
+            let mr = nic_b.reg_mr(target.clone(), Access::all());
+            let src = ShmBuf::from_vec(vec![7u8; 16]);
+            qp_a.post_send(SendWr::new(
+                1,
+                WorkRequest::Write {
+                    local: src.as_slice(),
+                    remote_addr: mr.addr() + 8,
+                    rkey: mr.rkey(),
+                },
+            ))
+            .unwrap();
+            let cqe = a_send.next().await.unwrap();
+            assert!(cqe.ok());
+            assert_eq!(target.read_at(8, 16), vec![7u8; 16]);
+            assert_eq!(target.read_at(0, 8), vec![0u8; 8]);
+            assert_eq!(nic_b.stats().writes_in, 1);
+        });
+    }
+
+    #[test]
+    fn refused_without_listener() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let na = f.add_node("a");
+            let nb = f.add_node("b");
+            let nic_a = RNic::new(&na);
+            let _nic_b = RNic::new(&nb);
+            let cq1 = nic_a.create_cq(4);
+            let cq2 = nic_a.create_cq(4);
+            let err = nic_a
+                .connect(nb.id, 99, cq1, cq2, QpOptions::default())
+                .await
+                .err();
+            assert_eq!(err, Some(RdmaConnectError::ConnectionRefused));
+        });
+    }
+
+    #[test]
+    fn reject_surfaces() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let na = f.add_node("a");
+            let nb = f.add_node("b");
+            let nic_a = RNic::new(&na);
+            let nic_b = RNic::new(&nb);
+            let mut listener = RdmaListener::bind(&nic_b, 1);
+            sim::spawn(async move {
+                listener.accept().await.unwrap().reject();
+            });
+            let cq1 = nic_a.create_cq(4);
+            let cq2 = nic_a.create_cq(4);
+            let err = nic_a
+                .connect(nb.id, 1, cq1, cq2, QpOptions::default())
+                .await
+                .err();
+            assert_eq!(err, Some(RdmaConnectError::Rejected));
+        });
+    }
+
+    #[test]
+    fn send_recv_roundtrip_with_recv() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::testbed());
+            let na = f.add_node("a");
+            let nb = f.add_node("b");
+            let nic_a = RNic::new(&na);
+            let nic_b = RNic::new(&nb);
+            let mut listener = RdmaListener::bind(&nic_b, 1);
+            let b_send = nic_b.create_cq(16);
+            let b_recv = nic_b.create_cq(16);
+            let nic_b2 = nic_b.clone();
+            let b_recv2 = b_recv.clone();
+            let accept = sim::spawn(async move {
+                let inc = listener.accept().await.unwrap();
+                inc.accept(&nic_b2, b_send, b_recv2, QpOptions::default())
+            });
+            let a_send = nic_a.create_cq(16);
+            let a_recv = nic_a.create_cq(16);
+            let qp_a = nic_a
+                .connect(nb.id, 1, a_send.clone(), a_recv, QpOptions::default())
+                .await
+                .unwrap();
+            let qp_b = accept.await.unwrap();
+
+            let rbuf = ShmBuf::zeroed(32);
+            qp_b.post_recv(RecvWr {
+                wr_id: 77,
+                buf: Some(rbuf.as_slice()),
+            })
+            .unwrap();
+            qp_a.post_send(SendWr::new(
+                5,
+                WorkRequest::Send {
+                    local: ShmBuf::from_vec(b"ping".to_vec()).as_slice(),
+                },
+            ))
+            .unwrap();
+            let rc = b_recv.next().await.unwrap();
+            assert!(rc.ok());
+            assert_eq!(rc.wr_id, 77);
+            assert_eq!(rc.byte_len, 4);
+            assert_eq!(rbuf.read_at(0, 4), b"ping".to_vec());
+            let sc = a_send.next().await.unwrap();
+            assert!(sc.ok());
+        });
+    }
+}

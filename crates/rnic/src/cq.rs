@@ -1,0 +1,120 @@
+//! Completion queues.
+//!
+//! Bounded, like hardware CQs: pushing into a full CQ is a fatal event that
+//! breaks every attached QP. The paper's push-replication module exists to
+//! avoid exactly this ("a flood of small records could ... overflow the RDMA
+//! completion queue of a slow follower leading to disconnection of all
+//! corresponding QPs", §4.3.2), so overflow must be a real, observable
+//! failure here.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::{Rc, Weak};
+
+use sim::sync::Notify;
+
+use crate::qp::QpShared;
+use crate::verbs::Cqe;
+
+pub(crate) struct CqInner {
+    queue: RefCell<VecDeque<Cqe>>,
+    capacity: usize,
+    notify: Notify,
+    overflowed: Cell<bool>,
+    attached: RefCell<Vec<Weak<QpShared>>>,
+    completions_total: Cell<u64>,
+}
+
+/// A completion queue shared by one or more QPs.
+#[derive(Clone)]
+pub struct CompletionQueue {
+    pub(crate) inner: Rc<CqInner>,
+}
+
+impl CompletionQueue {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        CompletionQueue {
+            inner: Rc::new(CqInner {
+                queue: RefCell::new(VecDeque::new()),
+                capacity,
+                notify: Notify::new(),
+                overflowed: Cell::new(false),
+                attached: RefCell::new(Vec::new()),
+                completions_total: Cell::new(0),
+            }),
+        }
+    }
+
+    pub(crate) fn attach(&self, qp: &Rc<QpShared>) {
+        self.inner.attached.borrow_mut().push(Rc::downgrade(qp));
+    }
+
+    /// Pushes a completion. On overflow the CQ is poisoned and every
+    /// attached QP transitions to the error state.
+    pub(crate) fn push(&self, cqe: Cqe) {
+        if self.inner.overflowed.get() {
+            return; // poisoned: completions are lost
+        }
+        {
+            let mut q = self.inner.queue.borrow_mut();
+            if q.len() >= self.inner.capacity {
+                drop(q);
+                self.inner.overflowed.set(true);
+                let attached: Vec<_> = self.inner.attached.borrow().clone();
+                for qp in attached.into_iter().filter_map(|w| w.upgrade()) {
+                    QpShared::fail(&qp, crate::verbs::CqStatus::FlushError);
+                }
+                self.inner.notify.notify_waiters();
+                return;
+            }
+            q.push_back(cqe);
+            self.inner
+                .completions_total
+                .set(self.inner.completions_total.get() + 1);
+        }
+        self.inner.notify.notify_one();
+    }
+
+    /// Non-blocking poll, like `ibv_poll_cq`.
+    pub fn poll(&self) -> Option<Cqe> {
+        self.inner.queue.borrow_mut().pop_front()
+    }
+
+    /// Waits (virtual time) for the next completion.
+    ///
+    /// Returns `None` if the CQ has overflowed (fatal).
+    pub async fn next(&self) -> Option<Cqe> {
+        loop {
+            if let Some(cqe) = self.poll() {
+                return Some(cqe);
+            }
+            if self.inner.overflowed.get() {
+                return None;
+            }
+            self.inner.notify.notified().await;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// True once an overflow has poisoned this CQ.
+    pub fn overflowed(&self) -> bool {
+        self.inner.overflowed.get()
+    }
+
+    /// Total completions ever delivered (telemetry).
+    pub fn completions_total(&self) -> u64 {
+        self.inner.completions_total.get()
+    }
+}

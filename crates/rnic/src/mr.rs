@@ -1,0 +1,347 @@
+//! Shared memory buffers and memory regions.
+//!
+//! [`ShmBuf`] is the unit of "physical" memory in the simulation: the broker
+//! allocates a segment as a `ShmBuf`, registers it ([`MemoryRegion`]), and
+//! hands the `(addr, rkey, len)` triple ([`RemoteMr`]) to clients over the
+//! control plane — exactly the mmap + `ibv_reg_mr` flow of §4.2.2.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use netsim::NodeId;
+
+/// A shared, heap-backed buffer. Cloning shares the storage.
+///
+/// All the interior mutability is transient (no borrow is held across an
+/// `.await`), so `RefCell` is sufficient on the single-threaded runtime.
+#[derive(Clone)]
+pub struct ShmBuf {
+    data: Rc<RefCell<Vec<u8>>>,
+}
+
+impl ShmBuf {
+    /// Allocates a zeroed buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        ShmBuf {
+            data: Rc::new(RefCell::new(vec![0; len])),
+        }
+    }
+
+    /// Wraps an existing vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        ShmBuf {
+            data: Rc::new(RefCell::new(v)),
+        }
+    }
+
+    /// Wraps storage shared with another subsystem (e.g. a `kdstorage`
+    /// segment): registering the returned buffer gives RDMA peers direct
+    /// access to that subsystem's memory — the zero-copy seam of the paper.
+    pub fn from_shared(data: Rc<RefCell<Vec<u8>>>) -> Self {
+        ShmBuf { data }
+    }
+
+    /// The underlying shared storage.
+    pub fn shared(&self) -> Rc<RefCell<Vec<u8>>> {
+        Rc::clone(&self.data)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `src` into the buffer at `offset`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds; callers (the NIC engine) validate first.
+    pub fn write_at(&self, offset: usize, src: &[u8]) {
+        self.data.borrow_mut()[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Copies `len` bytes starting at `offset` out of the buffer.
+    pub fn read_at(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.data.borrow()[offset..offset + len].to_vec()
+    }
+
+    /// Copies bytes into a caller-provided slice.
+    pub fn read_into(&self, offset: usize, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.data.borrow()[offset..offset + dst.len()]);
+    }
+
+    /// Runs `f` over an immutable view of the whole buffer (no `.await`
+    /// while inside).
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.data.borrow())
+    }
+
+    /// Runs `f` over a mutable view of the whole buffer.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        f(&mut self.data.borrow_mut())
+    }
+
+    /// Reads a little-endian u64 at `offset` (8-aligned not required for
+    /// local access).
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 at `offset`.
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.write_at(offset, &v.to_le_bytes());
+    }
+
+    /// A slice view `[offset, offset+len)` of this buffer.
+    pub fn slice(&self, offset: usize, len: usize) -> BufSlice {
+        assert!(offset + len <= self.len(), "ShmBuf::slice out of bounds");
+        BufSlice {
+            buf: self.clone(),
+            offset,
+            len,
+        }
+    }
+
+    /// Whole-buffer slice.
+    pub fn as_slice(&self) -> BufSlice {
+        self.slice(0, self.len())
+    }
+
+    /// True if both handles refer to the same storage.
+    pub fn same_buffer(&self, other: &ShmBuf) -> bool {
+        Rc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl fmt::Debug for ShmBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShmBuf(len={})", self.len())
+    }
+}
+
+/// A view into a [`ShmBuf`]; the local-buffer argument of work requests.
+#[derive(Clone, Debug)]
+pub struct BufSlice {
+    pub(crate) buf: ShmBuf,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl BufSlice {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.read_at(self.offset, self.len)
+    }
+
+    pub fn copy_from(&self, src: &[u8]) {
+        assert!(src.len() <= self.len, "BufSlice::copy_from overflow");
+        self.buf.write_at(self.offset, src);
+    }
+
+    /// Narrows the slice.
+    pub fn sub(&self, offset: usize, len: usize) -> BufSlice {
+        assert!(offset + len <= self.len, "BufSlice::sub out of bounds");
+        BufSlice {
+            buf: self.buf.clone(),
+            offset: self.offset + offset,
+            len,
+        }
+    }
+
+    pub fn read_u64(&self) -> u64 {
+        assert!(self.len >= 8);
+        self.buf.read_u64(self.offset)
+    }
+}
+
+/// Access permissions of a memory region, mirroring `ibv_access_flags`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access(u32);
+
+impl Access {
+    pub const LOCAL: Access = Access(0);
+    pub const REMOTE_READ: Access = Access(1);
+    pub const REMOTE_WRITE: Access = Access(2);
+    pub const REMOTE_ATOMIC: Access = Access(4);
+
+    /// Read + write + atomic.
+    pub fn all() -> Access {
+        Access(7)
+    }
+
+    pub fn union(self, other: Access) -> Access {
+        Access(self.0 | other.0)
+    }
+
+    pub fn allows(self, needed: Access) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+}
+
+impl std::ops::BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        self.union(rhs)
+    }
+}
+
+pub(crate) struct MrInner {
+    pub(crate) buf: ShmBuf,
+    pub(crate) addr: u64,
+    pub(crate) rkey: u32,
+    pub(crate) access: Access,
+    pub(crate) node: NodeId,
+    pub(crate) valid: Cell<bool>,
+}
+
+/// A registered memory region. Deregistering (or dropping the last handle)
+/// invalidates remote access; in-flight remote operations then fail with
+/// `RemoteAccessError`, breaking the QP — as on real hardware.
+#[derive(Clone)]
+pub struct MemoryRegion {
+    pub(crate) inner: Rc<MrInner>,
+}
+
+impl MemoryRegion {
+    /// Virtual base address of the region (fabric-unique).
+    pub fn addr(&self) -> u64 {
+        self.inner.addr
+    }
+
+    pub fn rkey(&self) -> u32 {
+        self.inner.rkey
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    pub fn buf(&self) -> &ShmBuf {
+        &self.inner.buf
+    }
+
+    pub fn is_valid(&self) -> bool {
+        self.inner.valid.get()
+    }
+
+    /// Description for the remote side (sent over the control plane).
+    pub fn remote(&self) -> RemoteMr {
+        RemoteMr {
+            addr: self.addr(),
+            rkey: self.rkey(),
+            len: self.len() as u64,
+        }
+    }
+
+    /// Local slice addressed by region-relative offset.
+    pub fn slice(&self, offset: usize, len: usize) -> BufSlice {
+        self.inner.buf.slice(offset, len)
+    }
+}
+
+impl fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemoryRegion {{ addr: {:#x}, rkey: {}, len: {}, valid: {} }}",
+            self.addr(),
+            self.rkey(),
+            self.len(),
+            self.is_valid()
+        )
+    }
+}
+
+/// The remote description of a memory region: what the broker returns from a
+/// "get RDMA access" request (§4.2.2: "the virtual address and the full
+/// length of the preallocated head file").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteMr {
+    pub addr: u64,
+    pub rkey: u32,
+    pub len: u64,
+}
+
+impl RemoteMr {
+    /// Remote address at `offset` into the region.
+    pub fn at(&self, offset: u64) -> u64 {
+        self.addr + offset
+    }
+
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.addr && addr + len <= self.addr + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shmbuf_read_write() {
+        let b = ShmBuf::zeroed(16);
+        b.write_at(4, &[1, 2, 3]);
+        assert_eq!(b.read_at(3, 5), vec![0, 1, 2, 3, 0]);
+        b.write_u64(8, 0xdead_beef);
+        assert_eq!(b.read_u64(8), 0xdead_beef);
+    }
+
+    #[test]
+    fn slice_views_share_storage() {
+        let b = ShmBuf::zeroed(8);
+        let s = b.slice(2, 4);
+        s.copy_from(&[9, 9]);
+        assert_eq!(b.read_at(0, 8), vec![0, 0, 9, 9, 0, 0, 0, 0]);
+        assert_eq!(s.sub(1, 2).to_vec(), vec![9, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        ShmBuf::zeroed(4).slice(2, 4);
+    }
+
+    #[test]
+    fn access_flags() {
+        let a = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(a.allows(Access::REMOTE_READ));
+        assert!(a.allows(Access::REMOTE_WRITE));
+        assert!(!a.allows(Access::REMOTE_ATOMIC));
+        assert!(Access::all().allows(a));
+        assert!(a.allows(Access::LOCAL));
+    }
+
+    #[test]
+    fn remote_mr_bounds() {
+        let r = RemoteMr {
+            addr: 0x1000,
+            rkey: 7,
+            len: 64,
+        };
+        assert!(r.contains(0x1000, 64));
+        assert!(r.contains(0x1020, 32));
+        assert!(!r.contains(0x1020, 33));
+        assert!(!r.contains(0xfff, 1));
+        assert_eq!(r.at(16), 0x1010);
+    }
+}

@@ -1,0 +1,205 @@
+//! The per-node RDMA device and the fabric-global device registry.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use netsim::{Fabric, NodeHandle, NodeId};
+
+use crate::cq::CompletionQueue;
+use crate::mr::{Access, MemoryRegion, MrInner, ShmBuf};
+
+/// Fabric-global RDMA state: device lookup (for resolving remote memory) and
+/// the connection-manager rendezvous table. Stored as a [`Fabric`] extension.
+pub(crate) struct Registry {
+    pub(crate) nics: RefCell<HashMap<NodeId, Weak<NicInner>>>,
+    pub(crate) cm_listeners:
+        RefCell<HashMap<(NodeId, u16), sim::sync::mpsc::Sender<crate::cm::ConnRequest>>>,
+    next_vaddr: Cell<u64>,
+    next_rkey: Cell<u32>,
+    next_qpn: Cell<u32>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            nics: RefCell::new(HashMap::new()),
+            cm_listeners: RefCell::new(HashMap::new()),
+            // Start virtual addresses well away from zero so accidental
+            // "offset used as address" bugs fault loudly.
+            next_vaddr: Cell::new(0x0000_7f00_0000_0000),
+            next_rkey: Cell::new(1),
+            next_qpn: Cell::new(1),
+        }
+    }
+
+    pub(crate) fn get(fabric: &Fabric) -> Rc<Registry> {
+        fabric.extension(Registry::new)
+    }
+
+    pub(crate) fn alloc_vaddr(&self, len: u64) -> u64 {
+        let base = self.next_vaddr.get();
+        // 4 KiB guard gap between regions: off-by-one across region ends
+        // must fault rather than silently touch a neighbour.
+        self.next_vaddr.set(base + len + 4096);
+        base
+    }
+
+    pub(crate) fn alloc_rkey(&self) -> u32 {
+        let k = self.next_rkey.get();
+        self.next_rkey.set(k + 1);
+        k
+    }
+
+    pub(crate) fn alloc_qpn(&self) -> u32 {
+        let q = self.next_qpn.get();
+        self.next_qpn.set(q + 1);
+        q
+    }
+
+    #[allow(dead_code)] // registry lookup kept for cross-crate debugging tools
+    pub(crate) fn nic(&self, node: NodeId) -> Option<Rc<NicInner>> {
+        self.nics.borrow().get(&node).and_then(Weak::upgrade)
+    }
+}
+
+pub(crate) struct NicInner {
+    pub(crate) node: NodeHandle,
+    pub(crate) registry: Rc<Registry>,
+    /// rkey → region.
+    pub(crate) mrs: RefCell<HashMap<u32, Rc<MrInner>>>,
+    // Telemetry: one-sided traffic served by this NIC *without* CPU
+    // involvement — the quantity §5.3's offload claims are about.
+    pub(crate) writes_in: Cell<u64>,
+    pub(crate) reads_served: Cell<u64>,
+    pub(crate) atomics_served: Cell<u64>,
+    pub(crate) sends_in: Cell<u64>,
+}
+
+impl NicInner {
+    /// Looks up a live region by rkey.
+    pub(crate) fn find_mr(&self, rkey: u32) -> Option<Rc<MrInner>> {
+        self.mrs
+            .borrow()
+            .get(&rkey)
+            .filter(|mr| mr.valid.get())
+            .cloned()
+    }
+}
+
+/// Telemetry snapshot of a NIC's one-sided service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    pub writes_in: u64,
+    pub reads_served: u64,
+    pub atomics_served: u64,
+    pub sends_in: u64,
+}
+
+/// An RDMA-capable NIC attached to one fabric node.
+#[derive(Clone)]
+pub struct RNic {
+    pub(crate) inner: Rc<NicInner>,
+}
+
+impl RNic {
+    /// Attaches an RNIC to `node`. One device per node is the usual setup
+    /// (the testbed has a single ConnectX-4 per machine).
+    pub fn new(node: &NodeHandle) -> RNic {
+        let registry = Registry::get(&node.fabric);
+        let inner = Rc::new(NicInner {
+            node: node.clone(),
+            registry: Rc::clone(&registry),
+            mrs: RefCell::new(HashMap::new()),
+            writes_in: Cell::new(0),
+            reads_served: Cell::new(0),
+            atomics_served: Cell::new(0),
+            sends_in: Cell::new(0),
+        });
+        registry
+            .nics
+            .borrow_mut()
+            .insert(node.id, Rc::downgrade(&inner));
+        RNic { inner }
+    }
+
+    pub fn node(&self) -> &NodeHandle {
+        &self.inner.node
+    }
+
+    /// Registers `buf` for (remote) access — the `ibv_reg_mr` of §4.2.2.
+    /// The returned region shares storage with `buf`: remote writes land in
+    /// the caller's own memory.
+    pub fn reg_mr(&self, buf: ShmBuf, access: Access) -> MemoryRegion {
+        let registry = &self.inner.registry;
+        let mr = Rc::new(MrInner {
+            addr: registry.alloc_vaddr(buf.len() as u64),
+            rkey: registry.alloc_rkey(),
+            buf,
+            access,
+            node: self.inner.node.id,
+            valid: Cell::new(true),
+        });
+        self.inner.mrs.borrow_mut().insert(mr.rkey, Rc::clone(&mr));
+        MemoryRegion { inner: mr }
+    }
+
+    /// Deregisters a region. In-flight and future remote accesses fail with
+    /// `RemoteAccessError` (breaking their QPs), as on hardware. This is how
+    /// the broker "disables RDMA access to the file" when revoking a faulty
+    /// client (§4.2.2) and how consumers release read files (§4.4.2).
+    pub fn dereg_mr(&self, mr: &MemoryRegion) {
+        mr.inner.valid.set(false);
+        self.inner.mrs.borrow_mut().remove(&mr.inner.rkey);
+    }
+
+    /// Creates a completion queue of the given capacity.
+    pub fn create_cq(&self, capacity: usize) -> CompletionQueue {
+        CompletionQueue::with_capacity(capacity)
+    }
+
+    /// Telemetry: one-sided operations served by this NIC.
+    pub fn stats(&self) -> NicStats {
+        NicStats {
+            writes_in: self.inner.writes_in.get(),
+            reads_served: self.inner.reads_served.get(),
+            atomics_served: self.inner.atomics_served.get(),
+            sends_in: self.inner.sends_in.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::profile::Profile;
+
+    #[test]
+    fn regions_get_unique_disjoint_vaddrs() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let n = f.add_node("a");
+            let nic = RNic::new(&n);
+            let m1 = nic.reg_mr(ShmBuf::zeroed(100), Access::all());
+            let m2 = nic.reg_mr(ShmBuf::zeroed(100), Access::all());
+            assert_ne!(m1.rkey(), m2.rkey());
+            assert!(m2.addr() >= m1.addr() + 100 + 4096);
+        });
+    }
+
+    #[test]
+    fn dereg_invalidates() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let n = f.add_node("a");
+            let nic = RNic::new(&n);
+            let m = nic.reg_mr(ShmBuf::zeroed(8), Access::all());
+            assert!(nic.inner.find_mr(m.rkey()).is_some());
+            nic.dereg_mr(&m);
+            assert!(!m.is_valid());
+            assert!(nic.inner.find_mr(m.rkey()).is_none());
+        });
+    }
+}

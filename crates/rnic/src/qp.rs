@@ -1,0 +1,572 @@
+//! Reliably-connected queue pairs.
+//!
+//! Each posted work request is simulated by its own task, but two FIFO
+//! ticket chains per QP enforce the RC ordering guarantees the paper's
+//! protocols depend on (§4.1, §4.2.2):
+//!
+//! * the **delivery chain** — remote effects (memory writes, receive
+//!   consumption, atomics) happen strictly in post order;
+//! * the **completion chain** — initiator completions are delivered to the
+//!   send CQ strictly in post order.
+//!
+//! Timing comes from the fabric's link reservations, made synchronously at
+//! post time (the NIC pipelines; the link model serialises).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::{Rc, Weak};
+use std::time::Duration;
+
+use netsim::NodeId;
+use sim::sync::Notify;
+use sim::SimTime;
+
+use crate::cq::CompletionQueue;
+use crate::mr::{Access, MrInner};
+use crate::nic::NicInner;
+use crate::verbs::{CqOpcode, CqStatus, Cqe, PostError, RecvWr, SendWr, WorkRequest};
+
+/// QP configuration.
+#[derive(Debug, Clone)]
+pub struct QpOptions {
+    /// How long a Send/WriteWithImm waits for the receiver to post a receive
+    /// before failing with `RnrRetryExceeded`. `None` waits forever
+    /// (infinite RNR retry, the common datacenter setting).
+    pub rnr_timeout: Option<Duration>,
+    /// Receive-queue depth: posting more receives than this panics (it is a
+    /// program bug in the simulation, not a runtime condition).
+    pub max_recv_wr: usize,
+}
+
+impl Default for QpOptions {
+    fn default() -> Self {
+        QpOptions {
+            rnr_timeout: None,
+            max_recv_wr: 4096,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QpState {
+    Connected,
+    Error,
+}
+
+struct Chain {
+    done: Cell<u64>,
+    notify: Notify,
+}
+
+impl Chain {
+    fn new() -> Self {
+        Chain {
+            done: Cell::new(0),
+            notify: Notify::new(),
+        }
+    }
+
+    async fn wait_turn(&self, ticket: u64) {
+        while self.done.get() < ticket {
+            self.notify.notified().await;
+        }
+    }
+
+    fn advance(&self, ticket: u64) {
+        debug_assert_eq!(self.done.get(), ticket);
+        self.done.set(ticket + 1);
+        self.notify.notify_waiters();
+    }
+}
+
+pub(crate) struct QpShared {
+    pub(crate) qpn: u32,
+    nic: Rc<NicInner>,
+    peer: RefCell<Weak<QpShared>>,
+    state: Cell<QpState>,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    recv_queue: RefCell<VecDeque<RecvWr>>,
+    recv_posted: Notify,
+    opts: QpOptions,
+    next_ticket: Cell<u64>,
+    delivery: Chain,
+    completion: Chain,
+    error_notify: Notify,
+}
+
+impl QpShared {
+    fn new(
+        qpn: u32,
+        nic: Rc<NicInner>,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        opts: QpOptions,
+    ) -> Rc<QpShared> {
+        let qp = Rc::new(QpShared {
+            qpn,
+            nic,
+            peer: RefCell::new(Weak::new()),
+            state: Cell::new(QpState::Connected),
+            send_cq: send_cq.clone(),
+            recv_cq: recv_cq.clone(),
+            recv_queue: RefCell::new(VecDeque::new()),
+            recv_posted: Notify::new(),
+            opts,
+            next_ticket: Cell::new(0),
+            delivery: Chain::new(),
+            completion: Chain::new(),
+            error_notify: Notify::new(),
+        });
+        send_cq.attach(&qp);
+        recv_cq.attach(&qp);
+        qp
+    }
+
+    fn peer(&self) -> Option<Rc<QpShared>> {
+        self.peer.borrow().upgrade()
+    }
+
+    fn is_alive(&self) -> bool {
+        self.state.get() == QpState::Connected
+    }
+
+    /// Transitions this QP (and its peer) to the error state, flushing
+    /// posted receives.
+    pub(crate) fn fail(qp: &Rc<QpShared>, status: CqStatus) {
+        if qp.state.get() == QpState::Error {
+            return;
+        }
+        qp.state.set(QpState::Error);
+        // Flush posted receives.
+        let recvs: Vec<RecvWr> = qp.recv_queue.borrow_mut().drain(..).collect();
+        for wr in recvs {
+            qp.recv_cq.push(Cqe {
+                wr_id: wr.wr_id,
+                qpn: qp.qpn,
+                status: CqStatus::FlushError,
+                opcode: CqOpcode::Recv,
+                byte_len: 0,
+                imm: None,
+                atomic_old: None,
+            });
+        }
+        let _ = status;
+        qp.recv_posted.notify_waiters();
+        qp.delivery.notify.notify_waiters();
+        qp.completion.notify.notify_waiters();
+        qp.error_notify.notify_waiters();
+        if let Some(peer) = qp.peer() {
+            QpShared::fail(&peer, CqStatus::FlushError);
+        }
+    }
+
+    fn pop_recv(&self) -> Option<RecvWr> {
+        self.recv_queue.borrow_mut().pop_front()
+    }
+}
+
+/// One endpoint of a reliably-connected queue pair.
+#[derive(Clone)]
+pub struct QueuePair {
+    pub(crate) shared: Rc<QpShared>,
+}
+
+impl QueuePair {
+    pub(crate) fn create_connected_pair(
+        a_nic: &Rc<NicInner>,
+        b_nic: &Rc<NicInner>,
+        a_cqs: (CompletionQueue, CompletionQueue),
+        b_cqs: (CompletionQueue, CompletionQueue),
+        a_opts: QpOptions,
+        b_opts: QpOptions,
+    ) -> (QueuePair, QueuePair) {
+        let registry = &a_nic.registry;
+        let a = QpShared::new(
+            registry.alloc_qpn(),
+            Rc::clone(a_nic),
+            a_cqs.0,
+            a_cqs.1,
+            a_opts,
+        );
+        let b = QpShared::new(
+            registry.alloc_qpn(),
+            Rc::clone(b_nic),
+            b_cqs.0,
+            b_cqs.1,
+            b_opts,
+        );
+        *a.peer.borrow_mut() = Rc::downgrade(&b);
+        *b.peer.borrow_mut() = Rc::downgrade(&a);
+        (QueuePair { shared: a }, QueuePair { shared: b })
+    }
+
+    /// QP number (used to demultiplex completions on shared CQs).
+    pub fn qpn(&self) -> u32 {
+        self.shared.qpn
+    }
+
+    /// Node this endpoint lives on.
+    pub fn local_node(&self) -> NodeId {
+        self.shared.nic.node.id
+    }
+
+    /// Node of the remote endpoint (if still connected).
+    pub fn remote_node(&self) -> Option<NodeId> {
+        self.shared.peer().map(|p| p.nic.node.id)
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.shared.is_alive()
+    }
+
+    /// Resolves when the QP enters the error state (peer failure/close) —
+    /// §4.2.2: "Client failure can be detected from QP disconnection
+    /// events."
+    pub async fn disconnected(&self) {
+        while self.shared.is_alive() {
+            self.shared.error_notify.notified().await;
+        }
+    }
+
+    /// Tears the connection down; the peer observes a disconnect.
+    pub fn close(&self) {
+        QpShared::fail(&self.shared, CqStatus::FlushError);
+    }
+
+    /// Posts a receive work request (`ibv_post_recv`).
+    pub fn post_recv(&self, wr: RecvWr) -> Result<(), PostError> {
+        if !self.shared.is_alive() {
+            return Err(PostError::QpError);
+        }
+        let mut q = self.shared.recv_queue.borrow_mut();
+        assert!(
+            q.len() < self.shared.opts.max_recv_wr,
+            "receive queue overflow (max_recv_wr={})",
+            self.shared.opts.max_recv_wr
+        );
+        q.push_back(wr);
+        drop(q);
+        self.shared.recv_posted.notify_one();
+        Ok(())
+    }
+
+    /// Posts a list of send work requests (`ibv_post_send` with a chained
+    /// WR list). Requests execute remotely in list order.
+    pub fn post_send_batch(&self, wrs: Vec<SendWr>) -> Result<(), PostError> {
+        if !self.shared.is_alive() {
+            return Err(PostError::QpError);
+        }
+        let peer = self.shared.peer().ok_or(PostError::QpError)?;
+        for wr in wrs {
+            self.launch(wr, &peer);
+        }
+        Ok(())
+    }
+
+    /// Posts a single send work request.
+    pub fn post_send(&self, wr: SendWr) -> Result<(), PostError> {
+        self.post_send_batch(vec![wr])
+    }
+
+    /// Computes the timing of `wr` against the fabric and spawns its
+    /// simulation task.
+    fn launch(&self, wr: SendWr, peer: &Rc<QpShared>) {
+        let qp = Rc::clone(&self.shared);
+        let peer = Rc::clone(peer);
+        let ticket = qp.next_ticket.get();
+        qp.next_ticket.set(ticket + 1);
+
+        let fabric = qp.nic.node.fabric.clone();
+        let profile = fabric.profile();
+        let net = &profile.net;
+        let src = qp.nic.node.id;
+        let dst = peer.nic.node.id;
+
+        // All link reservations are committed now (post time): the NIC
+        // pipelines WRs and the links serialise them.
+        let post_done = sim::now() + net.rdma_post_overhead;
+        let req_arrival = fabric.reserve_path(
+            post_done,
+            src,
+            dst,
+            wr.op.request_bytes(),
+            net.rdma_min_op_gap,
+        );
+        let timing = match &wr.op {
+            WorkRequest::CompareSwap { remote_addr, .. }
+            | WorkRequest::FetchAdd { remote_addr, .. } => {
+                let exec = fabric.reserve_atomic(dst, *remote_addr, req_arrival);
+                let resp =
+                    fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
+                Timing {
+                    req_arrival,
+                    exec,
+                    comp: resp + net.rdma_completion_overhead,
+                }
+            }
+            WorkRequest::Read { .. } => {
+                let exec = req_arrival + net.read_response_overhead;
+                let resp =
+                    fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
+                Timing {
+                    req_arrival,
+                    exec,
+                    comp: resp + net.rdma_completion_overhead,
+                }
+            }
+            _ => Timing {
+                req_arrival,
+                exec: req_arrival,
+                // Hardware ack + initiator CQE.
+                comp: req_arrival + net.propagation + net.rdma_completion_overhead,
+            },
+        };
+
+        sim::spawn(async move {
+            run_wr(qp, peer, wr, ticket, timing).await;
+        });
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Timing {
+    /// When the request fully arrives at the responder.
+    req_arrival: SimTime,
+    /// When the responder executes it (atomics serialise; reads pay the DMA
+    /// fetch).
+    exec: SimTime,
+    /// When the initiator completion is visible.
+    comp: SimTime,
+}
+
+async fn run_wr(qp: Rc<QpShared>, peer: Rc<QpShared>, wr: SendWr, ticket: u64, t: Timing) {
+    qp.delivery.wait_turn(ticket).await;
+
+    if !qp.is_alive() {
+        qp.delivery.advance(ticket);
+        complete(&qp, &wr, ticket, CqStatus::FlushError, 0, None).await;
+        return;
+    }
+
+    sim::time::sleep_until(t.req_arrival).await;
+
+    // Execute the remote effect.
+    let outcome = execute_remote(&qp, &peer, &wr, t).await;
+
+    qp.delivery.advance(ticket);
+
+    let (status, old) = match outcome {
+        Ok(old) => (CqStatus::Success, old),
+        Err(status) => {
+            // Access/protocol errors break the connection (RC semantics).
+            QpShared::fail(&qp, status);
+            (status, None)
+        }
+    };
+
+    // Response / ack travel time.
+    sim::time::sleep_until(t.comp).await;
+    let byte_len = wr.op.request_bytes().max(wr.op.response_bytes()) as u32;
+    complete(&qp, &wr, ticket, status, byte_len, old).await;
+}
+
+async fn complete(
+    qp: &Rc<QpShared>,
+    wr: &SendWr,
+    ticket: u64,
+    status: CqStatus,
+    byte_len: u32,
+    atomic_old: Option<u64>,
+) {
+    qp.completion.wait_turn(ticket).await;
+    if wr.signaled || status != CqStatus::Success {
+        qp.send_cq.push(Cqe {
+            wr_id: wr.wr_id,
+            qpn: qp.qpn,
+            status,
+            opcode: wr.op.opcode(),
+            byte_len,
+            imm: None,
+            atomic_old,
+        });
+    }
+    qp.completion.advance(ticket);
+}
+
+/// Validates and applies the remote effect of `wr`. Returns the old value
+/// for atomics.
+async fn execute_remote(
+    qp: &Rc<QpShared>,
+    peer: &Rc<QpShared>,
+    wr: &SendWr,
+    t: Timing,
+) -> Result<Option<u64>, CqStatus> {
+    if !peer.is_alive() {
+        return Err(CqStatus::FlushError);
+    }
+    match &wr.op {
+        WorkRequest::Write {
+            local,
+            remote_addr,
+            rkey,
+        } => {
+            let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
+            write_region(&mr, *remote_addr, &local.to_vec());
+            peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
+            Ok(None)
+        }
+        WorkRequest::WriteImm {
+            local,
+            remote_addr,
+            rkey,
+            imm,
+        } => {
+            let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
+            write_region(&mr, *remote_addr, &local.to_vec());
+            peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
+            let recv = wait_recv(qp, peer).await?;
+            peer.recv_cq.push(Cqe {
+                wr_id: recv.wr_id,
+                qpn: peer.qpn,
+                status: CqStatus::Success,
+                opcode: CqOpcode::RecvRdmaWithImm,
+                byte_len: local.len() as u32,
+                imm: Some(*imm),
+                atomic_old: None,
+            });
+            Ok(None)
+        }
+        WorkRequest::Send { local } | WorkRequest::SendImm { local, .. } => {
+            let recv = wait_recv(qp, peer).await?;
+            let data = local.to_vec();
+            match &recv.buf {
+                Some(buf) if buf.len() >= data.len() => buf.copy_from(&data),
+                Some(_) => return Err(CqStatus::LocalLengthError),
+                None if data.is_empty() => {}
+                None => return Err(CqStatus::LocalLengthError),
+            }
+            peer.nic.sends_in.set(peer.nic.sends_in.get() + 1);
+            let imm = match &wr.op {
+                WorkRequest::SendImm { imm, .. } => Some(*imm),
+                _ => None,
+            };
+            peer.recv_cq.push(Cqe {
+                wr_id: recv.wr_id,
+                qpn: peer.qpn,
+                status: CqStatus::Success,
+                opcode: CqOpcode::Recv,
+                byte_len: data.len() as u32,
+                imm,
+                atomic_old: None,
+            });
+            Ok(None)
+        }
+        WorkRequest::Read {
+            local,
+            remote_addr,
+            rkey,
+        } => {
+            let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_READ)?;
+            // Snapshot at execution time; deliver after response travel.
+            let offset = (*remote_addr - mr.addr) as usize;
+            let snapshot = mr.buf.read_at(offset, local.len());
+            peer.nic.reads_served.set(peer.nic.reads_served.get() + 1);
+            local.copy_from(&snapshot);
+            Ok(None)
+        }
+        WorkRequest::CompareSwap {
+            local,
+            remote_addr,
+            rkey,
+            compare,
+            swap,
+        } => {
+            let mr = check_atomic(peer, *rkey, *remote_addr)?;
+            sim::time::sleep_until(t.exec).await;
+            let offset = (*remote_addr - mr.addr) as usize;
+            let old = mr.buf.read_u64(offset);
+            if old == *compare {
+                mr.buf.write_u64(offset, *swap);
+            }
+            peer.nic.atomics_served.set(peer.nic.atomics_served.get() + 1);
+            local.copy_from(&old.to_le_bytes());
+            Ok(Some(old))
+        }
+        WorkRequest::FetchAdd {
+            local,
+            remote_addr,
+            rkey,
+            add,
+        } => {
+            let mr = check_atomic(peer, *rkey, *remote_addr)?;
+            sim::time::sleep_until(t.exec).await;
+            let offset = (*remote_addr - mr.addr) as usize;
+            let old = mr.buf.read_u64(offset);
+            mr.buf.write_u64(offset, old.wrapping_add(*add));
+            peer.nic.atomics_served.set(peer.nic.atomics_served.get() + 1);
+            local.copy_from(&old.to_le_bytes());
+            Ok(Some(old))
+        }
+    }
+}
+
+fn write_region(mr: &Rc<MrInner>, remote_addr: u64, data: &[u8]) {
+    let offset = (remote_addr - mr.addr) as usize;
+    mr.buf.write_at(offset, data);
+}
+
+fn check_remote(
+    peer: &Rc<QpShared>,
+    rkey: u32,
+    addr: u64,
+    len: u64,
+    needed: Access,
+) -> Result<Rc<MrInner>, CqStatus> {
+    let mr = peer.nic.find_mr(rkey).ok_or(CqStatus::RemoteAccessError)?;
+    if !mr.access.allows(needed) {
+        return Err(CqStatus::RemoteAccessError);
+    }
+    let end = addr.checked_add(len).ok_or(CqStatus::RemoteAccessError)?;
+    if addr < mr.addr || end > mr.addr + mr.buf.len() as u64 {
+        return Err(CqStatus::RemoteAccessError);
+    }
+    Ok(mr)
+}
+
+fn check_atomic(peer: &Rc<QpShared>, rkey: u32, addr: u64) -> Result<Rc<MrInner>, CqStatus> {
+    let mr = check_remote(peer, rkey, addr, 8, Access::REMOTE_ATOMIC)?;
+    if !addr.is_multiple_of(8) {
+        return Err(CqStatus::RemoteOpError);
+    }
+    Ok(mr)
+}
+
+/// Waits for a posted receive at the peer (RNR behaviour).
+async fn wait_recv(qp: &Rc<QpShared>, peer: &Rc<QpShared>) -> Result<RecvWr, CqStatus> {
+    if let Some(r) = peer.pop_recv() {
+        return Ok(r);
+    }
+    let deadline = qp
+        .opts
+        .rnr_timeout
+        .map(|d| sim::now() + d);
+    loop {
+        if !peer.is_alive() || !qp.is_alive() {
+            return Err(CqStatus::FlushError);
+        }
+        if let Some(r) = peer.pop_recv() {
+            return Ok(r);
+        }
+        match deadline {
+            None => peer.recv_posted.notified().await,
+            Some(dl) => {
+                let remaining = dl.saturating_since(sim::now());
+                if remaining.is_zero() {
+                    return Err(CqStatus::RnrRetryExceeded);
+                }
+                let _ = sim::time::timeout(remaining, peer.recv_posted.notified()).await;
+            }
+        }
+    }
+}

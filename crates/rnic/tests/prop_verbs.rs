@@ -1,0 +1,162 @@
+//! Property tests of the verbs model: arbitrary interleavings of one-sided
+//! operations must behave like sequentially-consistent memory operations in
+//! post order (the RC guarantee the produce protocol builds on).
+
+use proptest::prelude::*;
+
+use netsim::profile::Profile;
+use netsim::Fabric;
+use rnic::{Access, QpOptions, RNic, RdmaListener, SendWr, ShmBuf, WorkRequest};
+
+/// One random remote memory operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: usize, len: usize, fill: u8 },
+    Read { offset: usize, len: usize },
+    Faa { word: usize, add: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..960, 1usize..64, any::<u8>())
+            .prop_map(|(offset, len, fill)| Op::Write { offset, len, fill }),
+        (0usize..960, 1usize..64).prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0usize..4, 1u64..1000).prop_map(|(w, add)| Op::Faa { word: w * 8, add }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Replaying the same ops against a plain byte array (the sequential
+    /// model) yields identical final memory and identical read results.
+    #[test]
+    fn one_sided_ops_match_sequential_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let bnode = f.add_node("b");
+            let nic_a = RNic::new(&a);
+            let nic_b = RNic::new(&bnode);
+            let mut listener = RdmaListener::bind(&nic_b, 1);
+            let b_send = nic_b.create_cq(1024);
+            let b_recv = nic_b.create_cq(1024);
+            let nic_b2 = nic_b.clone();
+            let accept = sim::spawn(async move {
+                let inc = listener.accept().await.unwrap();
+                inc.accept(&nic_b2, b_send, b_recv, QpOptions::default())
+            });
+            let send_cq = nic_a.create_cq(1024);
+            let recv_cq = nic_a.create_cq(64);
+            let qp = nic_a
+                .connect(bnode.id, 1, send_cq.clone(), recv_cq, QpOptions::default())
+                .await
+                .unwrap();
+            let _qp_b = accept.await.unwrap();
+
+            let remote = ShmBuf::zeroed(1024);
+            let mr = nic_b.reg_mr(remote.clone(), Access::all());
+            // Sequential reference model.
+            let mut model = vec![0u8; 1024];
+            let mut model_reads: Vec<Vec<u8>> = Vec::new();
+            let mut model_faas: Vec<u64> = Vec::new();
+
+            let read_dst = ShmBuf::zeroed(64);
+            let faa_dst = ShmBuf::zeroed(8);
+            let mut sim_reads = Vec::new();
+            let mut sim_faas = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Write { offset, len, fill } => {
+                        let src = ShmBuf::from_vec(vec![*fill; *len]);
+                        qp.post_send(SendWr::new(i as u64, WorkRequest::Write {
+                            local: src.as_slice(),
+                            remote_addr: mr.addr() + *offset as u64,
+                            rkey: mr.rkey(),
+                        })).unwrap();
+                        assert!(send_cq.next().await.unwrap().ok());
+                        model[*offset..*offset + *len].fill(*fill);
+                    }
+                    Op::Read { offset, len } => {
+                        qp.post_send(SendWr::new(i as u64, WorkRequest::Read {
+                            local: read_dst.slice(0, *len),
+                            remote_addr: mr.addr() + *offset as u64,
+                            rkey: mr.rkey(),
+                        })).unwrap();
+                        assert!(send_cq.next().await.unwrap().ok());
+                        sim_reads.push(read_dst.read_at(0, *len));
+                        model_reads.push(model[*offset..*offset + *len].to_vec());
+                    }
+                    Op::Faa { word, add } => {
+                        qp.post_send(SendWr::new(i as u64, WorkRequest::FetchAdd {
+                            local: faa_dst.as_slice(),
+                            remote_addr: mr.addr() + *word as u64,
+                            rkey: mr.rkey(),
+                            add: *add,
+                        })).unwrap();
+                        let cqe = send_cq.next().await.unwrap();
+                        assert!(cqe.ok());
+                        sim_faas.push(cqe.atomic_old.unwrap());
+                        let old = u64::from_le_bytes(model[*word..*word + 8].try_into().unwrap());
+                        model_faas.push(old);
+                        model[*word..*word + 8].copy_from_slice(&old.wrapping_add(*add).to_le_bytes());
+                    }
+                }
+            }
+            assert_eq!(remote.read_at(0, 1024), model, "final memory differs");
+            assert_eq!(sim_reads, model_reads, "read results differ");
+            assert_eq!(sim_faas, model_faas, "atomic old values differ");
+        });
+    }
+
+    /// Pipelined (unsignaled) writes still apply in post order: the last
+    /// write to each location wins.
+    #[test]
+    fn pipelined_writes_apply_in_post_order(
+        writes in proptest::collection::vec((0usize..240, 1usize..16, any::<u8>()), 2..40)
+    ) {
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let f = Fabric::new(Profile::testbed());
+            let a = f.add_node("a");
+            let bnode = f.add_node("b");
+            let nic_a = RNic::new(&a);
+            let nic_b = RNic::new(&bnode);
+            let mut listener = RdmaListener::bind(&nic_b, 1);
+            let b_send = nic_b.create_cq(64);
+            let b_recv = nic_b.create_cq(64);
+            let nic_b2 = nic_b.clone();
+            let accept = sim::spawn(async move {
+                let inc = listener.accept().await.unwrap();
+                inc.accept(&nic_b2, b_send, b_recv, QpOptions::default())
+            });
+            let send_cq = nic_a.create_cq(4096);
+            let recv_cq = nic_a.create_cq(64);
+            let qp = nic_a
+                .connect(bnode.id, 1, send_cq.clone(), recv_cq, QpOptions::default())
+                .await
+                .unwrap();
+            let _qp_b = accept.await.unwrap();
+            let remote = ShmBuf::zeroed(256);
+            let mr = nic_b.reg_mr(remote.clone(), Access::all());
+            let mut model = vec![0u8; 256];
+            let last = writes.len() - 1;
+            for (i, (offset, len, fill)) in writes.iter().enumerate() {
+                let src = ShmBuf::from_vec(vec![*fill; *len]);
+                qp.post_send(SendWr {
+                    wr_id: i as u64,
+                    op: WorkRequest::Write {
+                        local: src.as_slice(),
+                        remote_addr: mr.addr() + *offset as u64,
+                        rkey: mr.rkey(),
+                    },
+                    signaled: i == last,
+                }).unwrap();
+                model[*offset..*offset + *len].fill(*fill);
+            }
+            assert!(send_cq.next().await.unwrap().ok());
+            assert_eq!(remote.read_at(0, 256), model);
+        });
+    }
+}

@@ -1,0 +1,542 @@
+//! Semantic tests of the RC verbs model: every property the KafkaDirect
+//! protocols rely on (§4 of the paper) is asserted here.
+
+use netsim::profile::Profile;
+use netsim::Fabric;
+use rnic::{
+    Access, CompletionQueue, CqOpcode, CqStatus, QpOptions, QueuePair, RNic, RdmaListener, RecvWr,
+    SendWr, ShmBuf, WorkRequest,
+};
+use std::time::Duration;
+
+struct Pair {
+    #[allow(dead_code)] // kept alive: dropping the NIC would unregister it
+    nic_a: RNic,
+    nic_b: RNic,
+    qp_a: QueuePair,
+    qp_b: QueuePair,
+    a_send: CompletionQueue,
+    a_recv: CompletionQueue,
+    b_recv: CompletionQueue,
+}
+
+async fn setup_with(profile: Profile, opts: QpOptions, recv_cq_cap: usize) -> Pair {
+    let f = Fabric::new(profile);
+    let na = f.add_node("a");
+    let nb = f.add_node("b");
+    let nic_a = RNic::new(&na);
+    let nic_b = RNic::new(&nb);
+    let mut listener = RdmaListener::bind(&nic_b, 1);
+    let b_send = nic_b.create_cq(1024);
+    let b_recv = nic_b.create_cq(recv_cq_cap);
+    let nic_b2 = nic_b.clone();
+    let b_recv2 = b_recv.clone();
+    let opts2 = opts.clone();
+    let accept = sim::spawn(async move {
+        let inc = listener.accept().await.unwrap();
+        inc.accept(&nic_b2, b_send, b_recv2, opts2)
+    });
+    let a_send = nic_a.create_cq(1024);
+    let a_recv = nic_a.create_cq(1024);
+    let qp_a = nic_a
+        .connect(nb.id, 1, a_send.clone(), a_recv.clone(), opts)
+        .await
+        .unwrap();
+    let qp_b = accept.await.unwrap();
+    Pair {
+        nic_a,
+        nic_b,
+        qp_a,
+        qp_b,
+        a_send,
+        a_recv,
+        b_recv,
+    }
+}
+
+async fn setup() -> Pair {
+    setup_with(Profile::testbed(), QpOptions::default(), 1024).await
+}
+
+#[test]
+fn write_with_imm_delivers_imm_and_bytes() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(128);
+        let mr = p.nic_b.reg_mr(target.clone(), Access::all());
+        p.qp_b.post_recv(RecvWr { wr_id: 1, buf: None }).unwrap();
+        let payload = ShmBuf::from_vec(vec![0xAB; 32]);
+        p.qp_a
+            .post_send(SendWr::new(
+                9,
+                WorkRequest::WriteImm {
+                    local: payload.as_slice(),
+                    remote_addr: mr.addr() + 16,
+                    rkey: mr.rkey(),
+                    imm: 0xC0FFEE,
+                },
+            ))
+            .unwrap();
+        let rc = p.b_recv.next().await.unwrap();
+        assert_eq!(rc.opcode, CqOpcode::RecvRdmaWithImm);
+        assert_eq!(rc.imm, Some(0xC0FFEE));
+        assert_eq!(rc.byte_len, 32);
+        // Data landed directly in the registered buffer (zero copy).
+        assert_eq!(target.read_at(16, 32), vec![0xAB; 32]);
+        assert!(p.a_send.next().await.unwrap().ok());
+    });
+}
+
+#[test]
+fn completions_are_in_post_order() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(1 << 20);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        // Mix sizes so naive per-WR timing would complete small ones first.
+        let sizes = [200_000usize, 64, 100_000, 8, 300_000, 16];
+        for (i, sz) in sizes.iter().enumerate() {
+            let buf = ShmBuf::zeroed(*sz);
+            p.qp_a
+                .post_send(SendWr::new(
+                    i as u64,
+                    WorkRequest::Write {
+                        local: buf.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                    },
+                ))
+                .unwrap();
+        }
+        for i in 0..sizes.len() as u64 {
+            let cqe = p.a_send.next().await.unwrap();
+            assert!(cqe.ok());
+            assert_eq!(cqe.wr_id, i, "completions must be in post order");
+        }
+    });
+}
+
+#[test]
+fn writes_execute_remotely_in_post_order() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(8);
+        let mr = p.nic_b.reg_mr(target.clone(), Access::all());
+        // Two overlapping writes: the later one must win.
+        for (i, v) in [(0u64, 1u8), (1, 2)] {
+            let buf = ShmBuf::from_vec(vec![v; 8]);
+            p.qp_a
+                .post_send(SendWr::new(
+                    i,
+                    WorkRequest::Write {
+                        local: buf.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                    },
+                ))
+                .unwrap();
+        }
+        p.a_send.next().await.unwrap();
+        p.a_send.next().await.unwrap();
+        assert_eq!(target.read_at(0, 8), vec![2u8; 8]);
+    });
+}
+
+#[test]
+fn rdma_read_fetches_remote_bytes_without_target_tasks() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let data = ShmBuf::from_vec((0..64u8).collect());
+        let mr = p.nic_b.reg_mr(data, Access::REMOTE_READ);
+        let dst = ShmBuf::zeroed(16);
+        p.qp_a
+            .post_send(SendWr::new(
+                3,
+                WorkRequest::Read {
+                    local: dst.as_slice(),
+                    remote_addr: mr.addr() + 8,
+                    rkey: mr.rkey(),
+                },
+            ))
+            .unwrap();
+        let cqe = p.a_send.next().await.unwrap();
+        assert!(cqe.ok());
+        assert_eq!(cqe.opcode, CqOpcode::RdmaRead);
+        assert_eq!(dst.read_at(0, 16), (8..24u8).collect::<Vec<_>>());
+        assert_eq!(p.nic_b.stats().reads_served, 1);
+    });
+}
+
+#[test]
+fn faa_always_succeeds_and_returns_old_value() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let word = ShmBuf::zeroed(8);
+        word.write_u64(0, 100);
+        let mr = p.nic_b.reg_mr(word.clone(), Access::all());
+        let res = ShmBuf::zeroed(8);
+        for expected_old in [100u64, 107, 114] {
+            p.qp_a
+                .post_send(SendWr::new(
+                    1,
+                    WorkRequest::FetchAdd {
+                        local: res.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                        add: 7,
+                    },
+                ))
+                .unwrap();
+            let cqe = p.a_send.next().await.unwrap();
+            assert!(cqe.ok());
+            assert_eq!(cqe.atomic_old, Some(expected_old));
+            assert_eq!(res.read_u64(0), expected_old);
+        }
+        assert_eq!(word.read_u64(0), 121);
+    });
+}
+
+#[test]
+fn cas_swaps_only_on_match() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let word = ShmBuf::zeroed(8);
+        word.write_u64(0, 5);
+        let mr = p.nic_b.reg_mr(word.clone(), Access::all());
+        let res = ShmBuf::zeroed(8);
+        let cas = |compare, swap| {
+            SendWr::new(
+                1,
+                WorkRequest::CompareSwap {
+                    local: res.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                    compare,
+                    swap,
+                },
+            )
+        };
+        p.qp_a.post_send(cas(4, 9)).unwrap(); // mismatch
+        let c1 = p.a_send.next().await.unwrap();
+        assert_eq!(c1.atomic_old, Some(5));
+        assert_eq!(word.read_u64(0), 5);
+        p.qp_a.post_send(cas(5, 9)).unwrap(); // match
+        let c2 = p.a_send.next().await.unwrap();
+        assert_eq!(c2.atomic_old, Some(5));
+        assert_eq!(word.read_u64(0), 9);
+    });
+}
+
+#[test]
+fn misaligned_atomic_is_remote_op_error() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let word = ShmBuf::zeroed(16);
+        let mr = p.nic_b.reg_mr(word, Access::all());
+        let res = ShmBuf::zeroed(8);
+        p.qp_a
+            .post_send(SendWr::new(
+                1,
+                WorkRequest::FetchAdd {
+                    local: res.as_slice(),
+                    remote_addr: mr.addr() + 4,
+                    rkey: mr.rkey(),
+                    add: 1,
+                },
+            ))
+            .unwrap();
+        let cqe = p.a_send.next().await.unwrap();
+        assert_eq!(cqe.status, CqStatus::RemoteOpError);
+        assert!(!p.qp_a.is_alive(), "protocol errors break the connection");
+    });
+}
+
+#[test]
+fn out_of_bounds_write_breaks_connection() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(64);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        let buf = ShmBuf::zeroed(32);
+        p.qp_a
+            .post_send(SendWr::new(
+                1,
+                WorkRequest::Write {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr() + 40, // 40 + 32 > 64
+                    rkey: mr.rkey(),
+                },
+            ))
+            .unwrap();
+        let cqe = p.a_send.next().await.unwrap();
+        assert_eq!(cqe.status, CqStatus::RemoteAccessError);
+        assert!(!p.qp_a.is_alive());
+        assert!(!p.qp_b.is_alive());
+        // Subsequent posts are rejected.
+        assert!(p
+            .qp_a
+            .post_send(SendWr::new(
+                2,
+                WorkRequest::Write {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                }
+            ))
+            .is_err());
+    });
+}
+
+#[test]
+fn permission_denied_without_remote_write() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(64);
+        let mr = p.nic_b.reg_mr(target, Access::REMOTE_READ);
+        let buf = ShmBuf::zeroed(8);
+        p.qp_a
+            .post_send(SendWr::new(
+                1,
+                WorkRequest::Write {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                },
+            ))
+            .unwrap();
+        assert_eq!(p.a_send.next().await.unwrap().status, CqStatus::RemoteAccessError);
+    });
+}
+
+#[test]
+fn deregistered_mr_faults_inflight_access() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(64);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        // Revoke access (what the broker does to a faulty client, §4.2.2),
+        // then have the client write.
+        p.nic_b.dereg_mr(&mr);
+        let buf = ShmBuf::zeroed(8);
+        p.qp_a
+            .post_send(SendWr::new(
+                1,
+                WorkRequest::Write {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                },
+            ))
+            .unwrap();
+        assert_eq!(p.a_send.next().await.unwrap().status, CqStatus::RemoteAccessError);
+    });
+}
+
+#[test]
+fn rnr_timeout_fails_when_no_recv_posted() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let opts = QpOptions {
+            rnr_timeout: Some(Duration::from_micros(50)),
+            ..QpOptions::default()
+        };
+        let p = setup_with(Profile::testbed(), opts, 1024).await;
+        let buf = ShmBuf::from_vec(vec![1; 4]);
+        p.qp_a
+            .post_send(SendWr::new(1, WorkRequest::Send { local: buf.as_slice() }))
+            .unwrap();
+        let cqe = p.a_send.next().await.unwrap();
+        assert_eq!(cqe.status, CqStatus::RnrRetryExceeded);
+        assert!(!p.qp_b.is_alive());
+    });
+}
+
+#[test]
+fn rnr_infinite_waits_for_late_recv() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let qp_b = p.qp_b.clone();
+        sim::spawn(async move {
+            sim::time::sleep(Duration::from_micros(30)).await;
+            qp_b.post_recv(RecvWr { wr_id: 5, buf: Some(ShmBuf::zeroed(8).as_slice()) })
+                .unwrap();
+        });
+        let buf = ShmBuf::from_vec(vec![1; 4]);
+        p.qp_a
+            .post_send(SendWr::new(1, WorkRequest::Send { local: buf.as_slice() }))
+            .unwrap();
+        let rc = p.b_recv.next().await.unwrap();
+        assert!(rc.ok());
+        assert!(sim::now().as_nanos() >= 30_000);
+    });
+}
+
+#[test]
+fn cq_overflow_disconnects_attached_qps() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        // Tiny receive CQ at b: a burst of notifications overflows it —
+        // the §4.3.2 failure mode that credits exist to prevent.
+        let p = setup_with(Profile::testbed(), QpOptions::default(), 4).await;
+        let target = ShmBuf::zeroed(64);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        for i in 0..16 {
+            p.qp_b.post_recv(RecvWr { wr_id: i, buf: None }).unwrap();
+        }
+        let buf = ShmBuf::zeroed(4);
+        for i in 0..16 {
+            let _ = p.qp_a.post_send(SendWr::new(
+                i,
+                WorkRequest::WriteImm {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                    imm: i as u32,
+                },
+            ));
+        }
+        // Let the burst land without draining b's CQ.
+        sim::time::sleep(Duration::from_millis(1)).await;
+        assert!(p.b_recv.overflowed());
+        assert!(!p.qp_b.is_alive());
+        assert!(!p.qp_a.is_alive());
+    });
+}
+
+#[test]
+fn close_wakes_peer_disconnect_watcher() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let t0 = sim::now();
+        let qp_b = p.qp_b.clone();
+        let watcher = sim::spawn(async move {
+            qp_b.disconnected().await;
+            sim::now()
+        });
+        sim::time::sleep(Duration::from_micros(20)).await;
+        p.qp_a.close();
+        let when = watcher.await.unwrap();
+        assert_eq!(when - t0, Duration::from_micros(20));
+    });
+}
+
+#[test]
+fn timing_small_write_latency_matches_paper_order() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        // Fig 7: WriteWithImm notification latency ~1.5 µs for small writes.
+        let p = setup().await;
+        let target = ShmBuf::zeroed(64);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        p.qp_b.post_recv(RecvWr { wr_id: 0, buf: None }).unwrap();
+        let t0 = sim::now();
+        let buf = ShmBuf::zeroed(16);
+        p.qp_a
+            .post_send(SendWr::new(
+                0,
+                WorkRequest::WriteImm {
+                    local: buf.as_slice(),
+                    remote_addr: mr.addr(),
+                    rkey: mr.rkey(),
+                    imm: 1,
+                },
+            ))
+            .unwrap();
+        p.b_recv.next().await.unwrap();
+        let us = (sim::now() - t0).as_nanos() as f64 / 1000.0;
+        assert!(us > 0.5 && us < 3.0, "one-way notify latency {us}us");
+    });
+}
+
+#[test]
+fn timing_atomics_are_rate_limited_per_word() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        // §4.2.2: single-counter atomics cap at 2.68 Mops/s.
+        let p = setup().await;
+        let word = ShmBuf::zeroed(8);
+        let mr = p.nic_b.reg_mr(word, Access::all());
+        let res = ShmBuf::zeroed(8);
+        let n = 1000u64;
+        let t0 = sim::now();
+        for i in 0..n {
+            p.qp_a
+                .post_send(SendWr {
+                    wr_id: i,
+                    op: WorkRequest::FetchAdd {
+                        local: res.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                        add: 1,
+                    },
+                    signaled: i == n - 1,
+                })
+                .unwrap();
+        }
+        let last = p.a_send.next().await.unwrap();
+        assert!(last.ok());
+        let secs = (sim::now() - t0).as_secs_f64();
+        let mops = n as f64 / secs / 1e6;
+        assert!(mops < 2.75, "pipelined atomic rate {mops} Mops/s exceeds cap");
+        assert!(mops > 2.3, "pipelined atomic rate {mops} Mops/s far below cap");
+    });
+}
+
+#[test]
+fn timing_large_writes_reach_link_bandwidth() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        let target = ShmBuf::zeroed(4 << 20);
+        let mr = p.nic_b.reg_mr(target, Access::all());
+        let chunk = ShmBuf::zeroed(1 << 20);
+        let n = 64;
+        let t0 = sim::now();
+        for i in 0..n {
+            p.qp_a
+                .post_send(SendWr {
+                    wr_id: i,
+                    op: WorkRequest::Write {
+                        local: chunk.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                    },
+                    signaled: i == n - 1,
+                })
+                .unwrap();
+        }
+        assert!(p.a_send.next().await.unwrap().ok());
+        let secs = (sim::now() - t0).as_secs_f64();
+        let gibps = (n as f64 * (1 << 20) as f64) / secs / (1u64 << 30) as f64;
+        assert!(gibps > 5.5 && gibps < 6.05, "goodput {gibps} GiB/s");
+    });
+}
+
+#[test]
+fn recv_flush_on_error() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let p = setup().await;
+        p.qp_b
+            .post_recv(RecvWr { wr_id: 42, buf: None })
+            .unwrap();
+        p.qp_a.close();
+        let cqe = p.b_recv.next().await.unwrap();
+        assert_eq!(cqe.wr_id, 42);
+        assert_eq!(cqe.status, CqStatus::FlushError);
+        // a_recv had nothing posted; its CQ stays quiet.
+        assert!(p.a_recv.poll().is_none());
+    });
+}

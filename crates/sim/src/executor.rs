@@ -1,0 +1,526 @@
+//! The single-threaded task executor and virtual-clock event loop.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::time::SimTime;
+
+/// Ready queue shared with wakers. Wakers may be held by `Send` types (e.g.
+/// stored inside `Waker`), so this piece uses `std::sync` even though the
+/// runtime itself is single-threaded; the lock is never contended.
+type ReadyQueue = Mutex<VecDeque<usize>>;
+
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+struct Slot {
+    future: Option<LocalFuture>,
+}
+
+pub(crate) struct Inner {
+    now: Cell<u64>,
+    tasks: RefCell<Vec<Slot>>,
+    free: RefCell<Vec<usize>>,
+    live_tasks: Cell<usize>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: Cell<u64>,
+    current_task: Cell<usize>,
+    polls: Cell<u64>,
+    pub(crate) rng: RefCell<SmallRng>,
+}
+
+impl Inner {
+    fn new(seed: u64) -> Rc<Self> {
+        Rc::new(Inner {
+            now: Cell::new(0),
+            tasks: RefCell::new(Vec::new()),
+            free: RefCell::new(Vec::new()),
+            live_tasks: Cell::new(0),
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+            timers: RefCell::new(BinaryHeap::new()),
+            timer_seq: Cell::new(0),
+            current_task: Cell::new(usize::MAX),
+            polls: Cell::new(0),
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        })
+    }
+
+    pub(crate) fn now_nanos(&self) -> u64 {
+        self.now.get()
+    }
+
+    /// Registers `waker` to be woken once the virtual clock reaches
+    /// `deadline` (in nanoseconds).
+    pub(crate) fn register_timer(&self, deadline: u64, waker: Waker) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+
+    fn insert_task(&self, future: LocalFuture) -> usize {
+        let id = match self.free.borrow_mut().pop() {
+            Some(id) => {
+                self.tasks.borrow_mut()[id] = Slot {
+                    future: Some(future),
+                };
+                id
+            }
+            None => {
+                let mut tasks = self.tasks.borrow_mut();
+                tasks.push(Slot {
+                    future: Some(future),
+                });
+                tasks.len() - 1
+            }
+        };
+        self.live_tasks.set(self.live_tasks.get() + 1);
+        id
+    }
+
+    fn schedule(&self, id: usize) {
+        self.ready.lock().unwrap().push_back(id);
+    }
+
+    fn make_waker(&self, id: usize) -> Waker {
+        let entry = Arc::new(WakeEntry {
+            id,
+            queue: Arc::downgrade(&self.ready),
+        });
+        waker_from_entry(entry)
+    }
+
+    /// Polls one task; returns true if a task existed.
+    fn poll_task(self: &Rc<Self>, id: usize) -> bool {
+        let mut future = {
+            let mut tasks = self.tasks.borrow_mut();
+            match tasks.get_mut(id).and_then(|s| s.future.take()) {
+                Some(f) => f,
+                None => return false, // already completed; spurious wake
+            }
+        };
+        let waker = self.make_waker(id);
+        let mut cx = Context::from_waker(&waker);
+        let prev = self.current_task.get();
+        self.current_task.set(id);
+        self.polls.set(self.polls.get() + 1);
+        let poll = future.as_mut().poll(&mut cx);
+        self.current_task.set(prev);
+        match poll {
+            Poll::Ready(()) => {
+                self.free.borrow_mut().push(id);
+                self.live_tasks.set(self.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                self.tasks.borrow_mut()[id].future = Some(future);
+            }
+        }
+        true
+    }
+
+    /// Fires every timer whose deadline is `<= now`.
+    fn fire_due_timers(&self) {
+        loop {
+            let due = {
+                let timers = self.timers.borrow();
+                matches!(timers.peek(), Some(Reverse(e)) if e.deadline <= self.now.get())
+            };
+            if !due {
+                break;
+            }
+            let entry = self.timers.borrow_mut().pop().unwrap().0;
+            entry.waker.wake();
+        }
+    }
+}
+
+struct WakeEntry {
+    id: usize,
+    queue: Weak<ReadyQueue>,
+}
+
+fn waker_from_entry(entry: Arc<WakeEntry>) -> Waker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
+        let cloned = Arc::clone(&arc);
+        std::mem::forget(arc);
+        RawWaker::new(Arc::into_raw(cloned) as *const (), &VTABLE)
+    }
+    unsafe fn wake(data: *const ()) {
+        let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
+        if let Some(queue) = arc.queue.upgrade() {
+            queue.lock().unwrap().push_back(arc.id);
+        }
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
+        if let Some(queue) = arc.queue.upgrade() {
+            queue.lock().unwrap().push_back(arc.id);
+        }
+        std::mem::forget(arc);
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        drop(unsafe { Arc::from_raw(data as *const WakeEntry) });
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    let raw = RawWaker::new(Arc::into_raw(entry) as *const (), &VTABLE);
+    unsafe { Waker::from_raw(raw) }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Rc<Inner>>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn with_current<T>(f: impl FnOnce(&Rc<Inner>) -> T) -> T {
+    CURRENT.with(|c| {
+        let stack = c.borrow();
+        let inner = stack
+            .last()
+            .expect("sim: no runtime is active on this thread; use Runtime::block_on");
+        f(inner)
+    })
+}
+
+struct EnterGuard;
+
+impl EnterGuard {
+    fn new(inner: Rc<Inner>) -> Self {
+        CURRENT.with(|c| c.borrow_mut().push(inner));
+        EnterGuard
+    }
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Error returned by [`JoinHandle`] when the awaited task panicked or was
+/// dropped before completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinError;
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task was cancelled or panicked before completion")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Error returned by fallible spawn APIs (currently unused; reserved for a
+/// bounded-tasks mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnError;
+
+/// Handle to a spawned task. Awaiting it yields the task's output.
+///
+/// Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    result: crate::sync::oneshot::Receiver<T>,
+    id: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// The slab id of the task, for debugging.
+    pub fn id(&self) -> u64 {
+        self.id as u64
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.result)
+            .poll(cx)
+            .map(|r| r.map_err(|_| JoinError))
+    }
+}
+
+pub(crate) fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    with_current(|inner| {
+        let (tx, rx) = crate::sync::oneshot::channel();
+        let wrapped = Box::pin(async move {
+            let out = future.await;
+            let _ = tx.send(out);
+        });
+        let id = inner.insert_task(wrapped);
+        inner.schedule(id);
+        JoinHandle { result: rx, id }
+    })
+}
+
+pub(crate) fn current_task_id() -> u64 {
+    with_current(|inner| inner.current_task.get() as u64)
+}
+
+/// A deterministic, single-threaded async runtime with a virtual clock.
+///
+/// See the [crate docs](crate) for semantics. Runtimes may be nested (a
+/// `block_on` inside a `block_on` uses a fresh runtime), though the simulation
+/// code never needs that.
+pub struct Runtime {
+    inner: Rc<Inner>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime whose RNG is seeded with `0`.
+    pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// Creates a runtime with a caller-chosen RNG seed. Two runs with the
+    /// same seed and the same program produce identical virtual-time traces.
+    pub fn with_seed(seed: u64) -> Self {
+        Runtime {
+            inner: Inner::new(seed),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.now_nanos())
+    }
+
+    /// Total number of task polls executed so far (an activity metric used by
+    /// the substrate benchmarks).
+    pub fn poll_count(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Runs `future` to completion, driving all spawned tasks and the virtual
+    /// clock.
+    ///
+    /// # Panics
+    /// Panics if the simulation deadlocks: the root future is pending but no
+    /// task is runnable and no timer is registered.
+    pub fn block_on<F>(&self, future: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let _guard = EnterGuard::new(Rc::clone(&self.inner));
+        let result: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+        let result2 = Rc::clone(&result);
+        let root = Box::pin(async move {
+            let out = future.await;
+            *result2.borrow_mut() = Some(out);
+        });
+        let root_id = self.inner.insert_task(root);
+        self.inner.schedule(root_id);
+
+        loop {
+            // Drain the ready queue.
+            loop {
+                let next = self.inner.ready.lock().unwrap().pop_front();
+                match next {
+                    Some(id) => {
+                        self.inner.poll_task(id);
+                        if result.borrow().is_some() {
+                            // Root future finished; remaining tasks are
+                            // detached and dropped with the runtime state.
+                            return result.borrow_mut().take().unwrap();
+                        }
+                    }
+                    None => break,
+                }
+            }
+
+            // Nothing runnable: advance the clock to the next timer.
+            let next_deadline = {
+                let timers = self.inner.timers.borrow();
+                timers.peek().map(|Reverse(e)| e.deadline)
+            };
+            match next_deadline {
+                Some(deadline) => {
+                    debug_assert!(deadline >= self.inner.now.get());
+                    self.inner.now.set(deadline.max(self.inner.now.get()));
+                    self.inner.fire_due_timers();
+                }
+                None => {
+                    panic!(
+                        "sim: deadlock — root future pending, no runnable tasks, \
+                         no timers ({} live tasks, t={}ns)",
+                        self.inner.live_tasks.get(),
+                        self.inner.now.get()
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Drop remaining task futures before the runtime's shared state so
+        // destructors that touch channels still find a consistent world.
+        let mut tasks = self.inner.tasks.borrow_mut();
+        for slot in tasks.iter_mut() {
+            slot.future = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::sleep;
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_returns_value() {
+        let rt = Runtime::new();
+        assert_eq!(rt.block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new();
+        let v = rt.block_on(async {
+            let a = crate::spawn(async { 1u64 });
+            let b = crate::spawn(async { 2u64 });
+            a.await.unwrap() + b.await.unwrap()
+        });
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn virtual_time_advances_only_by_timers() {
+        let rt = Runtime::new();
+        let d = rt.block_on(async {
+            let t0 = crate::now();
+            sleep(Duration::from_millis(5)).await;
+            sleep(Duration::from_micros(1)).await;
+            crate::now() - t0
+        });
+        assert_eq!(d, Duration::from_nanos(5_001_000));
+    }
+
+    #[test]
+    fn concurrent_sleeps_overlap() {
+        let rt = Runtime::new();
+        let d = rt.block_on(async {
+            let t0 = crate::now();
+            let a = crate::spawn(async { sleep(Duration::from_micros(10)).await });
+            let b = crate::spawn(async { sleep(Duration::from_micros(10)).await });
+            a.await.unwrap();
+            b.await.unwrap();
+            crate::now() - t0
+        });
+        assert_eq!(d, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn tasks_run_in_spawn_order_at_same_time() {
+        let rt = Runtime::new();
+        let order = rt.block_on(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let log = Rc::clone(&log);
+                handles.push(crate::spawn(async move {
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let (_tx, rx) = crate::sync::oneshot::channel::<()>();
+            let _ = rx.await;
+        });
+    }
+
+    #[test]
+    fn detached_task_keeps_running() {
+        let rt = Runtime::new();
+        let v = rt.block_on(async {
+            let flag = Rc::new(Cell::new(false));
+            let f2 = Rc::clone(&flag);
+            drop(crate::spawn(async move {
+                sleep(Duration::from_micros(1)).await;
+                f2.set(true);
+            }));
+            sleep(Duration::from_micros(2)).await;
+            flag.get()
+        });
+        assert!(v);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            let rt = Runtime::with_seed(seed);
+            rt.block_on(async {
+                let mut out = Vec::new();
+                for _ in 0..10 {
+                    let d = crate::rng::range_u64(1..100);
+                    sleep(Duration::from_nanos(d)).await;
+                    out.push(crate::now().as_nanos());
+                }
+                out
+            })
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

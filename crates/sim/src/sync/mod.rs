@@ -1,0 +1,17 @@
+//! Asynchronous synchronisation primitives for the single-threaded runtime.
+//!
+//! All primitives here are `!Send`: tasks on the sim runtime live on one
+//! thread and interleave only at `.await` points, so interior mutability via
+//! `RefCell` is sound and cheap. The APIs mirror tokio's where practical.
+
+pub mod mpmc;
+pub mod mpsc;
+pub mod mutex;
+pub mod notify;
+pub mod oneshot;
+pub mod semaphore;
+pub mod watch;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use notify::Notify;
+pub use semaphore::{AcquireError, Semaphore, SemaphorePermit};

@@ -1,0 +1,237 @@
+//! An asynchronous FIFO mutex.
+//!
+//! Models Kafka's per-topic-partition write lock (paper §5.1, Fig 12: "each
+//! TP file can be accessed by at most one API worker at a time due to
+//! locking"). Because sim tasks only interleave at `.await` points a plain
+//! `RefCell` would often do, but API workers hold the lock *across* modelled
+//! CPU time (`sleep`s), so a real async lock is required.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct State {
+    locked: bool,
+    waiters: VecDeque<(u64, Waker)>,
+    next_id: u64,
+}
+
+struct Inner<T: ?Sized> {
+    state: RefCell<State>,
+    value: UnsafeCell<T>,
+}
+
+/// An async mutual-exclusion lock with FIFO handoff.
+pub struct Mutex<T: ?Sized> {
+    inner: Rc<Inner<T>>,
+}
+
+impl<T> Clone for Mutex<T> {
+    fn clone(&self) -> Self {
+        Mutex {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: Rc::new(Inner {
+                state: RefCell::new(State {
+                    locked: false,
+                    waiters: VecDeque::new(),
+                    next_id: 0,
+                }),
+                value: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Locks the mutex, waiting in FIFO order.
+    pub fn lock(&self) -> Lock<'_, T> {
+        Lock {
+            mutex: self,
+            id: None,
+        }
+    }
+
+    /// Attempts to lock without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let mut s = self.inner.state.borrow_mut();
+        if s.locked || !s.waiters.is_empty() {
+            None
+        } else {
+            s.locked = true;
+            Some(MutexGuard { mutex: self })
+        }
+    }
+
+    pub fn is_locked(&self) -> bool {
+        self.inner.state.borrow().locked
+    }
+}
+
+/// Future returned by [`Mutex::lock`].
+pub struct Lock<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    id: Option<u64>,
+}
+
+impl<'a, T> Future for Lock<'a, T> {
+    type Output = MutexGuard<'a, T>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.mutex.inner.state.borrow_mut();
+        match self.id {
+            None => {
+                if !s.locked && s.waiters.is_empty() {
+                    s.locked = true;
+                    drop(s);
+                    return Poll::Ready(MutexGuard { mutex: self.mutex });
+                }
+                let id = s.next_id;
+                s.next_id += 1;
+                s.waiters.push_back((id, cx.waker().clone()));
+                drop(s);
+                self.id = Some(id);
+                Poll::Pending
+            }
+            Some(id) => {
+                if s.waiters.iter().any(|(wid, _)| *wid == id) {
+                    for (wid, w) in s.waiters.iter_mut() {
+                        if *wid == id {
+                            *w = cx.waker().clone();
+                        }
+                    }
+                    return Poll::Pending;
+                }
+                // Handed the lock by the previous guard's drop.
+                debug_assert!(s.locked);
+                drop(s);
+                self.id = None;
+                Poll::Ready(MutexGuard { mutex: self.mutex })
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for Lock<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let mut s = self.mutex.inner.state.borrow_mut();
+            let was_waiting = s.waiters.iter().any(|(wid, _)| *wid == id);
+            s.waiters.retain(|(wid, _)| *wid != id);
+            if !was_waiting {
+                // The lock was handed to us but we never took the guard;
+                // pass it on.
+                release(&mut s);
+            }
+        }
+    }
+}
+
+fn release(s: &mut State) {
+    if let Some((_, w)) = s.waiters.pop_front() {
+        // Keep `locked == true`: ownership transfers directly to the woken
+        // waiter, preserving FIFO even if another task tries to lock first.
+        w.wake();
+    } else {
+        s.locked = false;
+    }
+}
+
+/// RAII guard; the lock is released (or handed off) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence implies exclusive logical ownership; the
+        // runtime is single-threaded so no data race is possible.
+        unsafe { &*self.mutex.inner.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.mutex.inner.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.mutex.inner.state.borrow_mut();
+        release(&mut s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+    use std::time::Duration;
+
+    #[test]
+    fn exclusive_access() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let m = Mutex::new(0u32);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let m = m.clone();
+                handles.push(crate::spawn(async move {
+                    let mut g = m.lock().await;
+                    let v = *g;
+                    // Hold across a sleep: critical sections serialise.
+                    crate::time::sleep(Duration::from_micros(1)).await;
+                    *g = v + 1;
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            assert_eq!(*m.lock().await, 4);
+            // 4 serialised 1us critical sections.
+            assert_eq!(crate::now().as_nanos(), 4_000);
+        });
+    }
+
+    #[test]
+    fn try_lock_contends() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let m = Mutex::new(());
+            let g = m.try_lock().unwrap();
+            assert!(m.try_lock().is_none());
+            drop(g);
+            assert!(m.try_lock().is_some());
+        });
+    }
+
+    #[test]
+    fn fifo_handoff() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let m = Mutex::new(Vec::new());
+            let g = m.lock().await;
+            for i in 0..3 {
+                let m = m.clone();
+                crate::spawn(async move {
+                    m.lock().await.push(i);
+                });
+                crate::time::yield_now().await;
+            }
+            drop(g);
+            crate::time::sleep(Duration::from_nanos(1)).await;
+            assert_eq!(*m.lock().await, vec![0, 1, 2]);
+        });
+    }
+}

@@ -1,0 +1,184 @@
+//! A notification primitive, modelled on `tokio::sync::Notify`.
+//!
+//! Used where one task needs to tell another "state you care about changed":
+//! e.g. the broker's API workers waking the push-replication module when a
+//! record commits.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct State {
+    /// One stored permit, as in tokio: a `notify_one` with no waiter is
+    /// remembered and consumed by the next `notified().await`.
+    permit: bool,
+    waiters: VecDeque<(u64, Waker)>,
+    next_id: u64,
+    /// Ids granted a wakeup by `notify_waiters`.
+    epoch: u64,
+}
+
+/// Notifies one or many waiting tasks.
+#[derive(Clone, Default)]
+pub struct Notify {
+    state: Rc<RefCell<State>>,
+}
+
+impl Notify {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes one waiter, or stores a permit if none is waiting.
+    pub fn notify_one(&self) {
+        let mut s = self.state.borrow_mut();
+        if let Some((_, w)) = s.waiters.pop_front() {
+            drop(s);
+            w.wake();
+        } else {
+            s.permit = true;
+        }
+    }
+
+    /// Wakes all current waiters (does not store a permit).
+    pub fn notify_waiters(&self) {
+        let mut s = self.state.borrow_mut();
+        s.epoch += 1;
+        let waiters: Vec<_> = s.waiters.drain(..).collect();
+        drop(s);
+        for (_, w) in waiters {
+            w.wake();
+        }
+    }
+
+    /// Waits for a notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            state: Rc::clone(&self.state),
+            id: None,
+            start_epoch: self.state.borrow().epoch,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    state: Rc<RefCell<State>>,
+    id: Option<u64>,
+    start_epoch: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        // A broadcast since we started counts as our notification.
+        if s.epoch != self.start_epoch {
+            return Poll::Ready(());
+        }
+        if self.id.is_none() && s.permit {
+            s.permit = false;
+            return Poll::Ready(());
+        }
+        match self.id {
+            Some(id) => {
+                // Were we woken individually (removed from the queue)?
+                if !s.waiters.iter().any(|(wid, _)| *wid == id) {
+                    return Poll::Ready(());
+                }
+                // Refresh the stored waker.
+                for (wid, w) in s.waiters.iter_mut() {
+                    if *wid == id {
+                        *w = cx.waker().clone();
+                    }
+                }
+                Poll::Pending
+            }
+            None => {
+                let id = s.next_id;
+                s.next_id += 1;
+                s.waiters.push_back((id, cx.waker().clone()));
+                drop(s);
+                self.id = Some(id);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let mut s = self.state.borrow_mut();
+            s.waiters.retain(|(wid, _)| *wid != id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    #[test]
+    fn permit_is_stored() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let n = Notify::new();
+            n.notify_one();
+            n.notified().await; // consumes stored permit, no deadlock
+        });
+    }
+
+    #[test]
+    fn notify_one_wakes_one() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let n = Notify::new();
+            let count = Rc::new(Cell::new(0));
+            for _ in 0..2 {
+                let n = n.clone();
+                let count = Rc::clone(&count);
+                crate::spawn(async move {
+                    n.notified().await;
+                    count.set(count.get() + 1);
+                });
+            }
+            crate::time::sleep(Duration::from_micros(1)).await;
+            n.notify_one();
+            crate::time::sleep(Duration::from_micros(1)).await;
+            assert_eq!(count.get(), 1);
+            n.notify_one();
+            crate::time::sleep(Duration::from_micros(1)).await;
+            assert_eq!(count.get(), 2);
+        });
+    }
+
+    #[test]
+    fn notify_waiters_wakes_all() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let n = Notify::new();
+            let count = Rc::new(Cell::new(0));
+            for _ in 0..3 {
+                let n = n.clone();
+                let count = Rc::clone(&count);
+                crate::spawn(async move {
+                    n.notified().await;
+                    count.set(count.get() + 1);
+                });
+            }
+            crate::time::sleep(Duration::from_micros(1)).await;
+            n.notify_waiters();
+            crate::time::sleep(Duration::from_micros(1)).await;
+            assert_eq!(count.get(), 3);
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! A one-shot channel: a single value passed from one producer to one
+//! consumer.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    closed: bool,
+    waker: Option<Waker>,
+}
+
+/// Sending half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Receiving half; a future resolving to `Result<T, RecvError>`.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// The sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Creates a connected sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        closed: false,
+        waker: None,
+    }));
+    (
+        Sender {
+            shared: Rc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends the value. Fails (returning it) if the receiver was dropped.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut s = self.shared.borrow_mut();
+        if Rc::strong_count(&self.shared) == 1 {
+            return Err(value);
+        }
+        s.value = Some(value);
+        if let Some(w) = s.waker.take() {
+            drop(s);
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// True if the receiver half is gone.
+    pub fn is_closed(&self) -> bool {
+        Rc::strong_count(&self.shared) == 1
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.shared.borrow_mut();
+        s.closed = true;
+        if let Some(w) = s.waker.take() {
+            drop(s);
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.shared.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if s.closed {
+            return Poll::Ready(Err(RecvError));
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking check: `Some(Ok(v))` if the value has arrived,
+    /// `Some(Err(_))` if the sender is gone, `None` if still pending.
+    pub fn try_recv(&mut self) -> Option<Result<T, RecvError>> {
+        let mut s = self.shared.borrow_mut();
+        if let Some(v) = s.value.take() {
+            Some(Ok(v))
+        } else if s.closed {
+            Some(Err(RecvError))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn send_then_recv() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let (tx, rx) = channel();
+            tx.send(9u8).unwrap();
+            assert_eq!(rx.await, Ok(9));
+        });
+    }
+
+    #[test]
+    fn recv_waits_for_send() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let (tx, rx) = channel();
+            crate::spawn(async move {
+                crate::time::sleep(std::time::Duration::from_micros(3)).await;
+                tx.send("hi").unwrap();
+            });
+            assert_eq!(rx.await, Ok("hi"));
+            assert_eq!(crate::now().as_nanos(), 3_000);
+        });
+    }
+
+    #[test]
+    fn dropped_sender_errors() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let (tx, rx) = channel::<u8>();
+            drop(tx);
+            assert_eq!(rx.await, Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert!(tx.is_closed());
+        assert_eq!(tx.send(1), Err(1));
+    }
+}

@@ -1,0 +1,275 @@
+//! Virtual time: instants, sleeps, and timeouts.
+
+use std::fmt;
+use std::future::Future;
+use std::ops::{Add, AddAssign, Sub};
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+use crate::executor::with_current;
+
+/// An instant on the simulation's virtual clock, in nanoseconds since the
+/// runtime started. Analogous to `std::time::Instant` but deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration since an earlier instant; saturates to zero.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({}ns)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.as_nanos() as u64)
+    }
+}
+
+/// Current virtual time of the active runtime.
+pub fn now() -> SimTime {
+    with_current(|inner| SimTime::from_nanos(inner.now_nanos()))
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: SimTime,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        with_current(|inner| {
+            if inner.now_nanos() >= self.deadline.as_nanos() {
+                Poll::Ready(())
+            } else {
+                inner.register_timer(self.deadline.as_nanos(), cx.waker().clone());
+                Poll::Pending
+            }
+        })
+    }
+}
+
+/// Sleeps for `duration` of virtual time.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: now() + duration,
+    }
+}
+
+/// Sleeps until the given virtual instant (returns immediately if past).
+pub fn sleep_until(deadline: SimTime) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Yields once, letting every other currently-runnable task make progress
+/// before this one resumes. Does not advance the clock.
+pub fn yield_now() -> YieldNow {
+    YieldNow { polled: false }
+}
+
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Error returned by [`timeout`] when the deadline fires first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Runs `future` with a virtual-time deadline.
+pub async fn timeout<F: Future>(duration: Duration, future: F) -> Result<F::Output, Elapsed> {
+    let sleep = sleep(duration);
+    let mut sleep = std::pin::pin!(sleep);
+    let mut future = std::pin::pin!(future);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if sleep.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::from_nanos(1_000);
+        assert_eq!(t + Duration::from_nanos(500), SimTime::from_nanos(1_500));
+        assert_eq!(
+            SimTime::from_nanos(1_500) - t,
+            Duration::from_nanos(500)
+        );
+        assert_eq!(t.saturating_since(SimTime::from_nanos(2_000)), Duration::ZERO);
+        assert_eq!(format!("{}", SimTime::from_nanos(1_500)), "1.500us");
+    }
+
+    #[test]
+    fn sleep_zero_is_instant() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let t0 = now();
+            sleep(Duration::ZERO).await;
+            assert_eq!(now(), t0);
+        });
+    }
+
+    #[test]
+    fn sleep_until_past_returns_immediately() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            sleep(Duration::from_micros(10)).await;
+            let t = now();
+            sleep_until(SimTime::from_nanos(1)).await;
+            assert_eq!(now(), t);
+        });
+    }
+
+    #[test]
+    fn timeout_wins_and_loses() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let fast = timeout(Duration::from_micros(10), async {
+                sleep(Duration::from_micros(1)).await;
+                5
+            })
+            .await;
+            assert_eq!(fast, Ok(5));
+            let slow = timeout(Duration::from_micros(1), async {
+                sleep(Duration::from_micros(10)).await;
+                5
+            })
+            .await;
+            assert_eq!(slow, Err(Elapsed));
+        });
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let log = std::rc::Rc::clone(&log);
+                handles.push(crate::spawn(async move {
+                    sleep(Duration::from_micros(5)).await;
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            // FIFO tie-break: the simulation's cross-task orderings (e.g.
+            // RDMA completion handoffs) rely on this.
+            assert_eq!(*log.borrow(), (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn yield_now_interleaves() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let l1 = std::rc::Rc::clone(&log);
+            let h = crate::spawn(async move {
+                l1.borrow_mut().push("task");
+            });
+            log.borrow_mut().push("before-yield");
+            yield_now().await;
+            log.borrow_mut().push("after-yield");
+            h.await.unwrap();
+            assert_eq!(*log.borrow(), vec!["before-yield", "task", "after-yield"]);
+        });
+    }
+}

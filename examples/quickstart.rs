@@ -1,0 +1,66 @@
+//! Quickstart: one broker, one RDMA producer, one RDMA consumer.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Starts a simulated KafkaDirect broker, produces a handful of records
+//! through the zero-copy RDMA produce datapath (§4.2.2), reads them back
+//! with one-sided RDMA Reads (§4.4.2), and prints what happened — including
+//! the broker-side evidence that no CPU copies occurred.
+
+use kafkadirect::{Record, SimCluster, SystemKind};
+use kdclient::{RdmaConsumer, RdmaProducer};
+
+fn main() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        // A one-broker KafkaDirect cluster on a simulated 56 Gbit/s fabric.
+        let cluster = SimCluster::start(SystemKind::KafkaDirect, 1);
+        cluster.create_topic("greetings", 1, 1).await;
+        println!("cluster up: broker at node {}", cluster.bootstrap().node);
+
+        // Produce: WriteWithImm straight into the topic-partition file.
+        let client = cluster.add_client_node("client");
+        let mut producer = RdmaProducer::connect(&client, cluster.bootstrap(), "greetings", 0, false)
+            .await
+            .expect("producer connect");
+        for i in 0..5 {
+            let t0 = sim::now();
+            let offset = producer
+                .send(&Record::value(format!("hello #{i}").into_bytes()))
+                .await
+                .expect("produce");
+            println!(
+                "produced offset {offset} in {:.1} us",
+                (sim::now() - t0).as_nanos() as f64 / 1000.0
+            );
+        }
+
+        // Consume: RDMA Reads; the broker CPU is not involved.
+        let mut consumer = RdmaConsumer::connect(&client, cluster.bootstrap(), "greetings", 0, 0)
+            .await
+            .expect("consumer connect");
+        let mut seen = 0;
+        while seen < 5 {
+            for rv in consumer.next_records().await.expect("consume") {
+                println!(
+                    "consumed offset {}: {:?}",
+                    rv.offset,
+                    String::from_utf8_lossy(&rv.record.value)
+                );
+                seen += 1;
+            }
+        }
+
+        let m = cluster.broker(0).metrics();
+        let nic = cluster.broker(0).nic_stats();
+        println!();
+        println!("broker-side accounting:");
+        println!("  rdma produce commits : {}", m.rdma_commits);
+        println!("  broker CPU copies    : {} bytes (zero copy!)", m.heap_copied_bytes);
+        println!("  NIC-served reads     : {}", nic.reads_served);
+        println!("  TCP fetch requests   : {}", m.fetch_requests);
+        println!("  virtual time elapsed : {}", sim::now());
+    });
+}

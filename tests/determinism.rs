@@ -1,0 +1,39 @@
+//! The whole simulation is deterministic: identical seeds produce identical
+//! virtual-time traces, different seeds differ.
+
+use kafkadirect::{SimCluster, SystemKind};
+use kdclient::RdmaProducer;
+use kdstorage::Record;
+
+fn run(seed: u64) -> (u64, u64) {
+    let rt = sim::Runtime::with_seed(seed);
+    rt.block_on(async {
+        let cluster = SimCluster::start(SystemKind::KafkaDirect, 2);
+        cluster.create_topic("t", 1, 2).await;
+        let cnode = cluster.add_client_node("c");
+        let leader = cluster.leader_of("t", 0).await;
+        let mut producer = RdmaProducer::connect(&cnode, leader, "t", 0, false)
+            .await
+            .unwrap();
+        for i in 0..20u64 {
+            // Payload size depends on the seeded RNG.
+            let size = sim::rng::range_u64(16..512) as usize;
+            producer
+                .send(&Record::value(vec![(i % 251) as u8; size]))
+                .await
+                .unwrap();
+        }
+        let m = cluster.broker(0).metrics();
+        (sim::now().as_nanos(), m.rdma_commit_bytes + m.push_bytes)
+    })
+}
+
+#[test]
+fn identical_seeds_identical_traces() {
+    assert_eq!(run(11), run(11));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    assert_ne!(run(11), run(12));
+}

@@ -1,0 +1,165 @@
+//! Property-based cluster tests: randomized workloads through the full
+//! stack must preserve the log invariants — dense offsets, no holes, no
+//! corruption, reads equal writes — for every datapath mix.
+
+use proptest::prelude::*;
+
+use kafkadirect::{SimCluster, SystemKind};
+use kdclient::{ClientTransport, RdmaConsumer, RdmaProducer, TcpConsumer, TcpProducer};
+use kdstorage::Record;
+
+/// One randomized producer action.
+#[derive(Debug, Clone)]
+struct Op {
+    producer: usize,
+    size: usize,
+}
+
+fn ops_strategy(producers: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..producers, 1usize..1500).prop_map(|(producer, size)| Op { producer, size }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case boots a full cluster; keep the count sane
+        .. ProptestConfig::default()
+    })]
+
+    /// Randomized interleavings of shared RDMA producers + a TCP producer
+    /// on one partition: consumers must read exactly the multiset of
+    /// written payloads, in dense offset order.
+    #[test]
+    fn shared_partition_linearizes(ops in ops_strategy(3), seed in 0u64..1000) {
+        let rt = sim::Runtime::with_seed(seed);
+        let total = ops.len();
+        rt.block_on(async move {
+            let cluster = SimCluster::start(SystemKind::KafkaDirect, 1);
+            cluster.create_topic("t", 1, 1).await;
+            let cnode = cluster.add_client_node("c");
+            // Producer 0/1: shared RDMA; producer 2: TCP into the shared file.
+            let mut rdma0 = RdmaProducer::connect(&cnode, cluster.bootstrap(), "t", 0, true)
+                .await
+                .unwrap();
+            let mut rdma1 = RdmaProducer::connect(&cnode, cluster.bootstrap(), "t", 0, true)
+                .await
+                .unwrap();
+            let tcp = TcpProducer::connect(
+                &cnode,
+                cluster.bootstrap(),
+                ClientTransport::Tcp,
+                "t",
+                0,
+            )
+            .await
+            .unwrap();
+            let mut sent = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                let payload = vec![(i % 251) as u8; op.size];
+                let record = Record::value(payload.clone());
+                let off = match op.producer {
+                    0 => rdma0.send(&record).await.unwrap(),
+                    1 => rdma1.send(&record).await.unwrap(),
+                    _ => tcp.send(&record).await.unwrap(),
+                };
+                sent.push((off, payload));
+            }
+            // Offsets are dense and unique.
+            let mut offsets: Vec<u64> = sent.iter().map(|(o, _)| *o).collect();
+            offsets.sort_unstable();
+            assert_eq!(offsets, (0..total as u64).collect::<Vec<_>>());
+
+            // Read everything back over RDMA and compare payload by offset.
+            let mut consumer = RdmaConsumer::connect(&cnode, cluster.bootstrap(), "t", 0, 0)
+                .await
+                .unwrap();
+            let mut got = Vec::new();
+            while got.len() < total {
+                got.extend(consumer.next_records().await.unwrap());
+            }
+            sent.sort_by_key(|(o, _)| *o);
+            for (rv, (off, payload)) in got.iter().zip(&sent) {
+                assert_eq!(rv.offset, *off);
+                assert_eq!(&rv.record.value, payload);
+            }
+        });
+    }
+
+    /// Random record sizes through replication: TCP consume on the Kafka
+    /// baseline equals RDMA consume on KafkaDirect for the same inputs.
+    #[test]
+    fn replicated_reads_match_writes(sizes in proptest::collection::vec(1usize..2000, 1..25)) {
+        let run = |system: SystemKind, sizes: Vec<usize>| {
+            let rt = sim::Runtime::new();
+            rt.block_on(async move {
+                let cluster = SimCluster::start(system, 2);
+                cluster.create_topic("t", 1, 2).await;
+                let cnode = cluster.add_client_node("c");
+                let leader = cluster.leader_of("t", 0).await;
+                let mut payloads = Vec::new();
+                match system {
+                    SystemKind::KafkaDirect => {
+                        let mut p = RdmaProducer::connect(&cnode, leader, "t", 0, false)
+                            .await
+                            .unwrap();
+                        for (i, size) in sizes.iter().enumerate() {
+                            let v = vec![(i % 250) as u8 + 1; *size];
+                            p.send(&Record::value(v.clone())).await.unwrap();
+                            payloads.push(v);
+                        }
+                    }
+                    _ => {
+                        let p = TcpProducer::connect(
+                            &cnode,
+                            leader,
+                            ClientTransport::Tcp,
+                            "t",
+                            0,
+                        )
+                        .await
+                        .unwrap();
+                        for (i, size) in sizes.iter().enumerate() {
+                            let v = vec![(i % 250) as u8 + 1; *size];
+                            p.send(&Record::value(v.clone())).await.unwrap();
+                            payloads.push(v);
+                        }
+                    }
+                }
+                // Read back.
+                let mut got = Vec::new();
+                match system {
+                    SystemKind::KafkaDirect => {
+                        let mut c = RdmaConsumer::connect(&cnode, leader, "t", 0, 0)
+                            .await
+                            .unwrap();
+                        while got.len() < payloads.len() {
+                            got.extend(c.next_records().await.unwrap());
+                        }
+                    }
+                    _ => {
+                        let mut c = TcpConsumer::connect(
+                            &cnode,
+                            leader,
+                            ClientTransport::Tcp,
+                            "t",
+                            0,
+                            0,
+                        )
+                        .await
+                        .unwrap();
+                        while got.len() < payloads.len() {
+                            got.extend(c.next_records().await.unwrap());
+                        }
+                    }
+                }
+                got.into_iter().map(|rv| rv.record.value).collect::<Vec<_>>()
+            })
+        };
+        let kafka = run(SystemKind::Kafka, sizes.clone());
+        let kd = run(SystemKind::KafkaDirect, sizes.clone());
+        prop_assert_eq!(kafka.len(), sizes.len());
+        prop_assert_eq!(&kafka, &kd, "both systems must deliver identical data");
+    }
+}
