@@ -1,160 +1,184 @@
-//! Criterion benchmarks of the substrate itself — these measure *real*
-//! wall-clock performance of the building blocks (the figure harnesses
-//! measure virtual time instead). Run with
-//! `cargo bench --bench criterion_substrate`.
+//! Wall-clock benchmarks of the substrate itself — these measure *real*
+//! performance of the building blocks (the figure harnesses measure virtual
+//! time instead). Run with `cargo bench --bench criterion_substrate`.
+//!
+//! Uses a small in-tree timing harness (median of several timed batches over
+//! `std::time::Instant`) instead of an external benchmark framework, so the
+//! workspace builds fully offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
 use kdstorage::crc32c::crc32c;
 use kdstorage::record::{decode_batch, verify_batch, BatchBuilder};
 use kdstorage::{Log, LogConfig, Record};
 
-fn bench_crc32c(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc32c");
-    for size in [64usize, 4096, 65536] {
-        let data = vec![0xABu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| crc32c(std::hint::black_box(&data)));
-        });
+/// Runs `f` in timed batches until ~`budget` has elapsed (after one warm-up
+/// batch) and reports the median per-iteration time plus optional throughput.
+fn bench(name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut()) {
+    let budget = Duration::from_millis(600);
+    // Calibrate a batch size targeting ~20ms per batch.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= Duration::from_millis(20) || batch >= 1 << 24 {
+            break;
+        }
+        batch *= 2;
     }
-    g.finish();
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 3 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / batch);
+        if samples.len() >= 50 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    match bytes_per_iter {
+        Some(b) if median > 0 => {
+            let mibps = b as f64 * 1e9 / median as f64 / (1024.0 * 1024.0);
+            println!("{name:<40} {median:>12} ns/iter {mibps:>10.1} MiB/s");
+        }
+        _ => println!("{name:<40} {median:>12} ns/iter"),
+    }
 }
 
-fn bench_batch_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("record_batch");
+fn bench_crc32c() {
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xABu8; size];
+        bench(&format!("crc32c/{size}B"), Some(size as u64), || {
+            std::hint::black_box(crc32c(std::hint::black_box(&data)));
+        });
+    }
+}
+
+fn bench_batch_codec() {
     let mut builder = BatchBuilder::new(7);
     for i in 0..32 {
         builder.append(&Record::value(vec![i as u8; 256]).with_timestamp(i));
     }
     let bytes = builder.build().unwrap();
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("build_32x256B", |b| {
-        b.iter(|| {
-            let mut builder = BatchBuilder::new(7);
-            for i in 0..32 {
-                builder.append(&Record::value(vec![i as u8; 256]).with_timestamp(i));
-            }
-            builder.build().unwrap()
-        });
+    let len = bytes.len() as u64;
+    bench("record_batch/build_32x256B", Some(len), || {
+        let mut builder = BatchBuilder::new(7);
+        for i in 0..32 {
+            builder.append(&Record::value(vec![i as u8; 256]).with_timestamp(i));
+        }
+        std::hint::black_box(builder.build().unwrap());
     });
-    g.bench_function("verify_32x256B", |b| {
-        b.iter(|| verify_batch(std::hint::black_box(&bytes)).unwrap());
+    bench("record_batch/verify_32x256B", Some(len), || {
+        std::hint::black_box(verify_batch(std::hint::black_box(&bytes)).unwrap());
     });
-    g.bench_function("decode_32x256B", |b| {
-        b.iter(|| decode_batch(std::hint::black_box(&bytes)).unwrap());
+    bench("record_batch/decode_32x256B", Some(len), || {
+        std::hint::black_box(decode_batch(std::hint::black_box(&bytes)).unwrap());
     });
-    g.finish();
 }
 
-fn bench_log_append(c: &mut Criterion) {
-    let mut g = c.benchmark_group("log");
+fn bench_log_append() {
     let batch = {
         let mut builder = BatchBuilder::new(7);
         builder.append(&Record::value(vec![5u8; 1024]));
         builder.build().unwrap()
     };
-    g.throughput(Throughput::Bytes(batch.len() as u64));
-    g.bench_function("append_1KiB", |b| {
-        b.iter_batched(
-            || {
-                Log::new(LogConfig {
-                    segment_size: 8 * 1024 * 1024,
-                    max_batch_size: 1024 * 1024,
-                })
-            },
-            |log| {
-                for _ in 0..1000 {
-                    log.append_batch(std::hint::black_box(&batch)).unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        );
-    });
-    g.finish();
+    bench(
+        "log/append_1KiB_x1000",
+        Some(batch.len() as u64 * 1000),
+        || {
+            let log = Log::new(LogConfig {
+                segment_size: 8 * 1024 * 1024,
+                max_batch_size: 1024 * 1024,
+            });
+            for _ in 0..1000 {
+                log.append_batch(std::hint::black_box(&batch)).unwrap();
+            }
+        },
+    );
 }
 
-fn bench_sim_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.bench_function("spawn_join_1000", |b| {
-        b.iter(|| {
-            let rt = sim::Runtime::new();
-            rt.block_on(async {
-                let handles: Vec<_> = (0..1000).map(|i| sim::spawn(async move { i })).collect();
-                let mut sum = 0u64;
-                for h in handles {
-                    sum += h.await.unwrap();
-                }
-                sum
-            })
+fn bench_sim_executor() {
+    bench("sim/spawn_join_1000", None, || {
+        let rt = sim::Runtime::new();
+        let sum = rt.block_on(async {
+            let handles: Vec<_> = (0..1000).map(|i| sim::spawn(async move { i })).collect();
+            let mut sum = 0u64;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
         });
+        std::hint::black_box(sum);
     });
-    g.bench_function("timer_churn_10000", |b| {
-        b.iter(|| {
-            let rt = sim::Runtime::new();
-            rt.block_on(async {
-                for i in 0..10_000u64 {
-                    sim::time::sleep(std::time::Duration::from_nanos(i % 97)).await;
-                }
-                sim::now().as_nanos()
-            })
+    bench("sim/timer_churn_10000", None, || {
+        let rt = sim::Runtime::new();
+        let t = rt.block_on(async {
+            for i in 0..10_000u64 {
+                sim::time::sleep(std::time::Duration::from_nanos(i % 97)).await;
+            }
+            sim::now().as_nanos()
         });
+        std::hint::black_box(t);
     });
-    g.finish();
 }
 
-fn bench_fabric_events(c: &mut Criterion) {
+fn bench_fabric_events() {
     // End-to-end simulator event rate: RDMA writes through the full verbs
     // model (the "how fast does the simulator run" number).
-    let mut g = c.benchmark_group("fabric");
-    g.bench_function("rdma_write_ops_200", |b| {
-        b.iter(|| {
-            let rt = sim::Runtime::new();
-            rt.block_on(async {
-                let f = netsim::Fabric::new(netsim::profile::Profile::testbed());
-                let a = f.add_node("a");
-                let bn = f.add_node("b");
-                let nic_a = rnic::RNic::new(&a);
-                let nic_b = rnic::RNic::new(&bn);
-                let mut listener = rnic::RdmaListener::bind(&nic_b, 1);
-                let b_send = nic_b.create_cq(64);
-                let b_recv = nic_b.create_cq(64);
-                let nic_b2 = nic_b.clone();
-                let accept = sim::spawn(async move {
-                    let inc = listener.accept().await.unwrap();
-                    inc.accept(&nic_b2, b_send, b_recv, rnic::QpOptions::default())
-                });
-                let a_send = nic_a.create_cq(4096);
-                let a_recv = nic_a.create_cq(64);
-                let qp = nic_a
-                    .connect(bn.id, 1, a_send.clone(), a_recv, rnic::QpOptions::default())
-                    .await
-                    .unwrap();
-                let _qp_b = accept.await.unwrap();
-                let mr = nic_b.reg_mr(rnic::ShmBuf::zeroed(1 << 20), rnic::Access::all());
-                let payload = rnic::ShmBuf::zeroed(256);
-                for i in 0..200u64 {
-                    qp.post_send(rnic::SendWr {
-                        wr_id: i,
-                        op: rnic::WorkRequest::Write {
-                            local: payload.as_slice(),
-                            remote_addr: mr.addr(),
-                            rkey: mr.rkey(),
-                        },
-                        signaled: i == 199,
-                    })
-                    .unwrap();
-                }
-                a_send.next().await.unwrap();
-            })
-        });
+    bench("fabric/rdma_write_ops_200", None, || {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = netsim::Fabric::new(netsim::profile::Profile::testbed());
+            let a = f.add_node("a");
+            let bn = f.add_node("b");
+            let nic_a = rnic::RNic::new(&a);
+            let nic_b = rnic::RNic::new(&bn);
+            let mut listener = rnic::RdmaListener::bind(&nic_b, 1);
+            let b_send = nic_b.create_cq(64);
+            let b_recv = nic_b.create_cq(64);
+            let nic_b2 = nic_b.clone();
+            let accept = sim::spawn(async move {
+                let inc = listener.accept().await.unwrap();
+                inc.accept(&nic_b2, b_send, b_recv, rnic::QpOptions::default())
+            });
+            let a_send = nic_a.create_cq(4096);
+            let a_recv = nic_a.create_cq(64);
+            let qp = nic_a
+                .connect(bn.id, 1, a_send.clone(), a_recv, rnic::QpOptions::default())
+                .await
+                .unwrap();
+            let _qp_b = accept.await.unwrap();
+            let mr = nic_b.reg_mr(rnic::ShmBuf::zeroed(1 << 20), rnic::Access::all());
+            let payload = rnic::ShmBuf::zeroed(256);
+            for i in 0..200u64 {
+                qp.post_send(rnic::SendWr {
+                    wr_id: i,
+                    op: rnic::WorkRequest::Write {
+                        local: payload.as_slice(),
+                        remote_addr: mr.addr(),
+                        rkey: mr.rkey(),
+                    },
+                    signaled: i == 199,
+                })
+                .unwrap();
+            }
+            a_send.next().await.unwrap();
+        })
     });
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crc32c, bench_batch_codec, bench_log_append, bench_sim_executor, bench_fabric_events
-);
-criterion_main!(benches);
+fn main() {
+    println!("substrate wall-clock benchmarks");
+    bench_crc32c();
+    bench_batch_codec();
+    bench_log_append();
+    bench_sim_executor();
+    bench_fabric_events();
+}

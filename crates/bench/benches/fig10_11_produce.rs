@@ -3,7 +3,10 @@
 //! Run with `cargo bench --bench fig10_11_produce`.
 
 use kafkadirect::SystemKind;
-use kdbench::harness::{produce_bandwidth_mibps, produce_latency_us, ProduceOpts, ProducerMode};
+use kdbench::harness::{
+    maybe_print_telemetry, produce_bandwidth_mibps, produce_latency_us, produce_telemetry,
+    ProduceOpts, ProducerMode,
+};
 use kdbench::stats::{fmt, size_label, Table};
 
 const LAT_SIZES: [usize; 13] = [
@@ -74,4 +77,19 @@ fn fig11() {
 fn main() {
     fig10();
     fig11();
+    // KD_TELEM=1: dump the instrument readings of one representative run per
+    // produce datapath (broker API latency, NIC/link counters, client e2e).
+    for (label, system, mode) in [
+        ("Kafka produce 512B", SystemKind::Kafka, ProducerMode::Rpc),
+        (
+            "Exclusive KafkaDirect produce 512B",
+            SystemKind::KafkaDirect,
+            ProducerMode::RdmaExclusive,
+        ),
+    ] {
+        if std::env::var_os("KD_TELEM").is_some_and(|v| v == "1") {
+            let report = produce_telemetry(&ProduceOpts::new(system, mode, 512), 40);
+            maybe_print_telemetry(label, &report);
+        }
+    }
 }

@@ -349,6 +349,26 @@ pub fn consume_bandwidth_mibps(system: SystemKind, record_size: usize, count: us
     })
 }
 
+/// Runs a closed-loop produce experiment inside a private telemetry registry
+/// and returns the aggregated [`kdtelem::TelemetryReport`] — latency
+/// percentiles per broker API, NIC and link counters, client e2e histograms.
+pub fn produce_telemetry(opts: &ProduceOpts, samples: usize) -> kdtelem::TelemetryReport {
+    let registry = kdtelem::Registry::new();
+    let _scope = kdtelem::enter(&registry);
+    let _ = produce_latency_us(opts, samples);
+    registry.snapshot()
+}
+
+/// Prints a telemetry report table when `KD_TELEM=1` is set, so every bench
+/// can expose its instrument readings without cluttering default output.
+pub fn maybe_print_telemetry(label: &str, report: &kdtelem::TelemetryReport) {
+    if std::env::var_os("KD_TELEM").is_some_and(|v| v == "1") {
+        println!();
+        println!("# telemetry — {label}");
+        print!("{}", report.to_table());
+    }
+}
+
 /// The preferred produce datapath of a system (for preloading data).
 pub fn preferred_mode(system: SystemKind) -> ProducerMode {
     if system.rdma_produce() {

@@ -41,6 +41,7 @@ pub struct SimCluster {
     brokers: Vec<Broker>,
     broker_nodes: Vec<NodeHandle>,
     admin_node: NodeHandle,
+    telemetry: kdtelem::Registry,
 }
 
 impl SimCluster {
@@ -52,6 +53,9 @@ impl SimCluster {
     /// Starts `n` brokers with explicit options.
     pub fn start_with(system: SystemKind, n: usize, opts: ClusterOptions) -> SimCluster {
         assert!(n > 0);
+        // Everything the cluster builds from here on (links, NICs, brokers,
+        // clients created on this thread) reports into the ambient registry.
+        let telemetry = kdtelem::current();
         let fabric = Fabric::new(opts.profile.clone());
         let mut broker_nodes = Vec::new();
         let mut peers = Vec::new();
@@ -79,6 +83,7 @@ impl SimCluster {
             brokers,
             broker_nodes,
             admin_node,
+            telemetry,
         }
     }
 
@@ -114,6 +119,26 @@ impl SimCluster {
             .create_topic(topic, partitions, replication)
             .await
             .expect("create topic");
+    }
+
+    /// The telemetry registry this cluster's components report into.
+    pub fn telemetry(&self) -> &kdtelem::Registry {
+        &self.telemetry
+    }
+
+    /// Aggregated telemetry snapshot across every instrumented component
+    /// (NICs, links, brokers, clients built on this thread).
+    pub fn telemetry_report(&self) -> kdtelem::TelemetryReport {
+        self.telemetry.snapshot()
+    }
+
+    /// Fetches the bootstrap broker's telemetry over the admin wire path —
+    /// the remote flavour of [`telemetry_report`](Self::telemetry_report).
+    pub async fn broker_telemetry(&self) -> kdtelem::TelemetryReport {
+        let admin = Admin::connect(&self.admin_node, self.bootstrap())
+            .await
+            .expect("admin connect");
+        admin.telemetry().await.expect("telemetry rpc")
     }
 
     /// Address of the leader broker for a partition.

@@ -51,19 +51,39 @@ pub async fn worker_loop(b: Rc<BrokerInner>) {
 }
 
 async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
+    let start = sim::now();
     match item {
         WorkItem::Rpc {
             peer,
             request,
             reply,
-        } => handle_rpc(b, peer, request, reply).await,
+        } => {
+            // Per-API service latency (worker dequeue → reply sent or
+            // deferred); long-poll/replication waits run off-worker and are
+            // deliberately excluded.
+            let (hist, span_name) = match &request {
+                Request::Produce { .. } => (&b.telem.api_produce_ns, "broker.api.produce"),
+                Request::Fetch { .. } => (&b.telem.api_fetch_ns, "broker.api.fetch"),
+                _ => (&b.telem.api_control_ns, "broker.api.control"),
+            };
+            let hist = hist.clone();
+            let span = b.telem.registry.span(span_name);
+            handle_rpc(b, peer, request, reply).await;
+            hist.record_since(start);
+            span.end();
+        }
         WorkItem::RdmaCommit {
             file_id,
             order,
             byte_len,
             seq,
             ack,
-        } => handle_rdma_commit(b, file_id, order, byte_len, seq, ack).await,
+        } => {
+            let span = b.telem.registry.span("broker.rdma_commit");
+            handle_rdma_commit(b, file_id, order, byte_len, seq, ack).await;
+            b.telem.rdma_commit_ns.record_since(start);
+            span.end();
+        }
     }
 }
 
@@ -304,6 +324,17 @@ async fn handle_rpc(
                 reply,
             )
             .await
+        }
+        Request::Telemetry => {
+            charge_worker(b, CONTROL_COST).await;
+            let json = b.telem.registry.snapshot().to_json_lines();
+            send(
+                reply,
+                Response::Telemetry {
+                    error: ErrorCode::None,
+                    json,
+                },
+            );
         }
         Request::ConsumeRelease {
             topic,

@@ -14,7 +14,7 @@ use sim::sync::mpmc::WorkQueue;
 use crate::busy::ServicePool;
 use crate::config::{BrokerConfig, Transport};
 use crate::data::PartitionStore;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{BrokerTelem, Metrics, MetricsSnapshot};
 use crate::rdma_consume::ConsumeModule;
 use crate::rdma_produce::ProduceModule;
 use crate::requests::WorkItem;
@@ -39,6 +39,7 @@ pub struct BrokerInner {
     pub profile: Rc<Profile>,
     pub nic: RNic,
     pub metrics: Metrics,
+    pub telem: BrokerTelem,
     pub store: PartitionStore,
     pub queue: WorkQueue<WorkItem>,
     pub net_pool: ServicePool,
@@ -149,15 +150,22 @@ impl Broker {
         let nic = RNic::new(node);
         let recv_cq = nic.create_cq(config.cq_capacity);
         let ack_send_cq = nic.create_cq(config.cq_capacity);
+        let metrics = Metrics::default();
+        let net_pool = ServicePool::with_counter(
+            config.net_threads,
+            profile.cpu.wakeup,
+            metrics.net_busy_ns.clone(),
+        );
         let inner = Rc::new(BrokerInner {
             node: node.clone(),
             me,
             profile: Rc::clone(&profile),
             nic,
-            metrics: Metrics::default(),
+            metrics,
+            telem: BrokerTelem::default(),
             store: PartitionStore::default(),
             queue: WorkQueue::new(config.request_queue_depth),
-            net_pool: ServicePool::new(config.net_threads, profile.cpu.wakeup),
+            net_pool,
             peers,
             peer_clients: RefCell::new(HashMap::new()),
             offsets: RefCell::new(HashMap::new()),
@@ -202,10 +210,11 @@ impl Broker {
         &self.inner
     }
 
-    /// Telemetry snapshot, including network-thread busy time.
+    /// Telemetry snapshot, including network-thread busy time (fed live into
+    /// the metrics registry by the broker's `ServicePool`).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut s = self.inner.metrics.snapshot();
-        s.net_busy_ns = self.inner.net_pool.busy_ns();
+        let s = self.inner.metrics.snapshot();
+        debug_assert_eq!(s.net_busy_ns, self.inner.net_pool.busy_ns());
         s
     }
 

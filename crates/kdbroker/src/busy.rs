@@ -12,19 +12,29 @@ use std::time::Duration;
 
 use sim::SimTime;
 
-/// One logical OS thread shared by many tasks.
+/// One logical OS thread shared by many tasks. Busy time is accumulated both
+/// locally (per-thread accounting) and into a shared [`kdtelem::Counter`]
+/// (e.g. the broker's `net_busy_ns`).
 pub struct ServiceQueue {
     busy_until: Cell<u64>,
     wakeup: Duration,
     busy_ns: Cell<u64>,
+    busy_total: kdtelem::Counter,
 }
 
 impl ServiceQueue {
     pub fn new(wakeup: Duration) -> Self {
+        ServiceQueue::with_counter(wakeup, kdtelem::Counter::new())
+    }
+
+    /// As [`new`](Self::new), but busy time also accumulates into `total`
+    /// (shared across the threads of a pool).
+    pub fn with_counter(wakeup: Duration, total: kdtelem::Counter) -> Self {
         ServiceQueue {
             busy_until: Cell::new(0),
             wakeup,
             busy_ns: Cell::new(0),
+            busy_total: total,
         }
     }
 
@@ -42,6 +52,7 @@ impl ServiceQueue {
         let end = start + cost.as_nanos() as u64;
         self.busy_until.set(end);
         self.busy_ns.set(self.busy_ns.get() + cost.as_nanos() as u64);
+        self.busy_total.add(cost.as_nanos() as u64);
         sim::time::sleep_until(SimTime::from_nanos(end)).await;
     }
 
@@ -60,9 +71,17 @@ pub struct ServicePool {
 
 impl ServicePool {
     pub fn new(n: usize, wakeup: Duration) -> Self {
+        ServicePool::with_counter(n, wakeup, kdtelem::Counter::new())
+    }
+
+    /// As [`new`](Self::new), but every thread's busy time also accumulates
+    /// into `total` (e.g. the broker's `net_busy_ns` metric).
+    pub fn with_counter(n: usize, wakeup: Duration, total: kdtelem::Counter) -> Self {
         assert!(n > 0);
         ServicePool {
-            threads: (0..n).map(|_| ServiceQueue::new(wakeup)).collect(),
+            threads: (0..n)
+                .map(|_| ServiceQueue::with_counter(wakeup, total.clone()))
+                .collect(),
             next: Cell::new(0),
         }
     }

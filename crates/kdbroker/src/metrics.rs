@@ -4,37 +4,74 @@
 //! reduction in CPU load", §5.3's "no CPU involvement" for RDMA fetches, and
 //! §7's memory-usage discussion are all observable here (and asserted in
 //! integration tests).
+//!
+//! Every counter is a [`kdtelem::Counter`] registered with the ambient
+//! [`kdtelem::Registry`] under component `"kdbroker"`: each broker keeps
+//! private cells (so [`Metrics::snapshot`] is exact per broker) while the
+//! registry's own snapshot rolls all brokers up by name.
 
-use std::cell::Cell;
+use kdtelem::Counter;
 
-#[derive(Default)]
 pub struct Metrics {
-    pub produce_requests: Cell<u64>,
-    pub produce_bytes: Cell<u64>,
-    pub rdma_commits: Cell<u64>,
-    pub rdma_commit_bytes: Cell<u64>,
-    pub fetch_requests: Cell<u64>,
-    pub empty_fetches: Cell<u64>,
-    pub fetch_bytes: Cell<u64>,
-    pub replica_fetches: Cell<u64>,
-    pub push_writes: Cell<u64>,
-    pub push_bytes: Cell<u64>,
+    pub produce_requests: Counter,
+    pub produce_bytes: Counter,
+    pub rdma_commits: Counter,
+    pub rdma_commit_bytes: Counter,
+    pub fetch_requests: Counter,
+    pub empty_fetches: Counter,
+    pub fetch_bytes: Counter,
+    pub replica_fetches: Counter,
+    pub push_writes: Counter,
+    pub push_bytes: Counter,
     /// Bytes moved by broker-CPU copies (network buffer → file buffer).
     /// Zero on the RDMA produce path — the test for "zero copy".
-    pub heap_copied_bytes: Cell<u64>,
+    pub heap_copied_bytes: Counter,
     /// Virtual nanoseconds API workers spent processing.
-    pub worker_busy_ns: Cell<u64>,
-    pub acks_sent: Cell<u64>,
-    pub slot_updates: Cell<u64>,
+    pub worker_busy_ns: Counter,
+    pub acks_sent: Counter,
+    pub slot_updates: Counter,
     /// Bytes currently pinned for RDMA (registered segments + slot regions).
-    pub registered_bytes: Cell<u64>,
-    pub produce_aborts: Cell<u64>,
-    pub grants_revoked: Cell<u64>,
+    pub registered_bytes: Counter,
+    pub produce_aborts: Counter,
+    pub grants_revoked: Counter,
+    /// Virtual nanoseconds network threads spent processing (fed by the
+    /// broker's `ServicePool`).
+    pub net_busy_ns: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(&kdtelem::current())
+    }
 }
 
 impl Metrics {
-    pub fn add(&self, cell: &Cell<u64>, v: u64) {
-        cell.set(cell.get() + v);
+    pub fn new(registry: &kdtelem::Registry) -> Self {
+        let c = |name| registry.counter("kdbroker", name);
+        Metrics {
+            produce_requests: c("produce_requests"),
+            produce_bytes: c("produce_bytes"),
+            rdma_commits: c("rdma_commits"),
+            rdma_commit_bytes: c("rdma_commit_bytes"),
+            fetch_requests: c("fetch_requests"),
+            empty_fetches: c("empty_fetches"),
+            fetch_bytes: c("fetch_bytes"),
+            replica_fetches: c("replica_fetches"),
+            push_writes: c("push_writes"),
+            push_bytes: c("push_bytes"),
+            heap_copied_bytes: c("heap_copied_bytes"),
+            worker_busy_ns: c("worker_busy_ns"),
+            acks_sent: c("acks_sent"),
+            slot_updates: c("slot_updates"),
+            registered_bytes: c("registered_bytes"),
+            produce_aborts: c("produce_aborts"),
+            grants_revoked: c("grants_revoked"),
+            net_busy_ns: c("net_busy_ns"),
+        }
+    }
+
+    pub fn add(&self, counter: &Counter, v: u64) {
+        counter.add(v);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -56,7 +93,45 @@ impl Metrics {
             registered_bytes: self.registered_bytes.get(),
             produce_aborts: self.produce_aborts.get(),
             grants_revoked: self.grants_revoked.get(),
-            net_busy_ns: 0,
+            net_busy_ns: self.net_busy_ns.get(),
+        }
+    }
+}
+
+/// Latency histograms and span plumbing for one broker, registered with the
+/// ambient [`kdtelem::Registry`]. Histograms record per-API *service*
+/// latency: time an API worker spends on a request (excluding deferred
+/// replication waits), in virtual nanoseconds.
+pub struct BrokerTelem {
+    /// The registry this broker reports into; also serves the admin
+    /// `Telemetry` request (JSON-lines snapshot) and collects spans.
+    pub registry: kdtelem::Registry,
+    pub api_produce_ns: kdtelem::Histogram,
+    pub api_fetch_ns: kdtelem::Histogram,
+    pub api_control_ns: kdtelem::Histogram,
+    /// RDMA produce commits: completion dequeue → records visible (§4.2.2).
+    pub rdma_commit_ns: kdtelem::Histogram,
+    /// Replication latency: push write post → follower NIC ack, or pull
+    /// fetch round-trips that returned data (§4.3).
+    pub replicate_ns: kdtelem::Histogram,
+}
+
+impl Default for BrokerTelem {
+    fn default() -> Self {
+        BrokerTelem::new(&kdtelem::current())
+    }
+}
+
+impl BrokerTelem {
+    pub fn new(registry: &kdtelem::Registry) -> Self {
+        let h = |name| registry.histogram("kdbroker", name);
+        BrokerTelem {
+            registry: registry.clone(),
+            api_produce_ns: h("api_produce_ns"),
+            api_fetch_ns: h("api_fetch_ns"),
+            api_control_ns: h("api_control_ns"),
+            rdma_commit_ns: h("rdma_commit_ns"),
+            replicate_ns: h("replicate_ns"),
         }
     }
 }
@@ -81,7 +156,8 @@ pub struct MetricsSnapshot {
     pub registered_bytes: u64,
     pub produce_aborts: u64,
     pub grants_revoked: u64,
-    /// Network-thread busy time (filled in by the broker snapshot).
+    /// Network-thread busy time (fed live by the broker's `ServicePool`; no
+    /// longer patched in after the fact).
     pub net_busy_ns: u64,
 }
 
@@ -99,5 +175,20 @@ mod tests {
         assert_eq!(s.produce_requests, 5);
         assert_eq!(s.heap_copied_bytes, 100);
         assert_eq!(s.rdma_commits, 0);
+    }
+
+    #[test]
+    fn counters_roll_up_into_registry() {
+        let r = kdtelem::Registry::new();
+        let a = Metrics::new(&r);
+        let b = Metrics::new(&r);
+        a.add(&a.produce_requests, 2);
+        b.add(&b.produce_requests, 5);
+        // Per-broker snapshots stay private ...
+        assert_eq!(a.snapshot().produce_requests, 2);
+        assert_eq!(b.snapshot().produce_requests, 5);
+        // ... while the registry aggregates by name.
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("kdbroker", "produce_requests"), Some(7));
     }
 }

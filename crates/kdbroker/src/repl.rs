@@ -10,7 +10,8 @@
 //!   with credit-based flow control and opportunistic batching of
 //!   contiguous writes.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -48,6 +49,7 @@ async fn pull_loop(b: Rc<BrokerInner>, p: Rc<Partition>) {
             max_bytes: b.config.replica_fetch_max_bytes,
             replica_id: b.me.node,
         };
+        let fetch_start = sim::now();
         let resp = match client.call(&req).await {
             Ok(Response::Fetch(f)) => f,
             Ok(_) | Err(_) => {
@@ -63,6 +65,14 @@ async fn pull_loop(b: Rc<BrokerInner>, p: Rc<Partition>) {
         b.metrics.add(&b.metrics.replica_fetches, 1);
         if !resp.bytes.is_empty() {
             apply_replicated(&b, &p, &resp.bytes).await;
+            // Replication latency, pull flavour: fetch issued → batches
+            // applied locally. Empty long-polls are not latency samples.
+            b.telem.replicate_ns.record_since(fetch_start);
+            b.telem.registry.record_span(
+                "broker.replicate.pull",
+                fetch_start.as_nanos(),
+                sim::now().as_nanos(),
+            );
         }
         p.follower_set_hw(resp.high_watermark);
         crate::rdma_consume::update_partition_slots(&p, &b.consume_module, &b.metrics);
@@ -121,6 +131,10 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
     let mut cursor_idx: usize = 0;
     let mut session: Option<PushSession> = None;
     let acked = Rc::new(Cell::new(0u64));
+    // Post times of in-flight writes (wr_id = follower LEO when acked),
+    // consumed by the collector to measure push replication latency.
+    let inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>> =
+        Rc::new(RefCell::new(VecDeque::new()));
 
     loop {
         // Wait for new committed-to-leader bytes at the cursor.
@@ -146,7 +160,15 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
         // Establish the session lazily: "get RDMA produce address" on the
         // follower (§4.3.2), then an RC QP.
         if session.is_none() {
-            session = establish(&b, &p, follower, cursor_seg, Rc::clone(&acked)).await;
+            session = establish(
+                &b,
+                &p,
+                follower,
+                cursor_seg,
+                Rc::clone(&acked),
+                Rc::clone(&inflight),
+            )
+            .await;
             if session.is_none() {
                 sim::time::sleep(Duration::from_millis(1)).await;
                 continue;
@@ -200,6 +222,7 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
             session = None;
             continue;
         }
+        inflight.borrow_mut().push_back((last_offset, sim::now()));
         b.metrics.add(&b.metrics.push_writes, 1);
         b.metrics.add(&b.metrics.push_bytes, u64::from(len));
         cursor_pos = end;
@@ -214,6 +237,7 @@ async fn establish(
     follower: kdwire::BrokerAddr,
     cursor_seg: u32,
     acked: Rc<Cell<u64>>,
+    inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>>,
 ) -> Option<PushSession> {
     let client = b.peer_client(follower).await?;
     // First file: attach wherever the follower's head is. Later files: the
@@ -260,6 +284,8 @@ async fn establish(
         });
     }
     let credits = Semaphore::new(grant.credits as usize);
+    // Writes of a dead session never complete; drop their post times.
+    inflight.borrow_mut().clear();
     spawn_collector(
         b,
         p,
@@ -270,6 +296,7 @@ async fn establish(
         credits.clone(),
         ack_buf,
         acked,
+        inflight,
     );
     Some(PushSession { qp, grant, credits })
 }
@@ -287,6 +314,7 @@ fn spawn_collector(
     credits: Semaphore,
     ack_buf: ShmBuf,
     acked: Rc<Cell<u64>>,
+    inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>>,
 ) {
     // Write acks: the record "is fully replicated" once the RDMA write is
     // acknowledged by the follower's NIC.
@@ -299,6 +327,20 @@ fn spawn_collector(
             }
             if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
                 acked.set(cqe.wr_id);
+                // Replication latency, push flavour: write posted → follower
+                // NIC ack (a cumulative ack covers all earlier writes).
+                let now = sim::now();
+                let mut q = inflight.borrow_mut();
+                while q.front().is_some_and(|(off, _)| *off <= cqe.wr_id) {
+                    let (_, posted) = q.pop_front().unwrap();
+                    b2.telem.replicate_ns.record_since(posted);
+                    b2.telem.registry.record_span(
+                        "broker.replicate.push",
+                        posted.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+                drop(q);
                 p2.follower_ack(follower_node, cqe.wr_id);
                 crate::api::on_hw_advanced(&b2, &p2);
             }

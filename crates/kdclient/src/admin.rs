@@ -124,6 +124,20 @@ impl Admin {
         }
     }
 
+    /// Fetches the broker's telemetry snapshot (counters, gauges, latency
+    /// histograms) over the admin path as a parsed [`kdtelem::TelemetryReport`].
+    pub async fn telemetry(&self) -> Result<kdtelem::TelemetryReport, ClientError> {
+        let resp = self.conn.call(&Request::Telemetry).await?;
+        match resp {
+            Response::Telemetry { error, json } => {
+                check(error)?;
+                kdtelem::TelemetryReport::from_json_lines(&json)
+                    .ok_or(ClientError::Protocol)
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
     /// Earliest/latest (high watermark) offsets of a partition.
     pub async fn list_offsets(&self, topic: &str, partition: u32) -> Result<(u64, u64), ClientError> {
         let resp = self

@@ -21,6 +21,10 @@ pub struct TcpConsumer {
     /// Telemetry: fetches issued / empty responses.
     pub fetches: u64,
     pub empty_fetches: u64,
+    telem: kdtelem::Registry,
+    /// End-to-end fetch latency of data-carrying polls (instrument name
+    /// shared with the RDMA consumer for transport comparisons).
+    fetch_e2e_ns: kdtelem::Histogram,
 }
 
 impl TcpConsumer {
@@ -33,6 +37,8 @@ impl TcpConsumer {
         offset: u64,
     ) -> Result<TcpConsumer, ClientError> {
         let conn = Conn::connect(node, broker, transport).await?;
+        let telem = kdtelem::current();
+        let fetch_e2e_ns = telem.histogram("kdclient", "fetch_e2e_ns");
         Ok(TcpConsumer {
             node: node.clone(),
             conn,
@@ -42,12 +48,15 @@ impl TcpConsumer {
             max_bytes: 1024 * 1024,
             fetches: 0,
             empty_fetches: 0,
+            telem,
+            fetch_e2e_ns,
         })
     }
 
     /// Issues one fetch request; returns the decoded records at/after the
     /// current offset (possibly empty).
     pub async fn poll(&mut self) -> Result<Vec<RecordView>, ClientError> {
+        let start = sim::now();
         let cpu = &self.node.profile().cpu;
         sim::time::sleep(cpu.handoff).await;
         self.fetches += 1;
@@ -95,6 +104,12 @@ impl TcpConsumer {
         } else {
             self.offset = f.next_offset.max(self.offset);
         }
+        self.fetch_e2e_ns.record_since(start);
+        self.telem.record_span(
+            "client.fetch",
+            start.as_nanos(),
+            sim::now().as_nanos(),
+        );
         Ok(out)
     }
 

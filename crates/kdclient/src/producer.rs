@@ -42,6 +42,10 @@ pub struct TcpProducer {
     partition: u32,
     producer_id: u64,
     pub acks: Acks,
+    telem: kdtelem::Registry,
+    /// End-to-end produce latency (same instrument name as the RDMA
+    /// producer's, so reports compare the two transports directly).
+    e2e_ns: kdtelem::Histogram,
 }
 
 impl TcpProducer {
@@ -53,6 +57,8 @@ impl TcpProducer {
         partition: u32,
     ) -> Result<TcpProducer, ClientError> {
         let conn = Conn::connect(node, broker, transport).await?;
+        let telem = kdtelem::current();
+        let e2e_ns = telem.histogram("kdclient", "produce_e2e_ns");
         Ok(TcpProducer {
             node: node.clone(),
             conn,
@@ -60,6 +66,8 @@ impl TcpProducer {
             partition,
             producer_id: sim::rng::range_u64(1..u64::MAX),
             acks: Acks::All,
+            telem,
+            e2e_ns,
         })
     }
 
@@ -85,6 +93,8 @@ impl TcpProducer {
 
     /// Produces several records as one batch (base offset returned).
     pub async fn send_many(&self, records: &[Record]) -> Result<u64, ClientError> {
+        let start = sim::now();
+        let span = self.telem.span("client.produce");
         let mut builder = BatchBuilder::new(self.producer_id);
         for r in records {
             builder.append(r);
@@ -102,6 +112,8 @@ impl TcpProducer {
             .await?;
         // Response dispatch back to the caller thread.
         sim::time::sleep(self.node.profile().cpu.wakeup).await;
+        self.e2e_ns.record_since(start);
+        span.end();
         match resp {
             Response::Produce { error, base_offset } => {
                 check(error)?;

@@ -77,6 +77,9 @@ pub struct RdmaConsumer {
     offset_slot: Option<kdwire::RemoteRegion>,
     commit_buf: ShmBuf,
     pub stats: ConsumerStats,
+    telem: kdtelem::Registry,
+    /// End-to-end fetch latency: data-carrying `poll` entry → records parsed.
+    fetch_e2e_ns: kdtelem::Histogram,
 }
 
 impl RdmaConsumer {
@@ -101,6 +104,8 @@ impl RdmaConsumer {
             )
             .await
             .map_err(|_| ClientError::Disconnected)?;
+        let telem = kdtelem::current();
+        let fetch_e2e_ns = telem.histogram("kdclient", "fetch_e2e_ns");
         Ok(RdmaConsumer {
             node: node.clone(),
             ctrl,
@@ -122,6 +127,8 @@ impl RdmaConsumer {
             offset_slot: None,
             commit_buf: ShmBuf::zeroed(8),
             stats: ConsumerStats::default(),
+            telem,
+            fetch_e2e_ns,
         })
     }
 
@@ -224,6 +231,7 @@ impl RdmaConsumer {
     /// One fetch iteration. Returns any records that became ready; an empty
     /// result means no new committed data was visible.
     pub async fn poll(&mut self) -> Result<Vec<RecordView>, ClientError> {
+        let start = sim::now();
         if !self.ready.is_empty() {
             return Ok(self.drain_ready());
         }
@@ -287,6 +295,14 @@ impl RdmaConsumer {
         )
         .await;
         self.parse_partial()?;
+        // A data-carrying poll is one end-to-end fetch (empty metadata-only
+        // polls are deliberately excluded — they're "empty fetches", §5.3).
+        self.fetch_e2e_ns.record_since(start);
+        self.telem.record_span(
+            "client.fetch",
+            start.as_nanos(),
+            sim::now().as_nanos(),
+        );
         Ok(self.drain_ready())
     }
 

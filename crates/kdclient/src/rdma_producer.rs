@@ -51,6 +51,9 @@ pub struct RdmaProducer {
     pending: Rc<RefCell<VecDeque<AckWaiter>>>,
     faa_result: ShmBuf,
     dead: Rc<std::cell::Cell<bool>>,
+    telem: kdtelem::Registry,
+    /// End-to-end produce latency (record handed to `send` → ack delivered).
+    e2e_ns: kdtelem::Histogram,
 }
 
 impl RdmaProducer {
@@ -75,6 +78,8 @@ impl RdmaProducer {
         let (qp, send_cq) =
             Self::setup_data_plane(node, &nic, broker, Rc::clone(&pending), Rc::clone(&dead))
                 .await?;
+        let telem = kdtelem::current();
+        let e2e_ns = telem.histogram("kdclient", "produce_e2e_ns");
         let mut producer = RdmaProducer {
             node: node.clone(),
             broker,
@@ -91,6 +96,8 @@ impl RdmaProducer {
             pending,
             faa_result: ShmBuf::zeroed(8),
             dead,
+            telem,
+            e2e_ns,
         };
         producer.acquire_access(0).await?;
         Ok(producer)
@@ -204,12 +211,16 @@ impl RdmaProducer {
     /// Produces one record, waiting for the broker acknowledgment; returns
     /// the assigned base offset.
     pub async fn send(&mut self, record: &Record) -> Result<u64, ClientError> {
+        let start = sim::now();
+        let span = self.telem.span("client.produce");
         let ack = self.send_pipelined(record).await?;
         let (error, offset) = ack.await.map_err(|_| ClientError::Disconnected)?;
         // Dispatch chain: API→net handoff on send + CQ poller→API handoff +
         // wakeup on the ack (§5.1's client-side overheads).
         let cpu = &self.node.profile().cpu;
         sim::time::sleep(cpu.handoff + cpu.handoff + cpu.wakeup).await;
+        self.e2e_ns.record_since(start);
+        span.end();
         check(error)?;
         Ok(offset)
     }

@@ -4,7 +4,8 @@
 //!
 //! Table-driven (slice-by-8) implementation built from the reflected
 //! polynomial 0x82F63B78. No external crates; verified against published
-//! test vectors and a bitwise reference implementation under proptest.
+//! test vectors and a bitwise reference implementation under seeded
+//! generative tests.
 
 const POLY: u32 = 0x82F6_3B78;
 
@@ -144,21 +145,34 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sim::rng::SimRng;
 
-    proptest! {
-        #[test]
-        fn matches_bitwise_reference(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
-            prop_assert_eq!(crc32c(&data), crc32c_reference(&data));
+    fn rand_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+        let len = rng.random_range(0usize..max_len);
+        let mut v = vec![0u8; len];
+        rng.fill(&mut v);
+        v
+    }
+
+    #[test]
+    fn matches_bitwise_reference() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from_u64(0xCC_0001 ^ case);
+            let data = rand_bytes(&mut rng, 2048);
+            assert_eq!(crc32c(&data), crc32c_reference(&data), "case {case}");
         }
+    }
 
-        #[test]
-        fn split_invariance(data in proptest::collection::vec(any::<u8>(), 0..1024), split in 0usize..1024) {
-            let split = split.min(data.len());
+    #[test]
+    fn split_invariance() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from_u64(0xCC_0002 ^ case);
+            let data = rand_bytes(&mut rng, 1024);
+            let split = rng.random_range(0usize..1024).min(data.len());
             let mut c = Crc32c::new();
             c.update(&data[..split]);
             c.update(&data[split..]);
-            prop_assert_eq!(c.finalize(), crc32c(&data));
+            assert_eq!(c.finalize(), crc32c(&data), "case {case}");
         }
     }
 }

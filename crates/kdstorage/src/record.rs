@@ -454,26 +454,48 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sim::rng::SimRng;
 
-    fn arb_record() -> impl Strategy<Value = Record> {
-        (
-            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
-            proptest::collection::vec(any::<u8>(), 0..256),
-            proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..16)), 0..3),
-            -1_000_000i64..1_000_000,
-        )
-            .prop_map(|(key, value, headers, timestamp)| Record {
-                key,
-                value,
-                headers,
-                timestamp,
-            })
+    fn rand_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+        let len = rng.random_range(0usize..max_len);
+        let mut v = vec![0u8; len];
+        rng.fill(&mut v);
+        v
     }
 
-    proptest! {
-        #[test]
-        fn batch_round_trips(records in proptest::collection::vec(arb_record(), 1..12), offset in any::<u32>()) {
+    fn arb_record(rng: &mut SimRng) -> Record {
+        let key = if rng.random_bool(0.5) {
+            Some(rand_bytes(rng, 32))
+        } else {
+            None
+        };
+        let value = rand_bytes(rng, 256);
+        let n_headers = rng.random_range(0usize..3);
+        let headers = (0..n_headers)
+            .map(|_| {
+                let name_len = rng.random_range(1usize..=8);
+                let name: String = (0..name_len)
+                    .map(|_| (b'a' + rng.random_range(0u8..26)) as char)
+                    .collect();
+                (name, rand_bytes(rng, 16))
+            })
+            .collect();
+        let timestamp = -1_000_000 + rng.below(2_000_000) as i64;
+        Record {
+            key,
+            value,
+            headers,
+            timestamp,
+        }
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from_u64(0x4EC_0001 ^ case);
+            let n = rng.random_range(1usize..12);
+            let records: Vec<Record> = (0..n).map(|_| arb_record(&mut rng)).collect();
+            let offset: u32 = rng.random_range(0u32..=u32::MAX);
             let mut b = BatchBuilder::new(7);
             for r in &records {
                 b.append(r);
@@ -481,15 +503,19 @@ mod proptests {
             let mut bytes = b.build().unwrap();
             assign_base_offset(&mut bytes, u64::from(offset));
             let decoded = decode_batch(&bytes).unwrap();
-            prop_assert_eq!(decoded.len(), records.len());
+            assert_eq!(decoded.len(), records.len(), "case {case}");
             for (i, rv) in decoded.iter().enumerate() {
-                prop_assert_eq!(rv.offset, u64::from(offset) + i as u64);
-                prop_assert_eq!(&rv.record, &records[i]);
+                assert_eq!(rv.offset, u64::from(offset) + i as u64, "case {case}");
+                assert_eq!(&rv.record, &records[i], "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn random_bytes_never_panic() {
+        for case in 0..256u64 {
+            let mut rng = SimRng::seed_from_u64(0x4EC_0002 ^ case);
+            let data = rand_bytes(&mut rng, 256);
             let _ = verify_batch(&data);
             let _ = parse_header(&data);
             let _ = peek_total_len(&data);

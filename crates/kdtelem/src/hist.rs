@@ -1,0 +1,346 @@
+//! Log-linear latency histograms (HDR-style).
+//!
+//! Values (nanoseconds, bytes, depths — any `u64`) are bucketed with 16
+//! linear sub-buckets per power of two, giving a constant ~6% relative error
+//! across the full `u64` range with a fixed 976-slot table. Histograms are
+//! cheap to record into (a shift and two adds), mergeable, and support
+//! percentile queries by bucket walk.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16 sub-buckets per power of two
+// Max index is (63 - SUB_BITS + 1) * SUB + (SUB - 1) = 975 for u64::MAX.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Maps a value to its bucket index. Values below 16 get exact buckets;
+/// larger values share a bucket with ~2^(msb-4) of their neighbours.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    (shift as usize + 1) * SUB + sub
+}
+
+/// Highest value that maps to bucket `i` — percentile queries report this, so
+/// they never under-state a latency.
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let shift = (i / SUB - 1) as u32;
+    let sub = (i % SUB) as u64;
+    let low = (SUB as u64 + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistData {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistData {
+    fn new() -> Self {
+        HistData {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge_from(&mut self, other: &HistData) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the highest value of the bucket
+    /// containing the `ceil(q * count)`-th recorded sample. `0` when empty.
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Cap by the true max so sparse tails stay tight.
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A shareable, mergeable log-linear histogram handle.
+///
+/// Clones share the same underlying buckets; the registry hands out fresh
+/// instances per call and merges same-named ones at snapshot time.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Rc<RefCell<HistData>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Rc::new(RefCell::new(HistData::new())),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.inner.borrow_mut().record(v);
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Records elapsed virtual time since `start` (no-op outside a runtime).
+    pub fn record_since(&self, start: sim::SimTime) {
+        if let Some(now) = sim::try_now() {
+            self.record(now.saturating_since(start).as_nanos() as u64);
+        }
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        if Rc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        self.inner.borrow_mut().merge_from(&other.inner.borrow());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.borrow().count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.borrow().sum
+    }
+
+    pub fn min(&self) -> u64 {
+        let d = self.inner.borrow();
+        if d.count == 0 {
+            0
+        } else {
+            d.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.inner.borrow().max
+    }
+
+    pub fn mean(&self) -> f64 {
+        let d = self.inner.borrow();
+        if d.count == 0 {
+            0.0
+        } else {
+            d.sum as f64 / d.count as f64
+        }
+    }
+
+    /// Quantile query; `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.borrow().quantile(q)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Immutable summary for reports.
+    pub fn stats(&self) -> HistStats {
+        let d = self.inner.borrow();
+        HistStats {
+            count: d.count,
+            sum: d.sum,
+            min: if d.count == 0 { 0 } else { d.min },
+            max: d.max,
+            mean: if d.count == 0 {
+                0.0
+            } else {
+                d.sum as f64 / d.count as f64
+            },
+            p50: d.quantile(0.50),
+            p90: d.quantile(0.90),
+            p99: d.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time histogram summary (all values in the recorded unit,
+/// nanoseconds for latency histograms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_monotone() {
+        // Every bucket's high value + 1 must land in the next bucket.
+        for i in 0..BUCKETS - 1 {
+            let high = bucket_high(i);
+            assert_eq!(bucket_index(high), i, "high of bucket {i}");
+            if high < u64::MAX {
+                assert_eq!(bucket_index(high + 1), i + 1, "after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Bucket width at value v is 2^(msb-4), so the reported high value
+        // overstates by < 1/16 of the value.
+        for &v in &[17u64, 100, 1_000, 123_456, 7_890_123, u64::MAX / 3] {
+            let high = bucket_high(bucket_index(v));
+            assert!(high >= v);
+            assert!((high - v) as f64 <= v as f64 / 16.0 + 1.0, "v={v} high={high}");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // p50 of 1..=1000 is 500; log-linear error at 500 is < 500/16 = 32.
+        let p50 = h.p50();
+        assert!((500..=532).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((990..=1000 + 63).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.quantile(0.0), 1);
+        // quantile(1.0) is the max's bucket, capped at max.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn single_value_percentiles() {
+        let h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777.min(bucket_high(bucket_index(777))));
+        assert_eq!(h.p99(), h.p50());
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let h = Histogram::new();
+            let mut x = seed;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                h.record(x >> 40);
+            }
+            h
+        };
+        let stats_of = |hs: &[&Histogram]| {
+            let acc = Histogram::new();
+            for h in hs {
+                acc.merge_from(h);
+            }
+            acc.stats()
+        };
+        let (a, b, c) = (mk(1, 500), mk(2, 300), mk(3, 700));
+        // (a+b)+c == a+(b+c) == c+b+a
+        let abc = stats_of(&[&a, &b, &c]);
+        let bca = stats_of(&[&b, &c, &a]);
+        let cab = stats_of(&[&c, &a, &b]);
+        assert_eq!(abc, bca);
+        assert_eq!(bca, cab);
+        assert_eq!(abc.count, 1500);
+    }
+
+    #[test]
+    fn merge_with_self_is_noop() {
+        let h = Histogram::new();
+        h.record(5);
+        h.merge_from(&h.clone());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let h = Histogram::new();
+        let h2 = h.clone();
+        h2.record(42);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! `kdtelem` — the observability substrate for the KafkaDirect reproduction.
+//!
+//! Every headline result in the paper is an observability artifact: Fig 10–20
+//! are latency/throughput distributions, §5.1's CPU-load reduction and §5.3's
+//! "no CPU involvement" are resource-accounting claims. This crate gives the
+//! simulation the instruments to *assert* those claims in tests rather than
+//! eyeball them:
+//!
+//! * [`Histogram`] — log-linear (HDR-style) latency histograms stamped from
+//!   `sim` virtual time: p50/p90/p99/max, mergeable, ~6% relative error.
+//! * Spans — lightweight `(name, start, end)` records for the
+//!   produce → replicate → consume critical path, kept in a bounded
+//!   per-registry ring that tests can [`Registry::drain_spans`].
+//! * [`Registry`] — named counters/gauges/histograms grouped by component
+//!   (`rnic`, `netsim`, `broker`, `client`). Handles are private cells;
+//!   snapshots aggregate same-named instruments across owners.
+//! * [`TelemetryReport`] — text-table and JSON-lines export, shipped over the
+//!   admin path (`Request::Telemetry`) and printed by the bench harness.
+//!
+//! The ambient registry ([`current`] / [`enter`]) lets deeply buried
+//! components (a `netsim` link, an rnic CQ) pick up instruments without
+//! threading a handle through every constructor. Tests that need isolation
+//! enter their own registry for the duration of a runtime.
+//!
+//! Zero external dependencies; the only in-tree dependency is `sim` for the
+//! virtual clock.
+
+mod hist;
+mod registry;
+mod report;
+
+pub use hist::{HistStats, Histogram};
+pub use registry::{
+    current, enter, Counter, Gauge, Registry, ScopeGuard, SpanGuard, SpanRecord,
+    SPAN_RING_CAPACITY,
+};
+pub use report::{CounterRow, GaugeRow, HistRow, TelemetryReport};

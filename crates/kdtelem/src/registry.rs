@@ -1,0 +1,467 @@
+//! The stats registry: named counters, gauges, histograms, and a bounded
+//! span ring, grouped by component.
+//!
+//! Instruments are *handles*: every `counter()`/`gauge()`/`histogram()` call
+//! creates a fresh cell owned by the caller and remembered by the registry
+//! under its `(component, name)` key. Snapshots aggregate same-named
+//! instruments (counters/gauge values sum, gauge peaks max, histograms
+//! merge), so each broker or NIC keeps private cells it can read exactly
+//! while the cluster-wide report still rolls everything up.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::hist::Histogram;
+use crate::report::{CounterRow, GaugeRow, HistRow, TelemetryReport};
+
+/// A monotonically increasing (or explicitly reset) `u64` cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn add(&self, v: u64) {
+        self.cell.set(self.cell.get() + v);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+
+    /// Direct store; exists for the rare accounting path that must subtract
+    /// (e.g. deregistering producer memory grants).
+    pub fn set(&self, v: u64) {
+        self.cell.set(v);
+    }
+
+    pub fn sub_saturating(&self, v: u64) {
+        self.cell.set(self.cell.get().saturating_sub(v));
+    }
+}
+
+/// A level instrument: current value plus a high-watermark peak. Used for
+/// queue depths and CQ occupancy.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Rc<GaugeData>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeData {
+    value: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: u64) {
+        self.inner.value.set(v);
+        if v > self.inner.peak.get() {
+            self.inner.peak.set(v);
+        }
+    }
+
+    pub fn add(&self, v: u64) {
+        self.set(self.inner.value.get() + v);
+    }
+
+    pub fn sub(&self, v: u64) {
+        self.inner.value.set(self.inner.value.get().saturating_sub(v));
+    }
+
+    pub fn get(&self) -> u64 {
+        self.inner.value.get()
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.get()
+    }
+}
+
+/// One completed span on the produce → replicate → consume critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Capacity of the per-registry span ring; oldest spans are dropped (and
+/// counted) once it fills, bounding memory on long soaks.
+pub const SPAN_RING_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct SpanRing {
+    ring: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+type Key = (&'static str, &'static str);
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RefCell<Vec<(Key, Counter)>>,
+    gauges: RefCell<Vec<(Key, Gauge)>>,
+    histograms: RefCell<Vec<(Key, Histogram)>>,
+    spans: RefCell<SpanRing>,
+}
+
+/// Cloneable handle to a telemetry registry. See the module docs for the
+/// aggregation model.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RegistryInner>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Creates and registers a fresh counter under `(component, name)`.
+    pub fn counter(&self, component: &'static str, name: &'static str) -> Counter {
+        let c = Counter::new();
+        self.inner
+            .counters
+            .borrow_mut()
+            .push(((component, name), c.clone()));
+        c
+    }
+
+    /// Creates and registers a fresh gauge under `(component, name)`.
+    pub fn gauge(&self, component: &'static str, name: &'static str) -> Gauge {
+        let g = Gauge::new();
+        self.inner
+            .gauges
+            .borrow_mut()
+            .push(((component, name), g.clone()));
+        g
+    }
+
+    /// Creates and registers a fresh histogram under `(component, name)`.
+    pub fn histogram(&self, component: &'static str, name: &'static str) -> Histogram {
+        let h = Histogram::new();
+        self.inner
+            .histograms
+            .borrow_mut()
+            .push(((component, name), h.clone()));
+        h
+    }
+
+    /// Records a completed span. `start`/`end` are virtual-time nanoseconds.
+    pub fn record_span(&self, name: &'static str, start_ns: u64, end_ns: u64) {
+        let mut spans = self.inner.spans.borrow_mut();
+        if spans.ring.len() == SPAN_RING_CAPACITY {
+            spans.ring.pop_front();
+            spans.dropped += 1;
+        }
+        spans.ring.push_back(SpanRecord {
+            name,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    /// Starts a span at the current virtual time; finish it with
+    /// [`SpanGuard::end`] (or let it drop). No-op outside a runtime.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            registry: self.clone(),
+            name,
+            start_ns: sim::try_now().map(|t| t.as_nanos()),
+            done: false,
+        }
+    }
+
+    /// Removes and returns all buffered spans (oldest first).
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.borrow_mut().ring.drain(..).collect()
+    }
+
+    /// Spans lost to ring overflow since the registry was created.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.spans.borrow().dropped
+    }
+
+    /// Aggregated point-in-time report: counters summed, gauge values summed
+    /// and peaks maxed, histograms merged — per `(component, name)` key,
+    /// sorted for stable output.
+    pub fn snapshot(&self) -> TelemetryReport {
+        let mut counters: Vec<CounterRow> = Vec::new();
+        for ((component, name), c) in self.inner.counters.borrow().iter() {
+            match counters
+                .iter_mut()
+                .find(|r| r.component == *component && r.name == *name)
+            {
+                Some(row) => row.value += c.get(),
+                None => counters.push(CounterRow {
+                    component,
+                    name,
+                    value: c.get(),
+                }),
+            }
+        }
+        let mut gauges: Vec<GaugeRow> = Vec::new();
+        for ((component, name), g) in self.inner.gauges.borrow().iter() {
+            match gauges
+                .iter_mut()
+                .find(|r| r.component == *component && r.name == *name)
+            {
+                Some(row) => {
+                    row.value += g.get();
+                    row.peak = row.peak.max(g.peak());
+                }
+                None => gauges.push(GaugeRow {
+                    component,
+                    name,
+                    value: g.get(),
+                    peak: g.peak(),
+                }),
+            }
+        }
+        let mut merged: Vec<(Key, Histogram)> = Vec::new();
+        for ((component, name), h) in self.inner.histograms.borrow().iter() {
+            match merged
+                .iter_mut()
+                .find(|(k, _)| k.0 == *component && k.1 == *name)
+            {
+                Some((_, acc)) => acc.merge_from(h),
+                None => {
+                    let acc = Histogram::new();
+                    acc.merge_from(h);
+                    merged.push(((component, name), acc));
+                }
+            }
+        }
+        let mut histograms: Vec<HistRow> = merged
+            .into_iter()
+            .map(|((component, name), h)| HistRow {
+                component,
+                name,
+                stats: h.stats(),
+            })
+            .collect();
+
+        counters.sort_by_key(|r| (r.component, r.name));
+        gauges.sort_by_key(|r| (r.component, r.name));
+        histograms.sort_by_key(|r| (r.component, r.name));
+
+        let spans = self.inner.spans.borrow();
+        TelemetryReport {
+            counters,
+            gauges,
+            histograms,
+            spans_buffered: spans.ring.len() as u64,
+            spans_dropped: spans.dropped,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.inner.counters.borrow().len())
+            .field("gauges", &self.inner.gauges.borrow().len())
+            .field("histograms", &self.inner.histograms.borrow().len())
+            .field("spans", &self.inner.spans.borrow().ring.len())
+            .finish()
+    }
+}
+
+/// In-flight span; records itself into the registry when ended or dropped.
+/// Records nothing if no runtime was active when it started.
+#[must_use = "a span measures until it is ended or dropped"]
+pub struct SpanGuard {
+    registry: Registry,
+    name: &'static str,
+    start_ns: Option<u64>,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Ends the span now (virtual time).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let (Some(start), Some(now)) = (self.start_ns, sim::try_now()) {
+            self.registry.record_span(self.name, start, now.as_nanos());
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+    static DEFAULT: Registry = Registry::new();
+}
+
+/// The ambient registry: the innermost [`Registry::enter`] scope on this
+/// thread, or a shared thread-local default. Instrumented components
+/// (links, NICs, brokers) grab their handles from here at construction time.
+pub fn current() -> Registry {
+    STACK.with(|s| s.borrow().last().cloned())
+        .unwrap_or_else(|| DEFAULT.with(Registry::clone))
+}
+
+/// Makes `registry` the ambient registry until the guard drops.
+pub fn enter(registry: &Registry) -> ScopeGuard {
+    STACK.with(|s| s.borrow_mut().push(registry.clone()));
+    ScopeGuard { _priv: () }
+}
+
+/// Scope guard returned by [`enter`]; pops the registry stack on drop.
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_by_name() {
+        let r = Registry::new();
+        let a = r.counter("broker", "produce_requests");
+        let b = r.counter("broker", "produce_requests");
+        let c = r.counter("broker", "fetch_requests");
+        a.add(3);
+        b.add(4);
+        c.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("broker", "produce_requests"), Some(7));
+        assert_eq!(snap.counter("broker", "fetch_requests"), Some(1));
+        assert_eq!(snap.counter("broker", "nope"), None);
+    }
+
+    #[test]
+    fn counter_handles_are_private() {
+        let r = Registry::new();
+        let a = r.counter("x", "n");
+        let b = r.counter("x", "n");
+        a.add(5);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let r = Registry::new();
+        let g = r.gauge("cq", "depth");
+        g.add(3);
+        g.add(4);
+        g.sub(6);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 7);
+        let snap = r.snapshot();
+        let row = snap.gauge("cq", "depth").unwrap();
+        assert_eq!((row.value, row.peak), (1, 7));
+    }
+
+    #[test]
+    fn histograms_merge_in_snapshot() {
+        let r = Registry::new();
+        let h1 = r.histogram("client", "produce_ns");
+        let h2 = r.histogram("client", "produce_ns");
+        for v in 0..100 {
+            h1.record(v);
+        }
+        for v in 100..200 {
+            h2.record(v);
+        }
+        let snap = r.snapshot();
+        let row = snap.histogram("client", "produce_ns").unwrap();
+        assert_eq!(row.stats.count, 200);
+        assert_eq!(row.stats.max, 199);
+    }
+
+    #[test]
+    fn span_ring_bounded_drops_oldest() {
+        let r = Registry::new();
+        for i in 0..(SPAN_RING_CAPACITY as u64 + 10) {
+            r.record_span("s", i, i + 1);
+        }
+        assert_eq!(r.spans_dropped(), 10);
+        let spans = r.drain_spans();
+        assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+        assert_eq!(spans[0].start_ns, 10);
+        assert!(r.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn span_guard_records_virtual_time() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let span = r2.span("produce");
+            sim::time::sleep(std::time::Duration::from_micros(5)).await;
+            span.end();
+        });
+        let spans = r.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "produce");
+        assert_eq!(spans[0].duration_ns(), 5_000);
+    }
+
+    #[test]
+    fn span_guard_outside_runtime_is_noop() {
+        let r = Registry::new();
+        drop(r.span("x"));
+        assert!(r.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn ambient_registry_scoping() {
+        let outer = current();
+        let r = Registry::new();
+        {
+            let _g = enter(&r);
+            let c = current().counter("t", "c");
+            c.inc();
+        }
+        assert_eq!(r.snapshot().counter("t", "c"), Some(1));
+        // Back to the previous ambient registry after the scope.
+        assert_eq!(
+            current().snapshot().counter("t", "c"),
+            outer.snapshot().counter("t", "c")
+        );
+    }
+}

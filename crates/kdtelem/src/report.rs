@@ -1,0 +1,353 @@
+//! Snapshot/export: a point-in-time, aggregated view of a registry that can
+//! be printed as an aligned text table or serialised as JSON lines (one
+//! metric per line) with no external dependencies.
+
+use crate::hist::HistStats;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRow {
+    pub component: &'static str,
+    pub name: &'static str,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeRow {
+    pub component: &'static str,
+    pub name: &'static str,
+    pub value: u64,
+    pub peak: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRow {
+    pub component: &'static str,
+    pub name: &'static str,
+    pub stats: HistStats,
+}
+
+/// Aggregated snapshot of a [`crate::Registry`]. Rows are sorted by
+/// `(component, name)` so output is stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    pub counters: Vec<CounterRow>,
+    pub gauges: Vec<GaugeRow>,
+    pub histograms: Vec<HistRow>,
+    pub spans_buffered: u64,
+    pub spans_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Looks up a counter value.
+    pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|r| r.component == component && r.name == name)
+            .map(|r| r.value)
+    }
+
+    /// Looks up a gauge row.
+    pub fn gauge(&self, component: &str, name: &str) -> Option<&GaugeRow> {
+        self.gauges
+            .iter()
+            .find(|r| r.component == component && r.name == name)
+    }
+
+    /// Looks up a histogram row.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistRow> {
+        self.histograms
+            .iter()
+            .find(|r| r.component == component && r.name == name)
+    }
+
+    /// Renders an aligned, human-readable table. Histogram values are shown
+    /// in microseconds since every latency instrument records nanoseconds.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("== counters ==\n");
+            let w = self
+                .counters
+                .iter()
+                .map(|r| r.component.len() + r.name.len() + 1)
+                .max()
+                .unwrap_or(0);
+            for r in &self.counters {
+                let key = format!("{}.{}", r.component, r.name);
+                out.push_str(&format!("{key:w$}  {}\n", r.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            let w = self
+                .gauges
+                .iter()
+                .map(|r| r.component.len() + r.name.len() + 1)
+                .max()
+                .unwrap_or(0);
+            for r in &self.gauges {
+                let key = format!("{}.{}", r.component, r.name);
+                out.push_str(&format!("{key:w$}  {} (peak {})\n", r.value, r.peak));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("== histograms (us) ==\n");
+            let w = self
+                .histograms
+                .iter()
+                .map(|r| r.component.len() + r.name.len() + 1)
+                .max()
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "{:w$}  {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "", "count", "mean", "p50", "p90", "p99", "max"
+            ));
+            for r in &self.histograms {
+                let key = format!("{}.{}", r.component, r.name);
+                let s = &r.stats;
+                out.push_str(&format!(
+                    "{key:w$}  {:>10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+                    s.count,
+                    s.mean / 1_000.0,
+                    s.p50 as f64 / 1_000.0,
+                    s.p90 as f64 / 1_000.0,
+                    s.p99 as f64 / 1_000.0,
+                    s.max as f64 / 1_000.0,
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "spans: {} buffered, {} dropped\n",
+            self.spans_buffered, self.spans_dropped
+        ));
+        out
+    }
+
+    /// Serialises the report as JSON lines: one object per metric, a final
+    /// object for span accounting. Keys are fixed, values numeric — trivially
+    /// parseable by any JSON reader and safe to `>>` into `results/`.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"component\":{},\"name\":{},\"value\":{}}}\n",
+                json_str(r.component),
+                json_str(r.name),
+                r.value
+            ));
+        }
+        for r in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"component\":{},\"name\":{},\"value\":{},\"peak\":{}}}\n",
+                json_str(r.component),
+                json_str(r.name),
+                r.value,
+                r.peak
+            ));
+        }
+        for r in &self.histograms {
+            let s = &r.stats;
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"component\":{},\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+                json_str(r.component),
+                json_str(r.name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.mean,
+                s.p50,
+                s.p90,
+                s.p99
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"spans\",\"buffered\":{},\"dropped\":{}}}\n",
+            self.spans_buffered, self.spans_dropped
+        ));
+        out
+    }
+
+    /// Parses the output of [`to_json_lines`] back into a report (histograms
+    /// come back as summary stats only). Used by the admin path: a broker
+    /// ships its report over the wire as JSON lines.
+    pub fn from_json_lines(text: &str) -> Option<TelemetryReport> {
+        let mut report = TelemetryReport::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let kind = json_field_str(line, "kind")?;
+            match kind.as_str() {
+                "counter" => report.counters.push(CounterRow {
+                    component: leak(json_field_str(line, "component")?),
+                    name: leak(json_field_str(line, "name")?),
+                    value: json_field_u64(line, "value")?,
+                }),
+                "gauge" => report.gauges.push(GaugeRow {
+                    component: leak(json_field_str(line, "component")?),
+                    name: leak(json_field_str(line, "name")?),
+                    value: json_field_u64(line, "value")?,
+                    peak: json_field_u64(line, "peak")?,
+                }),
+                "histogram" => report.histograms.push(HistRow {
+                    component: leak(json_field_str(line, "component")?),
+                    name: leak(json_field_str(line, "name")?),
+                    stats: HistStats {
+                        count: json_field_u64(line, "count")?,
+                        sum: json_field_u64(line, "sum")?,
+                        min: json_field_u64(line, "min")?,
+                        max: json_field_u64(line, "max")?,
+                        mean: json_field_f64(line, "mean")?,
+                        p50: json_field_u64(line, "p50")?,
+                        p90: json_field_u64(line, "p90")?,
+                        p99: json_field_u64(line, "p99")?,
+                    },
+                }),
+                "spans" => {
+                    report.spans_buffered = json_field_u64(line, "buffered")?;
+                    report.spans_dropped = json_field_u64(line, "dropped")?;
+                }
+                _ => return None,
+            }
+        }
+        Some(report)
+    }
+}
+
+/// Metric names are static interned strings on the producing side; parsing a
+/// wire report re-interns them. Reports cross the wire a handful of times per
+/// run, so the leak is bounded and keeps the row types allocation-free on the
+/// hot recording path.
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| {
+            if rest.starts_with('"') {
+                i > 0 && c == '"' && !rest[..i].ends_with('\\')
+            } else {
+                c == ',' || c == '}'
+            }
+        })
+        .map(|(i, _)| if rest.starts_with('"') { i + 1 } else { i })?;
+    Some(&rest[..end])
+}
+
+fn json_field_str(line: &str, key: &str) -> Option<String> {
+    let raw = json_field_raw(line, key)?;
+    let raw = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let code: String = (&mut chars).take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
+                }
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+    json_field_raw(line, key)?.parse().ok()
+}
+
+fn json_field_f64(line: &str, key: &str) -> Option<f64> {
+    json_field_raw(line, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_report() -> TelemetryReport {
+        let r = Registry::new();
+        r.counter("broker", "produce_requests").add(12);
+        r.counter("rnic", "qp_posts").add(99);
+        let g = r.gauge("rnic", "cq_depth");
+        g.add(5);
+        g.sub(2);
+        let h = r.histogram("client", "produce_e2e_ns");
+        for v in [1_000u64, 2_000, 4_000, 8_000, 100_000] {
+            h.record(v);
+        }
+        r.record_span("produce", 0, 10);
+        r.snapshot()
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = sample_report().to_table();
+        assert!(t.contains("broker.produce_requests"));
+        assert!(t.contains("rnic.cq_depth"));
+        assert!(t.contains("client.produce_e2e_ns"));
+        assert!(t.contains("p99"));
+        assert!(t.contains("spans: 1 buffered, 0 dropped"));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let report = sample_report();
+        let json = report.to_json_lines();
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let back = TelemetryReport::from_json_lines(&json).expect("parse");
+        assert_eq!(back.counter("broker", "produce_requests"), Some(12));
+        assert_eq!(back.counter("rnic", "qp_posts"), Some(99));
+        let g = back.gauge("rnic", "cq_depth").unwrap();
+        assert_eq!((g.value, g.peak), (3, 5));
+        let h = back.histogram("client", "produce_e2e_ns").unwrap();
+        assert_eq!(h.stats.count, 5);
+        assert_eq!(h.stats.min, 1_000);
+        assert_eq!(back.spans_buffered, 1);
+    }
+
+    #[test]
+    fn json_escaping_survives_quotes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let line = format!("{{\"kind\":\"counter\",\"component\":{},\"name\":{},\"value\":3}}", json_str("a\"b"), json_str("n"));
+        assert_eq!(json_field_str(&line, "component").as_deref(), Some("a\"b"));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(TelemetryReport::from_json_lines("{\"kind\":\"wat\"}").is_none());
+        // Blank input parses to an empty report.
+        assert!(TelemetryReport::from_json_lines("").is_some());
+    }
+}

@@ -200,6 +200,9 @@ pub enum Request {
         leader: BrokerAddr,
         replicas: Vec<BrokerAddr>,
     },
+    /// Admin: dump the broker's telemetry registry (counters, gauges,
+    /// latency histograms) as JSON lines.
+    Telemetry,
 }
 
 /// Broker→client responses.
@@ -234,6 +237,8 @@ pub enum Response {
         region: RemoteRegion,
     },
     InternalAddPartition { error: ErrorCode },
+    /// JSON-lines encoding of a `kdtelem::TelemetryReport`.
+    Telemetry { error: ErrorCode, json: String },
 }
 
 /// Fetch response payload.
@@ -478,6 +483,9 @@ impl Request {
                     put_broker(&mut w, r);
                 }
             }
+            Request::Telemetry => {
+                w.put_u8(13);
+            }
         }
         w.into_vec()
     }
@@ -570,6 +578,7 @@ impl Request {
                 topic: r.get_string()?,
                 partition: r.get_u32()?,
             },
+            13 => Request::Telemetry,
             _ => return Err(WireError::BadValue),
         };
         Ok(req)
@@ -695,6 +704,11 @@ impl Response {
                 w.put_u8(12);
                 w.put_u8(*error as u8);
                 put_region(&mut w, region);
+            }
+            Response::Telemetry { error, json } => {
+                w.put_u8(13);
+                w.put_u8(*error as u8);
+                w.put_string(json);
             }
         }
         w.into_vec()
@@ -833,6 +847,10 @@ impl Response {
                 error: ErrorCode::from_u8(r.get_u8()?)?,
                 region: get_region(&mut r)?,
             },
+            13 => Response::Telemetry {
+                error: ErrorCode::from_u8(r.get_u8()?)?,
+                json: r.get_string()?,
+            },
             _ => return Err(WireError::BadValue),
         };
         Ok(resp)
@@ -924,6 +942,7 @@ mod tests {
                 consumer_id: 0xdead,
                 segment: 3,
             },
+            Request::Telemetry,
         ];
         for req in reqs {
             let enc = req.encode();
@@ -1031,6 +1050,10 @@ mod tests {
                 error: ErrorCode::None,
                 region: region(),
             },
+            Response::Telemetry {
+                error: ErrorCode::None,
+                json: "{\"kind\":\"counter\"}\n".into(),
+            },
         ];
         for resp in resps {
             let enc = resp.encode();
@@ -1058,55 +1081,70 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sim::rng::SimRng;
 
-    fn arb_request() -> impl Strategy<Value = Request> {
-        let topic = "[a-z]{1,12}";
-        prop_oneof![
-            proptest::collection::vec(topic, 0..4)
-                .prop_map(|topics| Request::Metadata { topics }),
-            (topic, 1u32..64, 1u32..4).prop_map(|(topic, partitions, replication)| {
-                Request::CreateTopic {
-                    topic,
-                    partitions,
-                    replication,
-                }
-            }),
-            (topic, any::<u32>(), 0u8..3, proptest::collection::vec(any::<u8>(), 0..512))
-                .prop_map(|(topic, partition, acks, batch)| Request::Produce {
-                    topic,
-                    partition,
-                    acks,
-                    batch,
-                }),
-            (topic, any::<u32>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
-                |(topic, partition, offset, max_bytes, replica_id)| Request::Fetch {
-                    topic,
-                    partition,
-                    offset,
-                    max_bytes,
-                    replica_id,
-                }
-            ),
-            (topic, any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
-                |(topic, partition, offset, consumer_id)| Request::ConsumeAccess {
-                    topic,
-                    partition,
-                    offset,
-                    consumer_id,
-                }
-            ),
-        ]
+    fn arb_topic(rng: &mut SimRng) -> String {
+        let len = rng.random_range(1usize..=12);
+        (0..len)
+            .map(|_| (b'a' + rng.random_range(0u8..26)) as char)
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn requests_round_trip(req in arb_request()) {
-            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
-        }
+    fn arb_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+        let len = rng.random_range(0usize..max_len);
+        let mut v = vec![0u8; len];
+        rng.fill(&mut v);
+        v
+    }
 
-        #[test]
-        fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn arb_request(rng: &mut SimRng) -> Request {
+        match rng.below(5) {
+            0 => Request::Metadata {
+                topics: (0..rng.random_range(0usize..4))
+                    .map(|_| arb_topic(rng))
+                    .collect(),
+            },
+            1 => Request::CreateTopic {
+                topic: arb_topic(rng),
+                partitions: rng.random_range(1u32..64),
+                replication: rng.random_range(1u32..4),
+            },
+            2 => Request::Produce {
+                topic: arb_topic(rng),
+                partition: rng.random_range(0u32..=u32::MAX),
+                acks: rng.random_range(0u8..3),
+                batch: arb_bytes(rng, 512),
+            },
+            3 => Request::Fetch {
+                topic: arb_topic(rng),
+                partition: rng.random_range(0u32..=u32::MAX),
+                offset: rng.next_u64(),
+                max_bytes: rng.random_range(0u32..=u32::MAX),
+                replica_id: rng.random_range(0u32..=u32::MAX),
+            },
+            _ => Request::ConsumeAccess {
+                topic: arb_topic(rng),
+                partition: rng.random_range(0u32..=u32::MAX),
+                offset: rng.next_u64(),
+                consumer_id: rng.next_u64(),
+            },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for case in 0..256u64 {
+            let mut rng = SimRng::seed_from_u64(0x33A6_0001 ^ case);
+            let req = arb_request(&mut rng);
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req, "case {case}");
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics() {
+        for case in 0..256u64 {
+            let mut rng = SimRng::seed_from_u64(0x33A6_0002 ^ case);
+            let data = arb_bytes(&mut rng, 256);
             let _ = Request::decode(&data);
             let _ = Response::decode(&data);
         }

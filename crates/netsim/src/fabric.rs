@@ -45,6 +45,10 @@ pub(crate) struct FabricInner {
     /// Typed extension slots: higher layers (e.g. the RDMA device registry in
     /// the `rnic` crate) attach their fabric-global state here.
     pub(crate) extensions: RefCell<HashMap<TypeId, Rc<dyn Any>>>,
+    // Telemetry for the per-address atomic rate limit (§4.2.2).
+    pub(crate) atomic_ops: kdtelem::Counter,
+    pub(crate) atomic_stalls: kdtelem::Counter,
+    pub(crate) atomic_stall_ns: kdtelem::Histogram,
 }
 
 /// A handle to the whole simulated network. Cheap to clone.
@@ -55,6 +59,7 @@ pub struct Fabric {
 
 impl Fabric {
     pub fn new(profile: Profile) -> Self {
+        let telem = kdtelem::current();
         Fabric {
             inner: Rc::new(FabricInner {
                 profile: Rc::new(profile),
@@ -62,6 +67,9 @@ impl Fabric {
                 tcp_listeners: RefCell::new(HashMap::new()),
                 next_auto_port: std::cell::Cell::new(40000),
                 extensions: RefCell::new(HashMap::new()),
+                atomic_ops: telem.counter("netsim", "atomic_ops"),
+                atomic_stalls: telem.counter("netsim", "atomic_stalls"),
+                atomic_stall_ns: telem.histogram("netsim", "atomic_stall_ns"),
             }),
         }
     }
@@ -162,6 +170,11 @@ impl Fabric {
         let start = arrival.as_nanos().max(*slot);
         let exec_done = start + p.atomic_exec.as_nanos() as u64;
         *slot = start + p.atomic_same_addr_gap.as_nanos() as u64;
+        self.inner.atomic_ops.inc();
+        if start > arrival.as_nanos() {
+            self.inner.atomic_stalls.inc();
+            self.inner.atomic_stall_ns.record(start - arrival.as_nanos());
+        }
         SimTime::from_nanos(exec_done)
     }
 

@@ -17,6 +17,11 @@ pub struct Link {
     busy_until: Cell<u64>,
     bytes_carried: Cell<u64>,
     messages: Cell<u64>,
+    // Telemetry handles from the ambient registry (shared names: every link
+    // on a fabric aggregates into the same rows at snapshot time).
+    queue_delay_ns: kdtelem::Histogram,
+    busy_ns: kdtelem::Counter,
+    bytes_counter: kdtelem::Counter,
 }
 
 /// Outcome of a [`Link::reserve`]: when the message starts and finishes
@@ -30,11 +35,15 @@ pub struct Reservation {
 impl Link {
     pub fn new(bandwidth: f64) -> Self {
         assert!(bandwidth > 0.0);
+        let telem = kdtelem::current();
         Link {
             bandwidth,
             busy_until: Cell::new(0),
             bytes_carried: Cell::new(0),
             messages: Cell::new(0),
+            queue_delay_ns: telem.histogram("netsim", "link_queue_delay_ns"),
+            busy_ns: telem.counter("netsim", "link_busy_ns"),
+            bytes_counter: telem.counter("netsim", "link_bytes"),
         }
     }
 
@@ -47,15 +56,7 @@ impl Link {
     /// `min_occupancy`. `now` is the earliest possible start.
     pub fn reserve(&self, now: SimTime, bytes: u64, min_occupancy: Duration) -> Reservation {
         let occupancy = self.wire_time(bytes).max(min_occupancy);
-        let start_ns = now.as_nanos().max(self.busy_until.get());
-        let end_ns = start_ns + occupancy.as_nanos() as u64;
-        self.busy_until.set(end_ns);
-        self.bytes_carried.set(self.bytes_carried.get() + bytes);
-        self.messages.set(self.messages.get() + 1);
-        Reservation {
-            start: SimTime::from_nanos(start_ns),
-            end: SimTime::from_nanos(end_ns),
-        }
+        self.commit(now, bytes, occupancy)
     }
 
     /// Reserves at an explicit bandwidth share (used by the TCP path, which
@@ -69,11 +70,18 @@ impl Link {
     ) -> Reservation {
         let wire = Duration::from_nanos((bytes as f64 * 1e9 / bandwidth) as u64);
         let occupancy = wire.max(min_occupancy);
+        self.commit(now, bytes, occupancy)
+    }
+
+    fn commit(&self, now: SimTime, bytes: u64, occupancy: Duration) -> Reservation {
         let start_ns = now.as_nanos().max(self.busy_until.get());
         let end_ns = start_ns + occupancy.as_nanos() as u64;
         self.busy_until.set(end_ns);
         self.bytes_carried.set(self.bytes_carried.get() + bytes);
         self.messages.set(self.messages.get() + 1);
+        self.queue_delay_ns.record(start_ns - now.as_nanos());
+        self.busy_ns.add(end_ns - start_ns);
+        self.bytes_counter.add(bytes);
         Reservation {
             start: SimTime::from_nanos(start_ns),
             end: SimTime::from_nanos(end_ns),
@@ -93,6 +101,12 @@ impl Link {
     /// Total messages carried (telemetry).
     pub fn messages(&self) -> u64 {
         self.messages.get()
+    }
+
+    /// Total time this link was occupied by reservations (telemetry); with
+    /// the run's elapsed virtual time this gives link utilization.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.get())
     }
 }
 
@@ -147,5 +161,23 @@ mod tests {
         l.reserve(t(0), 200, Duration::ZERO);
         assert_eq!(l.bytes_carried(), 300);
         assert_eq!(l.messages(), 2);
+        assert_eq!(l.busy_time(), Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn queueing_delay_lands_in_registry() {
+        let reg = kdtelem::Registry::new();
+        let _g = kdtelem::enter(&reg);
+        let l = Link::new(1e9);
+        l.reserve(t(0), 1000, Duration::ZERO); // starts at 0, no queueing
+        l.reserve(t(0), 1000, Duration::ZERO); // queues 1000ns behind the first
+        let snap = reg.snapshot();
+        let h = snap.histogram("netsim", "link_queue_delay_ns").unwrap();
+        assert_eq!(h.stats.count, 2);
+        assert_eq!(h.stats.min, 0);
+        // 1000 lands in a log-linear bucket whose high end is < 1063.
+        assert!(h.stats.max >= 1000 && h.stats.max < 1063);
+        assert_eq!(snap.counter("netsim", "link_busy_ns"), Some(2000));
+        assert_eq!(snap.counter("netsim", "link_bytes"), Some(2000));
     }
 }

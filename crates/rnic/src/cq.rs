@@ -23,6 +23,11 @@ pub(crate) struct CqInner {
     overflowed: Cell<bool>,
     attached: RefCell<Vec<Weak<QpShared>>>,
     completions_total: Cell<u64>,
+    // Registry-backed telemetry: current/peak occupancy across all CQs and
+    // total CQEs delivered (the overflow-risk signal of §4.3.2).
+    depth: kdtelem::Gauge,
+    cqes: kdtelem::Counter,
+    overflows: kdtelem::Counter,
 }
 
 /// A completion queue shared by one or more QPs.
@@ -34,6 +39,7 @@ pub struct CompletionQueue {
 impl CompletionQueue {
     pub(crate) fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let telem = kdtelem::current();
         CompletionQueue {
             inner: Rc::new(CqInner {
                 queue: RefCell::new(VecDeque::new()),
@@ -42,6 +48,9 @@ impl CompletionQueue {
                 overflowed: Cell::new(false),
                 attached: RefCell::new(Vec::new()),
                 completions_total: Cell::new(0),
+                depth: telem.gauge("rnic", "cq_depth"),
+                cqes: telem.counter("rnic", "cqes"),
+                overflows: telem.counter("rnic", "cq_overflows"),
             }),
         }
     }
@@ -61,6 +70,7 @@ impl CompletionQueue {
             if q.len() >= self.inner.capacity {
                 drop(q);
                 self.inner.overflowed.set(true);
+                self.inner.overflows.inc();
                 let attached: Vec<_> = self.inner.attached.borrow().clone();
                 for qp in attached.into_iter().filter_map(|w| w.upgrade()) {
                     QpShared::fail(&qp, crate::verbs::CqStatus::FlushError);
@@ -72,13 +82,19 @@ impl CompletionQueue {
             self.inner
                 .completions_total
                 .set(self.inner.completions_total.get() + 1);
+            self.inner.cqes.inc();
+            self.inner.depth.add(1);
         }
         self.inner.notify.notify_one();
     }
 
     /// Non-blocking poll, like `ibv_poll_cq`.
     pub fn poll(&self) -> Option<Cqe> {
-        self.inner.queue.borrow_mut().pop_front()
+        let cqe = self.inner.queue.borrow_mut().pop_front();
+        if cqe.is_some() {
+            self.inner.depth.sub(1);
+        }
+        cqe
     }
 
     /// Waits (virtual time) for the next completion.

@@ -74,6 +74,11 @@ pub(crate) struct NicInner {
     pub(crate) reads_served: Cell<u64>,
     pub(crate) atomics_served: Cell<u64>,
     pub(crate) sends_in: Cell<u64>,
+    // Registry-backed telemetry: work-request post rate and post→completion
+    // latency across every QP on this device.
+    pub(crate) qp_posts: kdtelem::Counter,
+    pub(crate) one_sided_in: kdtelem::Counter,
+    pub(crate) post_to_comp_ns: kdtelem::Histogram,
 }
 
 impl NicInner {
@@ -107,6 +112,7 @@ impl RNic {
     /// (the testbed has a single ConnectX-4 per machine).
     pub fn new(node: &NodeHandle) -> RNic {
         let registry = Registry::get(&node.fabric);
+        let telem = kdtelem::current();
         let inner = Rc::new(NicInner {
             node: node.clone(),
             registry: Rc::clone(&registry),
@@ -115,6 +121,9 @@ impl RNic {
             reads_served: Cell::new(0),
             atomics_served: Cell::new(0),
             sends_in: Cell::new(0),
+            qp_posts: telem.counter("rnic", "qp_posts"),
+            one_sided_in: telem.counter("rnic", "one_sided_in"),
+            post_to_comp_ns: telem.histogram("rnic", "post_to_comp_ns"),
         });
         registry
             .nics

@@ -276,6 +276,8 @@ impl QueuePair {
         let peer = Rc::clone(peer);
         let ticket = qp.next_ticket.get();
         qp.next_ticket.set(ticket + 1);
+        qp.nic.qp_posts.inc();
+        let posted = sim::now();
 
         let fabric = qp.nic.node.fabric.clone();
         let profile = fabric.profile();
@@ -300,6 +302,7 @@ impl QueuePair {
                 let resp =
                     fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
                 Timing {
+                    posted,
                     req_arrival,
                     exec,
                     comp: resp + net.rdma_completion_overhead,
@@ -310,12 +313,14 @@ impl QueuePair {
                 let resp =
                     fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
                 Timing {
+                    posted,
                     req_arrival,
                     exec,
                     comp: resp + net.rdma_completion_overhead,
                 }
             }
             _ => Timing {
+                posted,
                 req_arrival,
                 exec: req_arrival,
                 // Hardware ack + initiator CQE.
@@ -331,6 +336,8 @@ impl QueuePair {
 
 #[derive(Clone, Copy)]
 struct Timing {
+    /// When the initiator posted the work request.
+    posted: SimTime,
     /// When the request fully arrives at the responder.
     req_arrival: SimTime,
     /// When the responder executes it (atomics serialise; reads pay the DMA
@@ -367,6 +374,11 @@ async fn run_wr(qp: Rc<QpShared>, peer: Rc<QpShared>, wr: SendWr, ticket: u64, t
 
     // Response / ack travel time.
     sim::time::sleep_until(t.comp).await;
+    if status == CqStatus::Success && wr.signaled {
+        qp.nic
+            .post_to_comp_ns
+            .record(t.comp.saturating_since(t.posted).as_nanos() as u64);
+    }
     let byte_len = wr.op.request_bytes().max(wr.op.response_bytes()) as u32;
     complete(&qp, &wr, ticket, status, byte_len, old).await;
 }
@@ -414,6 +426,7 @@ async fn execute_remote(
             let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
             write_region(&mr, *remote_addr, &local.to_vec());
             peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
+            peer.nic.one_sided_in.inc();
             Ok(None)
         }
         WorkRequest::WriteImm {
@@ -425,6 +438,7 @@ async fn execute_remote(
             let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
             write_region(&mr, *remote_addr, &local.to_vec());
             peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
+            peer.nic.one_sided_in.inc();
             let recv = wait_recv(qp, peer).await?;
             peer.recv_cq.push(Cqe {
                 wr_id: recv.wr_id,
@@ -472,6 +486,7 @@ async fn execute_remote(
             let offset = (*remote_addr - mr.addr) as usize;
             let snapshot = mr.buf.read_at(offset, local.len());
             peer.nic.reads_served.set(peer.nic.reads_served.get() + 1);
+            peer.nic.one_sided_in.inc();
             local.copy_from(&snapshot);
             Ok(None)
         }
@@ -490,6 +505,7 @@ async fn execute_remote(
                 mr.buf.write_u64(offset, *swap);
             }
             peer.nic.atomics_served.set(peer.nic.atomics_served.get() + 1);
+            peer.nic.one_sided_in.inc();
             local.copy_from(&old.to_le_bytes());
             Ok(Some(old))
         }
@@ -505,6 +521,7 @@ async fn execute_remote(
             let old = mr.buf.read_u64(offset);
             mr.buf.write_u64(offset, old.wrapping_add(*add));
             peer.nic.atomics_served.set(peer.nic.atomics_served.get() + 1);
+            peer.nic.one_sided_in.inc();
             local.copy_from(&old.to_le_bytes());
             Ok(Some(old))
         }

@@ -10,9 +10,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex, Weak};
 use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
+use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// Ready queue shared with wakers. Wakers may be held by `Send` types (e.g.
@@ -59,7 +57,7 @@ pub(crate) struct Inner {
     timer_seq: Cell<u64>,
     current_task: Cell<usize>,
     polls: Cell<u64>,
-    pub(crate) rng: RefCell<SmallRng>,
+    pub(crate) rng: RefCell<SimRng>,
 }
 
 impl Inner {
@@ -74,7 +72,7 @@ impl Inner {
             timer_seq: Cell::new(0),
             current_task: Cell::new(usize::MAX),
             polls: Cell::new(0),
-            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            rng: RefCell::new(SimRng::seed_from_u64(seed)),
         })
     }
 
@@ -214,6 +212,15 @@ pub(crate) fn with_current<T>(f: impl FnOnce(&Rc<Inner>) -> T) -> T {
             .last()
             .expect("sim: no runtime is active on this thread; use Runtime::block_on");
         f(inner)
+    })
+}
+
+/// Like [`with_current`] but returns `None` when no runtime is active instead
+/// of panicking; used by telemetry, which must work outside a runtime.
+pub(crate) fn try_with_current<T>(f: impl FnOnce(&Rc<Inner>) -> T) -> Option<T> {
+    CURRENT.with(|c| {
+        let stack = c.borrow();
+        stack.last().map(f)
     })
 }
 

@@ -43,7 +43,7 @@ pub mod sync;
 pub mod time;
 
 pub use executor::{JoinError, JoinHandle, Runtime, SpawnError};
-pub use time::{now, SimTime};
+pub use time::{now, try_now, SimTime};
 
 use std::future::Future;
 

@@ -7,7 +7,7 @@ use std::pin::Pin;
 use std::task::{Context, Poll};
 use std::time::Duration;
 
-use crate::executor::with_current;
+use crate::executor::{try_with_current, with_current};
 
 /// An instant on the simulation's virtual clock, in nanoseconds since the
 /// runtime started. Analogous to `std::time::Instant` but deterministic.
@@ -85,6 +85,12 @@ impl Sub<Duration> for SimTime {
 /// Current virtual time of the active runtime.
 pub fn now() -> SimTime {
     with_current(|inner| SimTime::from_nanos(inner.now_nanos()))
+}
+
+/// Current virtual time, or `None` when no runtime is active on this thread.
+/// Telemetry uses this so it can be read outside `block_on` without panicking.
+pub fn try_now() -> Option<SimTime> {
+    try_with_current(|inner| SimTime::from_nanos(inner.now_nanos()))
 }
 
 /// Future returned by [`sleep`] / [`sleep_until`].

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: the workspace must build, test, and lint with no
+# network access (no registry deps beyond the vendored toolchain).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
