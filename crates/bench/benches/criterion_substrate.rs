@@ -166,6 +166,7 @@ fn bench_fabric_events() {
                         rkey: mr.rkey(),
                     },
                     signaled: i == 199,
+                    trace: None,
                 })
                 .unwrap();
             }

@@ -4,8 +4,8 @@
 
 use kafkadirect::SystemKind;
 use kdbench::harness::{
-    maybe_print_telemetry, produce_bandwidth_mibps, produce_latency_us, produce_telemetry,
-    ProduceOpts, ProducerMode,
+    maybe_print_telemetry, maybe_write_trace, produce_bandwidth_mibps, produce_latency_us,
+    produce_telemetry, ProduceOpts, ProducerMode,
 };
 use kdbench::stats::{fmt, size_label, Table};
 
@@ -92,4 +92,7 @@ fn main() {
             maybe_print_telemetry(label, &report);
         }
     }
+    // KD_TRACE=<path>: export one end-to-end produce→fetch run's lifelines
+    // as Chrome trace-event JSON (Perfetto-loadable).
+    maybe_write_trace("KafkaDirect e2e 256B", SystemKind::KafkaDirect);
 }

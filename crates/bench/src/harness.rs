@@ -369,6 +369,36 @@ pub fn maybe_print_telemetry(label: &str, report: &kdtelem::TelemetryReport) {
     }
 }
 
+/// Captures every trace event of one end-to-end produce→fetch run on
+/// `system`'s preferred datapaths and returns the drained event log.
+pub fn capture_trace(system: SystemKind, record_size: usize, samples: usize) -> Vec<kdtelem::TraceEvent> {
+    let registry = kdtelem::Registry::new();
+    let _scope = kdtelem::enter(&registry);
+    let _ = end_to_end_latency_us(system, record_size, samples);
+    registry.drain_trace_events()
+}
+
+/// When `KD_TRACE=<path>` is set, records one end-to-end produce→fetch run
+/// on `system` and writes its lifelines as Chrome trace-event JSON to
+/// `<path>` — load the file in Perfetto (ui.perfetto.dev) or
+/// `chrome://tracing` to see client→broker→consumer spans and events.
+pub fn maybe_write_trace(label: &str, system: SystemKind) {
+    let Some(path) = std::env::var_os("KD_TRACE") else {
+        return;
+    };
+    let events = capture_trace(system, 256, 4);
+    let json = kdtelem::chrome::to_chrome_json(&events);
+    let path = std::path::PathBuf::from(path);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!(
+            "# trace — {label}: wrote {} events to {}",
+            events.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("# trace — {label}: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// The preferred produce datapath of a system (for preloading data).
 pub fn preferred_mode(system: SystemKind) -> ProducerMode {
     if system.rdma_produce() {

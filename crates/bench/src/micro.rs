@@ -241,6 +241,7 @@ async fn run_producer(
                 imm: i as u32,
             },
             signaled,
+            trace: None,
         })
         .unwrap();
         outstanding += 1;
@@ -357,6 +358,7 @@ pub fn fig7_bandwidth_gibps(mode: NotifyMode, msg_size: usize, count: usize) -> 
                             imm: i as u32,
                         },
                         signaled,
+                        trace: None,
                     })
                     .unwrap();
                 }
@@ -377,6 +379,7 @@ pub fn fig7_bandwidth_gibps(mode: NotifyMode, msg_size: usize, count: usize) -> 
                             local: meta_buf.as_slice(),
                         },
                         signaled,
+                        trace: None,
                     })
                     .unwrap();
                 }

@@ -57,6 +57,7 @@ async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
             peer,
             request,
             reply,
+            trace,
         } => {
             // Per-API service latency (worker dequeue → reply sent or
             // deferred); long-poll/replication waits run off-worker and are
@@ -67,10 +68,23 @@ async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
                 _ => (&b.telem.api_control_ns, "broker.api.control"),
             };
             let hist = hist.clone();
-            let span = b.telem.registry.span(span_name);
-            handle_rpc(b, peer, request, reply).await;
+            // A traced RPC continues the caller's lifeline in a child span;
+            // untraced ones keep the classic duration-only span.
+            let tspan = trace.map(|ctx| b.telem.registry.trace_span(span_name, Some(ctx)));
+            let span = if tspan.is_none() {
+                Some(b.telem.registry.span(span_name))
+            } else {
+                None
+            };
+            let ctx = tspan.as_ref().map(|s| s.ctx());
+            handle_rpc(b, peer, request, reply, ctx).await;
             hist.record_since(start);
-            span.end();
+            if let Some(s) = tspan {
+                s.end();
+            }
+            if let Some(s) = span {
+                s.end();
+            }
         }
         WorkItem::RdmaCommit {
             file_id,
@@ -78,11 +92,23 @@ async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
             byte_len,
             seq,
             ack,
+            trace,
         } => {
-            let span = b.telem.registry.span("broker.rdma_commit");
-            handle_rdma_commit(b, file_id, order, byte_len, seq, ack).await;
+            let tspan = trace.map(|ctx| b.telem.registry.trace_span("broker.rdma_commit", Some(ctx)));
+            let span = if tspan.is_none() {
+                Some(b.telem.registry.span("broker.rdma_commit"))
+            } else {
+                None
+            };
+            let ctx = tspan.as_ref().map(|s| s.ctx());
+            handle_rdma_commit(b, file_id, order, byte_len, seq, ack, ctx).await;
             b.telem.rdma_commit_ns.record_since(start);
-            span.end();
+            if let Some(s) = tspan {
+                s.end();
+            }
+            if let Some(s) = span {
+                s.end();
+            }
         }
     }
 }
@@ -96,6 +122,7 @@ async fn handle_rpc(
     peer: NodeId,
     request: Request,
     reply: oneshot::Sender<Response>,
+    ctx: Option<kdtelem::TraceCtx>,
 ) {
     match request {
         Request::Metadata { topics } => {
@@ -150,7 +177,17 @@ async fn handle_rpc(
             partition,
             acks,
             batch,
-        } => handle_produce(b, &TopicPartition::new(&*topic, partition), acks, batch, reply).await,
+        } => {
+            handle_produce(
+                b,
+                &TopicPartition::new(&*topic, partition),
+                acks,
+                batch,
+                reply,
+                ctx,
+            )
+            .await
+        }
         Request::Fetch {
             topic,
             partition,
@@ -165,6 +202,7 @@ async fn handle_rpc(
                 max_bytes,
                 replica_id,
                 reply,
+                ctx,
             )
             .await
         }
@@ -449,12 +487,55 @@ pub fn apply_add_partition(
 // Produce (TCP datapath, §4.2.1).
 // ---------------------------------------------------------------------------
 
+/// Trace the two broker CPU copies the TCP produce path pays (§4.2.1):
+/// socket receive buffer → request heap, then heap → log file.
+fn trace_tcp_copies(b: &Rc<BrokerInner>, ctx: Option<kdtelem::TraceCtx>, len: u64) {
+    if let Some(ctx) = ctx {
+        let r = &b.telem.registry;
+        r.trace_event_now(
+            ctx,
+            kdtelem::EventKind::CpuCopy {
+                site: "broker.net_to_user",
+                bytes: len,
+            },
+        );
+        r.trace_event_now(
+            ctx,
+            kdtelem::EventKind::CpuCopy {
+                site: "broker.log_append",
+                bytes: len,
+            },
+        );
+    }
+}
+
+/// Trace a commit of `[base, next)` on the producer's lifeline.
+fn trace_commit(
+    b: &Rc<BrokerInner>,
+    ctx: Option<kdtelem::TraceCtx>,
+    tp: &TopicPartition,
+    base_offset: u64,
+    next_offset: u64,
+) {
+    if let Some(ctx) = ctx {
+        b.telem.registry.trace_event_now(
+            ctx,
+            kdtelem::EventKind::Commit {
+                stream: kdtelem::stream_key(tp.topic.as_str(), tp.partition),
+                base_offset,
+                next_offset,
+            },
+        );
+    }
+}
+
 async fn handle_produce(
     b: &Rc<BrokerInner>,
     tp: &TopicPartition,
     acks: u8,
     batch: Vec<u8>,
     reply: oneshot::Sender<Response>,
+    ctx: Option<kdtelem::TraceCtx>,
 ) {
     b.metrics.add(&b.metrics.produce_requests, 1);
     b.metrics.add(&b.metrics.produce_bytes, batch.len() as u64);
@@ -481,7 +562,7 @@ async fn handle_produce(
     // atomic word as the remote producers (§4.2.2 "Shared RDMA/TCP access").
     let grant = p.grant.borrow().clone();
     if let Some(g) = grant.filter(|g| g.mode == ProduceMode::Shared && !g.closed.get()) {
-        produce_via_shared(b, &p, &g, batch, reply).await;
+        produce_via_shared(b, &p, &g, batch, reply, ctx).await;
         return;
     }
 
@@ -498,10 +579,18 @@ async fn handle_produce(
     )
     .await;
     b.metrics.add(&b.metrics.heap_copied_bytes, len);
+    trace_tcp_copies(b, ctx, len);
     let res = p.log.append_batch(&batch);
     drop(guard);
     match res {
         Ok(info) => {
+            trace_commit(
+                b,
+                ctx,
+                tp,
+                info.base_offset,
+                info.base_offset + u64::from(info.record_count),
+            );
             after_local_commit(b, &p);
             finish_produce_rpc(b, &p, acks, info.base_offset, info.record_count, reply);
         }
@@ -577,6 +666,7 @@ async fn produce_via_shared(
     g: &Rc<Grant>,
     batch: Vec<u8>,
     reply: oneshot::Sender<Response>,
+    ctx: Option<kdtelem::TraceCtx>,
 ) {
     let shared = g.shared.as_ref().expect("shared grant");
     let word_region = RemoteRegion {
@@ -611,10 +701,18 @@ async fn produce_via_shared(
                 + copy_time(len, cpu.heap_copy_bandwidth),
         )
         .await;
+        trace_tcp_copies(b, ctx, len);
         let res = p.log.append_batch(&batch);
         drop(guard);
         match res {
             Ok(info) => {
+                trace_commit(
+                    b,
+                    ctx,
+                    &p.tp,
+                    info.base_offset,
+                    info.base_offset + u64::from(info.record_count),
+                );
                 after_local_commit(b, p);
                 finish_produce_rpc(b, p, 2, info.base_offset, info.record_count, reply);
             }
@@ -633,6 +731,7 @@ async fn produce_via_shared(
     let cpu = &b.profile.cpu;
     charge_worker(b, copy_time(len, cpu.heap_copy_bandwidth)).await;
     b.metrics.add(&b.metrics.heap_copied_bytes, len);
+    trace_tcp_copies(b, ctx, len);
     seg.write_at(w.offset as u32, &batch);
     seg.advance_write_pos(w.offset as u32 + len as u32);
     // Join the completion-ordered commit stream at the current sequence.
@@ -644,6 +743,7 @@ async fn produce_via_shared(
         byte_len: len as u32,
         seq,
         ack: AckRoute::Rpc(reply),
+        trace: ctx,
     };
     crate::rdma_net::enqueue_in_order(b, g, seq, item);
 }
@@ -665,6 +765,7 @@ async fn handle_rdma_commit(
     byte_len: u32,
     seq: u64,
     ack: AckRoute,
+    ctx: Option<kdtelem::TraceCtx>,
 ) {
     let Some((tp, grant)) = b.produce_module.lookup(file_id) else {
         ack_error(b, ack, ErrorCode::AccessDenied);
@@ -679,8 +780,8 @@ async fn handle_rdma_commit(
         return;
     }
     let ready = match grant.mode {
-        ProduceMode::Shared => grant.on_shared_arrival(order, byte_len, ack),
-        _ => vec![(byte_len, ack)],
+        ProduceMode::Shared => grant.on_shared_arrival(order, byte_len, ack, ctx),
+        _ => vec![(byte_len, ack, ctx)],
     };
     if ready.is_empty() {
         // Parked out-of-order: arm the hole timeout (§4.2.2).
@@ -691,9 +792,9 @@ async fn handle_rdma_commit(
     let mut results = Vec::with_capacity(ready.len());
     {
         let _guard = p.write_lock.lock().await;
-        for (len, route) in ready {
+        for (len, route, trace) in ready {
             if grant.closed.get() {
-                results.push((Err(ErrorCode::OutOfSpace), route, len));
+                results.push((Err(ErrorCode::OutOfSpace), route, trace, len));
                 continue;
             }
             // Verify in place: CRC over bytes already in the file; no copy.
@@ -704,17 +805,18 @@ async fn handle_rdma_commit(
             )
             .await;
             let res = commit_span(b, &p, &grant, len);
-            results.push((res, route, len));
+            results.push((res, route, trace, len));
         }
     }
     grant.chain.advance(seq);
     let mut committed = false;
-    for (res, route, len) in results {
+    for (res, route, trace, len) in results {
         match res {
             Ok(span) => {
                 committed = true;
                 b.metrics.add(&b.metrics.rdma_commits, 1);
                 b.metrics.add(&b.metrics.rdma_commit_bytes, u64::from(len));
+                trace_commit(b, trace, &tp, span.base_offset, span.next_offset);
                 finish_rdma_ack(b, &p, &grant, span, route);
             }
             Err(code) => ack_error(b, route, code),
@@ -1009,6 +1111,7 @@ async fn handle_fetch(
     max_bytes: u32,
     replica_id: u32,
     reply: oneshot::Sender<Response>,
+    ctx: Option<kdtelem::TraceCtx>,
 ) {
     let fail = |error: ErrorCode| {
         Response::Fetch(FetchResp {
@@ -1068,6 +1171,19 @@ async fn handle_fetch(
             b.metrics.add(&b.metrics.empty_fetches, 1);
         }
         b.metrics.add(&b.metrics.fetch_bytes, f.bytes.len() as u64);
+        // Consumer fetches only: replica fetches legitimately read past the
+        // high watermark and are not "served records" in the §4.4 sense.
+        if let Some(ctx) = ctx {
+            b.telem.registry.trace_event_now(
+                ctx,
+                kdtelem::EventKind::FetchServed {
+                    stream: kdtelem::stream_key(tp.topic.as_str(), tp.partition),
+                    start_offset: f.start_offset,
+                    next_offset: f.next_offset,
+                    bytes: f.bytes.len() as u64,
+                },
+            );
+        }
         send(reply, fetch_response(&p, f));
     }
 }

@@ -142,6 +142,8 @@ async fn poller_loop(b: Rc<BrokerInner>) {
             byte_len: cqe.byte_len,
             seq,
             ack: AckRoute::Qp(cqe.qpn),
+            // The producer's lifeline rode in on the WriteImm's WR context.
+            trace: cqe.trace,
         };
         let (_, grant) = b.produce_module.lookup(file_id).expect("seq implies grant");
         enqueue_in_order(&b, &grant, seq, item);

@@ -35,6 +35,7 @@ pub struct SharedState {
 pub struct PendingShared {
     pub byte_len: u32,
     pub ack: AckRoute,
+    pub trace: Option<kdtelem::TraceCtx>,
 }
 
 /// An active produce grant on one head file.
@@ -78,7 +79,13 @@ impl Grant {
 
     /// Outcome of an arriving completion in shared mode: which spans are
     /// now committable, in order.
-    pub fn on_shared_arrival(&self, order: u16, byte_len: u32, ack: AckRoute) -> Vec<(u32, AckRoute)> {
+    pub fn on_shared_arrival(
+        &self,
+        order: u16,
+        byte_len: u32,
+        ack: AckRoute,
+        trace: Option<kdtelem::TraceCtx>,
+    ) -> Vec<(u32, AckRoute, Option<kdtelem::TraceCtx>)> {
         let shared = self.shared.as_ref().expect("shared grant");
         let expected = shared.expected_order.get();
         if order != expected {
@@ -86,13 +93,13 @@ impl Grant {
             shared
                 .pending
                 .borrow_mut()
-                .insert(order, PendingShared { byte_len, ack });
+                .insert(order, PendingShared { byte_len, ack, trace });
             return Vec::new();
         }
-        let mut ready = vec![(byte_len, ack)];
+        let mut ready = vec![(byte_len, ack, trace)];
         let mut next = expected.wrapping_add(1);
         while let Some(p) = shared.pending.borrow_mut().remove(&next) {
-            ready.push((p.byte_len, p.ack));
+            ready.push((p.byte_len, p.ack, p.trace));
             next = next.wrapping_add(1);
         }
         shared.expected_order.set(next);
@@ -232,10 +239,10 @@ mod tests {
             let (nic, m, tp) = setup();
             let g = m.create_grant(&nic, &tp, 0, seg_buf(), ProduceMode::Shared, NodeId(5));
             // Orders 1 and 2 arrive before 0.
-            assert!(g.on_shared_arrival(1, 10, AckRoute::None).is_empty());
-            assert!(g.on_shared_arrival(2, 20, AckRoute::None).is_empty());
-            let ready = g.on_shared_arrival(0, 5, AckRoute::None);
-            let lens: Vec<u32> = ready.iter().map(|(l, _)| *l).collect();
+            assert!(g.on_shared_arrival(1, 10, AckRoute::None, None).is_empty());
+            assert!(g.on_shared_arrival(2, 20, AckRoute::None, None).is_empty());
+            let ready = g.on_shared_arrival(0, 5, AckRoute::None, None);
+            let lens: Vec<u32> = ready.iter().map(|(l, _, _)| *l).collect();
             assert_eq!(lens, vec![5, 10, 20]);
             assert_eq!(g.shared.as_ref().unwrap().expected_order.get(), 3);
         });
@@ -249,8 +256,8 @@ mod tests {
             let g = m.create_grant(&nic, &tp, 0, seg_buf(), ProduceMode::Shared, NodeId(5));
             let s = g.shared.as_ref().unwrap();
             s.expected_order.set(0xffff);
-            assert!(g.on_shared_arrival(0, 8, AckRoute::None).is_empty());
-            let ready = g.on_shared_arrival(0xffff, 4, AckRoute::None);
+            assert!(g.on_shared_arrival(0, 8, AckRoute::None, None).is_empty());
+            let ready = g.on_shared_arrival(0xffff, 4, AckRoute::None, None);
             assert_eq!(ready.len(), 2);
             assert_eq!(s.expected_order.get(), 1);
         });
@@ -262,7 +269,7 @@ mod tests {
         rt.block_on(async {
             let (nic, m, tp) = setup();
             let g = m.create_grant(&nic, &tp, 0, seg_buf(), ProduceMode::Shared, NodeId(5));
-            g.on_shared_arrival(3, 10, AckRoute::None);
+            g.on_shared_arrival(3, 10, AckRoute::None, None);
             assert!(g.is_pending(3, 0));
             let failed = m.revoke(&nic, &g);
             assert_eq!(failed.len(), 1);

@@ -209,6 +209,9 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
 
         let len = end - cursor_pos;
         let local = ShmBuf::from_shared(seg.shared_buf()).slice(cursor_pos as usize, len as usize);
+        // Each push write is its own lifeline: the context crosses to the
+        // follower in the WR (its commit lands on this trace) and comes back
+        // on the leader's send CQE (the ack edge).
         let wr = SendWr::new(
             last_offset, // wr_id doubles as "follower LEO when acked"
             WorkRequest::WriteImm {
@@ -217,7 +220,8 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
                 rkey: s.grant.region.rkey,
                 imm: kdwire::pack_imm(s.grant.file_id, 0),
             },
-        );
+        )
+        .with_trace(Some(kdtelem::TraceCtx::root()));
         if s.qp.post_send(wr).is_err() {
             session = None;
             continue;
@@ -320,6 +324,7 @@ fn spawn_collector(
     // acknowledged by the follower's NIC.
     let b2 = Rc::clone(b);
     let p2 = Rc::clone(p);
+    let stream = kdtelem::stream_key(p.tp.topic.as_str(), p.tp.partition);
     sim::spawn(async move {
         while let Some(cqe) = send_cq.next().await {
             if !cqe.ok() {
@@ -327,6 +332,15 @@ fn spawn_collector(
             }
             if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
                 acked.set(cqe.wr_id);
+                if let Some(ctx) = cqe.trace {
+                    b2.telem.registry.trace_event_now(
+                        ctx,
+                        kdtelem::EventKind::ReplAck {
+                            stream,
+                            offset: cqe.wr_id,
+                        },
+                    );
+                }
                 // Replication latency, push flavour: write posted → follower
                 // NIC ack (a cumulative ack covers all earlier writes).
                 let now = sim::now();

@@ -24,6 +24,8 @@ pub enum WorkItem {
         peer: NodeId,
         request: Request,
         reply: oneshot::Sender<Response>,
+        /// Caller's lifeline, carried in by the frame header.
+        trace: Option<kdtelem::TraceCtx>,
     },
     /// A WriteWithImm completion from the RDMA produce module: records were
     /// already written into a TP file; verify and commit them (§4.2.2).
@@ -35,5 +37,7 @@ pub enum WorkItem {
         /// must process commits of one file in this order.
         seq: u64,
         ack: AckRoute,
+        /// Producer's lifeline, carried in by the WriteImm's WR context.
+        trace: Option<kdtelem::TraceCtx>,
     },
 }

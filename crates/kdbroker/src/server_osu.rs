@@ -133,6 +133,9 @@ async fn serve_connection(
             peer,
             request,
             reply: tx,
+            // OSU requests arrive as verbs Sends; the WR context (if any)
+            // rode in on the receive completion.
+            trace: cqe.trace,
         };
         let b2 = Rc::clone(&b);
         sim::spawn(async move {

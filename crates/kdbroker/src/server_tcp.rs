@@ -35,7 +35,7 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
         while let Some((corr, ready_at, resp)) = reply_rx.recv().await {
             sim::time::sleep_until(ready_at).await;
             bw.net_pool.thread(net_idx).run(cost).await;
-            if kdwire::write_frame(&mut write, corr, &resp.encode())
+            if kdwire::write_frame(&mut write, corr, None, &resp.encode())
                 .await
                 .is_err()
             {
@@ -46,7 +46,7 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
 
     // Request reader loop (the processor thread's receive side).
     loop {
-        let Ok((corr, payload)) = kdwire::read_frame(&mut read).await else {
+        let Ok((corr, trace, payload)) = kdwire::read_frame(&mut read).await else {
             break; // connection closed
         };
         b.net_pool
@@ -72,6 +72,7 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
             peer,
             request,
             reply: tx,
+            trace,
         };
         let b2 = Rc::clone(&b);
         sim::spawn(async move {

@@ -50,9 +50,19 @@ impl Conn {
     }
 
     pub async fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        self.call_traced(req, None).await
+    }
+
+    /// As [`call`](Self::call), carrying a trace context across the process
+    /// boundary — in the frame header on TCP, in the Send WR on OSU.
+    pub async fn call_traced(
+        &self,
+        req: &Request,
+        trace: Option<kdtelem::TraceCtx>,
+    ) -> Result<Response, ClientError> {
         match self {
-            Conn::Tcp(c) => c.call(req).await.map_err(ClientError::from),
-            Conn::Osu(c) => c.call(req).await,
+            Conn::Tcp(c) => c.call_traced(req, trace).await.map_err(ClientError::from),
+            Conn::Osu(c) => c.call_traced(req, trace).await,
         }
     }
 }
@@ -147,6 +157,14 @@ impl OsuConn {
     }
 
     pub async fn call(&self, req: &Request) -> Result<Response, ClientError> {
+        self.call_traced(req, None).await
+    }
+
+    pub async fn call_traced(
+        &self,
+        req: &Request,
+        trace: Option<kdtelem::TraceCtx>,
+    ) -> Result<Response, ClientError> {
         if self.dead.get() {
             return Err(ClientError::Disconnected);
         }
@@ -163,12 +181,15 @@ impl OsuConn {
         self.pending.borrow_mut().insert(corr, tx);
         let buf = ShmBuf::from_vec(frame);
         self.qp
-            .post_send(SendWr::unsignaled(
-                corr,
-                WorkRequest::Send {
-                    local: buf.as_slice(),
-                },
-            ))
+            .post_send(
+                SendWr::unsignaled(
+                    corr,
+                    WorkRequest::Send {
+                        local: buf.as_slice(),
+                    },
+                )
+                .with_trace(trace),
+            )
             .map_err(|_| ClientError::Disconnected)?;
         rx.await.map_err(|_| ClientError::Disconnected)
     }

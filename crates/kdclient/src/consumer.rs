@@ -57,18 +57,24 @@ impl TcpConsumer {
     /// current offset (possibly empty).
     pub async fn poll(&mut self) -> Result<Vec<RecordView>, ClientError> {
         let start = sim::now();
+        // Root of this fetch's lifeline; the ctx crosses to the broker in
+        // the RPC frame header so its FetchServed event lands on this trace.
+        let span = self.telem.trace_span("client.fetch", None);
         let cpu = &self.node.profile().cpu;
         sim::time::sleep(cpu.handoff).await;
         self.fetches += 1;
         let resp = self
             .conn
-            .call(&Request::Fetch {
-                topic: self.topic.clone(),
-                partition: self.partition,
-                offset: self.offset,
-                max_bytes: self.max_bytes,
-                replica_id: u32::MAX,
-            })
+            .call_traced(
+                &Request::Fetch {
+                    topic: self.topic.clone(),
+                    partition: self.partition,
+                    offset: self.offset,
+                    max_bytes: self.max_bytes,
+                    replica_id: u32::MAX,
+                },
+                Some(span.ctx()),
+            )
             .await?;
         sim::time::sleep(cpu.wakeup).await;
         let f = match resp {
@@ -105,11 +111,7 @@ impl TcpConsumer {
             self.offset = f.next_offset.max(self.offset);
         }
         self.fetch_e2e_ns.record_since(start);
-        self.telem.record_span(
-            "client.fetch",
-            start.as_nanos(),
-            sim::now().as_nanos(),
-        );
+        span.end();
         Ok(out)
     }
 

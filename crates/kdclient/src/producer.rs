@@ -94,7 +94,9 @@ impl TcpProducer {
     /// Produces several records as one batch (base offset returned).
     pub async fn send_many(&self, records: &[Record]) -> Result<u64, ClientError> {
         let start = sim::now();
-        let span = self.telem.span("client.produce");
+        // Root of this produce's lifeline; the ctx crosses to the broker in
+        // the RPC frame header.
+        let span = self.telem.trace_span("client.produce", None);
         let mut builder = BatchBuilder::new(self.producer_id);
         for r in records {
             builder.append(r);
@@ -103,12 +105,15 @@ impl TcpProducer {
         self.charge_send_path(batch.len() as u64).await;
         let resp = self
             .conn
-            .call(&Request::Produce {
-                topic: self.topic.clone(),
-                partition: self.partition,
-                acks: self.acks.wire(),
-                batch,
-            })
+            .call_traced(
+                &Request::Produce {
+                    topic: self.topic.clone(),
+                    partition: self.partition,
+                    acks: self.acks.wire(),
+                    batch,
+                },
+                Some(span.ctx()),
+            )
             .await?;
         // Response dispatch back to the caller thread.
         sim::time::sleep(self.node.profile().cpu.wakeup).await;
@@ -134,7 +139,9 @@ impl TcpProducer {
         let acks = self.acks.wire();
         let producer_id = self.producer_id;
         let record = record.clone();
+        let telem = self.telem.clone();
         sim::spawn(async move {
+            let span = telem.trace_span("client.produce", None);
             let mut builder = BatchBuilder::new(producer_id);
             builder.append(&record);
             let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
@@ -147,13 +154,17 @@ impl TcpProducer {
             )
             .await;
             let resp = conn
-                .call(&Request::Produce {
-                    topic,
-                    partition,
-                    acks,
-                    batch,
-                })
+                .call_traced(
+                    &Request::Produce {
+                        topic,
+                        partition,
+                        acks,
+                        batch,
+                    },
+                    Some(span.ctx()),
+                )
                 .await?;
+            span.end();
             match resp {
                 Response::Produce { error, base_offset } => {
                     check(error)?;

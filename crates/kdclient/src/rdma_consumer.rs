@@ -138,16 +138,20 @@ impl RdmaConsumer {
         local: rnic::BufSlice,
         remote_addr: u64,
         rkey: u32,
+        trace: Option<kdtelem::TraceCtx>,
     ) -> Result<(), ClientError> {
         self.qp
-            .post_send(SendWr::new(
-                7,
-                WorkRequest::Read {
-                    local,
-                    remote_addr,
-                    rkey,
-                },
-            ))
+            .post_send(
+                SendWr::new(
+                    7,
+                    WorkRequest::Read {
+                        local,
+                        remote_addr,
+                        rkey,
+                    },
+                )
+                .with_trace(trace),
+            )
             .map_err(|_| ClientError::Disconnected)?;
         let cqe = self
             .send_cq
@@ -216,7 +220,8 @@ impl RdmaConsumer {
         let span = span.min(self.slot_buf.len());
         self.stats.slot_reads += 1;
         let local = self.slot_buf.slice(0, span);
-        self.rdma_read(local, slot.region.addr, slot.region.rkey).await?;
+        self.rdma_read(local, slot.region.addr, slot.region.rkey, None)
+            .await?;
         let view = SlotView::decode(
             &self
                 .slot_buf
@@ -283,8 +288,13 @@ impl RdmaConsumer {
         }
         self.stats.data_reads += 1;
         self.stats.data_bytes += n as u64;
+        // Root of this fetch's lifeline. The broker CPU never sees one-sided
+        // Reads, so the client both carries the ctx on the Read WR and emits
+        // the FetchServed event itself once records are parsed.
+        let tspan = self.telem.trace_span("client.fetch", None);
+        let ctx = tspan.ctx();
         let local = self.fetch_buf.slice(0, n);
-        self.rdma_read(local, addr, rkey).await?;
+        self.rdma_read(local, addr, rkey, Some(ctx)).await?;
         self.partial.extend_from_slice(&self.fetch_buf.read_at(0, n));
         self.file.as_mut().unwrap().read_pos += n as u32;
         // Client-side integrity check + copy into "native" buffers — the
@@ -294,15 +304,23 @@ impl RdmaConsumer {
             copy_time(n as u64, cpu.crc_bandwidth) + copy_time(n as u64, cpu.memcpy_bandwidth),
         )
         .await;
+        let first_offset = self.offset;
         self.parse_partial()?;
+        if self.offset > first_offset {
+            self.telem.trace_event_now(
+                ctx,
+                kdtelem::EventKind::FetchServed {
+                    stream: kdtelem::stream_key(self.topic.as_str(), self.partition),
+                    start_offset: first_offset,
+                    next_offset: self.offset,
+                    bytes: n as u64,
+                },
+            );
+        }
         // A data-carrying poll is one end-to-end fetch (empty metadata-only
         // polls are deliberately excluded — they're "empty fetches", §5.3).
         self.fetch_e2e_ns.record_since(start);
-        self.telem.record_span(
-            "client.fetch",
-            start.as_nanos(),
-            sim::now().as_nanos(),
-        );
+        tspan.end();
         Ok(self.drain_ready())
     }
 

@@ -212,7 +212,8 @@ impl RdmaProducer {
     /// the assigned base offset.
     pub async fn send(&mut self, record: &Record) -> Result<u64, ClientError> {
         let start = sim::now();
-        let span = self.telem.span("client.produce");
+        // The produce span itself is opened by `send_pipelined` (it roots
+        // the trace lifeline there, where the WRs are posted).
         let ack = self.send_pipelined(record).await?;
         let (error, offset) = ack.await.map_err(|_| ClientError::Disconnected)?;
         // Dispatch chain: API→net handoff on send + CQ poller→API handoff +
@@ -220,7 +221,6 @@ impl RdmaProducer {
         let cpu = &self.node.profile().cpu;
         sim::time::sleep(cpu.handoff + cpu.handoff + cpu.wakeup).await;
         self.e2e_ns.record_since(start);
-        span.end();
         check(error)?;
         Ok(offset)
     }
@@ -231,6 +231,11 @@ impl RdmaProducer {
         &mut self,
         record: &Record,
     ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, ClientError> {
+        // Root of this produce's lifeline: the ctx rides the data-plane WRs
+        // (FAA + WriteImm) to the broker, so the whole commit chain is
+        // stitched to this client span.
+        let span = self.telem.trace_span("client.produce", None);
+        let ctx = Some(span.ctx());
         let staged = self.stage(record).await?;
         let len = staged.len() as u32;
         for attempt in 0..4 {
@@ -238,8 +243,8 @@ impl RdmaProducer {
                 self.reconnect_data_plane().await?;
             }
             let result = match self.mode {
-                ProduceMode::Shared => self.try_send_shared(&staged, len).await,
-                _ => self.try_send_exclusive(&staged, len).await,
+                ProduceMode::Shared => self.try_send_shared(&staged, len, ctx).await,
+                _ => self.try_send_exclusive(&staged, len, ctx).await,
             };
             match result {
                 Ok(rx) => return Ok(rx),
@@ -260,6 +265,7 @@ impl RdmaProducer {
         &mut self,
         staged: &ShmBuf,
         len: u32,
+        trace: Option<kdtelem::TraceCtx>,
     ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, NeedAccess> {
         if u64::from(self.write_pos) + u64::from(len) > self.grant.region.len {
             return Err(NeedAccess);
@@ -274,7 +280,8 @@ impl RdmaProducer {
                 rkey: self.grant.region.rkey,
                 imm: kdwire::pack_imm(self.grant.file_id, 0),
             },
-        );
+        )
+        .with_trace(trace);
         if self.qp.post_send(wr).is_err() {
             self.pending.borrow_mut().pop_back();
             return Err(NeedAccess);
@@ -289,11 +296,12 @@ impl RdmaProducer {
         &mut self,
         staged: &ShmBuf,
         len: u32,
+        trace: Option<kdtelem::TraceCtx>,
     ) -> Result<oneshot::Receiver<(ErrorCode, u64)>, NeedAccess> {
         let word = self.grant.shared_word.ok_or(NeedAccess)?;
         // Reserve: FAA always succeeds (§4.2.2); overflow shows in the
         // returned offset.
-        let old = self.faa(word.addr, word.rkey, len).await?;
+        let old = self.faa(word.addr, word.rkey, len, trace).await?;
         let w = unpack_shared_word(old);
         if w.offset + u64::from(len) > self.grant.region.len {
             return Err(NeedAccess);
@@ -308,7 +316,8 @@ impl RdmaProducer {
                 rkey: self.grant.region.rkey,
                 imm: kdwire::pack_imm(self.grant.file_id, w.order),
             },
-        );
+        )
+        .with_trace(trace);
         if self.qp.post_send(wr).is_err() {
             self.pending.borrow_mut().pop_back();
             return Err(NeedAccess);
@@ -316,7 +325,13 @@ impl RdmaProducer {
         Ok(rx)
     }
 
-    async fn faa(&self, addr: u64, rkey: u32, len: u32) -> Result<u64, NeedAccess> {
+    async fn faa(
+        &self,
+        addr: u64,
+        rkey: u32,
+        len: u32,
+        trace: Option<kdtelem::TraceCtx>,
+    ) -> Result<u64, NeedAccess> {
         let wr = SendWr::new(
             1,
             WorkRequest::FetchAdd {
@@ -325,7 +340,8 @@ impl RdmaProducer {
                 rkey,
                 add: kdwire::slots::shared_word_addend(u64::from(len)),
             },
-        );
+        )
+        .with_trace(trace);
         if self.qp.post_send(wr).is_err() {
             return Err(NeedAccess);
         }
@@ -395,7 +411,7 @@ impl RdmaProducer {
     /// broker's order timeout must detect and abort.
     pub async fn poison_reservation(&self, len: u32) {
         if let Some(word) = self.grant.shared_word {
-            let _ = self.faa(word.addr, word.rkey, len).await;
+            let _ = self.faa(word.addr, word.rkey, len, None).await;
         }
     }
 }

@@ -1,0 +1,279 @@
+//! Chrome trace-event JSON export — hand-written, zero-dep, loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! Mapping:
+//! * each lifeline (`trace_id`) becomes a thread (`tid`) under one process,
+//!   so Perfetto draws one row per record lifeline;
+//! * `SpanBegin`/`SpanEnd` become async begin/end pairs (`ph`: `"b"`/`"e"`)
+//!   keyed by the span id, which nest correctly even when a span crosses
+//!   simulated machines;
+//! * every other event becomes a thread-scoped instant (`ph`: `"i"`) whose
+//!   `args` carry the typed payload (qpn, ticket, offsets, bytes).
+//!
+//! Timestamps are microseconds (the trace-event unit) with nanosecond
+//! fractions preserved as decimals.
+//!
+//! [`parse_chrome_json`] is the matching in-tree reader used by tests to
+//! prove the emitted JSON round-trips; it is a minimal brace-matching
+//! scanner, not a general JSON parser.
+
+use crate::report::{json_field_f64, json_field_str, json_field_u64, json_str};
+use crate::trace::{EventKind, TraceEvent};
+
+/// Virtual pid under which all simulated nodes are grouped.
+const PID: u64 = 1;
+
+fn ts_us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+fn push_args(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::SpanBegin { parent, .. } => {
+            out.push_str(&format!("{{\"parent\":{parent}}}"));
+        }
+        EventKind::SpanEnd { .. } => out.push_str("{}"),
+        EventKind::WqePosted { qpn, ticket } => {
+            out.push_str(&format!("{{\"qpn\":{qpn},\"ticket\":{ticket}}}"));
+        }
+        EventKind::PacketEnqueued {
+            node,
+            egress,
+            bytes,
+            queue_ns,
+        } => {
+            out.push_str(&format!(
+                "{{\"node\":{node},\"egress\":{egress},\"bytes\":{bytes},\"queue_ns\":{queue_ns}}}"
+            ));
+        }
+        EventKind::PacketDelivered {
+            node,
+            egress,
+            bytes,
+        } => {
+            out.push_str(&format!(
+                "{{\"node\":{node},\"egress\":{egress},\"bytes\":{bytes}}}"
+            ));
+        }
+        EventKind::Completion {
+            qpn,
+            ticket,
+            opcode,
+            ok,
+        } => {
+            out.push_str(&format!(
+                "{{\"qpn\":{qpn},\"ticket\":{ticket},\"opcode\":{},\"ok\":{ok}}}",
+                json_str(opcode)
+            ));
+        }
+        EventKind::CpuCopy { site, bytes } => {
+            out.push_str(&format!(
+                "{{\"site\":{},\"bytes\":{bytes}}}",
+                json_str(site)
+            ));
+        }
+        EventKind::Commit {
+            stream,
+            base_offset,
+            next_offset,
+        } => {
+            out.push_str(&format!(
+                "{{\"stream\":{stream},\"base_offset\":{base_offset},\"next_offset\":{next_offset}}}"
+            ));
+        }
+        EventKind::ReplAck { stream, offset } => {
+            out.push_str(&format!("{{\"stream\":{stream},\"offset\":{offset}}}"));
+        }
+        EventKind::FetchServed {
+            stream,
+            start_offset,
+            next_offset,
+            bytes,
+        } => {
+            out.push_str(&format!(
+                "{{\"stream\":{stream},\"start_offset\":{start_offset},\"next_offset\":{next_offset},\"bytes\":{bytes}}}"
+            ));
+        }
+    }
+}
+
+/// Serialises a drained event log as one Chrome trace-event JSON document.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"args\":{{\"name\":\"kafkadirect-sim\"}}}}"
+    ));
+    for e in events {
+        out.push_str(",\n");
+        let (ph, id) = match e.kind {
+            EventKind::SpanBegin { .. } => ("b", Some(e.span_id)),
+            EventKind::SpanEnd { .. } => ("e", Some(e.span_id)),
+            _ => ("i", None),
+        };
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"kd\",\"ph\":\"{ph}\",",
+            json_str(e.kind.name())
+        ));
+        if let Some(id) = id {
+            out.push_str(&format!("\"id\":\"0x{id:x}\","));
+        } else {
+            out.push_str("\"s\":\"t\",");
+        }
+        out.push_str(&format!(
+            "\"ts\":{},\"pid\":{PID},\"tid\":{},\"args\":",
+            ts_us(e.ts_ns),
+            e.trace_id
+        ));
+        push_args(&mut out, &e.kind);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One parsed trace-event JSON object (subset of fields the tests verify).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub ph: String,
+    pub ts_ns: u64,
+    pub pid: u64,
+    pub tid: u64,
+    pub id: Option<String>,
+}
+
+/// Parses the output of [`to_chrome_json`] back into its events (metadata
+/// records included). Returns `None` on structurally invalid input.
+pub fn parse_chrome_json(text: &str) -> Option<Vec<ChromeEvent>> {
+    let start = text.find("\"traceEvents\"")?;
+    let array_start = text[start..].find('[')? + start;
+    // Scan top-level objects of the array by brace depth, string-aware.
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut obj_start = None;
+    for (i, c) in text[array_start..].char_indices() {
+        let pos = array_start + i;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(pos);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    let obj = &text[obj_start?..=pos];
+                    events.push(ChromeEvent {
+                        name: json_field_str(obj, "name")?,
+                        ph: json_field_str(obj, "ph")?,
+                        ts_ns: json_field_f64(obj, "ts")
+                            .map(|us| (us * 1_000.0).round() as u64)
+                            .unwrap_or(0),
+                        pid: json_field_u64(obj, "pid")?,
+                        tid: json_field_u64(obj, "tid")?,
+                        id: json_field_str(obj, "id"),
+                    });
+                    obj_start = None;
+                }
+            }
+            ']' if depth == 0 => return Some(events),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCtx;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let ctx = TraceCtx::root();
+        vec![
+            TraceEvent {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                ts_ns: 1_500,
+                kind: EventKind::SpanBegin {
+                    name: "client.produce",
+                    parent: 0,
+                },
+            },
+            TraceEvent {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                ts_ns: 2_000,
+                kind: EventKind::WqePosted { qpn: 7, ticket: 3 },
+            },
+            TraceEvent {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                ts_ns: 2_250,
+                kind: EventKind::Completion {
+                    qpn: 7,
+                    ticket: 3,
+                    opcode: "RdmaWrite",
+                    ok: true,
+                },
+            },
+            TraceEvent {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                ts_ns: 9_001,
+                kind: EventKind::SpanEnd {
+                    name: "client.produce",
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let events = sample_events();
+        let json = to_chrome_json(&events);
+        let parsed = parse_chrome_json(&json).expect("parse");
+        // Metadata record + our four events.
+        assert_eq!(parsed.len(), events.len() + 1);
+        assert_eq!(parsed[0].name, "process_name");
+        assert_eq!(parsed[1].ph, "b");
+        assert_eq!(parsed[1].ts_ns, 1_500);
+        assert_eq!(parsed[1].id.as_deref(), Some(&*format!("0x{:x}", events[0].span_id)));
+        assert_eq!(parsed[2].name, "WqePosted");
+        assert_eq!(parsed[2].ph, "i");
+        assert_eq!(parsed[4].ph, "e");
+        assert!(parsed[1..].iter().all(|e| e.tid == events[0].trace_id));
+    }
+
+    #[test]
+    fn every_begin_has_matching_end() {
+        let json = to_chrome_json(&sample_events());
+        let parsed = parse_chrome_json(&json).unwrap();
+        let b = parsed.iter().filter(|e| e.ph == "b").count();
+        let e = parsed.iter().filter(|e| e.ph == "e").count();
+        assert_eq!(b, 1);
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn parser_rejects_truncated_input() {
+        let json = to_chrome_json(&sample_events());
+        assert!(parse_chrome_json(&json[..json.len() / 2]).is_none());
+        assert!(parse_chrome_json("{}").is_none());
+    }
+}

@@ -301,6 +301,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_stats_are_all_zero() {
+        let s = Histogram::new().stats();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99),
+            (0, 0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_report_that_sample() {
+        for &v in &[0u64, 1, 15, 16, 777, 1 << 40] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v.min(bucket_high(bucket_index(v))), "v={v} q={q}");
+            }
+            let s = h.stats();
+            assert_eq!((s.min, s.max, s.count), (v, v, 1));
+        }
+    }
+
+    #[test]
+    fn merge_from_with_overlapping_buckets_sums_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        // Same values into both: every populated bucket overlaps.
+        for v in [5u64, 5, 100, 100, 4_096] {
+            a.record(v);
+            b.record(v);
+        }
+        b.record(9_999); // plus one bucket only b has
+        a.merge_from(&b);
+        let s = a.stats();
+        assert_eq!(s.count, 11);
+        assert_eq!(s.sum, 2 * (5 + 5 + 100 + 100 + 4_096) + 9_999);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 9_999);
+        // The doubled overlapping buckets keep quantiles consistent: the
+        // median must still land in value 100's bucket.
+        let p50 = a.quantile(0.5);
+        assert_eq!(bucket_index(p50), bucket_index(100), "p50={p50}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        let mut x = 42u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(x >> 44);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+
+    #[test]
     fn merge_is_associative_and_commutative() {
         let mk = |seed: u64, n: u64| {
             let h = Histogram::new();

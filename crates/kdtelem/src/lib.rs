@@ -25,13 +25,25 @@
 //! Zero external dependencies; the only in-tree dependency is `sim` for the
 //! virtual clock.
 
+//!
+//! PR 2 adds **causal traces** on top: identified spans
+//! (`id`/`parent`/`trace_id`), typed lifeline events ([`trace::EventKind`]),
+//! a [`TraceCtx`] that components propagate across simulated process
+//! boundaries (kdwire frame headers on TCP, WR context on verbs), a
+//! Perfetto-loadable Chrome trace-event exporter ([`chrome`]), and a
+//! happens-before invariant checker ([`check`]).
+
+pub mod check;
+pub mod chrome;
 mod hist;
 mod registry;
 mod report;
+pub mod trace;
 
 pub use hist::{HistStats, Histogram};
 pub use registry::{
-    current, enter, Counter, Gauge, Registry, ScopeGuard, SpanGuard, SpanRecord,
-    SPAN_RING_CAPACITY,
+    current, enter, Counter, Gauge, Registry, ScopeGuard, SpanGuard, SpanRecord, TraceSpan,
+    EVENT_RING_CAPACITY, SPAN_RING_CAPACITY,
 };
-pub use report::{CounterRow, GaugeRow, HistRow, TelemetryReport};
+pub use report::{CounterRow, GaugeRow, HistRow, SpanRow, TelemetryReport};
+pub use trace::{current_ctx, enter_ctx, stream_key, CtxGuard, EventKind, TraceCtx, TraceEvent};

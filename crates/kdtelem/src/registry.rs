@@ -13,7 +13,8 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::hist::Histogram;
-use crate::report::{CounterRow, GaugeRow, HistRow, TelemetryReport};
+use crate::report::{CounterRow, GaugeRow, HistRow, SpanRow, TelemetryReport};
+use crate::trace::{EventKind, TraceCtx, TraceEvent};
 
 /// A monotonically increasing (or explicitly reset) `u64` cell.
 #[derive(Debug, Clone, Default)]
@@ -105,9 +106,15 @@ impl SpanRecord {
     }
 }
 
-/// Capacity of the per-registry span ring; oldest spans are dropped (and
-/// counted) once it fills, bounding memory on long soaks.
+/// Default capacity of the per-registry span ring; oldest spans are dropped
+/// (and counted) once it fills, bounding memory on long soaks. Override per
+/// registry with [`Registry::with_span_capacity`].
 pub const SPAN_RING_CAPACITY: usize = 4096;
+
+/// Default capacity of the per-registry trace-event ring. Trace events are
+/// much denser than spans (one produce emits ~a dozen), so the default is
+/// correspondingly larger. Override with [`Registry::set_event_capacity`].
+pub const EVENT_RING_CAPACITY: usize = 1 << 16;
 
 #[derive(Debug, Default)]
 struct SpanRing {
@@ -115,14 +122,40 @@ struct SpanRing {
     dropped: u64,
 }
 
+#[derive(Debug, Default)]
+struct EventRing {
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
 type Key = (&'static str, &'static str);
 
-#[derive(Default)]
 struct RegistryInner {
     counters: RefCell<Vec<(Key, Counter)>>,
     gauges: RefCell<Vec<(Key, Gauge)>>,
     histograms: RefCell<Vec<(Key, Histogram)>>,
     spans: RefCell<SpanRing>,
+    span_capacity: Cell<usize>,
+    /// Per-name span duration distributions, fed on every `record_span` so
+    /// summaries survive ring overflow and the admin wire path.
+    span_stats: RefCell<Vec<(&'static str, Histogram)>>,
+    events: RefCell<EventRing>,
+    event_capacity: Cell<usize>,
+}
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        RegistryInner {
+            counters: RefCell::new(Vec::new()),
+            gauges: RefCell::new(Vec::new()),
+            histograms: RefCell::new(Vec::new()),
+            spans: RefCell::new(SpanRing::default()),
+            span_capacity: Cell::new(SPAN_RING_CAPACITY),
+            span_stats: RefCell::new(Vec::new()),
+            events: RefCell::new(EventRing::default()),
+            event_capacity: Cell::new(EVENT_RING_CAPACITY),
+        }
+    }
 }
 
 /// Cloneable handle to a telemetry registry. See the module docs for the
@@ -135,6 +168,28 @@ pub struct Registry {
 impl Registry {
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A registry whose span ring holds `capacity` spans before dropping the
+    /// oldest. Long soak runs that must keep every critical-path span for
+    /// the trace checker size this explicitly instead of relying on
+    /// [`SPAN_RING_CAPACITY`].
+    pub fn with_span_capacity(capacity: usize) -> Registry {
+        let r = Registry::default();
+        r.inner.span_capacity.set(capacity.max(1));
+        r
+    }
+
+    /// Resizes the trace-event ring (existing buffered events are kept up to
+    /// the new capacity; the oldest are dropped and counted).
+    pub fn set_event_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.inner.event_capacity.set(capacity);
+        let mut events = self.inner.events.borrow_mut();
+        while events.ring.len() > capacity {
+            events.ring.pop_front();
+            events.dropped += 1;
+        }
     }
 
     /// Creates and registers a fresh counter under `(component, name)`.
@@ -169,8 +224,21 @@ impl Registry {
 
     /// Records a completed span. `start`/`end` are virtual-time nanoseconds.
     pub fn record_span(&self, name: &'static str, start_ns: u64, end_ns: u64) {
+        {
+            let mut stats = self.inner.span_stats.borrow_mut();
+            let h = match stats.iter().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.clone(),
+                None => {
+                    let h = Histogram::new();
+                    stats.push((name, h.clone()));
+                    h
+                }
+            };
+            h.record(end_ns.saturating_sub(start_ns));
+        }
+        let cap = self.inner.span_capacity.get();
         let mut spans = self.inner.spans.borrow_mut();
-        if spans.ring.len() == SPAN_RING_CAPACITY {
+        if spans.ring.len() >= cap {
             spans.ring.pop_front();
             spans.dropped += 1;
         }
@@ -179,6 +247,74 @@ impl Registry {
             start_ns,
             end_ns,
         });
+    }
+
+    /// Records one trace event at an explicit virtual-time `ts_ns` (which
+    /// may be in the future: link reservations are computed at post time).
+    pub fn record_trace_event(&self, ctx: TraceCtx, ts_ns: u64, kind: EventKind) {
+        let cap = self.inner.event_capacity.get();
+        let mut events = self.inner.events.borrow_mut();
+        if events.ring.len() >= cap {
+            events.ring.pop_front();
+            events.dropped += 1;
+        }
+        events.ring.push_back(TraceEvent {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            ts_ns,
+            kind,
+        });
+    }
+
+    /// Records a trace event at the current virtual time. No-op outside a
+    /// runtime.
+    pub fn trace_event_now(&self, ctx: TraceCtx, kind: EventKind) {
+        if let Some(now) = sim::try_now() {
+            self.record_trace_event(ctx, now.as_nanos(), kind);
+        }
+    }
+
+    /// Opens an identified trace span: allocates a span id under `parent`'s
+    /// trace (or a fresh trace when `parent` is `None`), records a
+    /// `SpanBegin` event now, and returns a guard whose [`TraceSpan::ctx`]
+    /// is the context to propagate to children. On end/drop it records the
+    /// `SpanEnd` event plus a classic `(name, start, end)` span record.
+    pub fn trace_span(&self, name: &'static str, parent: Option<TraceCtx>) -> TraceSpan {
+        let ctx = match parent {
+            Some(p) => TraceCtx {
+                trace_id: p.trace_id,
+                span_id: crate::trace::next_id(),
+            },
+            None => TraceCtx::root(),
+        };
+        let start_ns = sim::try_now().map(|t| t.as_nanos());
+        if let Some(ts) = start_ns {
+            self.record_trace_event(
+                ctx,
+                ts,
+                EventKind::SpanBegin {
+                    name,
+                    parent: parent.map_or(0, |p| p.span_id),
+                },
+            );
+        }
+        TraceSpan {
+            registry: self.clone(),
+            name,
+            ctx,
+            start_ns,
+            done: false,
+        }
+    }
+
+    /// Removes and returns all buffered trace events (oldest first).
+    pub fn drain_trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.events.borrow_mut().ring.drain(..).collect()
+    }
+
+    /// Trace events lost to ring overflow since the registry was created.
+    pub fn trace_events_dropped(&self) -> u64 {
+        self.inner.events.borrow().dropped
     }
 
     /// Starts a span at the current virtual time; finish it with
@@ -265,13 +401,28 @@ impl Registry {
         gauges.sort_by_key(|r| (r.component, r.name));
         histograms.sort_by_key(|r| (r.component, r.name));
 
-        let spans = self.inner.spans.borrow();
+        let mut spans: Vec<SpanRow> = self
+            .inner
+            .span_stats
+            .borrow()
+            .iter()
+            .map(|(name, h)| SpanRow {
+                name,
+                count: h.count(),
+                p50_ns: h.p50(),
+                p99_ns: h.p99(),
+            })
+            .collect();
+        spans.sort_by_key(|r| r.name);
+
+        let ring = self.inner.spans.borrow();
         TelemetryReport {
             counters,
             gauges,
             histograms,
-            spans_buffered: spans.ring.len() as u64,
-            spans_dropped: spans.dropped,
+            spans,
+            spans_buffered: ring.ring.len() as u64,
+            spans_dropped: ring.dropped,
         }
     }
 }
@@ -315,6 +466,48 @@ impl SpanGuard {
 }
 
 impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// An in-flight identified trace span (see [`Registry::trace_span`]).
+/// Carries the [`TraceCtx`] to hand to children / propagate over the wire.
+#[must_use = "a trace span measures until it is ended or dropped"]
+pub struct TraceSpan {
+    registry: Registry,
+    name: &'static str,
+    ctx: TraceCtx,
+    start_ns: Option<u64>,
+    done: bool,
+}
+
+impl TraceSpan {
+    /// The context identifying this span — propagate it to child work.
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
+
+    /// Ends the span now (virtual time).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let (Some(start), Some(now)) = (self.start_ns, sim::try_now()) {
+            let end = now.as_nanos();
+            self.registry
+                .record_trace_event(self.ctx, end, EventKind::SpanEnd { name: self.name });
+            self.registry.record_span(self.name, start, end);
+        }
+    }
+}
+
+impl Drop for TraceSpan {
     fn drop(&mut self) {
         self.finish();
     }
@@ -446,6 +639,74 @@ mod tests {
         let r = Registry::new();
         drop(r.span("x"));
         assert!(r.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn span_capacity_is_configurable() {
+        let r = Registry::with_span_capacity(8);
+        for i in 0..10u64 {
+            r.record_span("s", i, i + 1);
+        }
+        assert_eq!(r.spans_dropped(), 2);
+        assert_eq!(r.drain_spans().len(), 8);
+    }
+
+    #[test]
+    fn span_summaries_survive_ring_overflow() {
+        let r = Registry::with_span_capacity(4);
+        for i in 0..100u64 {
+            r.record_span("s", 0, 1_000 * (i + 1));
+        }
+        let snap = r.snapshot();
+        let row = snap.span("s").expect("summary row");
+        assert_eq!(row.count, 100);
+        assert!(row.p50_ns > 0);
+        assert!(row.p99_ns >= row.p50_ns);
+    }
+
+    #[test]
+    fn event_ring_bounded_drops_oldest() {
+        let r = Registry::new();
+        r.set_event_capacity(4);
+        let ctx = TraceCtx::root();
+        for i in 0..6u64 {
+            r.record_trace_event(ctx, i, EventKind::CpuCopy { site: "t", bytes: i });
+        }
+        assert_eq!(r.trace_events_dropped(), 2);
+        let ev = r.drain_trace_events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev[0].ts_ns, 2);
+        assert!(r.drain_trace_events().is_empty());
+    }
+
+    #[test]
+    fn trace_span_links_parent_and_records_both_kinds() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let root = r2.trace_span("client.produce", None);
+            let child = r2.trace_span("broker.commit", Some(root.ctx()));
+            assert_eq!(child.ctx().trace_id, root.ctx().trace_id);
+            assert_ne!(child.ctx().span_id, root.ctx().span_id);
+            sim::time::sleep(std::time::Duration::from_micros(3)).await;
+            child.end();
+            root.end();
+        });
+        let ev = r.drain_trace_events();
+        assert_eq!(ev.len(), 4, "begin x2 + end x2");
+        let root_span = ev[0].span_id;
+        match ev[1].kind {
+            EventKind::SpanBegin { name, parent } => {
+                assert_eq!(name, "broker.commit");
+                assert_eq!(parent, root_span);
+            }
+            ref k => panic!("expected child SpanBegin, got {k:?}"),
+        }
+        assert!(ev.iter().all(|e| e.trace_id == ev[0].trace_id));
+        let spans = r.drain_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().any(|s| s.name == "broker.commit" && s.duration_ns() == 3_000));
     }
 
     #[test]

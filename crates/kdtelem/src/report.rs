@@ -26,6 +26,17 @@ pub struct HistRow {
     pub stats: HistStats,
 }
 
+/// Per-name span summary: spans are recorded into a bounded ring, but their
+/// duration distribution is kept separately so the summary survives ring
+/// overflow and the `Request::Telemetry` admin wire path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    pub name: &'static str,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+}
+
 /// Aggregated snapshot of a [`crate::Registry`]. Rows are sorted by
 /// `(component, name)` so output is stable across runs.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +44,7 @@ pub struct TelemetryReport {
     pub counters: Vec<CounterRow>,
     pub gauges: Vec<GaugeRow>,
     pub histograms: Vec<HistRow>,
+    pub spans: Vec<SpanRow>,
     pub spans_buffered: u64,
     pub spans_dropped: u64,
 }
@@ -58,6 +70,11 @@ impl TelemetryReport {
         self.histograms
             .iter()
             .find(|r| r.component == component && r.name == name)
+    }
+
+    /// Looks up a span summary row by span name.
+    pub fn span(&self, name: &str) -> Option<&SpanRow> {
+        self.spans.iter().find(|r| r.name == name)
     }
 
     /// Renders an aligned, human-readable table. Histogram values are shown
@@ -116,6 +133,23 @@ impl TelemetryReport {
                 ));
             }
         }
+        if !self.spans.is_empty() {
+            out.push_str("== spans (us) ==\n");
+            let w = self.spans.iter().map(|r| r.name.len()).max().unwrap_or(0);
+            out.push_str(&format!(
+                "{:w$}  {:>10} {:>10} {:>10}\n",
+                "", "count", "p50", "p99"
+            ));
+            for r in &self.spans {
+                out.push_str(&format!(
+                    "{:w$}  {:>10} {:>10.2} {:>10.2}\n",
+                    r.name,
+                    r.count,
+                    r.p50_ns as f64 / 1_000.0,
+                    r.p99_ns as f64 / 1_000.0,
+                ));
+            }
+        }
         out.push_str(&format!(
             "spans: {} buffered, {} dropped\n",
             self.spans_buffered, self.spans_dropped
@@ -159,6 +193,15 @@ impl TelemetryReport {
                 s.p50,
                 s.p90,
                 s.p99
+            ));
+        }
+        for r in &self.spans {
+            out.push_str(&format!(
+                "{{\"kind\":\"span\",\"name\":{},\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}}\n",
+                json_str(r.name),
+                r.count,
+                r.p50_ns,
+                r.p99_ns
             ));
         }
         out.push_str(&format!(
@@ -205,6 +248,12 @@ impl TelemetryReport {
                         p99: json_field_u64(line, "p99")?,
                     },
                 }),
+                "span" => report.spans.push(SpanRow {
+                    name: leak(json_field_str(line, "name")?),
+                    count: json_field_u64(line, "count")?,
+                    p50_ns: json_field_u64(line, "p50_ns")?,
+                    p99_ns: json_field_u64(line, "p99_ns")?,
+                }),
                 "spans" => {
                     report.spans_buffered = json_field_u64(line, "buffered")?;
                     report.spans_dropped = json_field_u64(line, "dropped")?;
@@ -224,7 +273,7 @@ fn leak(s: String) -> &'static str {
     Box::leak(s.into_boxed_str())
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -240,7 +289,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -257,7 +306,7 @@ fn json_field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-fn json_field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_field_str(line: &str, key: &str) -> Option<String> {
     let raw = json_field_raw(line, key)?;
     let raw = raw.strip_prefix('"')?.strip_suffix('"')?;
     let mut out = String::with_capacity(raw.len());
@@ -281,11 +330,11 @@ fn json_field_str(line: &str, key: &str) -> Option<String> {
     Some(out)
 }
 
-fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_field_u64(line: &str, key: &str) -> Option<u64> {
     json_field_raw(line, key)?.parse().ok()
 }
 
-fn json_field_f64(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_field_f64(line: &str, key: &str) -> Option<f64> {
     json_field_raw(line, key)?.parse().ok()
 }
 
@@ -335,6 +384,18 @@ mod tests {
         assert_eq!(h.stats.count, 5);
         assert_eq!(h.stats.min, 1_000);
         assert_eq!(back.spans_buffered, 1);
+        // Span summaries survive the wire round-trip.
+        let s = back.span("produce").expect("span summary row");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_ns, 10);
+        assert!(s.p99_ns >= s.p50_ns);
+    }
+
+    #[test]
+    fn table_renders_span_summaries() {
+        let t = sample_report().to_table();
+        assert!(t.contains("== spans (us) =="));
+        assert!(t.contains("produce"));
     }
 
     #[test]

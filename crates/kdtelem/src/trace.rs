@@ -1,0 +1,208 @@
+//! Causal traces: per-record lifelines across client, broker, replica, and
+//! consumer.
+//!
+//! Every claim in the paper is a statement about the critical path of *one*
+//! record — which WQE it posted, which link hops it queued on, which CQ
+//! completion committed it. Flat histograms cannot show that, so the
+//! registry also records **trace events**: typed, timestamped points tagged
+//! with a [`TraceCtx`] (`trace_id` + `span_id`) that is propagated across
+//! simulated process boundaries — inside `kdwire` frame headers on the TCP
+//! path, and as WR context copied into both CQEs on the verbs path.
+//!
+//! Timestamps are explicit (`ts_ns`) rather than sampled at record time:
+//! the network simulator computes link reservations *in the future* at post
+//! time, and the event must carry the time the hop actually happens.
+//!
+//! The ambient context ([`current_ctx`] / [`enter_ctx`]) is only valid
+//! across *synchronous* code: the simulator is cooperatively scheduled, so
+//! holding it across an `.await` would leak the context into unrelated
+//! tasks. Instrumented components either take the context as an argument or
+//! set the ambient slot around a purely synchronous call (e.g. a QP's
+//! launch-time path reservations).
+
+use std::cell::Cell;
+
+/// Identity of one point in a causal trace: the trace (lifeline) it belongs
+/// to and the span that emitted it. `span_id` doubles as the parent id for
+/// child spans. Ids are never zero, so zero is free as a wire sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// Allocates a fresh root context (a new lifeline).
+    pub fn root() -> TraceCtx {
+        let id = next_id();
+        TraceCtx {
+            trace_id: id,
+            span_id: id,
+        }
+    }
+}
+
+/// A typed point on a record's lifeline. Variants mirror the datapath
+/// stages the paper's figures break latency into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened. `parent` is the opener's span id (0 for roots).
+    SpanBegin { name: &'static str, parent: u64 },
+    /// A span closed.
+    SpanEnd { name: &'static str },
+    /// A work request entered a QP's send queue. `ticket` is the post-order
+    /// sequence number on that QP.
+    WqePosted { qpn: u32, ticket: u64 },
+    /// A message started serialising onto a node's link. `queue_ns` is how
+    /// long it waited behind earlier reservations (queueing delay).
+    PacketEnqueued {
+        node: u32,
+        egress: bool,
+        bytes: u64,
+        queue_ns: u64,
+    },
+    /// A message finished crossing a node's link.
+    PacketDelivered { node: u32, egress: bool, bytes: u64 },
+    /// A CQE was delivered for the WR posted as (`qpn`, `ticket`).
+    Completion {
+        qpn: u32,
+        ticket: u64,
+        opcode: &'static str,
+        ok: bool,
+    },
+    /// The broker (or client) CPU copied payload bytes. `site` names the
+    /// copy; broker-side sites are prefixed `"broker."`.
+    CpuCopy { site: &'static str, bytes: u64 },
+    /// Records `[base_offset, next_offset)` of `stream` became durable.
+    Commit {
+        stream: u64,
+        base_offset: u64,
+        next_offset: u64,
+    },
+    /// The leader observed the remote write completion for a push-replicated
+    /// span up to `offset` (cumulative).
+    ReplAck { stream: u64, offset: u64 },
+    /// A consumer was served records `[start_offset, next_offset)`.
+    FetchServed {
+        stream: u64,
+        start_offset: u64,
+        next_offset: u64,
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// Short display name used by the Chrome exporter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SpanBegin { name, .. } | EventKind::SpanEnd { name } => name,
+            EventKind::WqePosted { .. } => "WqePosted",
+            EventKind::PacketEnqueued { .. } => "PacketEnqueued",
+            EventKind::PacketDelivered { .. } => "PacketDelivered",
+            EventKind::Completion { .. } => "Completion",
+            EventKind::CpuCopy { .. } => "CpuCopy",
+            EventKind::Commit { .. } => "Commit",
+            EventKind::ReplAck { .. } => "ReplAck",
+            EventKind::FetchServed { .. } => "FetchServed",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub ts_ns: u64,
+    pub kind: EventKind,
+}
+
+/// Stable identifier for one partition's record stream, used to correlate
+/// `Commit` and `FetchServed` events across different lifelines (the
+/// consumer's fetch is a different trace than the producer's commit).
+/// FNV-1a over the topic bytes mixed with the partition index.
+pub fn stream_key(topic: &str, partition: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in topic.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= partition as u64;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+thread_local! {
+    // Deterministic under the single-threaded simulator: allocation order is
+    // execution order, which the runtime makes reproducible.
+    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
+    static AMBIENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+pub(crate) fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// The ambient trace context, if a synchronous scope set one.
+pub fn current_ctx() -> Option<TraceCtx> {
+    AMBIENT.with(Cell::get)
+}
+
+/// Sets the ambient trace context until the guard drops. Only sound around
+/// synchronous code — never hold the guard across an `.await`.
+pub fn enter_ctx(ctx: TraceCtx) -> CtxGuard {
+    let prev = AMBIENT.with(|c| c.replace(Some(ctx)));
+    CtxGuard { prev }
+}
+
+/// Restores the previous ambient context on drop.
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_ctx_ids_are_fresh_and_nonzero() {
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.trace_id, a.span_id);
+    }
+
+    #[test]
+    fn ambient_ctx_nests_and_restores() {
+        assert_eq!(current_ctx(), None);
+        let outer = TraceCtx::root();
+        let inner = TraceCtx::root();
+        {
+            let _g = enter_ctx(outer);
+            assert_eq!(current_ctx(), Some(outer));
+            {
+                let _g2 = enter_ctx(inner);
+                assert_eq!(current_ctx(), Some(inner));
+            }
+            assert_eq!(current_ctx(), Some(outer));
+        }
+        assert_eq!(current_ctx(), None);
+    }
+
+    #[test]
+    fn stream_key_distinguishes_partitions_and_topics() {
+        assert_ne!(stream_key("t", 0), stream_key("t", 1));
+        assert_ne!(stream_key("t", 0), stream_key("u", 0));
+        assert_eq!(stream_key("t", 0), stream_key("t", 0));
+    }
+}

@@ -1,9 +1,12 @@
 //! Length-prefixed framing over the simulated TCP byte stream, and a
 //! pipelining RPC client.
 //!
-//! Frame layout: `u32 LE total-length | u64 LE correlation id | payload`.
-//! Correlation ids let a client keep many requests in flight on one
-//! connection (Kafka pipelines produce requests the same way).
+//! Frame layout: `u32 LE total-length | u64 LE correlation id |
+//! u64 LE trace id | u64 LE span id | payload`. Correlation ids let a
+//! client keep many requests in flight on one connection (Kafka pipelines
+//! produce requests the same way). The trace pair carries a
+//! [`kdtelem::TraceCtx`] across the process boundary so one message's
+//! lifeline is stitched end to end; trace id 0 means "none".
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -44,26 +47,44 @@ impl From<Closed> for RpcError {
     }
 }
 
-/// Writes one `(correlation, payload)` frame.
-pub async fn write_frame(w: &mut WriteHalf, correlation: u64, payload: &[u8]) -> Result<(), Closed> {
-    let total = 8 + payload.len();
+/// Writes one `(correlation, trace, payload)` frame. The trace context also
+/// scopes the write's wire reservations, so link enqueue/deliver events land
+/// on the message's lifeline.
+pub async fn write_frame(
+    w: &mut WriteHalf,
+    correlation: u64,
+    trace: Option<kdtelem::TraceCtx>,
+    payload: &[u8],
+) -> Result<(), Closed> {
+    let total = 24 + payload.len();
     let mut frame = Vec::with_capacity(4 + total);
     frame.extend_from_slice(&(total as u32).to_le_bytes());
     frame.extend_from_slice(&correlation.to_le_bytes());
+    let (trace_id, span_id) = trace.map_or((0, 0), |t| (t.trace_id, t.span_id));
+    frame.extend_from_slice(&trace_id.to_le_bytes());
+    frame.extend_from_slice(&span_id.to_le_bytes());
     frame.extend_from_slice(payload);
-    w.write_all(&frame).await
+    w.set_trace(trace);
+    let res = w.write_all(&frame).await;
+    w.set_trace(None);
+    res
 }
 
-/// Reads one `(correlation, payload)` frame.
-pub async fn read_frame(r: &mut ReadHalf) -> Result<(u64, Vec<u8>), Closed> {
+/// Reads one `(correlation, trace, payload)` frame.
+pub async fn read_frame(
+    r: &mut ReadHalf,
+) -> Result<(u64, Option<kdtelem::TraceCtx>, Vec<u8>), Closed> {
     let len_bytes = r.read_exact(4).await?;
     let total = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
-    if !(8..=MAX_FRAME).contains(&total) {
+    if !(24..=MAX_FRAME).contains(&total) {
         return Err(Closed);
     }
     let body = r.read_exact(total).await?;
     let correlation = u64::from_le_bytes(body[..8].try_into().unwrap());
-    Ok((correlation, body[8..].to_vec()))
+    let trace_id = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let span_id = u64::from_le_bytes(body[16..24].try_into().unwrap());
+    let trace = (trace_id != 0).then_some(kdtelem::TraceCtx { trace_id, span_id });
+    Ok((correlation, trace, body[24..].to_vec()))
 }
 
 struct RpcShared {
@@ -92,7 +113,7 @@ impl RpcClient {
         });
         let shared2 = Rc::clone(&shared);
         sim::spawn(async move {
-            while let Ok((correlation, payload)) = read_frame(&mut read).await {
+            while let Ok((correlation, _trace, payload)) = read_frame(&mut read).await {
                 let waiter = shared2.pending.borrow_mut().remove(&correlation);
                 if let (Some(tx), Ok(resp)) = (waiter, Response::decode(&payload)) {
                     let _ = tx.send(resp);
@@ -116,6 +137,16 @@ impl RpcClient {
     /// Sends a request and waits for its response. Multiple `call`s from
     /// different tasks pipeline on the wire.
     pub async fn call(&self, request: &Request) -> Result<Response, RpcError> {
+        self.call_traced(request, None).await
+    }
+
+    /// As [`call`](Self::call), stamping the frame with a trace context so
+    /// the broker continues the caller's lifeline.
+    pub async fn call_traced(
+        &self,
+        request: &Request,
+        trace: Option<kdtelem::TraceCtx>,
+    ) -> Result<Response, RpcError> {
         if self.shared.dead.get() {
             return Err(RpcError::Closed);
         }
@@ -125,7 +156,7 @@ impl RpcClient {
         self.shared.pending.borrow_mut().insert(correlation, tx);
         {
             let mut w = self.write.lock().await;
-            if write_frame(&mut w, correlation, &request.encode())
+            if write_frame(&mut w, correlation, trace, &request.encode())
                 .await
                 .is_err()
             {
@@ -156,15 +187,27 @@ mod tests {
             sim::spawn(async move {
                 let s = l.accept().await.unwrap();
                 let (mut r, mut w) = s.into_split();
-                let (corr, payload) = read_frame(&mut r).await.unwrap();
+                let (corr, trace, payload) = read_frame(&mut r).await.unwrap();
                 assert_eq!(corr, 42);
-                write_frame(&mut w, corr, &payload).await.unwrap();
+                assert_eq!(
+                    trace,
+                    Some(kdtelem::TraceCtx {
+                        trace_id: 7,
+                        span_id: 9
+                    })
+                );
+                write_frame(&mut w, corr, None, &payload).await.unwrap();
             });
             let s = netsim::tcp::connect(&a, b.id, 1).await.unwrap();
             let (mut r, mut w) = s.into_split();
-            write_frame(&mut w, 42, b"hello").await.unwrap();
-            let (corr, echoed) = read_frame(&mut r).await.unwrap();
+            let ctx = kdtelem::TraceCtx {
+                trace_id: 7,
+                span_id: 9,
+            };
+            write_frame(&mut w, 42, Some(ctx), b"hello").await.unwrap();
+            let (corr, trace, echoed) = read_frame(&mut r).await.unwrap();
             assert_eq!(corr, 42);
+            assert_eq!(trace, None);
             assert_eq!(echoed, b"hello");
         });
     }
@@ -187,7 +230,7 @@ mod tests {
                     got.push(read_frame(&mut r).await.unwrap());
                 }
                 got.reverse();
-                for (corr, payload) in got {
+                for (corr, _trace, payload) in got {
                     let req = Request::decode(&payload).unwrap();
                     let Request::ListOffsets { partition, .. } = req else {
                         panic!("unexpected request");
@@ -197,7 +240,7 @@ mod tests {
                         earliest: 0,
                         latest: u64::from(partition),
                     };
-                    write_frame(&mut w, corr, &resp.encode()).await.unwrap();
+                    write_frame(&mut w, corr, None, &resp.encode()).await.unwrap();
                 }
             });
             let s = netsim::tcp::connect(&a, b.id, 1).await.unwrap();

@@ -49,6 +49,10 @@ pub(crate) struct FabricInner {
     pub(crate) atomic_ops: kdtelem::Counter,
     pub(crate) atomic_stalls: kdtelem::Counter,
     pub(crate) atomic_stall_ns: kdtelem::Histogram,
+    /// Registry captured at construction; per-link trace events (enqueue /
+    /// deliver with queueing attribution) for transfers carrying an ambient
+    /// [`kdtelem::TraceCtx`] go here.
+    pub(crate) telem: kdtelem::Registry,
 }
 
 /// A handle to the whole simulated network. Cheap to clone.
@@ -70,6 +74,7 @@ impl Fabric {
                 atomic_ops: telem.counter("netsim", "atomic_ops"),
                 atomic_stalls: telem.counter("netsim", "atomic_stalls"),
                 atomic_stall_ns: telem.histogram("netsim", "atomic_stall_ns"),
+                telem,
             }),
         }
     }
@@ -108,6 +113,39 @@ impl Fabric {
         self.inner.nodes.borrow().len()
     }
 
+    /// Records the enqueue/deliver trace-event pair for one port traversal,
+    /// attributing time spent queued behind earlier reservations.
+    fn trace_hop(
+        &self,
+        ctx: kdtelem::TraceCtx,
+        node: NodeId,
+        egress: bool,
+        bytes: u64,
+        requested: SimTime,
+        res: &crate::link::Reservation,
+    ) {
+        let queue_ns = res.start.as_nanos().saturating_sub(requested.as_nanos());
+        self.inner.telem.record_trace_event(
+            ctx,
+            res.start.as_nanos(),
+            kdtelem::EventKind::PacketEnqueued {
+                node: node.0,
+                egress,
+                bytes,
+                queue_ns,
+            },
+        );
+        self.inner.telem.record_trace_event(
+            ctx,
+            res.end.as_nanos(),
+            kdtelem::EventKind::PacketDelivered {
+                node: node.0,
+                egress,
+                bytes,
+            },
+        );
+    }
+
     /// Reserves the full src→dst path for one message at verbs goodput and
     /// returns its arrival time at dst. `min_occupancy` models the per-op
     /// initiation gap (message-rate limit) on both ports.
@@ -123,7 +161,11 @@ impl Fabric {
         let total = bytes + p.header_bytes;
         let src_node = self.node(src);
         let dst_node = self.node(dst);
+        let trace = kdtelem::current_ctx();
         let egress = src_node.egress.reserve(now, total, min_occupancy);
+        if let Some(ctx) = trace {
+            self.trace_hop(ctx, src, true, total, now, &egress);
+        }
         if src == dst {
             // Loopback (e.g. a broker issuing an atomic to itself, §4.2.2)
             // still pays the NIC round trip but not ingress contention
@@ -132,6 +174,9 @@ impl Fabric {
         }
         let at_switch = egress.end + p.propagation;
         let ingress = dst_node.ingress.reserve(at_switch, total, min_occupancy);
+        if let Some(ctx) = trace {
+            self.trace_hop(ctx, dst, false, total, at_switch, &ingress);
+        }
         ingress.end
     }
 
@@ -148,7 +193,11 @@ impl Fabric {
         let total = bytes + p.header_bytes;
         let src_node = self.node(src);
         let dst_node = self.node(dst);
+        let trace = kdtelem::current_ctx();
         let egress = src_node.egress.reserve_at(now, total, bw, Duration::ZERO);
+        if let Some(ctx) = trace {
+            self.trace_hop(ctx, src, true, total, now, &egress);
+        }
         if src == dst {
             return egress.end + p.propagation;
         }
@@ -156,6 +205,9 @@ impl Fabric {
         let ingress = dst_node
             .ingress
             .reserve_at(at_switch, total, bw, Duration::ZERO);
+        if let Some(ctx) = trace {
+            self.trace_hop(ctx, dst, false, total, at_switch, &ingress);
+        }
         ingress.end
     }
 

@@ -65,6 +65,9 @@ pub struct WriteHalf {
     dst: NodeId,
     tx: mpsc::Sender<Chunk>,
     window: Semaphore,
+    /// Trace context applied to wire reservations of subsequent writes, so a
+    /// framing layer can attribute link traversals to one message's lifeline.
+    trace: Option<kdtelem::TraceCtx>,
 }
 
 /// The read side of one direction of a connection.
@@ -94,6 +97,7 @@ fn pipe(fabric: &Fabric, src: NodeId, dst: NodeId) -> (WriteHalf, ReadHalf) {
             dst,
             tx,
             window: window.clone(),
+            trace: None,
         },
         ReadHalf {
             fabric: fabric.clone(),
@@ -226,9 +230,12 @@ impl WriteHalf {
             // The user→kernel copy really happens (chunk.to_vec) and is
             // charged at kernel copy bandwidth.
             sim::time::sleep(copy_time(chunk.len() as u64, net.kernel_copy_bandwidth)).await;
-            let wire_arrival =
+            let wire_arrival = {
+                // Scoped so the ambient guard never lives across an await.
+                let _scope = self.trace.map(kdtelem::enter_ctx);
                 self.fabric
-                    .reserve_tcp_path(sim::now(), self.src, self.dst, chunk.len() as u64);
+                    .reserve_tcp_path(sim::now(), self.src, self.dst, chunk.len() as u64)
+            };
             let arrival = wire_arrival + net.tcp_stack_oneway;
             self.tx
                 .try_send(Chunk {
@@ -243,6 +250,11 @@ impl WriteHalf {
     /// True once the peer's read half is gone.
     pub fn is_closed(&self) -> bool {
         self.tx.is_closed()
+    }
+
+    /// Sets (or clears) the trace context attributed to subsequent writes.
+    pub fn set_trace(&mut self, trace: Option<kdtelem::TraceCtx>) {
+        self.trace = trace;
     }
 }
 

@@ -79,6 +79,9 @@ pub(crate) struct NicInner {
     pub(crate) qp_posts: kdtelem::Counter,
     pub(crate) one_sided_in: kdtelem::Counter,
     pub(crate) post_to_comp_ns: kdtelem::Histogram,
+    /// Registry captured at construction; trace events (WqePosted,
+    /// Completion) for WRs carrying a [`kdtelem::TraceCtx`] go here.
+    pub(crate) telem: kdtelem::Registry,
 }
 
 impl NicInner {
@@ -124,6 +127,7 @@ impl RNic {
             qp_posts: telem.counter("rnic", "qp_posts"),
             one_sided_in: telem.counter("rnic", "one_sided_in"),
             post_to_comp_ns: telem.histogram("rnic", "post_to_comp_ns"),
+            telem,
         });
         registry
             .nics

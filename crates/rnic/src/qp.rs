@@ -149,6 +149,7 @@ impl QpShared {
                 byte_len: 0,
                 imm: None,
                 atomic_old: None,
+                trace: None,
             });
         }
         let _ = status;
@@ -278,6 +279,20 @@ impl QueuePair {
         qp.next_ticket.set(ticket + 1);
         qp.nic.qp_posts.inc();
         let posted = sim::now();
+        if let Some(ctx) = wr.trace {
+            qp.nic.telem.record_trace_event(
+                ctx,
+                posted.as_nanos(),
+                kdtelem::EventKind::WqePosted {
+                    qpn: qp.qpn,
+                    ticket,
+                },
+            );
+        }
+        // The reservation calls below are synchronous, so the ambient trace
+        // context is sound here: the fabric tags each link hop it reserves
+        // with this WR's lifeline.
+        let _trace_scope = wr.trace.map(kdtelem::enter_ctx);
 
         let fabric = qp.nic.node.fabric.clone();
         let profile = fabric.profile();
@@ -393,6 +408,17 @@ async fn complete(
 ) {
     qp.completion.wait_turn(ticket).await;
     if wr.signaled || status != CqStatus::Success {
+        if let Some(ctx) = wr.trace {
+            qp.nic.telem.trace_event_now(
+                ctx,
+                kdtelem::EventKind::Completion {
+                    qpn: qp.qpn,
+                    ticket,
+                    opcode: wr.op.opcode_name(),
+                    ok: status.is_ok(),
+                },
+            );
+        }
         qp.send_cq.push(Cqe {
             wr_id: wr.wr_id,
             qpn: qp.qpn,
@@ -401,6 +427,7 @@ async fn complete(
             byte_len,
             imm: None,
             atomic_old,
+            trace: wr.trace,
         });
     }
     qp.completion.advance(ticket);
@@ -448,6 +475,9 @@ async fn execute_remote(
                 byte_len: local.len() as u32,
                 imm: Some(*imm),
                 atomic_old: None,
+                // WR context crosses to the target with the notification —
+                // the immediate stays free for the file-ID/order word.
+                trace: wr.trace,
             });
             Ok(None)
         }
@@ -473,6 +503,7 @@ async fn execute_remote(
                 byte_len: data.len() as u32,
                 imm,
                 atomic_old: None,
+                trace: wr.trace,
             });
             Ok(None)
         }

@@ -77,6 +77,18 @@ impl WorkRequest {
         }
     }
 
+    /// Static name of the completion opcode, for trace events.
+    pub(crate) fn opcode_name(&self) -> &'static str {
+        match self.opcode() {
+            CqOpcode::Send => "Send",
+            CqOpcode::RdmaWrite => "RdmaWrite",
+            CqOpcode::RdmaRead => "RdmaRead",
+            CqOpcode::CompSwap => "CompSwap",
+            CqOpcode::FetchAdd => "FetchAdd",
+            CqOpcode::Recv | CqOpcode::RecvRdmaWithImm => unreachable!(),
+        }
+    }
+
     pub(crate) fn opcode(&self) -> CqOpcode {
         match self {
             WorkRequest::Send { .. } | WorkRequest::SendImm { .. } => CqOpcode::Send,
@@ -97,6 +109,11 @@ pub struct SendWr {
     /// Unsignalled requests produce no success completion (errors always
     /// complete).
     pub signaled: bool,
+    /// Causal trace context riding with the WR. Copied into the initiator's
+    /// send CQE *and* the target's receive CQE (for WriteImm/Send), which is
+    /// how a lifeline crosses the verbs "process boundary" — the 32-bit
+    /// immediate stays free for protocol data.
+    pub trace: Option<kdtelem::TraceCtx>,
 }
 
 impl SendWr {
@@ -105,6 +122,7 @@ impl SendWr {
             wr_id,
             op,
             signaled: true,
+            trace: None,
         }
     }
 
@@ -113,7 +131,14 @@ impl SendWr {
             wr_id,
             op,
             signaled: false,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context (builder style).
+    pub fn with_trace(mut self, trace: Option<kdtelem::TraceCtx>) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -176,6 +201,9 @@ pub struct Cqe {
     /// Convenience copy of the old value returned by an atomic (also written
     /// to the WR's local buffer, as on real hardware).
     pub atomic_old: Option<u64>,
+    /// Trace context carried by the WR that caused this completion (both
+    /// directions: the poster's CQE and, for WriteImm/Send, the target's).
+    pub trace: Option<kdtelem::TraceCtx>,
 }
 
 impl Cqe {

@@ -482,6 +482,7 @@ fn timing_atomics_are_rate_limited_per_word() {
                         add: 1,
                     },
                     signaled: i == n - 1,
+                    trace: None,
                 })
                 .unwrap();
         }
@@ -514,6 +515,7 @@ fn timing_large_writes_reach_link_bandwidth() {
                         rkey: mr.rkey(),
                     },
                     signaled: i == n - 1,
+                    trace: None,
                 })
                 .unwrap();
         }

@@ -5,5 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo build --examples --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
+
+# Smoke-run the quickstart example end to end.
+cargo run -q --release --offline --example quickstart
