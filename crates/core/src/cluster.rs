@@ -1,9 +1,12 @@
 //! The cluster harness: a fabric, N broker machines, and client machines,
 //! mirroring the paper's 12-node InfiniBand testbed (§5 "Settings").
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use kdbroker::Broker;
 use kdclient::Admin;
-use kdstorage::LogConfig;
+use kdstorage::{LogConfig, TopicPartition};
 use kdwire::BrokerAddr;
 use netsim::profile::Profile;
 use netsim::{Fabric, NodeHandle};
@@ -34,14 +37,18 @@ impl Default for ClusterOptions {
     }
 }
 
-/// A running simulated cluster.
+/// A running simulated cluster. Brokers can be crashed, restarted (with log
+/// recovery from their surviving segment buffers), and failed over — the
+/// harness plays the role of an external cluster controller.
 pub struct SimCluster {
     pub fabric: Fabric,
     pub system: SystemKind,
-    brokers: Vec<Broker>,
+    brokers: RefCell<Vec<Broker>>,
     broker_nodes: Vec<NodeHandle>,
     admin_node: NodeHandle,
     telemetry: kdtelem::Registry,
+    config: kdbroker::BrokerConfig,
+    peers: Vec<BrokerAddr>,
 }
 
 impl SimCluster {
@@ -80,24 +87,32 @@ impl SimCluster {
         SimCluster {
             fabric,
             system,
-            brokers,
+            brokers: RefCell::new(brokers),
             broker_nodes,
             admin_node,
             telemetry,
+            config,
+            peers,
         }
     }
 
     /// Address of the bootstrap (controller) broker.
     pub fn bootstrap(&self) -> BrokerAddr {
-        self.brokers[0].addr()
+        self.broker(0).addr()
     }
 
-    pub fn broker(&self, i: usize) -> &Broker {
-        &self.brokers[i]
+    /// Handle to broker `i` (a cheap clone; restarts swap the slot, so
+    /// re-fetch after `restart_broker`).
+    pub fn broker(&self, i: usize) -> Broker {
+        self.brokers.borrow()[i].clone()
     }
 
-    pub fn brokers(&self) -> &[Broker] {
-        &self.brokers
+    pub fn brokers(&self) -> Vec<Broker> {
+        self.brokers.borrow().clone()
+    }
+
+    pub fn broker_count(&self) -> usize {
+        self.brokers.borrow().len()
     }
 
     pub fn broker_node(&self, i: usize) -> &NodeHandle {
@@ -139,6 +154,170 @@ impl SimCluster {
             .await
             .expect("admin connect");
         admin.telemetry().await.expect("telemetry rpc")
+    }
+
+    /// Crashes broker `i` (see [`Broker::crash`]). Idempotent.
+    pub fn crash_broker(&self, i: usize) {
+        self.broker(i).crash();
+    }
+
+    /// Restarts a crashed broker on the same fabric node, recovering every
+    /// partition it hosted from the surviving segment buffers (CRC scan,
+    /// torn tails truncated). Cluster metadata — which may have moved on
+    /// via [`fail_over`](Self::fail_over) while the broker was down — is
+    /// re-learned from the controller, so a demoted ex-leader comes back as
+    /// a follower under the new epoch. Returns the fresh broker handle.
+    pub fn restart_broker(&self, i: usize) -> Broker {
+        let old = self.broker(i);
+        assert!(!old.is_alive(), "restart_broker({i}) on a live broker");
+        let remnants = old.durable_state();
+        let fresh = Broker::start(&self.broker_nodes[i], self.config.clone(), self.peers.clone());
+        // Authoritative metadata: the lowest-indexed live broker's view —
+        // usually broker 0, the controller, which generated plans never
+        // crash. A stale restarting ex-leader must NOT trust its own
+        // pre-crash store when any live peer exists: a fail_over while it
+        // was down only updated live brokers, and reinstalling the old view
+        // would resurrect a second leader under a fenced epoch. Only a
+        // full-cluster outage falls back to the broker's own store.
+        let src = (0..self.broker_count())
+            .filter(|&j| j != i)
+            .map(|j| self.broker(j))
+            .find(|b| b.is_alive())
+            .unwrap_or_else(|| old.clone());
+        let me = fresh.addr().node;
+        let mut remnant: std::collections::HashMap<_, _> = remnants.into_iter().collect();
+        for t in src.inner().store.all_topics() {
+            let mut parts = t.partitions.clone();
+            parts.sort_by_key(|p| p.partition);
+            for pm in parts {
+                let tp = TopicPartition::new(t.name.as_str(), pm.partition);
+                let hosted =
+                    pm.leader.node == me || pm.replicas.iter().any(|r| r.node == me);
+                match remnant.remove(&tp) {
+                    Some(bufs) if hosted => {
+                        if pm.leader.node != me {
+                            // Rejoining as a follower: apply the leader-epoch
+                            // truncation rule before recovery (below).
+                            self.truncate_to_leader_prefix(&tp, pm.leader, &bufs);
+                        }
+                        fresh.install_recovered(
+                            t.name.as_str(),
+                            pm.partition,
+                            pm.epoch,
+                            pm.leader,
+                            pm.replicas.clone(),
+                            bufs,
+                        );
+                    }
+                    _ => {
+                        // Metadata-only (or a partition created while this
+                        // broker was down): install fresh.
+                        kdbroker::api::apply_add_partition(
+                            fresh.inner(),
+                            t.name.as_str(),
+                            pm.partition,
+                            pm.epoch,
+                            pm.leader,
+                            pm.replicas.clone(),
+                        );
+                    }
+                }
+            }
+        }
+        self.brokers.borrow_mut()[i] = fresh.clone();
+        fresh
+    }
+
+    /// The stand-in for Kafka's `OffsetsForLeaderEpoch` truncation: a
+    /// restarting follower's recovered log may have diverged from the
+    /// current leader (the crashed ex-leader committed bytes that were
+    /// never replicated before a failover). Zero the follower's buffers
+    /// from the first byte that differs from the live leader's committed
+    /// prefix — the recovery CRC scan then truncates at the last intact
+    /// batch boundary before the divergence. If no live leader is found the
+    /// log is recovered as-is; the push module detects the misaligned
+    /// frontier at session establish and refuses to replicate onto it.
+    fn truncate_to_leader_prefix(
+        &self,
+        tp: &TopicPartition,
+        leader: BrokerAddr,
+        bufs: &[Rc<RefCell<Vec<u8>>>],
+    ) {
+        let Some(lb) = self
+            .brokers
+            .borrow()
+            .iter()
+            .find(|b| b.addr().node == leader.node && b.is_alive())
+            .cloned()
+        else {
+            return;
+        };
+        let Some(lp) = lb.inner().store.get(tp) else {
+            return;
+        };
+        for (k, buf) in bufs.iter().enumerate() {
+            match lp.log.segment(k as u32) {
+                Some(ls) => {
+                    let lbuf = ls.shared_buf();
+                    let lseg = lbuf.borrow();
+                    let mut fseg = buf.borrow_mut();
+                    let lim = (ls.committed_pos() as usize).min(lseg.len()).min(fseg.len());
+                    let n = lseg[..lim]
+                        .iter()
+                        .zip(fseg.iter())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    for byte in fseg.iter_mut().skip(n) {
+                        *byte = 0;
+                    }
+                }
+                None => buf.borrow_mut().iter_mut().for_each(|b| *b = 0),
+            }
+        }
+    }
+
+    /// Epoch-fenced leader change: promotes the first live follower of the
+    /// partition, bumps the epoch, and installs the new view on every live
+    /// broker (controller first). The demoted leader keeps a replica role;
+    /// its active produce grant is revoked with `FencedEpoch`, rotating the
+    /// rkey so any producer or push session still operating under the old
+    /// epoch faults at the NIC. Returns the new leader, or `None` when no
+    /// live follower exists to promote.
+    pub fn fail_over(&self, topic: &str, partition: u32) -> Option<BrokerAddr> {
+        let tp = TopicPartition::new(topic, partition);
+        let meta = self.broker(0).inner().store.partition_meta(&tp)?;
+        let live = |n: u32| {
+            self.brokers
+                .borrow()
+                .iter()
+                .any(|b| b.addr().node == n && b.is_alive())
+        };
+        let mut candidates: Vec<BrokerAddr> = meta
+            .replicas
+            .iter()
+            .filter(|r| r.node != meta.leader.node && live(r.node))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let new_leader = candidates.remove(0);
+        let mut replicas = vec![meta.leader];
+        replicas.extend(candidates);
+        let epoch = meta.epoch + 1;
+        for b in self.brokers() {
+            if b.is_alive() {
+                kdbroker::api::apply_add_partition(
+                    b.inner(),
+                    topic,
+                    partition,
+                    epoch,
+                    new_leader,
+                    replicas.clone(),
+                );
+            }
+        }
+        Some(new_leader)
     }
 
     /// Address of the leader broker for a partition.

@@ -29,6 +29,7 @@
 //! });
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod events;
 pub mod systems;

@@ -46,6 +46,9 @@ pub async fn worker_loop(b: Rc<BrokerInner>) {
                 i
             }
         };
+        if !b.alive.get() {
+            return; // crashed: the item dies unanswered
+        }
         dispatch(&b, item).await;
     }
 }
@@ -160,17 +163,13 @@ async fn handle_rpc(
         Request::InternalAddPartition {
             topic,
             partition,
+            epoch,
             leader,
             replicas,
         } => {
             charge_worker(b, CONTROL_COST).await;
-            apply_add_partition(b, &topic, partition, leader, replicas);
-            send(
-                reply,
-                Response::InternalAddPartition {
-                    error: ErrorCode::None,
-                },
-            );
+            let error = apply_add_partition(b, &topic, partition, epoch, leader, replicas);
+            send(reply, Response::InternalAddPartition { error });
         }
         Request::Produce {
             topic,
@@ -209,7 +208,7 @@ async fn handle_rpc(
         Request::ListOffsets { topic, partition } => {
             charge_worker(b, CONTROL_COST).await;
             let resp = match b.store.get(&TopicPartition::new(&*topic, partition)) {
-                Some(p) if p.is_leader => Response::ListOffsets {
+                Some(p) if p.is_leader() => Response::ListOffsets {
                     error: ErrorCode::None,
                     earliest: 0,
                     latest: p.log.high_watermark(),
@@ -438,11 +437,12 @@ async fn create_topic(b: &Rc<BrokerInner>, topic: &str, partitions: u32, replica
             let req = Request::InternalAddPartition {
                 topic: topic.to_string(),
                 partition: pt,
+                epoch: 0,
                 leader,
                 replicas: followers.clone(),
             };
             if target.node == b.me.node {
-                apply_add_partition(b, topic, pt, leader, followers.clone());
+                apply_add_partition(b, topic, pt, 0, leader, followers.clone());
             } else if let Some(client) = b.peer_client(target).await {
                 let _ = client.call(&req).await;
             }
@@ -452,35 +452,127 @@ async fn create_topic(b: &Rc<BrokerInner>, topic: &str, partitions: u32, replica
 }
 
 /// Installs partition metadata and, when this broker hosts it, the local
-/// replica plus its replication machinery.
+/// replica plus its replication machinery. A view with a newer epoch for an
+/// already-hosted partition is a leadership change and is applied in place;
+/// a view with an older epoch is stale and rejected (`FencedEpoch`).
 pub fn apply_add_partition(
     b: &Rc<BrokerInner>,
     topic: &str,
     partition: u32,
+    epoch: u64,
     leader: kdwire::BrokerAddr,
     followers: Vec<kdwire::BrokerAddr>,
+) -> ErrorCode {
+    let tp = TopicPartition::new(topic, partition);
+    if let Some(existing) = b.store.partition_meta(&tp) {
+        if epoch < existing.epoch {
+            return ErrorCode::FencedEpoch;
+        }
+    }
+    b.store.record_meta(
+        topic,
+        kdwire::PartitionMeta {
+            partition,
+            epoch,
+            leader,
+            replicas: followers.clone(),
+        },
+    );
+    let is_leader = leader.node == b.me.node;
+    let is_follower = followers.iter().any(|f| f.node == b.me.node);
+    if let Some(p) = b.store.get(&tp) {
+        if epoch > p.epoch() {
+            apply_leadership_change(b, &p, epoch, leader, followers, is_leader);
+        }
+        return ErrorCode::None;
+    }
+    if !(is_leader || is_follower) {
+        return ErrorCode::None;
+    }
+    let p = Partition::new(tp, b.config.log.clone(), leader, followers, is_leader, epoch);
+    b.store.insert(Rc::clone(&p));
+    start_replication(b, &p);
+    ErrorCode::None
+}
+
+/// Installs a partition recovered from surviving segment buffers (broker
+/// restart after a crash). The log is rebuilt by a CRC scan that truncates
+/// any torn tail; committed records all survive because commits only cover
+/// CRC-verified bytes.
+pub fn install_recovered_partition(
+    b: &Rc<BrokerInner>,
+    topic: &str,
+    partition: u32,
+    epoch: u64,
+    leader: kdwire::BrokerAddr,
+    followers: Vec<kdwire::BrokerAddr>,
+    buffers: Vec<Rc<std::cell::RefCell<Vec<u8>>>>,
 ) {
     b.store.record_meta(
         topic,
         kdwire::PartitionMeta {
             partition,
+            epoch,
             leader,
             replicas: followers.clone(),
         },
     );
     let tp = TopicPartition::new(topic, partition);
     let is_leader = leader.node == b.me.node;
-    let is_follower = followers.iter().any(|f| f.node == b.me.node);
-    if !(is_leader || is_follower) || b.store.get(&tp).is_some() {
-        return;
-    }
-    let p = Partition::new(tp, b.config.log.clone(), leader, followers, is_leader);
+    let log = kdstorage::Log::recover(b.config.log.clone(), buffers);
+    let p = Partition::with_log(tp, log, leader, followers, is_leader, epoch);
     b.store.insert(Rc::clone(&p));
     if is_leader {
-        crate::repl::maybe_start_push(b, &p);
-    } else if !b.config.rdma.replicate {
-        crate::repl::start_pull_fetcher(b, &p);
+        p.announce_leo();
+        // RF=1: the high watermark is recovered directly from the log end.
+        // RF>1: it re-advances as followers ack (push re-learns each
+        // follower's frontier at session establish).
+        if p.replication_factor() == 1 {
+            p.recompute_hw();
+            on_hw_advanced(b, &p);
+        }
     }
+    start_replication(b, &p);
+}
+
+fn start_replication(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    if p.is_leader() {
+        crate::repl::maybe_start_push(b, p);
+    } else if !b.config.rdma.replicate {
+        crate::repl::start_pull_fetcher(b, p);
+    }
+}
+
+/// Epoch-fenced leadership change. Revoking the active grant deregisters its
+/// MR, rotating the rkey out from under any producer or pusher still
+/// operating under the old epoch: their one-sided writes fail the NIC's
+/// rkey lookup and never become consumer-visible.
+fn apply_leadership_change(
+    b: &Rc<BrokerInner>,
+    p: &Rc<Partition>,
+    epoch: u64,
+    leader: kdwire::BrokerAddr,
+    followers: Vec<kdwire::BrokerAddr>,
+    is_leader: bool,
+) {
+    let grant = p.grant.borrow().clone();
+    if let Some(g) = grant.filter(|g| !g.closed.get()) {
+        revoke_grant(b, p, &g, ErrorCode::FencedEpoch);
+    }
+    p.apply_leadership(epoch, leader, followers, is_leader);
+    if is_leader {
+        // Promoted follower: serve from the local log. The HW learned from
+        // the old leader stays put until the new ISR acks past it.
+        p.push_started.set(false);
+        if p.replication_factor() == 1 {
+            p.recompute_hw();
+            on_hw_advanced(b, p);
+        }
+    }
+    start_replication(b, p);
+    // Wake any replication task parked on the LEO watch so it observes the
+    // epoch change and exits.
+    p.announce_leo();
 }
 
 // ---------------------------------------------------------------------------
@@ -548,7 +640,7 @@ async fn handle_produce(
         send(reply, Response::Produce { error, base_offset: 0 });
         return;
     };
-    if !p.is_leader {
+    if !p.is_leader() {
         send(
             reply,
             Response::Produce {
@@ -1018,12 +1110,18 @@ async fn handle_produce_access(
     };
     let allowed = match mode {
         ProduceMode::Replication => {
-            b.config.rdma.replicate && !p.is_leader && peer.0 == p.leader.node
+            if b.config.rdma.replicate && peer.0 != p.leader().node {
+                // A pusher that is not the current leader lost a leadership
+                // election it has not heard about yet: fence it.
+                send(reply, fail(ErrorCode::FencedEpoch));
+                return;
+            }
+            b.config.rdma.replicate && !p.is_leader()
         }
-        _ => b.config.rdma.produce && p.is_leader,
+        _ => b.config.rdma.produce && p.is_leader(),
     };
     if !allowed {
-        let code = if p.is_leader || mode == ProduceMode::Replication {
+        let code = if p.is_leader() || mode == ProduceMode::Replication {
             ErrorCode::AccessDenied
         } else {
             ErrorCode::NotLeader
@@ -1127,7 +1225,7 @@ async fn handle_fetch(
         send(reply, fail(ErrorCode::UnknownTopicOrPartition));
         return;
     };
-    if !p.is_leader {
+    if !p.is_leader() {
         send(reply, fail(ErrorCode::NotLeader));
         return;
     }
@@ -1236,7 +1334,7 @@ async fn handle_consume_access(
         send(reply, fail(ErrorCode::UnknownTopicOrPartition));
         return;
     };
-    if !p.is_leader {
+    if !p.is_leader() {
         send(reply, fail(ErrorCode::NotLeader));
         return;
     }

@@ -1,7 +1,7 @@
 //! Broker assembly: wires the network modules, worker pool, RDMA modules,
 //! and data management together (paper Fig 2) and exposes the public handle.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -21,6 +21,10 @@ use crate::requests::WorkItem;
 
 /// An RDMA-writable consumer-offset slot (buffer + its registration).
 pub type OffsetSlot = (rnic::ShmBuf, rnic::MemoryRegion);
+
+/// One partition's raw segment buffers — the shared "disk" that survives a
+/// broker crash (see [`Broker::durable_state`]).
+pub type SegmentBuffers = Vec<Rc<RefCell<Vec<u8>>>>;
 
 /// Lazily-created loopback QP the broker uses to issue atomics to itself
 /// (§4.2.2: a TCP produce into a shared file "needs to reserve a memory
@@ -63,6 +67,14 @@ pub struct BrokerInner {
     pub produce_module: ProduceModule,
     pub consume_module: ConsumeModule,
     self_rdma: RefCell<Option<Rc<SelfRdma>>>,
+    /// False once the broker process has "crashed"; long-lived tasks check
+    /// it and exit.
+    pub alive: Cell<bool>,
+    /// Broadcast on crash to wake tasks parked on network reads.
+    pub shutdown: sim::sync::Notify,
+    /// Leader-side push-replication QPs (failed on crash so followers see
+    /// the disconnect).
+    pub repl_qps: RefCell<Vec<QueuePair>>,
 }
 
 impl BrokerInner {
@@ -177,6 +189,9 @@ impl Broker {
             produce_module: ProduceModule::default(),
             consume_module: ConsumeModule::new(config.slots_per_consumer),
             self_rdma: RefCell::new(None),
+            alive: Cell::new(true),
+            shutdown: sim::sync::Notify::new(),
+            repl_qps: RefCell::new(Vec::new()),
             config,
         });
 
@@ -221,5 +236,101 @@ impl Broker {
     /// One-sided RDMA traffic served by this broker's NIC (no CPU).
     pub fn nic_stats(&self) -> rnic::NicStats {
         self.inner.nic.stats()
+    }
+
+    /// True until [`crash`](Self::crash) is called.
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.get()
+    }
+
+    /// Simulates a broker process crash: listeners unbind, the worker pool
+    /// dies, and every RDMA endpoint fails so peers (producers, consumers,
+    /// push leaders) observe RC disconnects — exactly what a dying host's
+    /// NIC produces. Volatile state freezes; the segment buffers (the
+    /// "disk") survive and can be harvested with
+    /// [`durable_state`](Self::durable_state) for a restarted broker.
+    pub fn crash(&self) {
+        let b = &self.inner;
+        if !b.alive.get() {
+            return;
+        }
+        b.alive.set(false);
+        // Stop accepting new connections on every front end.
+        netsim::tcp::unbind(&b.node, b.config.tcp_port);
+        for off in [
+            crate::rdma_net::PRODUCE_PORT_OFF,
+            crate::rdma_net::OSU_PORT_OFF,
+            crate::rdma_net::CONSUME_PORT_OFF,
+        ] {
+            rnic::cm::unbind(&b.nic, b.config.rdma_port + off);
+        }
+        // Kill the worker pool; queued requests die unanswered (clients see
+        // the connection drop, never a fabricated reply).
+        b.queue.close();
+        for (_, qp) in b.produce_qps.borrow_mut().drain() {
+            qp.close();
+        }
+        for qp in b.consume_qps.borrow_mut().drain(..) {
+            qp.close();
+        }
+        for qp in b.repl_qps.borrow_mut().drain(..) {
+            qp.close();
+        }
+        if let Some(s) = b.self_rdma.borrow_mut().take() {
+            s.qp.close();
+        }
+        // Revoke surviving grants (deregistering their MRs) and wake parked
+        // replication tasks so they observe death and exit.
+        for p in b.store.local_partitions() {
+            let grant = p.grant.borrow().clone();
+            if let Some(g) = grant.filter(|g| !g.closed.get()) {
+                crate::api::revoke_grant(b, &p, &g, kdwire::ErrorCode::Internal);
+            }
+            p.announce_leo();
+        }
+        // Wake connection readers parked on the TCP front end.
+        b.shutdown.notify_waiters();
+    }
+
+    /// Harvests the surviving "disk": every hosted partition's raw segment
+    /// buffers, sorted by topic partition. Usable before or after `crash`;
+    /// the buffers stay valid (and shared) after the broker object is gone.
+    pub fn durable_state(&self) -> Vec<(kdstorage::TopicPartition, SegmentBuffers)> {
+        let mut out: Vec<_> = self
+            .inner
+            .store
+            .local_partitions()
+            .into_iter()
+            .map(|p| {
+                let bufs = (0..=p.log.head_index())
+                    .filter_map(|i| p.log.segment(i).map(|s| s.shared_buf()))
+                    .collect();
+                (p.tp.clone(), bufs)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Installs a partition recovered from pre-crash segment buffers; used
+    /// by the harness right after `start` when restarting a crashed broker.
+    pub fn install_recovered(
+        &self,
+        topic: &str,
+        partition: u32,
+        epoch: u64,
+        leader: BrokerAddr,
+        replicas: Vec<BrokerAddr>,
+        buffers: SegmentBuffers,
+    ) {
+        crate::api::install_recovered_partition(
+            &self.inner,
+            topic,
+            partition,
+            epoch,
+            leader,
+            replicas,
+            buffers,
+        );
     }
 }

@@ -50,10 +50,14 @@ pub struct Partition {
     /// Per-TP write lock: "each TP file can be accessed by at most one API
     /// worker at a time due to locking" (§5.1, Fig 12).
     pub write_lock: sim::sync::Mutex<()>,
-    pub leader: BrokerAddr,
+    leader: Cell<BrokerAddr>,
     /// Followers (leader excluded).
-    pub replicas: Vec<BrokerAddr>,
-    pub is_leader: bool,
+    replicas: RefCell<Vec<BrokerAddr>>,
+    is_leader: Cell<bool>,
+    /// Leadership epoch: bumped by the controller on every leader change.
+    /// Replication tasks capture it at spawn and exit when it moves on, and
+    /// grants issued under an older epoch are revoked (fencing).
+    epoch: Cell<u64>,
     /// Log-end-offset announcements (wakes push replication / long-poll
     /// replica fetches).
     pub leo_tx: watch::Sender<u64>,
@@ -79,16 +83,31 @@ impl Partition {
         leader: BrokerAddr,
         replicas: Vec<BrokerAddr>,
         is_leader: bool,
+        epoch: u64,
+    ) -> Rc<Partition> {
+        Self::with_log(tp, Log::new(log_config), leader, replicas, is_leader, epoch)
+    }
+
+    /// Builds a partition around an existing log — the crash-recovery path,
+    /// where the log was rebuilt from surviving segment buffers.
+    pub fn with_log(
+        tp: TopicPartition,
+        log: Log,
+        leader: BrokerAddr,
+        replicas: Vec<BrokerAddr>,
+        is_leader: bool,
+        epoch: u64,
     ) -> Rc<Partition> {
         let (leo_tx, _) = watch::channel(0u64);
         let (hw_tx, _) = watch::channel(0u64);
         Rc::new(Partition {
             tp,
-            log: Log::new(log_config),
+            log,
             write_lock: sim::sync::Mutex::new(()),
-            leader,
-            replicas,
-            is_leader,
+            leader: Cell::new(leader),
+            replicas: RefCell::new(replicas),
+            is_leader: Cell::new(is_leader),
+            epoch: Cell::new(epoch),
             leo_tx,
             hw_tx,
             follower_leo: RefCell::new(HashMap::new()),
@@ -99,9 +118,40 @@ impl Partition {
         })
     }
 
+    pub fn leader(&self) -> BrokerAddr {
+        self.leader.get()
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.is_leader.get()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    pub fn replicas(&self) -> Vec<BrokerAddr> {
+        self.replicas.borrow().clone()
+    }
+
+    /// Installs a newer-epoch leadership view in place (failover).
+    pub fn apply_leadership(
+        &self,
+        epoch: u64,
+        leader: BrokerAddr,
+        replicas: Vec<BrokerAddr>,
+        is_leader: bool,
+    ) {
+        debug_assert!(epoch > self.epoch.get());
+        self.epoch.set(epoch);
+        self.leader.set(leader);
+        *self.replicas.borrow_mut() = replicas;
+        self.is_leader.set(is_leader);
+    }
+
     /// Replication factor (leader + followers).
     pub fn replication_factor(&self) -> usize {
-        self.replicas.len() + 1
+        self.replicas.borrow().len() + 1
     }
 
     /// Announces new committed-to-log records (wakes replication).
@@ -129,6 +179,7 @@ impl Partition {
         let hw = {
             let m = self.follower_leo.borrow();
             self.replicas
+                .borrow()
                 .iter()
                 .map(|r| m.get(&r.node).copied().unwrap_or(0))
                 .fold(leader_leo, u64::min)
@@ -226,8 +277,13 @@ impl PartitionStore {
             .cloned()
     }
 
+    /// Hosted partitions, sorted by topic partition so that sweeps over
+    /// them (grant revocation, crash teardown) happen in a deterministic
+    /// order regardless of hash-map iteration.
     pub fn local_partitions(&self) -> Vec<Rc<Partition>> {
-        self.partitions.borrow().values().cloned().collect()
+        let mut v: Vec<Rc<Partition>> = self.partitions.borrow().values().cloned().collect();
+        v.sort_by(|a, b| a.tp.cmp(&b.tp));
+        v
     }
 }
 
@@ -257,6 +313,7 @@ mod tests {
                 addr(0),
                 vec![addr(1), addr(2)],
                 true,
+                0,
             );
             // Leader commits 10 records locally.
             let mut b = kdstorage::BatchBuilder::new(1);
@@ -285,6 +342,7 @@ mod tests {
                 addr(0),
                 vec![],
                 true,
+                0,
             );
             let b = kdstorage::record::single_record_batch(1, &kdstorage::Record::value(b"x".to_vec()));
             p.log.append_batch(&b).unwrap();
@@ -302,6 +360,7 @@ mod tests {
                 addr(0),
                 vec![addr(1)],
                 true,
+                0,
             );
             let b = kdstorage::record::single_record_batch(1, &kdstorage::Record::value(b"x".to_vec()));
             p.log.append_batch(&b).unwrap();
@@ -345,6 +404,7 @@ mod tests {
             "t",
             PartitionMeta {
                 partition: 1,
+                epoch: 0,
                 leader: addr(0),
                 replicas: vec![addr(1)],
             },
@@ -353,6 +413,7 @@ mod tests {
             "t",
             PartitionMeta {
                 partition: 0,
+                epoch: 0,
                 leader: addr(1),
                 replicas: vec![],
             },

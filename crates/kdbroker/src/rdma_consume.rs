@@ -234,6 +234,7 @@ mod tests {
             },
             vec![],
             true,
+            0,
         );
         (nic, Metrics::default(), p)
     }

@@ -88,6 +88,9 @@ fn start_consume_listener(b: &Rc<BrokerInner>) {
 async fn poller_loop(b: Rc<BrokerInner>) {
     let wakeup = b.profile.cpu.wakeup;
     loop {
+        if !b.alive.get() {
+            return; // broker crashed
+        }
         // Pop the completion and assign its commit sequence in one
         // synchronous step: with several poller threads, interleaving a
         // sleep between pop and sequencing could invert the completion
@@ -203,6 +206,7 @@ pub fn decode_ack(bytes: &[u8]) -> (kdwire::ErrorCode, u64) {
         Some(6) => kdwire::ErrorCode::InvalidRequest,
         Some(7) => kdwire::ErrorCode::AlreadyExists,
         Some(8) => kdwire::ErrorCode::OrderTimeout,
+        Some(10) => kdwire::ErrorCode::FencedEpoch,
         _ => kdwire::ErrorCode::Internal,
     };
     let base_offset = bytes

@@ -33,8 +33,14 @@ pub fn start_pull_fetcher(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
 }
 
 async fn pull_loop(b: Rc<BrokerInner>, p: Rc<Partition>) {
-    let leader = p.leader;
+    let my_epoch = p.epoch();
     loop {
+        // A crashed broker or a leadership change retires this fetcher (a
+        // new one is spawned under the new epoch if still a follower).
+        if !b.alive.get() || p.is_leader() || p.epoch() != my_epoch {
+            return;
+        }
+        let leader = p.leader();
         let client = match b.peer_client(leader).await {
             Some(c) => c,
             None => {
@@ -105,11 +111,12 @@ async fn apply_replicated(b: &Rc<BrokerInner>, p: &Rc<Partition>, bytes: &[u8]) 
 
 /// Starts push-replication tasks (one per follower) for a leader partition.
 pub fn maybe_start_push(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
-    if p.push_started.get() || !p.is_leader || p.replicas.is_empty() || !b.config.rdma.replicate {
+    let replicas = p.replicas();
+    if p.push_started.get() || !p.is_leader() || replicas.is_empty() || !b.config.rdma.replicate {
         return;
     }
     p.push_started.set(true);
-    for follower in p.replicas.clone() {
+    for follower in replicas {
         let b = Rc::clone(b);
         let p = Rc::clone(p);
         sim::spawn(async move { push_loop(b, p, follower).await });
@@ -124,11 +131,15 @@ struct PushSession {
 
 /// Leader-side push loop for one follower.
 async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::BrokerAddr) {
+    let my_epoch = p.epoch();
     let mut leo_rx = p.leo_tx.subscribe();
     let mut cursor_seg: u32 = 0;
     let mut cursor_pos: u32 = 0;
     // Index of the next not-yet-pushed batch within the cursor segment.
     let mut cursor_idx: usize = 0;
+    // True when the cursor just advanced past a sealed file: the follower
+    // must roll its head (which mirrors our sealed file) on re-establish.
+    let mut just_rolled = false;
     let mut session: Option<PushSession> = None;
     let acked = Rc::new(Cell::new(0u64));
     // Post times of in-flight writes (wr_id = follower LEO when acked),
@@ -137,6 +148,10 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
         Rc::new(RefCell::new(VecDeque::new()));
 
     loop {
+        // A crashed broker or a leadership change retires this pusher.
+        if !b.alive.get() || !p.is_leader() || p.epoch() != my_epoch {
+            return;
+        }
         // Wait for new committed-to-leader bytes at the cursor.
         loop {
             let seg = p.log.segment(cursor_seg).expect("cursor segment");
@@ -149,10 +164,14 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
                 cursor_seg += 1;
                 cursor_pos = 0;
                 cursor_idx = 0;
+                just_rolled = true;
                 session = None;
                 continue;
             }
             if leo_rx.changed().await.is_err() {
+                return;
+            }
+            if !b.alive.get() || !p.is_leader() || p.epoch() != my_epoch {
                 return;
             }
         }
@@ -164,7 +183,7 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
                 &b,
                 &p,
                 follower,
-                cursor_seg,
+                just_rolled,
                 Rc::clone(&acked),
                 Rc::clone(&inflight),
             )
@@ -172,6 +191,34 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
             if session.is_none() {
                 sim::time::sleep(Duration::from_millis(1)).await;
                 continue;
+            }
+            just_rolled = false;
+            // Re-sync the cursor to the follower's actual frontier: a
+            // restarted follower can be behind it (recovery truncated its
+            // torn tail) or still on an earlier file. Follower files mirror
+            // leader files byte for byte, so its committed frontier is
+            // always one of our batch boundaries.
+            let g = &session.as_ref().unwrap().grant;
+            if g.segment != cursor_seg || g.write_pos != cursor_pos {
+                cursor_seg = g.segment;
+                cursor_pos = g.write_pos;
+                cursor_idx = batch_index_at(&p, cursor_seg, cursor_pos);
+                // A frontier that is not one of our batch boundaries (or
+                // lies past our end) means the follower recovered a log
+                // that diverged from ours and was never truncated (no live
+                // leader existed at its recovery). Retire rather than
+                // interleave mismatched bytes; a later restart against a
+                // live leader repairs the follower.
+                let aligned = match p.log.segment(cursor_seg) {
+                    Some(seg) => seg
+                        .batch_at(cursor_idx)
+                        .map(|e| e.pos == cursor_pos)
+                        .unwrap_or_else(|| seg.committed_pos() == cursor_pos),
+                    None => false,
+                };
+                if !aligned {
+                    return;
+                }
             }
         }
         let s = session.as_ref().unwrap();
@@ -182,7 +229,11 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
         let seg = p.log.segment(cursor_seg).expect("cursor segment");
         let mut end = cursor_pos;
         let mut last_offset = 0u64;
-        while let Some(entry) = seg.batch_at(cursor_idx) {
+        // Tentative: committed to `cursor_idx` only once the write is
+        // posted, so a dead session never leaves the index ahead of the
+        // byte cursor.
+        let mut next_idx = cursor_idx;
+        while let Some(entry) = seg.batch_at(next_idx) {
             debug_assert_eq!(entry.pos, end, "push cursor at batch boundary");
             let new_end = entry.end_pos();
             if end > cursor_pos && new_end - cursor_pos > b.config.replication_max_batch {
@@ -190,7 +241,7 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
             }
             end = new_end;
             last_offset = entry.next_offset();
-            cursor_idx += 1;
+            next_idx += 1;
         }
         if end == cursor_pos {
             sim::time::sleep(Duration::from_micros(1)).await;
@@ -230,7 +281,24 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
         b.metrics.add(&b.metrics.push_writes, 1);
         b.metrics.add(&b.metrics.push_bytes, u64::from(len));
         cursor_pos = end;
+        cursor_idx = next_idx;
     }
+}
+
+/// Index of the batch starting at byte `pos` of leader segment `seg_idx`
+/// (the number of batches that end at or before `pos`).
+fn batch_index_at(p: &Rc<Partition>, seg_idx: u32, pos: u32) -> usize {
+    let Some(seg) = p.log.segment(seg_idx) else {
+        return 0;
+    };
+    let mut i = 0;
+    while let Some(e) = seg.batch_at(i) {
+        if e.pos >= pos {
+            break;
+        }
+        i += 1;
+    }
+    i
 }
 
 /// Gets produce access on the follower and connects the push QP; spawns the
@@ -239,17 +307,18 @@ async fn establish(
     b: &Rc<BrokerInner>,
     p: &Rc<Partition>,
     follower: kdwire::BrokerAddr,
-    cursor_seg: u32,
+    just_rolled: bool,
     acked: Rc<Cell<u64>>,
     inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>>,
 ) -> Option<PushSession> {
     let client = b.peer_client(follower).await?;
-    // First file: attach wherever the follower's head is. Later files: the
-    // follower must roll (its old head mirrors our sealed file exactly).
-    let min_bytes = if cursor_seg == 0 {
-        0
-    } else {
+    // (Re)attach wherever the follower's head is — except right after our
+    // file sealed, when the follower must roll (its old head mirrors our
+    // sealed file exactly).
+    let min_bytes = if just_rolled {
         b.config.log.segment_size
+    } else {
+        0
     };
     let resp = client
         .call(&Request::ProduceAccess {
@@ -286,6 +355,15 @@ async fn establish(
             wr_id: i,
             buf: Some(ack_buf.slice(i as usize * 16, 16)),
         });
+    }
+    b.repl_qps.borrow_mut().push(qp.clone());
+    // The grant tells us the follower's recovered log end: treat it as an
+    // ack so the high watermark can re-advance after a leader restart even
+    // when there is nothing left to push.
+    let before = p.log.high_watermark();
+    p.follower_ack(follower.node, grant.next_offset);
+    if p.log.high_watermark() != before {
+        crate::api::on_hw_advanced(b, p);
     }
     let credits = Semaphore::new(grant.credits as usize);
     // Writes of a dead session never complete; drop their post times.

@@ -44,11 +44,24 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
         }
     });
 
-    // Request reader loop (the processor thread's receive side).
+    // Request reader loop (the processor thread's receive side). A broker
+    // crash races the read: the shutdown broadcast wins, the loop breaks,
+    // and dropping the stream halves is what makes the peer see the
+    // connection die.
     loop {
-        let Ok((corr, trace, payload)) = kdwire::read_frame(&mut read).await else {
-            break; // connection closed
+        if !b.alive.get() {
+            break;
+        }
+        let frame = match sim::future::race(kdwire::read_frame(&mut read), b.shutdown.notified())
+            .await
+        {
+            sim::future::Either::Left(Ok(f)) => f,
+            _ => break, // connection closed or broker crashed
         };
+        if !b.alive.get() {
+            break;
+        }
+        let (corr, trace, payload) = frame;
         b.net_pool
             .thread(net_idx)
             .run(b.profile.cpu.net_request_cost)

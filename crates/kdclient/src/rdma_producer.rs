@@ -14,6 +14,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::time::Duration;
 
 use kdstorage::record::BatchBuilder;
 use kdstorage::Record;
@@ -30,6 +31,13 @@ use crate::error::{check, ClientError};
 const ACK_BUF: usize = 16;
 const ACK_DEPTH: usize = 512;
 
+/// Bounded reconnect policy: attempts are spaced by exponential backoff so
+/// a producer rides out a broker restart without hammering the fabric, and
+/// gives up with [`ClientError::RetriesExhausted`] if the outage persists.
+const RECONNECT_ATTEMPTS: u32 = 12;
+const RECONNECT_BASE: Duration = Duration::from_micros(200);
+const RECONNECT_MAX: Duration = Duration::from_millis(10);
+
 /// A pending produce ack.
 type AckWaiter = oneshot::Sender<(ErrorCode, u64)>;
 
@@ -37,6 +45,9 @@ type AckWaiter = oneshot::Sender<(ErrorCode, u64)>;
 pub struct RdmaProducer {
     node: NodeHandle,
     broker: BrokerAddr,
+    /// First broker we ever dialled; reconnects re-resolve the partition
+    /// leader through it (a failover may have moved leadership).
+    bootstrap: BrokerAddr,
     ctrl: Conn,
     nic: RNic,
     qp: QueuePair,
@@ -83,6 +94,7 @@ impl RdmaProducer {
         let mut producer = RdmaProducer {
             node: node.clone(),
             broker,
+            bootstrap: broker,
             ctrl,
             nic,
             qp,
@@ -239,8 +251,10 @@ impl RdmaProducer {
         let staged = self.stage(record).await?;
         let len = staged.len() as u32;
         for attempt in 0..4 {
-            if self.dead.get() {
-                self.reconnect_data_plane().await?;
+            if self.dead.get() && self.reconnect_data_plane().await.is_err() {
+                // The broker itself is gone (crash or failover): full
+                // reconnect through the bootstrap broker.
+                self.reconnect().await?;
             }
             let result = match self.mode {
                 ProduceMode::Shared => self.try_send_shared(&staged, len, ctx).await,
@@ -252,7 +266,17 @@ impl RdmaProducer {
                     // Out of space (or revoked): wait out our own pipeline,
                     // then re-request the head file (§4.2.2).
                     self.drain_pending().await;
-                    self.acquire_access(len).await?;
+                    match self.acquire_access(len).await {
+                        Ok(()) => {}
+                        // Leadership moved (epoch fenced us out) or the
+                        // broker died under us: re-resolve and redial.
+                        Err(ClientError::Disconnected)
+                        | Err(ClientError::Broker(ErrorCode::FencedEpoch))
+                        | Err(ClientError::Broker(ErrorCode::NotLeader)) => {
+                            self.reconnect().await?;
+                        }
+                        Err(e) => return Err(e),
+                    }
                     let _ = attempt;
                 }
             }
@@ -376,6 +400,69 @@ impl RdmaProducer {
         }
     }
 
+    /// Full reconnect after a broker crash or epoch-fenced failover:
+    /// re-resolves the partition leader through the bootstrap broker (a
+    /// failover moves it), rebuilds the control and data planes against the
+    /// current leader, and re-acquires produce access. Attempts are bounded
+    /// and exponentially backed off so a producer rides out a broker
+    /// restart but fails cleanly if the outage outlasts the budget.
+    pub async fn reconnect(&mut self) -> Result<(), ClientError> {
+        let mut delay = RECONNECT_BASE;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            if self.try_reconnect().await.is_ok() {
+                return Ok(());
+            }
+            sim::time::sleep(delay).await;
+            delay = (delay * 2).min(RECONNECT_MAX);
+        }
+        Err(ClientError::RetriesExhausted)
+    }
+
+    async fn try_reconnect(&mut self) -> Result<(), ClientError> {
+        // Drop the stale data plane first so the (old) broker sees the
+        // disconnect and releases any grant still held by this producer.
+        self.qp.close();
+        self.dead.set(true);
+        let boot = Conn::connect(&self.node, self.bootstrap, ClientTransport::Tcp).await?;
+        let resp = boot
+            .call(&Request::Metadata {
+                topics: vec![self.topic.clone()],
+            })
+            .await?;
+        let leader = match resp {
+            Response::Metadata { error, topics, .. } => {
+                check(error)?;
+                topics
+                    .iter()
+                    .find(|t| t.name == self.topic)
+                    .and_then(|t| t.partitions.iter().find(|p| p.partition == self.partition))
+                    .map(|p| p.leader)
+                    .ok_or(ClientError::Broker(ErrorCode::UnknownTopicOrPartition))?
+            }
+            _ => return Err(ClientError::Protocol),
+        };
+        let ctrl = if leader.node == self.bootstrap.node {
+            boot
+        } else {
+            Conn::connect(&self.node, leader, ClientTransport::Tcp).await?
+        };
+        self.pending.borrow_mut().clear();
+        let (qp, send_cq) = Self::setup_data_plane(
+            &self.node,
+            &self.nic,
+            leader,
+            Rc::clone(&self.pending),
+            Rc::clone(&self.dead),
+        )
+        .await?;
+        self.ctrl = ctrl;
+        self.broker = leader;
+        self.qp = qp;
+        self.qp_send_cq = send_cq;
+        self.dead.set(false);
+        self.acquire_access(0).await
+    }
+
     async fn reconnect_data_plane(&mut self) -> Result<(), ClientError> {
         // The old reader already failed anything pending.
         self.pending.borrow_mut().clear();
@@ -448,6 +535,7 @@ fn kdbroker_ack_decode(bytes: &[u8]) -> (ErrorCode, u64) {
         6 => ErrorCode::InvalidRequest,
         7 => ErrorCode::AlreadyExists,
         8 => ErrorCode::OrderTimeout,
+        10 => ErrorCode::FencedEpoch,
         _ => ErrorCode::Internal,
     };
     let base_offset = bytes

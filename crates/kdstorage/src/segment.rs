@@ -10,6 +10,8 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use crate::record;
+
 /// Index entry for one committed batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchIndexEntry {
@@ -57,6 +59,49 @@ impl Segment {
             sealed: Cell::new(false),
             batches: RefCell::new(Vec::new()),
         })
+    }
+
+    /// Rebuilds a segment's in-memory index from raw "on-disk" bytes after
+    /// a crash. Scans batches from position 0: each must parse and pass its
+    /// CRC; the scan stops at the first torn, corrupt, or absent batch and
+    /// everything after it is discarded — the §4.2.2 "no holes" rule
+    /// applied at restart. Offsets are re-assigned densely from
+    /// `base_offset` (the offset field sits outside CRC coverage), so
+    /// batches that were fully written but never offset-assigned — a crash
+    /// between the one-sided RDMA write and the commit — recover too.
+    pub fn recover(base_offset: u64, buf: Rc<RefCell<Vec<u8>>>) -> Rc<Segment> {
+        let seg = Rc::new(Segment {
+            base_offset,
+            buf,
+            write_pos: Cell::new(0),
+            committed_pos: Cell::new(0),
+            sealed: Cell::new(false),
+            batches: RefCell::new(Vec::new()),
+        });
+        loop {
+            let pos = seg.committed_pos.get();
+            let avail = seg.capacity() - pos;
+            let prefix = (record::LENGTH_PREFIX_LEN as u32).min(avail);
+            let Ok(total) = seg.with_slice(pos, prefix, record::peek_total_len) else {
+                break;
+            };
+            let total = total as u32;
+            if u64::from(pos) + u64::from(total) > u64::from(seg.capacity()) {
+                break;
+            }
+            let Ok(header) = seg.with_slice(pos, total, record::verify_batch) else {
+                break;
+            };
+            let next = seg.next_offset();
+            seg.with_slice_mut(pos, total, |b| record::assign_base_offset(b, next));
+            seg.push_committed(BatchIndexEntry {
+                base_offset: next,
+                pos,
+                len: total,
+                record_count: header.record_count,
+            });
+        }
+        seg
     }
 
     pub fn base_offset(&self) -> u64 {

@@ -46,4 +46,6 @@ pub use registry::{
     EVENT_RING_CAPACITY, SPAN_RING_CAPACITY,
 };
 pub use report::{CounterRow, GaugeRow, HistRow, SpanRow, TelemetryReport};
-pub use trace::{current_ctx, enter_ctx, stream_key, CtxGuard, EventKind, TraceCtx, TraceEvent};
+pub use trace::{
+    current_ctx, enter_ctx, reset_trace_ids, stream_key, CtxGuard, EventKind, TraceCtx, TraceEvent,
+};

@@ -146,6 +146,15 @@ pub(crate) fn next_id() -> u64 {
     })
 }
 
+/// Resets the thread-local trace-id allocator (and clears any ambient
+/// context). Deterministic-replay harnesses call this between runs so two
+/// executions of the same seed label identical traces with identical ids —
+/// making drained event logs comparable bit for bit.
+pub fn reset_trace_ids() {
+    NEXT_ID.with(|c| c.set(1));
+    AMBIENT.with(|c| c.set(None));
+}
+
 /// The ambient trace context, if a synchronous scope set one.
 pub fn current_ctx() -> Option<TraceCtx> {
     AMBIENT.with(Cell::get)

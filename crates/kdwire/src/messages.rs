@@ -22,6 +22,9 @@ pub struct BrokerAddr {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionMeta {
     pub partition: u32,
+    /// Leader epoch: bumped on every leader change. Brokers reject stale
+    /// installs and fence producers holding grants from an older epoch.
+    pub epoch: u64,
     pub leader: BrokerAddr,
     pub replicas: Vec<BrokerAddr>,
 }
@@ -50,6 +53,9 @@ pub enum ErrorCode {
     /// Shared-mode produce aborted: a predecessor never arrived (§4.2.2).
     OrderTimeout = 8,
     Internal = 9,
+    /// The request carries (or the broker holds) a stale leader epoch: a
+    /// failover happened and the caller must refresh metadata.
+    FencedEpoch = 10,
 }
 
 impl ErrorCode {
@@ -69,6 +75,7 @@ impl ErrorCode {
             7 => ErrorCode::AlreadyExists,
             8 => ErrorCode::OrderTimeout,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::FencedEpoch,
             _ => return Err(WireError::BadValue),
         })
     }
@@ -197,6 +204,9 @@ pub enum Request {
     InternalAddPartition {
         topic: String,
         partition: u32,
+        /// Leader epoch of this assignment; installs with a stale epoch are
+        /// rejected with [`ErrorCode::FencedEpoch`].
+        epoch: u64,
         leader: BrokerAddr,
         replicas: Vec<BrokerAddr>,
     },
@@ -471,12 +481,14 @@ impl Request {
             Request::InternalAddPartition {
                 topic,
                 partition,
+                epoch,
                 leader,
                 replicas,
             } => {
                 w.put_u8(11);
                 w.put_string(topic);
                 w.put_u32(*partition);
+                w.put_u64(*epoch);
                 put_broker(&mut w, leader);
                 w.put_uvarint(replicas.len() as u64);
                 for r in replicas {
@@ -560,6 +572,7 @@ impl Request {
             11 => {
                 let topic = r.get_string()?;
                 let partition = r.get_u32()?;
+                let epoch = r.get_u64()?;
                 let leader = get_broker(&mut r)?;
                 let n = r.get_uvarint()? as usize;
                 let mut replicas = Vec::with_capacity(n.min(64));
@@ -569,6 +582,7 @@ impl Request {
                 Request::InternalAddPartition {
                     topic,
                     partition,
+                    epoch,
                     leader,
                     replicas,
                 }
@@ -606,6 +620,7 @@ impl Response {
                     w.put_uvarint(t.partitions.len() as u64);
                     for p in &t.partitions {
                         w.put_u32(p.partition);
+                        w.put_u64(p.epoch);
                         put_broker(&mut w, &p.leader);
                         w.put_uvarint(p.replicas.len() as u64);
                         for rep in &p.replicas {
@@ -733,6 +748,7 @@ impl Response {
                     let mut partitions = Vec::with_capacity(np.min(4096));
                     for _ in 0..np {
                         let partition = r.get_u32()?;
+                        let epoch = r.get_u64()?;
                         let leader = get_broker(&mut r)?;
                         let nr = r.get_uvarint()? as usize;
                         let mut replicas = Vec::with_capacity(nr.min(64));
@@ -741,6 +757,7 @@ impl Response {
                         }
                         partitions.push(PartitionMeta {
                             partition,
+                            epoch,
                             leader,
                             replicas,
                         });
@@ -918,6 +935,7 @@ mod tests {
             Request::InternalAddPartition {
                 topic: "t".into(),
                 partition: 1,
+                epoch: 3,
                 leader: BrokerAddr { node: 0, port: 9092, rdma_port: 18515 },
                 replicas: vec![BrokerAddr { node: 1, port: 9092, rdma_port: 18515 }],
             },
@@ -965,6 +983,7 @@ mod tests {
                     name: "t".into(),
                     partitions: vec![PartitionMeta {
                         partition: 0,
+                        epoch: 7,
                         leader: broker,
                         replicas: vec![broker, broker],
                     }],

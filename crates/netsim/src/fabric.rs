@@ -9,7 +9,7 @@
 
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -41,6 +41,9 @@ pub(crate) struct FabricInner {
     pub(crate) profile: Rc<Profile>,
     pub(crate) nodes: RefCell<Vec<Rc<Node>>>,
     pub(crate) tcp_listeners: RefCell<HashMap<(NodeId, u16), crate::tcp::ListenerSlot>>,
+    /// Directed node pairs whose TCP traffic is blackholed (network
+    /// partition fault injection).
+    pub(crate) blocked: RefCell<HashSet<(NodeId, NodeId)>>,
     pub(crate) next_auto_port: std::cell::Cell<u16>,
     /// Typed extension slots: higher layers (e.g. the RDMA device registry in
     /// the `rnic` crate) attach their fabric-global state here.
@@ -69,6 +72,7 @@ impl Fabric {
                 profile: Rc::new(profile),
                 nodes: RefCell::new(Vec::new()),
                 tcp_listeners: RefCell::new(HashMap::new()),
+                blocked: RefCell::new(HashSet::new()),
                 next_auto_port: std::cell::Cell::new(40000),
                 extensions: RefCell::new(HashMap::new()),
                 atomic_ops: telem.counter("netsim", "atomic_ops"),
@@ -234,6 +238,73 @@ impl Fabric {
     pub fn node_bytes(&self, id: NodeId) -> (u64, u64) {
         let n = self.node(id);
         (n.egress.bytes_carried(), n.ingress.bytes_carried())
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection (consulted by the TCP path only; the verbs path
+    // models a lossless fabric and is failed at the QP level instead).
+    // -----------------------------------------------------------------
+
+    /// Takes both of a node's ports down; its TCP traffic fails until
+    /// [`set_node_up`](Self::set_node_up).
+    pub fn set_node_down(&self, id: NodeId) {
+        let n = self.node(id);
+        n.egress.set_down();
+        n.ingress.set_down();
+    }
+
+    /// Brings a node's ports back up.
+    pub fn set_node_up(&self, id: NodeId) {
+        let n = self.node(id);
+        n.egress.set_up();
+        n.ingress.set_up();
+    }
+
+    /// Blackholes TCP traffic between `a` and `b` in both directions.
+    pub fn partition_pair(&self, a: NodeId, b: NodeId) {
+        let mut blocked = self.inner.blocked.borrow_mut();
+        blocked.insert((a, b));
+        blocked.insert((b, a));
+    }
+
+    /// Heals a [`partition_pair`](Self::partition_pair).
+    pub fn heal_pair(&self, a: NodeId, b: NodeId) {
+        let mut blocked = self.inner.blocked.borrow_mut();
+        blocked.remove(&(a, b));
+        blocked.remove(&(b, a));
+    }
+
+    /// Heals every injected partition.
+    pub fn heal_all(&self) {
+        self.inner.blocked.borrow_mut().clear();
+    }
+
+    /// True when src→dst TCP traffic cannot flow: the pair is partitioned,
+    /// or an endpoint port on the path is administratively down.
+    pub fn path_blocked(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.inner.blocked.borrow().contains(&(src, dst)) {
+            return true;
+        }
+        let nodes = self.inner.nodes.borrow();
+        nodes[src.0 as usize].egress.is_down() || nodes[dst.0 as usize].ingress.is_down()
+    }
+
+    /// Arms a deterministic drop probability on `src`'s egress port (each
+    /// drop costs the TCP path one retransmission timeout).
+    pub fn set_tcp_drop(&self, src: NodeId, drop_p: f64, seed: u64) {
+        self.node(src).egress.set_drop(drop_p, seed);
+    }
+
+    /// Arms a fixed extra delay on `src`'s egress port.
+    pub fn set_tcp_delay(&self, src: NodeId, delay: Duration) {
+        self.node(src).egress.set_delay(delay);
+    }
+
+    /// Clears drop/delay faults on both of a node's ports.
+    pub fn clear_link_faults(&self, id: NodeId) {
+        let n = self.node(id);
+        n.egress.clear_faults();
+        n.ingress.clear_faults();
     }
 
     /// Returns the fabric-global extension of type `T`, creating it with

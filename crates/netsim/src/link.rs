@@ -5,10 +5,25 @@
 //! occupancy (the verbs message-rate limit). Reservation is O(1): the link
 //! keeps only the time until which it is busy.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::time::Duration;
 
+use sim::rng::SimRng;
 use sim::SimTime;
+
+/// Give up on a TCP chunk after this many consecutive injected drops (a
+/// real stack resets the connection once retransmissions are exhausted).
+const MAX_RETRANSMITS: u32 = 6;
+
+/// Runtime fault state attached to a link by the fault-injection layer.
+/// Each faulted link owns a *private* RNG stream seeded explicitly, so
+/// injecting faults on one link never perturbs the virtual-time ordering
+/// of traffic on untouched links.
+struct LinkFaults {
+    drop_p: f64,
+    rng: SimRng,
+    delay: Duration,
+}
 
 /// One direction of a network port.
 pub struct Link {
@@ -17,11 +32,17 @@ pub struct Link {
     busy_until: Cell<u64>,
     bytes_carried: Cell<u64>,
     messages: Cell<u64>,
+    /// Administratively down (fault injection); TCP sends fail while set.
+    down: Cell<bool>,
+    /// Drop/delay fault state; `None` on healthy links (the common case
+    /// never allocates an RNG).
+    faults: RefCell<Option<LinkFaults>>,
     // Telemetry handles from the ambient registry (shared names: every link
     // on a fabric aggregates into the same rows at snapshot time).
     queue_delay_ns: kdtelem::Histogram,
     busy_ns: kdtelem::Counter,
     bytes_counter: kdtelem::Counter,
+    drops: kdtelem::Counter,
 }
 
 /// Outcome of a [`Link::reserve`]: when the message starts and finishes
@@ -41,10 +62,82 @@ impl Link {
             busy_until: Cell::new(0),
             bytes_carried: Cell::new(0),
             messages: Cell::new(0),
+            down: Cell::new(false),
+            faults: RefCell::new(None),
             queue_delay_ns: telem.histogram("netsim", "link_queue_delay_ns"),
             busy_ns: telem.counter("netsim", "link_busy_ns"),
             bytes_counter: telem.counter("netsim", "link_bytes"),
+            drops: telem.counter("netsim", "link_drops"),
         }
+    }
+
+    /// Takes the link administratively down: TCP traffic over it fails
+    /// until [`set_up`](Self::set_up).
+    pub fn set_down(&self) {
+        self.down.set(true);
+    }
+
+    /// Brings the link back up.
+    pub fn set_up(&self) {
+        self.down.set(false);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.get()
+    }
+
+    /// Arms a deterministic per-chunk drop probability. The RNG stream is
+    /// private to this link and seeded here, so other links' schedules are
+    /// bit-identical whether or not this fault is armed.
+    pub fn set_drop(&self, drop_p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&drop_p));
+        let mut faults = self.faults.borrow_mut();
+        let delay = faults.as_ref().map_or(Duration::ZERO, |f| f.delay);
+        *faults = Some(LinkFaults {
+            drop_p,
+            rng: SimRng::seed_from_u64(seed),
+            delay,
+        });
+    }
+
+    /// Arms a fixed extra one-way delay for every TCP chunk on this link.
+    pub fn set_delay(&self, delay: Duration) {
+        let mut faults = self.faults.borrow_mut();
+        match faults.as_mut() {
+            Some(f) => f.delay = delay,
+            None => {
+                *faults = Some(LinkFaults {
+                    drop_p: 0.0,
+                    rng: SimRng::seed_from_u64(0),
+                    delay,
+                })
+            }
+        }
+    }
+
+    /// Clears drop/delay faults (the down flag is separate).
+    pub fn clear_faults(&self) {
+        *self.faults.borrow_mut() = None;
+    }
+
+    /// Samples fault state for one TCP chunk: the injected extra delay plus
+    /// the number of retransmissions consumed by drops. `None` means the
+    /// chunk was dropped more than `MAX_RETRANSMITS` times in a row — the
+    /// connection resets. Healthy links never touch an RNG.
+    pub fn sample_tcp_faults(&self) -> Option<(Duration, u32)> {
+        let mut faults = self.faults.borrow_mut();
+        let Some(f) = faults.as_mut() else {
+            return Some((Duration::ZERO, 0));
+        };
+        let mut retries = 0u32;
+        while f.drop_p > 0.0 && f.rng.random_bool(f.drop_p) {
+            retries += 1;
+            self.drops.add(1);
+            if retries > MAX_RETRANSMITS {
+                return None;
+            }
+        }
+        Some((f.delay, retries))
     }
 
     /// Serialisation delay of `bytes` at this link's bandwidth.
@@ -162,6 +255,51 @@ mod tests {
         assert_eq!(l.bytes_carried(), 300);
         assert_eq!(l.messages(), 2);
         assert_eq!(l.busy_time(), Duration::from_nanos(300));
+    }
+
+    #[test]
+    fn down_flag_round_trips() {
+        let l = Link::new(1e9);
+        assert!(!l.is_down());
+        l.set_down();
+        assert!(l.is_down());
+        l.set_up();
+        assert!(!l.is_down());
+    }
+
+    #[test]
+    fn drop_sampling_is_deterministic_per_seed() {
+        let sample = |seed: u64| {
+            let l = Link::new(1e9);
+            l.set_drop(0.3, seed);
+            (0..64)
+                .map(|_| l.sample_tcp_faults().map(|(_, r)| r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7), "same seed, same schedule");
+        assert_ne!(sample(7), sample(8), "different seed diverges");
+    }
+
+    #[test]
+    fn healthy_link_never_samples() {
+        let l = Link::new(1e9);
+        for _ in 0..16 {
+            assert_eq!(l.sample_tcp_faults(), Some((Duration::ZERO, 0)));
+        }
+        l.set_delay(Duration::from_micros(50));
+        assert_eq!(
+            l.sample_tcp_faults(),
+            Some((Duration::from_micros(50), 0))
+        );
+        l.clear_faults();
+        assert_eq!(l.sample_tcp_faults(), Some((Duration::ZERO, 0)));
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retransmits() {
+        let l = Link::new(1e9);
+        l.set_drop(1.0, 1);
+        assert_eq!(l.sample_tcp_faults(), None, "p=1 must reset");
     }
 
     #[test]

@@ -174,6 +174,20 @@ impl Drop for TcpListener {
     }
 }
 
+/// Force-unbinds a listening port from the outside (fault injection: a
+/// crashed process's sockets close even though the accept loop still owns
+/// the `TcpListener`). New connects are refused immediately, and once
+/// transient senders drop, the owner's `accept()` returns `None` so its
+/// loop exits. The eventual `Drop` is an idempotent no-op.
+pub fn unbind(node: &NodeHandle, port: u16) -> bool {
+    node.fabric
+        .inner
+        .tcp_listeners
+        .borrow_mut()
+        .remove(&(node.id, port))
+        .is_some()
+}
+
 /// Opens a connection from `node` to `(dst, port)`. Pays the handshake cost.
 pub async fn connect(
     node: &NodeHandle,
@@ -181,6 +195,9 @@ pub async fn connect(
     port: u16,
 ) -> Result<TcpStream, ConnectError> {
     let fabric = &node.fabric;
+    if fabric.path_blocked(node.id, dst) || fabric.path_blocked(dst, node.id) {
+        return Err(ConnectError::ConnectionRefused);
+    }
     let slot = fabric
         .inner
         .tcp_listeners
@@ -220,7 +237,14 @@ impl WriteHalf {
             return if self.tx.is_closed() { Err(Closed) } else { Ok(()) };
         }
         sim::time::sleep(net.tcp_syscall).await;
+        // Injected-fault handling: a blocked path (partition / link down)
+        // resets the connection; a drop costs one retransmission timeout
+        // per dropped attempt.
+        let rto = net.tcp_connect.max(std::time::Duration::from_micros(200));
         for chunk in data.chunks(net.tcp_mss as usize) {
+            if self.fabric.path_blocked(self.src, self.dst) {
+                return Err(Closed);
+            }
             let permit = self
                 .window
                 .acquire(chunk.len())
@@ -230,13 +254,19 @@ impl WriteHalf {
             // The user→kernel copy really happens (chunk.to_vec) and is
             // charged at kernel copy bandwidth.
             sim::time::sleep(copy_time(chunk.len() as u64, net.kernel_copy_bandwidth)).await;
+            let (fault_delay, retransmits) = self
+                .fabric
+                .node(self.src)
+                .egress
+                .sample_tcp_faults()
+                .ok_or(Closed)?;
             let wire_arrival = {
                 // Scoped so the ambient guard never lives across an await.
                 let _scope = self.trace.map(kdtelem::enter_ctx);
                 self.fabric
                     .reserve_tcp_path(sim::now(), self.src, self.dst, chunk.len() as u64)
             };
-            let arrival = wire_arrival + net.tcp_stack_oneway;
+            let arrival = wire_arrival + net.tcp_stack_oneway + fault_delay + rto * retransmits;
             self.tx
                 .try_send(Chunk {
                     arrival,
@@ -440,6 +470,117 @@ mod tests {
             // starts at t=10ms: writer must have blocked past that point.
             assert!(sim::now().as_nanos() > 10_000_000);
         });
+    }
+
+    #[test]
+    fn unbind_refuses_connects_and_wakes_accept() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let (_f, a, b) = fabric2();
+            let mut listener = TcpListener::bind(&b, 9092);
+            let b2 = b.clone();
+            let accepts = sim::spawn(async move {
+                let mut n = 0;
+                while listener.accept().await.is_some() {
+                    n += 1;
+                }
+                n
+            });
+            connect(&a, b.id, 9092).await.unwrap();
+            assert!(unbind(&b2, 9092), "was bound");
+            assert!(!unbind(&b2, 9092), "idempotent");
+            assert_eq!(
+                connect(&a, b.id, 9092).await.err(),
+                Some(ConnectError::ConnectionRefused)
+            );
+            // With the slot gone, the accept loop drains and exits.
+            assert_eq!(accepts.await.unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn link_down_resets_writes_and_refuses_connects() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let (f, a, b) = fabric2();
+            let mut listener = TcpListener::bind(&b, 9092);
+            sim::spawn(async move {
+                let mut s = listener.accept().await.unwrap();
+                let _ = s.read_exact(1).await;
+                sim::time::sleep(std::time::Duration::from_secs(1)).await;
+            });
+            let mut c = connect(&a, b.id, 9092).await.unwrap();
+            c.write_all(b"x").await.unwrap();
+            f.set_node_down(b.id);
+            assert_eq!(c.write_all(b"y").await, Err(Closed));
+            assert_eq!(
+                connect(&a, b.id, 9092).await.err(),
+                Some(ConnectError::ConnectionRefused)
+            );
+            f.set_node_up(b.id);
+        });
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let (f, a, b) = fabric2();
+            f.partition_pair(a.id, b.id);
+            assert!(f.path_blocked(a.id, b.id));
+            assert!(f.path_blocked(b.id, a.id));
+            assert_eq!(
+                connect(&a, b.id, 9092).await.err(),
+                Some(ConnectError::ConnectionRefused)
+            );
+            f.heal_pair(a.id, b.id);
+            assert!(!f.path_blocked(a.id, b.id));
+        });
+    }
+
+    #[test]
+    fn injected_drops_delay_delivery_deterministically() {
+        let run = |seed: u64| {
+            let rt = sim::Runtime::new();
+            rt.block_on(async move {
+                let (f, a, b) = fabric2();
+                f.set_tcp_drop(a.id, 0.5, seed);
+                let mut listener = TcpListener::bind(&b, 9092);
+                let reader = sim::spawn(async move {
+                    let mut s = listener.accept().await.unwrap();
+                    s.read_exact(64).await.unwrap();
+                    sim::now().as_nanos()
+                });
+                let mut c = connect(&a, b.id, 9092).await.unwrap();
+                c.write_all(&[7u8; 64]).await.unwrap();
+                let t = reader.await.unwrap();
+                sim::time::sleep(std::time::Duration::from_millis(1)).await;
+                t
+            })
+        };
+        let baseline = {
+            let rt = sim::Runtime::new();
+            rt.block_on(async {
+                let (_f, a, b) = fabric2();
+                let mut listener = TcpListener::bind(&b, 9092);
+                let reader = sim::spawn(async move {
+                    let mut s = listener.accept().await.unwrap();
+                    s.read_exact(64).await.unwrap();
+                    sim::now().as_nanos()
+                });
+                let mut c = connect(&a, b.id, 9092).await.unwrap();
+                c.write_all(&[7u8; 64]).await.unwrap();
+                reader.await.unwrap()
+            })
+        };
+        // Seed 3 drops the first attempt of this chunk (stable property of
+        // the in-tree RNG); the delivery pays at least one RTO.
+        let delayed = run(3);
+        assert_eq!(delayed, run(3), "same seed, same timeline");
+        assert!(
+            delayed >= baseline,
+            "faulted run cannot be faster than baseline"
+        );
     }
 
     #[test]

@@ -131,6 +131,20 @@ impl Drop for RdmaListener {
     }
 }
 
+/// Force-unbinds a listening service id from the outside (fault injection:
+/// a crashed broker's CM teardown happens even though the accept loop still
+/// owns the [`RdmaListener`]). New connects are refused immediately, and
+/// once transient senders drop, the owner's `accept()` returns `None` so
+/// its loop exits. The eventual `Drop` is an idempotent no-op.
+pub fn unbind(nic: &RNic, port: u16) -> bool {
+    let registry = Registry::get(&nic.node().fabric);
+    let removed = registry
+        .cm_listeners
+        .borrow_mut()
+        .remove(&(nic.node().id, port));
+    removed.is_some()
+}
+
 impl RNic {
     /// Connects to an [`RdmaListener`] at `(dst, port)`, paying connection
     /// setup latency. Returns the initiator-side endpoint once accepted.
@@ -254,6 +268,140 @@ mod tests {
                 .await
                 .err();
             assert_eq!(err, Some(RdmaConnectError::Rejected));
+        });
+    }
+
+    async fn connected_pair(
+        f: &Fabric,
+        a_opts: QpOptions,
+        b_opts: QpOptions,
+    ) -> (QueuePair, QueuePair, CompletionQueue, CompletionQueue) {
+        let na = f.add_node("a");
+        let nb = f.add_node("b");
+        let nic_a = RNic::new(&na);
+        let nic_b = RNic::new(&nb);
+        let mut listener = RdmaListener::bind(&nic_b, 1);
+        let b_send = nic_b.create_cq(16);
+        let b_recv = nic_b.create_cq(16);
+        let nic_b2 = nic_b.clone();
+        let b_recv2 = b_recv.clone();
+        let accept = sim::spawn(async move {
+            let inc = listener.accept().await.unwrap();
+            inc.accept(&nic_b2, b_send, b_recv2, b_opts)
+        });
+        let a_send = nic_a.create_cq(16);
+        let a_recv = nic_a.create_cq(16);
+        let qp_a = nic_a
+            .connect(nb.id, 1, a_send.clone(), a_recv, a_opts)
+            .await
+            .unwrap();
+        let qp_b = accept.await.unwrap();
+        (qp_a, qp_b, a_send, b_recv)
+    }
+
+    #[test]
+    fn unbind_refuses_connects_and_wakes_accept() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let na = f.add_node("a");
+            let nb = f.add_node("b");
+            let nic_a = RNic::new(&na);
+            let nic_b = RNic::new(&nb);
+            let mut listener = RdmaListener::bind(&nic_b, 7);
+            let accepts = sim::spawn(async move {
+                let mut n = 0;
+                while listener.accept().await.is_some() {
+                    n += 1;
+                }
+                n
+            });
+            assert!(unbind(&nic_b, 7), "was bound");
+            assert!(!unbind(&nic_b, 7), "idempotent");
+            let cq1 = nic_a.create_cq(4);
+            let cq2 = nic_a.create_cq(4);
+            let err = nic_a
+                .connect(nb.id, 7, cq1, cq2, QpOptions::default())
+                .await
+                .err();
+            assert_eq!(err, Some(RdmaConnectError::ConnectionRefused));
+            assert_eq!(accepts.await.unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn injected_cq_overflow_fails_attached_qps() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let (qp_a, qp_b, a_send, b_recv) =
+                connected_pair(&f, QpOptions::default(), QpOptions::default()).await;
+            assert!(qp_b.is_alive());
+            b_recv.inject_overflow();
+            assert!(b_recv.overflowed());
+            assert!(!qp_b.is_alive(), "attached QP must fail");
+            assert!(!qp_a.is_alive(), "RC peer observes the disconnect");
+            drop(a_send);
+        });
+    }
+
+    #[test]
+    fn rnr_storm_delays_delivery_until_it_passes() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let (qp_a, qp_b, a_send, b_recv) =
+                connected_pair(&f, QpOptions::default(), QpOptions::default()).await;
+            let storm = std::time::Duration::from_millis(2);
+            let storm_end = sim::now() + storm;
+            qp_b.inject_rnr_storm(storm);
+            // The receive is posted, but the storm hides it.
+            let rbuf = ShmBuf::zeroed(16);
+            qp_b.post_recv(RecvWr {
+                wr_id: 1,
+                buf: Some(rbuf.as_slice()),
+            })
+            .unwrap();
+            qp_a.post_send(SendWr::new(
+                2,
+                WorkRequest::Send {
+                    local: ShmBuf::from_vec(b"x".to_vec()).as_slice(),
+                },
+            ))
+            .unwrap();
+            let rc = b_recv.next().await.unwrap();
+            assert!(rc.ok());
+            assert!(
+                sim::now() >= storm_end,
+                "delivery happened mid-storm at {:?}",
+                sim::now()
+            );
+            let sc = a_send.next().await.unwrap();
+            assert!(sc.ok());
+        });
+    }
+
+    #[test]
+    fn rnr_storm_exhausts_bounded_rnr_timeout() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let a_opts = QpOptions {
+                rnr_timeout: Some(std::time::Duration::from_micros(100)),
+                ..QpOptions::default()
+            };
+            let (qp_a, qp_b, a_send, _b_recv) =
+                connected_pair(&f, a_opts, QpOptions::default()).await;
+            qp_b.inject_rnr_storm(std::time::Duration::from_millis(10));
+            qp_a.post_send(SendWr::new(
+                3,
+                WorkRequest::Send {
+                    local: ShmBuf::from_vec(b"x".to_vec()).as_slice(),
+                },
+            ))
+            .unwrap();
+            let sc = a_send.next().await.unwrap();
+            assert_eq!(sc.status, crate::verbs::CqStatus::RnrRetryExceeded);
         });
     }
 

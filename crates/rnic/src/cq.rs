@@ -59,6 +59,27 @@ impl CompletionQueue {
         self.inner.attached.borrow_mut().push(Rc::downgrade(qp));
     }
 
+    /// Poisons the CQ as a hardware overflow would: every attached QP
+    /// transitions to the error state and further completions are lost.
+    fn poison(&self) {
+        self.inner.overflowed.set(true);
+        self.inner.overflows.inc();
+        let attached: Vec<_> = self.inner.attached.borrow().clone();
+        for qp in attached.into_iter().filter_map(|w| w.upgrade()) {
+            QpShared::fail(&qp, crate::verbs::CqStatus::FlushError);
+        }
+        self.inner.notify.notify_waiters();
+    }
+
+    /// Fault injection: overflows this CQ now, regardless of occupancy —
+    /// the §4.3.2 slow-follower disaster on demand. All attached QPs fail
+    /// (and, per RC semantics, their peers observe the disconnect).
+    pub fn inject_overflow(&self) {
+        if !self.inner.overflowed.get() {
+            self.poison();
+        }
+    }
+
     /// Pushes a completion. On overflow the CQ is poisoned and every
     /// attached QP transitions to the error state.
     pub(crate) fn push(&self, cqe: Cqe) {
@@ -69,13 +90,7 @@ impl CompletionQueue {
             let mut q = self.inner.queue.borrow_mut();
             if q.len() >= self.inner.capacity {
                 drop(q);
-                self.inner.overflowed.set(true);
-                self.inner.overflows.inc();
-                let attached: Vec<_> = self.inner.attached.borrow().clone();
-                for qp in attached.into_iter().filter_map(|w| w.upgrade()) {
-                    QpShared::fail(&qp, crate::verbs::CqStatus::FlushError);
-                }
-                self.inner.notify.notify_waiters();
+                self.poison();
                 return;
             }
             q.push_back(cqe);

@@ -93,6 +93,9 @@ pub(crate) struct QpShared {
     delivery: Chain,
     completion: Chain,
     error_notify: Notify,
+    /// Fault injection: posted receives on this endpoint are invisible to
+    /// the peer until this virtual time — a receiver-not-ready storm.
+    rnr_storm_until: Cell<Option<SimTime>>,
 }
 
 impl QpShared {
@@ -117,6 +120,7 @@ impl QpShared {
             delivery: Chain::new(),
             completion: Chain::new(),
             error_notify: Notify::new(),
+            rnr_storm_until: Cell::new(None),
         });
         send_cq.attach(&qp);
         recv_cq.attach(&qp);
@@ -233,6 +237,15 @@ impl QueuePair {
     /// Tears the connection down; the peer observes a disconnect.
     pub fn close(&self) {
         QpShared::fail(&self.shared, CqStatus::FlushError);
+    }
+
+    /// Fault injection: receiver-not-ready storm. For `duration` (virtual
+    /// time), receives posted on *this* endpoint are invisible to the peer,
+    /// so the peer's Send/WriteWithImm stall in RNR retry — and fail with
+    /// `RnrRetryExceeded` if their [`QpOptions::rnr_timeout`] elapses first
+    /// (§4.3.2's slow-follower scenario on demand).
+    pub fn inject_rnr_storm(&self, duration: Duration) {
+        self.shared.rnr_storm_until.set(Some(sim::now() + duration));
     }
 
     /// Posts a receive work request (`ibv_post_recv`).
@@ -590,10 +603,14 @@ fn check_atomic(peer: &Rc<QpShared>, rkey: u32, addr: u64) -> Result<Rc<MrInner>
     Ok(mr)
 }
 
-/// Waits for a posted receive at the peer (RNR behaviour).
+/// Waits for a posted receive at the peer (RNR behaviour). An injected RNR
+/// storm at the peer makes posted receives invisible until it passes.
 async fn wait_recv(qp: &Rc<QpShared>, peer: &Rc<QpShared>) -> Result<RecvWr, CqStatus> {
-    if let Some(r) = peer.pop_recv() {
-        return Ok(r);
+    let storming = |p: &QpShared| p.rnr_storm_until.get().is_some_and(|u| sim::now() < u);
+    if !storming(peer) {
+        if let Some(r) = peer.pop_recv() {
+            return Ok(r);
+        }
     }
     let deadline = qp
         .opts
@@ -602,6 +619,17 @@ async fn wait_recv(qp: &Rc<QpShared>, peer: &Rc<QpShared>) -> Result<RecvWr, CqS
     loop {
         if !peer.is_alive() || !qp.is_alive() {
             return Err(CqStatus::FlushError);
+        }
+        if storming(peer) {
+            let until = peer.rnr_storm_until.get().unwrap();
+            match deadline {
+                Some(dl) if dl <= until => {
+                    sim::time::sleep_until(dl).await;
+                    return Err(CqStatus::RnrRetryExceeded);
+                }
+                _ => sim::time::sleep_until(until).await,
+            }
+            continue;
         }
         if let Some(r) = peer.pop_recv() {
             return Ok(r);

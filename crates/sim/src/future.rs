@@ -1,0 +1,84 @@
+//! Small future combinators the simulation needs but std does not provide.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::Poll;
+
+/// Result of [`race`]: which of the two futures finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    Left(A),
+    Right(B),
+}
+
+/// Runs two futures concurrently and resolves with the first to finish; the
+/// loser is dropped. `a` is polled first, so a tie at the same virtual
+/// instant deterministically goes to `Left`.
+pub async fn race<A, B>(
+    a: impl Future<Output = A>,
+    b: impl Future<Output = B>,
+) -> Either<A, B> {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = Pin::new(&mut a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+    use std::time::Duration;
+
+    #[test]
+    fn first_ready_wins() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let r = race(
+                async {
+                    crate::time::sleep(Duration::from_micros(5)).await;
+                    1u32
+                },
+                async {
+                    crate::time::sleep(Duration::from_micros(2)).await;
+                    2u32
+                },
+            )
+            .await;
+            assert_eq!(r, Either::Right(2));
+            assert_eq!(crate::now().as_nanos(), 2_000);
+        });
+    }
+
+    #[test]
+    fn tie_goes_left() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let r = race(async { 1u32 }, async { 2u32 }).await;
+            assert_eq!(r, Either::Left(1));
+        });
+    }
+
+    #[test]
+    fn loser_is_cancelled() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            let n = crate::sync::Notify::new();
+            let fut = n.notified();
+            let r = race(fut, async { 7u32 }).await;
+            assert_eq!(r, Either::Right(7));
+            // The dropped `notified` must have deregistered its waiter:
+            // a stored notify_one permit must survive for the next waiter.
+            n.notify_one();
+            n.notified().await;
+        });
+    }
+}

@@ -38,6 +38,7 @@
 //!   is always a deadlock bug, and failing loudly beats hanging a test.
 
 mod executor;
+pub mod future;
 pub mod rng;
 pub mod sync;
 pub mod time;

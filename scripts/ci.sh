@@ -9,5 +9,12 @@ cargo build --examples --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
 
+# Chaos soak: seeded fault plans over bounded virtual time; fails on any
+# lost/reordered acked record, trace-invariant violation, or replay
+# divergence. Runs in `cargo test` above too — kept explicit here so a
+# chaos regression is named in CI output, and so the fixed seed set is
+# pinned even if the default test filter ever changes.
+cargo test -q --offline --test chaos
+
 # Smoke-run the quickstart example end to end.
 cargo run -q --release --offline --example quickstart

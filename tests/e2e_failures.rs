@@ -214,6 +214,97 @@ fn corrupt_rdma_write_rejected() {
     });
 }
 
+/// A follower crash during push replication: the leader keeps serving
+/// produces (acks pick back up once the follower is replicated again), the
+/// restarted follower recovers its log from the surviving segment buffers
+/// and catches up over a fresh push session, and the high watermark
+/// re-advances to cover everything.
+#[test]
+fn follower_crash_during_push_replication() {
+    let rt = sim::Runtime::new();
+    rt.block_on(async {
+        let cluster = SimCluster::start(SystemKind::KafkaDirect, 2);
+        cluster.create_topic("t", 1, 2).await;
+        let cnode = cluster.add_client_node("c");
+        let leader = cluster.leader_of("t", 0).await;
+        let leader_idx = (0..2)
+            .find(|&i| cluster.broker(i).addr().node == leader.node)
+            .unwrap();
+        let follower_idx = 1 - leader_idx;
+
+        let mut producer = RdmaProducer::connect(&cnode, cluster.bootstrap(), "t", 0, false)
+            .await
+            .unwrap();
+        for i in 0..5u8 {
+            let off = producer.send(&Record::value(vec![i; 200])).await.unwrap();
+            assert_eq!(off, u64::from(i));
+        }
+
+        cluster.crash_broker(follower_idx);
+        sim::time::sleep(Duration::from_millis(1)).await;
+
+        // The leader keeps accepting and committing produces; with RF=2 the
+        // acks wait on replication, so they are outstanding while the
+        // follower is down. Post them pipelined and collect later.
+        let mut pending = Vec::new();
+        for i in 5..10u8 {
+            pending.push(
+                producer
+                    .send_pipelined(&Record::value(vec![i; 200]))
+                    .await
+                    .unwrap(),
+            );
+        }
+        // The leader committed them locally even though the HW is stalled.
+        sim::time::sleep(Duration::from_millis(2)).await;
+        let leader_b = cluster.broker(leader_idx);
+        assert!(leader_b.metrics().rdma_commits >= 10, "leader kept serving");
+        let admin = kdclient::Admin::connect(&cnode, cluster.bootstrap())
+            .await
+            .unwrap();
+        let (_, hw_stalled) = admin.list_offsets("t", 0).await.unwrap();
+        assert_eq!(hw_stalled, 5, "HW stalls while the follower is down");
+
+        // Restart: the follower recovers its log (CRC scan over the
+        // surviving buffers) and the leader's pusher re-establishes against
+        // the recovered frontier.
+        cluster.restart_broker(follower_idx);
+        for (i, ack) in pending.into_iter().enumerate() {
+            let (err, off) = ack.await.unwrap();
+            assert!(err.is_ok(), "ack resumes after follower catch-up");
+            assert_eq!(off, 5 + i as u64);
+        }
+        let mut hw = 0;
+        for _ in 0..500 {
+            let (_, h) = admin.list_offsets("t", 0).await.unwrap();
+            hw = h;
+            if hw == 10 {
+                break;
+            }
+            sim::time::sleep(Duration::from_micros(200)).await;
+        }
+        assert_eq!(hw, 10, "HW re-advances over the restarted follower");
+
+        // Everything is consumer-visible, dense and in order.
+        let mut consumer = RdmaConsumer::connect(&cnode, cluster.bootstrap(), "t", 0, 0)
+            .await
+            .unwrap();
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            got.extend(consumer.next_records().await.unwrap());
+        }
+        for (i, rv) in got.iter().enumerate() {
+            assert_eq!(rv.record.value[0] as usize, i);
+        }
+        // The restarted follower's log mirrors the leader's bytes.
+        let follower_b = cluster.broker(follower_idx);
+        let tp = kdstorage::TopicPartition::new("t", 0);
+        let fl = follower_b.inner().store.get(&tp).unwrap();
+        let ll = leader_b.inner().store.get(&tp).unwrap();
+        assert_eq!(fl.log.next_offset(), ll.log.next_offset());
+    });
+}
+
 /// Consumer release after finishing an immutable file really deregisters
 /// broker memory (§4.4.2 "to reduce memory usage").
 #[test]

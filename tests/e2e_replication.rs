@@ -69,7 +69,7 @@ fn push_replication_three_way() {
         // Push writes happened from the leader.
         let leader_broker = cluster
             .brokers()
-            .iter()
+            .into_iter()
             .find(|b| b.addr().node == leader.node)
             .unwrap();
         let lm = leader_broker.metrics();
@@ -145,7 +145,7 @@ fn mixed_datapath_combinations() {
         }
         let leader_broker = cluster
             .brokers()
-            .iter()
+            .into_iter()
             .find(|b| b.addr().node == leader.node)
             .unwrap();
         assert!(leader_broker.metrics().push_writes > 0);
