@@ -1,0 +1,506 @@
+//! kdperf — wall-clock performance harness for the hot datapath.
+//!
+//! Unlike the figure benchmarks (which report **virtual** time and model the
+//! paper's hardware), kdperf measures what the simulator itself costs on the
+//! machine running it: records/second of wall-clock throughput, nanoseconds
+//! of host CPU per record, executor polls ("events") per second, and — via a
+//! counting global allocator — heap allocations per record at steady state.
+//!
+//! The workload is the Fig 10/11 produce loop: one producer, one broker,
+//! replication disabled, windowed pipelining. Two datapaths are measured:
+//! exclusive one-sided RDMA produce (KafkaDirect) and the TCP baseline
+//! (Kafka). A third section verifies that a 1 MiB netsim TCP send performs
+//! O(1) allocations once the packet pool is warm.
+//!
+//! Output: a JSON report (default `BENCH_PR4.json`) plus a human-readable
+//! summary (default `results/PERF_PR4.md`). Exit status is non-zero if the
+//! steady-state allocation budget is exceeded:
+//!
+//! * exclusive RDMA produce must stay at **<= 2 allocs/record**;
+//! * the warm 1 MiB TCP send must stay under one alloc per MSS packet.
+//!
+//! Usage: `kdperf [--smoke] [--records N] [--warmup N] [--window W]
+//! [--size BYTES] [--out PATH] [--summary PATH]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use kafkadirect::{Record, SystemKind};
+use kdbench::harness::{setup, AnyProducer, ProduceOpts, ProducerMode};
+
+// ---------------------------------------------------------------------------
+// Counting allocator.
+// ---------------------------------------------------------------------------
+
+/// Wraps the system allocator and counts every allocation (and realloc —
+/// growth is a cost even when the block does not move). Deallocations are
+/// free and uncounted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Per-power-of-two size-class counts, for `KDPERF_SIZES=1` diagnostics.
+static SIZE_CLASSES: [AtomicU64; 24] = [const { AtomicU64::new(0) }; 24];
+
+static TRAP: AtomicU64 = AtomicU64::new(0);
+thread_local! { static IN_TRAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) }; }
+
+fn count(size: usize) {
+    ALLOCS.fetch_add(1, Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Relaxed);
+    let class = (usize::BITS - size.max(1).leading_zeros() - 1).min(23) as usize;
+    SIZE_CLASSES[class].fetch_add(1, Relaxed);
+    if class == 7 && TRAP.load(Relaxed) > 0 {
+        let n = TRAP.fetch_add(1, Relaxed);
+        if n == 300 {
+            IN_TRAP.with(|f| {
+                if !f.get() {
+                    f.set(true);
+                    eprintln!("TRAP#{n} class7 alloc of {size}B:\n{}", std::backtrace::Backtrace::force_capture());
+                    f.set(false);
+                }
+            });
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOCS.load(Relaxed), ALLOC_BYTES.load(Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+struct Config {
+    records: usize,
+    warmup: usize,
+    window: usize,
+    record_size: usize,
+    out: String,
+    summary: String,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            records: 4000,
+            warmup: 500,
+            window: 32,
+            record_size: 512,
+            out: "BENCH_PR4.json".to_string(),
+            summary: "results/PERF_PR4.md".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--smoke" => {
+                    cfg.records = 600;
+                    cfg.warmup = 150;
+                }
+                "--records" => cfg.records = take("--records").parse().expect("--records"),
+                "--warmup" => cfg.warmup = take("--warmup").parse().expect("--warmup"),
+                "--window" => cfg.window = take("--window").parse().expect("--window"),
+                "--size" => cfg.record_size = take("--size").parse().expect("--size"),
+                "--out" => cfg.out = take("--out"),
+                "--summary" => cfg.summary = take("--summary"),
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        cfg
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Produce-path measurement.
+// ---------------------------------------------------------------------------
+
+struct PathResult {
+    label: &'static str,
+    records: usize,
+    wall_ns: u64,
+    virtual_ns: u64,
+    polls: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+impl PathResult {
+    fn ns_per_record(&self) -> f64 {
+        self.wall_ns as f64 / self.records as f64
+    }
+
+    fn records_per_sec(&self) -> f64 {
+        self.records as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.polls as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    fn allocs_per_record(&self) -> f64 {
+        self.allocs as f64 / self.records as f64
+    }
+}
+
+/// Runs the Fig 10/11 produce loop on one datapath: boots a cluster, warms
+/// the pools with `cfg.warmup` records, then measures `cfg.records` more.
+/// Warmup and measurement share one runtime so arenas, pools, and rings are
+/// hot when the counters start.
+fn run_produce(
+    label: &'static str,
+    system: SystemKind,
+    mode: ProducerMode,
+    cfg: &Config,
+) -> PathResult {
+    let mut opts = ProduceOpts::new(system, mode, cfg.record_size);
+    opts.records = cfg.records;
+    opts.window = cfg.window;
+    let rt = sim::Runtime::new();
+
+    let warmup = cfg.warmup;
+    let window = cfg.window;
+    let size = cfg.record_size;
+    let (cluster, producer, record) = rt.block_on(async move {
+        let cluster = setup(&opts).await;
+        let leader = cluster.leader_of("bench", 0).await;
+        let node = cluster.add_client_node("perf-client");
+        let mut producer =
+            AnyProducer::connect(cluster.system, &node, leader, "bench", 0, mode).await;
+        let record = Record::value(vec![0xA5u8; size]);
+        producer.send_windowed(&record, warmup, window).await;
+        (cluster, producer, record)
+    });
+
+    let (allocs0, bytes0) = alloc_snapshot();
+    for c in &SIZE_CLASSES {
+        c.store(0, Relaxed);
+    }
+    let polls0 = rt.poll_count();
+    if std::env::var_os("KDPERF_TRAP").is_some() && label == "rdma_exclusive" { TRAP.store(1, Relaxed); }
+    let v0 = rt.now();
+    let t0 = Instant::now();
+    let records = cfg.records;
+    let (cluster, producer) = rt.block_on(async move {
+        let mut producer = producer;
+        producer.send_windowed(&record, records, window).await;
+        (cluster, producer)
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    TRAP.store(0, Relaxed);
+    let (allocs1, bytes1) = alloc_snapshot();
+    if std::env::var_os("KDPERF_SIZES").is_some_and(|v| v == "1") {
+        for (class, n) in SIZE_CLASSES.iter().enumerate() {
+            let n = n.load(Relaxed);
+            if n > 0 {
+                eprintln!("  [{label}] size 2^{class:<2} x {n}");
+            }
+        }
+    }
+    let polls = rt.poll_count() - polls0;
+    let virtual_ns = (rt.now() - v0).as_nanos() as u64;
+
+    // Tear down inside the runtime so connection/broker drops that talk to
+    // the fabric run with an active executor.
+    rt.block_on(async move {
+        drop(producer);
+        drop(cluster);
+    });
+
+    PathResult {
+        label,
+        records,
+        wall_ns,
+        virtual_ns,
+        polls,
+        allocs: allocs1 - allocs0,
+        alloc_bytes: bytes1 - bytes0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1 MiB TCP send allocation check.
+// ---------------------------------------------------------------------------
+
+struct TcpSendCheck {
+    payload_bytes: usize,
+    packets: u64,
+    allocs: u64,
+}
+
+/// Streams 1 MiB messages across a raw netsim TCP connection and counts the
+/// allocations of one warm send (writer + concurrently draining reader).
+/// With the pooled packet path this is O(1); the pre-pool code allocated two
+/// `Vec`s per MSS packet.
+fn run_tcp_1mib() -> TcpSendCheck {
+    const PAYLOAD: usize = 1 << 20;
+    let rt = sim::Runtime::new();
+    let allocs = rt.block_on(async {
+        let profile = netsim::profile::Profile::testbed();
+        let mss = profile.net.tcp_mss as usize;
+        let fabric = netsim::Fabric::new(profile);
+        let src = fabric.add_node("src");
+        let dst = fabric.add_node("dst");
+        let dst_id = dst.id;
+        let mut listener = netsim::tcp::TcpListener::bind(&dst, 7000);
+        // 3 rounds total: two warmup (fill the packet pool, grow the reader's
+        // reassembly buffer and the sink) + one measured.
+        let reader = sim::spawn(async move {
+            let mut stream = listener.accept().await.expect("accept");
+            let mut sink = Vec::with_capacity(PAYLOAD);
+            for _ in 0..3 {
+                sink.clear();
+                stream.read_exact_into(PAYLOAD, &mut sink).await.expect("read");
+            }
+        });
+        let mut stream = netsim::tcp::connect(&src, dst_id, 7000)
+            .await
+            .expect("connect");
+        let payload = vec![0xEEu8; PAYLOAD];
+        for _ in 0..2 {
+            stream.write_all(&payload).await.expect("warmup write");
+        }
+        let (a0, _) = alloc_snapshot();
+        stream.write_all(&payload).await.expect("measured write");
+        let (a1, _) = alloc_snapshot();
+        reader.await.expect("reader");
+        (a1 - a0, mss)
+    });
+    let (count, mss) = allocs;
+    TcpSendCheck {
+        payload_bytes: PAYLOAD,
+        packets: PAYLOAD.div_ceil(mss) as u64,
+        allocs: count,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+
+const RDMA_ALLOC_BUDGET: f64 = 2.0;
+
+fn json_path(r: &PathResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"records\": {},\n",
+            "      \"wall_ns\": {},\n",
+            "      \"virtual_ns\": {},\n",
+            "      \"ns_per_record\": {:.1},\n",
+            "      \"records_per_sec\": {:.0},\n",
+            "      \"executor_polls\": {},\n",
+            "      \"events_per_sec\": {:.0},\n",
+            "      \"allocs\": {},\n",
+            "      \"allocs_per_record\": {:.3},\n",
+            "      \"alloc_bytes\": {}\n",
+            "    }}"
+        ),
+        r.records,
+        r.wall_ns,
+        r.virtual_ns,
+        r.ns_per_record(),
+        r.records_per_sec(),
+        r.polls,
+        r.events_per_sec(),
+        r.allocs,
+        r.allocs_per_record(),
+        r.alloc_bytes,
+    )
+}
+
+fn write_json(
+    cfg: &Config,
+    rdma: &PathResult,
+    tcp: &PathResult,
+    tcp_1mib: &TcpSendCheck,
+    pass: bool,
+) {
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kdperf\",\n",
+            "  \"workload\": \"fig10_11_produce\",\n",
+            "  \"config\": {{\n",
+            "    \"records\": {},\n",
+            "    \"warmup\": {},\n",
+            "    \"window\": {},\n",
+            "    \"record_size\": {}\n",
+            "  }},\n",
+            "  \"datapaths\": {{\n",
+            "    \"rdma_exclusive\": {},\n",
+            "    \"tcp\": {}\n",
+            "  }},\n",
+            "  \"tcp_1mib_send\": {{\n",
+            "    \"payload_bytes\": {},\n",
+            "    \"packets\": {},\n",
+            "    \"allocs\": {}\n",
+            "  }},\n",
+            "  \"budget\": {{\n",
+            "    \"rdma_exclusive_allocs_per_record_max\": {:.1},\n",
+            "    \"tcp_1mib_send_allocs_max\": {},\n",
+            "    \"pass\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        cfg.records,
+        cfg.warmup,
+        cfg.window,
+        cfg.record_size,
+        json_path(rdma),
+        json_path(tcp),
+        tcp_1mib.payload_bytes,
+        tcp_1mib.packets,
+        tcp_1mib.allocs,
+        RDMA_ALLOC_BUDGET,
+        tcp_1mib.packets,
+        pass,
+    );
+    std::fs::write(&cfg.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
+}
+
+fn summary_row(r: &PathResult) -> String {
+    format!(
+        "| {} | {} | {:.0} | {:.0} | {:.0} | {:.3} |\n",
+        r.label,
+        r.records,
+        r.records_per_sec(),
+        r.ns_per_record(),
+        r.events_per_sec(),
+        r.allocs_per_record(),
+    )
+}
+
+fn write_summary(
+    cfg: &Config,
+    rdma: &PathResult,
+    tcp: &PathResult,
+    tcp_1mib: &TcpSendCheck,
+    pass: bool,
+) {
+    let mut md = String::new();
+    md.push_str("# kdperf — hot-datapath wall-clock report\n\n");
+    md.push_str(&format!(
+        "Workload: Fig 10/11 produce loop, {}-byte records, window {}, \
+         {} warmup + {} measured records per datapath.\n\n",
+        cfg.record_size, cfg.window, cfg.warmup, cfg.records
+    ));
+    md.push_str("| datapath | records | records/s (wall) | ns/record (wall) | events/s | allocs/record |\n");
+    md.push_str("|---|---|---|---|---|---|\n");
+    md.push_str(&summary_row(rdma));
+    md.push_str(&summary_row(tcp));
+    md.push_str(&format!(
+        "\n1 MiB TCP send (warm, {} MSS packets): **{} allocations** \
+         (budget: < 1 per packet).\n",
+        tcp_1mib.packets, tcp_1mib.allocs
+    ));
+    md.push_str(&format!(
+        "\nBudget: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record \
+         at steady state — **{}**.\n",
+        if pass { "PASS" } else { "FAIL" }
+    ));
+    md.push_str(
+        "\nWall-clock numbers vary with the host; only the allocation counts \
+         are asserted. Regenerate with `cargo run --release -p kdbench --bin kdperf`.\n",
+    );
+    if let Some(dir) = std::path::Path::new(&cfg.summary).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(&cfg.summary, md)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.summary));
+}
+
+fn print_path(r: &PathResult) {
+    println!(
+        "  {:<16} {:>9.0} rec/s  {:>8.0} ns/rec  {:>10.0} events/s  {:>7.3} allocs/rec  ({} allocs, {} bytes, {} polls, {} ms wall, {} ms virtual)",
+        r.label,
+        r.records_per_sec(),
+        r.ns_per_record(),
+        r.events_per_sec(),
+        r.allocs_per_record(),
+        r.allocs,
+        r.alloc_bytes,
+        r.polls,
+        r.wall_ns / 1_000_000,
+        r.virtual_ns / 1_000_000,
+    );
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!(
+        "# kdperf: fig10/11 produce workload, {}B records, window {}, {}+{} records",
+        cfg.record_size, cfg.window, cfg.warmup, cfg.records
+    );
+
+    let rdma = run_produce(
+        "rdma_exclusive",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+    );
+    print_path(&rdma);
+    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg);
+    print_path(&tcp);
+    let tcp_1mib = run_tcp_1mib();
+    println!(
+        "  {:<16} {} allocs for a warm 1 MiB send ({} packets)",
+        "tcp_1mib_send", tcp_1mib.allocs, tcp_1mib.packets
+    );
+
+    let rdma_ok = rdma.allocs_per_record() <= RDMA_ALLOC_BUDGET;
+    let tcp_send_ok = tcp_1mib.allocs < tcp_1mib.packets;
+    let pass = rdma_ok && tcp_send_ok;
+
+    write_json(&cfg, &rdma, &tcp, &tcp_1mib, pass);
+    write_summary(&cfg, &rdma, &tcp, &tcp_1mib, pass);
+    println!("# wrote {} and {}", cfg.out, cfg.summary);
+
+    if !rdma_ok {
+        eprintln!(
+            "kdperf: FAIL — exclusive RDMA produce allocates {:.3}/record (budget {RDMA_ALLOC_BUDGET})",
+            rdma.allocs_per_record()
+        );
+    }
+    if !tcp_send_ok {
+        eprintln!(
+            "kdperf: FAIL — warm 1 MiB TCP send allocated {} times ({} packets; budget < 1/packet)",
+            tcp_1mib.allocs, tcp_1mib.packets
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+    println!("# allocation budgets: PASS");
+}

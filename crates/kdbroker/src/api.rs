@@ -873,7 +873,38 @@ async fn handle_rdma_commit(
     }
     let ready = match grant.mode {
         ProduceMode::Shared => grant.on_shared_arrival(order, byte_len, ack, ctx),
-        _ => vec![(byte_len, ack, ctx)],
+        _ => {
+            // Exclusive/replication fast path: exactly one span per
+            // completion and no reorder buffer, so commit inline without
+            // building the intermediate vectors. Same sequence of awaits
+            // and side effects as the general path below.
+            let res = {
+                let _guard = p.write_lock.lock().await;
+                if grant.closed.get() {
+                    Err(ErrorCode::OutOfSpace)
+                } else {
+                    charge_worker(
+                        b,
+                        b.profile.cpu.api_produce_base
+                            + copy_time(u64::from(byte_len), b.profile.cpu.crc_bandwidth),
+                    )
+                    .await;
+                    commit_span(b, &p, &grant, byte_len)
+                }
+            };
+            grant.chain.advance(seq);
+            match res {
+                Ok(span) => {
+                    b.metrics.add(&b.metrics.rdma_commits, 1);
+                    b.metrics.add(&b.metrics.rdma_commit_bytes, u64::from(byte_len));
+                    trace_commit(b, ctx, &tp, span.base_offset, span.next_offset);
+                    finish_rdma_ack(b, &p, &grant, span, ack);
+                    after_local_commit(b, &p);
+                }
+                Err(code) => ack_error(b, ack, code),
+            }
+            return;
+        }
     };
     if ready.is_empty() {
         // Parked out-of-order: arm the hole timeout (§4.2.2).

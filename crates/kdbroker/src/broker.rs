@@ -22,6 +22,10 @@ use crate::requests::WorkItem;
 /// An RDMA-writable consumer-offset slot (buffer + its registration).
 pub type OffsetSlot = (rnic::ShmBuf, rnic::MemoryRegion);
 
+/// Depth of the pre-allocated ack-buffer ring. Must exceed the number of
+/// ack WRs that can be in flight at once, which is bounded by CQ capacity.
+const ACK_RING_DEPTH: usize = 1024;
+
 /// One partition's raw segment buffers — the shared "disk" that survives a
 /// broker crash (see [`Broker::durable_state`]).
 pub type SegmentBuffers = Vec<Rc<RefCell<Vec<u8>>>>;
@@ -64,6 +68,12 @@ pub struct BrokerInner {
     pub recv_cq: CompletionQueue,
     /// Send CQ for (unsignaled) acks.
     pub ack_send_cq: CompletionQueue,
+    /// Round-robin ring of pre-allocated 9-byte ack buffers (error byte +
+    /// base offset). An ack is a tiny unsignaled Send; by the time the ring
+    /// wraps, the earlier WR has long since executed, so slots can be
+    /// reused without tracking completions.
+    pub ack_ring: Vec<ShmBuf>,
+    pub ack_ring_next: Cell<usize>,
     pub produce_module: ProduceModule,
     pub consume_module: ConsumeModule,
     self_rdma: RefCell<Option<Rc<SelfRdma>>>,
@@ -186,6 +196,8 @@ impl Broker {
             consume_qps: RefCell::new(Vec::new()),
             recv_cq,
             ack_send_cq,
+            ack_ring: (0..ACK_RING_DEPTH).map(|_| ShmBuf::zeroed(9)).collect(),
+            ack_ring_next: Cell::new(0),
             produce_module: ProduceModule::default(),
             consume_module: ConsumeModule::new(config.slots_per_consumer),
             self_rdma: RefCell::new(None),

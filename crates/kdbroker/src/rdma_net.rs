@@ -6,7 +6,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use rnic::{CqOpcode, QpOptions, RdmaListener, RecvWr, SendWr, ShmBuf, WorkRequest};
+use rnic::{CqOpcode, QpOptions, RdmaListener, RecvWr, SendWr, WorkRequest};
 
 use crate::broker::BrokerInner;
 use crate::requests::{AckRoute, WorkItem};
@@ -163,15 +163,14 @@ pub fn enqueue_in_order(
     seq: u64,
     item: WorkItem,
 ) {
-    let ready = grant.stage_enqueue(seq, item);
     let handoff = b.profile.cpu.handoff;
-    for item in ready {
+    grant.stage_enqueue(seq, item, &mut |item| {
         let b2 = Rc::clone(b);
-        sim::spawn(async move {
+        sim::spawn_detached(async move {
             sim::time::sleep(handoff).await;
             let _ = b2.queue.send(item).await;
         });
-    }
+    });
 }
 
 /// Sends a produce acknowledgment (or replication credit return) on a
@@ -181,10 +180,15 @@ pub fn send_ack(b: &Rc<BrokerInner>, qpn: u32, error: kdwire::ErrorCode, base_of
         Some(qp) => qp.clone(),
         None => return,
     };
-    let mut payload = vec![0u8; 9];
-    payload[0] = error as u8;
-    payload[1..9].copy_from_slice(&base_offset.to_le_bytes());
-    let buf = ShmBuf::from_vec(payload);
+    // Acks are written through a pre-allocated round-robin ring: the WR has
+    // executed long before the ring wraps, so the slot is free to reuse.
+    let idx = b.ack_ring_next.get();
+    b.ack_ring_next.set((idx + 1) % b.ack_ring.len());
+    let buf = &b.ack_ring[idx];
+    buf.with_mut(|s| {
+        s[0] = error as u8;
+        s[1..9].copy_from_slice(&base_offset.to_le_bytes());
+    });
     let _ = qp.post_send(SendWr::unsignaled(
         0,
         WorkRequest::Send {

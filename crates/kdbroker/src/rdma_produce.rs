@@ -62,19 +62,24 @@ pub struct Grant {
 }
 
 impl Grant {
-    /// Stages a commit item for enqueueing and returns the consecutive run
-    /// now ready, in sequence order. A poller that finishes handling a later
+    /// Stages a commit item for enqueueing and emits the consecutive run now
+    /// ready, in sequence order. A poller that finishes handling a later
     /// completion first parks its item here until its predecessors flush.
-    pub fn stage_enqueue(&self, seq: u64, item: WorkItem) -> Vec<WorkItem> {
+    pub fn stage_enqueue(&self, seq: u64, item: WorkItem, emit: &mut dyn FnMut(WorkItem)) {
+        // In-order fast path: nothing parked, this is the next sequence —
+        // skip the reorder map entirely (no allocation on the hot path).
+        if seq == self.enqueue_next.get() && self.enqueue_buf.borrow().is_empty() {
+            self.enqueue_next.set(seq + 1);
+            emit(item);
+            return;
+        }
         self.enqueue_buf.borrow_mut().insert(seq, item);
-        let mut ready = Vec::new();
         let mut next = self.enqueue_next.get();
         while let Some(item) = self.enqueue_buf.borrow_mut().remove(&next) {
-            ready.push(item);
+            emit(item);
             next += 1;
         }
         self.enqueue_next.set(next);
-        ready
     }
 
     /// Outcome of an arriving completion in shared mode: which spans are

@@ -32,10 +32,13 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
     let bw = Rc::clone(&b);
     sim::spawn(async move {
         let cost = bw.profile.cpu.net_request_cost;
+        let mut body = Vec::new();
         while let Some((corr, ready_at, resp)) = reply_rx.recv().await {
             sim::time::sleep_until(ready_at).await;
             bw.net_pool.thread(net_idx).run(cost).await;
-            if kdwire::write_frame(&mut write, corr, None, &resp.encode())
+            body.clear();
+            resp.encode_into(&mut body);
+            if kdwire::write_frame(&mut write, corr, None, &body)
                 .await
                 .is_err()
             {
@@ -48,12 +51,16 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
     // crash races the read: the shutdown broadcast wins, the loop breaks,
     // and dropping the stream halves is what makes the peer see the
     // connection die.
+    let mut payload = Vec::new();
     loop {
         if !b.alive.get() {
             break;
         }
-        let frame = match sim::future::race(kdwire::read_frame(&mut read), b.shutdown.notified())
-            .await
+        let (corr, trace) = match sim::future::race(
+            kdwire::read_frame_into(&mut read, &mut payload),
+            b.shutdown.notified(),
+        )
+        .await
         {
             sim::future::Either::Left(Ok(f)) => f,
             _ => break, // connection closed or broker crashed
@@ -61,7 +68,6 @@ async fn serve_connection(b: Rc<BrokerInner>, stream: netsim::tcp::TcpStream) {
         if !b.alive.get() {
             break;
         }
-        let (corr, trace, payload) = frame;
         b.net_pool
             .thread(net_idx)
             .run(b.profile.cpu.net_request_cost)

@@ -1,0 +1,320 @@
+//! Pooled byte buffers for the simulator's hot datapath.
+//!
+//! Two primitives, both zero-dependency and single-threaded (the simulator
+//! runs one thread; everything here is `Rc`/thread-local based):
+//!
+//! * [`Pool`] / [`Buf`] — a slab of fixed-size chunks handed out as cheaply
+//!   sliceable, reference-counted views (a minimal `Bytes`). Dropping the
+//!   last view of a chunk returns it — *including its `Rc` allocation* — to
+//!   the pool free list, so a steady-state producer/consumer pair performs
+//!   zero allocator traffic per packet.
+//! * [`Scratch`] / [`scratch`] — a thread-local stack of reusable `Vec<u8>`s
+//!   for transient encode/snapshot work (frame building, read staging).
+//!   Dropping a `Scratch` clears the vector but keeps its capacity.
+//!
+//! Neither primitive affects virtual time: pooling replaces real allocator
+//! calls with free-list pushes, and every simulated cost (kernel copy time,
+//! wire time) is charged by the caller exactly as before.
+
+use std::cell::{Cell, RefCell};
+use std::ops::{Deref, DerefMut};
+use std::rc::{Rc, Weak};
+
+/// Default chunk size: comfortably a jumbo-ish packet / one MSS segment.
+pub const DEFAULT_CHUNK: usize = 2048;
+
+#[derive(Default)]
+struct PoolStats {
+    /// Chunks created fresh from the allocator.
+    allocated: Cell<u64>,
+    /// Chunk handouts served from the free list (no allocator traffic).
+    recycled: Cell<u64>,
+}
+
+struct PoolInner {
+    chunk_size: usize,
+    free: RefCell<Vec<Rc<ChunkInner>>>,
+    stats: PoolStats,
+}
+
+struct ChunkInner {
+    data: RefCell<Box<[u8]>>,
+    pool: Weak<PoolInner>,
+}
+
+/// A pool of fixed-size byte chunks. Clone handles freely; the free list is
+/// shared.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Rc<PoolInner>,
+}
+
+impl Pool {
+    pub fn new(chunk_size: usize) -> Pool {
+        assert!(chunk_size > 0);
+        Pool {
+            inner: Rc::new(PoolInner {
+                chunk_size,
+                free: RefCell::new(Vec::new()),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    pub fn chunk_size(&self) -> usize {
+        self.inner.chunk_size
+    }
+
+    /// Copies `bytes` into a pooled chunk and returns a view of exactly that
+    /// prefix. Oversized payloads get a dedicated right-sized chunk that is
+    /// dropped (not recycled) when released, so the free list stays
+    /// uniform.
+    pub fn copy_in(&self, bytes: &[u8]) -> Buf {
+        let chunk = if bytes.len() <= self.inner.chunk_size {
+            match self.inner.free.borrow_mut().pop() {
+                Some(c) => {
+                    debug_assert_eq!(Rc::strong_count(&c), 1);
+                    self.inner.stats.recycled.set(self.inner.stats.recycled.get() + 1);
+                    c
+                }
+                None => self.fresh(self.inner.chunk_size),
+            }
+        } else {
+            self.fresh(bytes.len())
+        };
+        chunk.data.borrow_mut()[..bytes.len()].copy_from_slice(bytes);
+        Buf {
+            chunk,
+            off: 0,
+            len: bytes.len(),
+        }
+    }
+
+    fn fresh(&self, size: usize) -> Rc<ChunkInner> {
+        self.inner.stats.allocated.set(self.inner.stats.allocated.get() + 1);
+        Rc::new(ChunkInner {
+            data: RefCell::new(vec![0u8; size].into_boxed_slice()),
+            pool: Rc::downgrade(&self.inner),
+        })
+    }
+
+    /// Chunks created fresh from the allocator (lifetime total).
+    pub fn allocated_chunks(&self) -> u64 {
+        self.inner.stats.allocated.get()
+    }
+
+    /// Handouts served from the free list (lifetime total).
+    pub fn recycled_chunks(&self) -> u64 {
+        self.inner.stats.recycled.get()
+    }
+
+    /// Chunks currently parked on the free list.
+    pub fn free_chunks(&self) -> usize {
+        self.inner.free.borrow().len()
+    }
+}
+
+/// A reference-counted view into a pooled chunk. Cloning and slicing are
+/// refcount bumps; dropping the last view recycles the chunk.
+pub struct Buf {
+    chunk: Rc<ChunkInner>,
+    off: usize,
+    len: usize,
+}
+
+impl Buf {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows the view's bytes.
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let data = self.chunk.data.borrow();
+        f(&data[self.off..self.off + self.len])
+    }
+
+    /// Copies the view into `dst` (`dst.len()` must equal `self.len()`).
+    pub fn copy_to(&self, dst: &mut [u8]) {
+        self.with(|src| dst.copy_from_slice(src));
+    }
+
+    /// Appends the view's bytes to `dst`.
+    pub fn extend_into(&self, dst: &mut Vec<u8>) {
+        self.with(|src| dst.extend_from_slice(src));
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.with(|src| src.to_vec())
+    }
+
+    /// A sub-view sharing the same chunk (refcount bump, no copy).
+    pub fn slice(&self, off: usize, len: usize) -> Buf {
+        assert!(off + len <= self.len);
+        Buf {
+            chunk: Rc::clone(&self.chunk),
+            off: self.off + off,
+            len,
+        }
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Buf {
+        Buf {
+            chunk: Rc::clone(&self.chunk),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        // Last view out returns the chunk — Rc box and all — to the pool,
+        // provided it is the pool's uniform size (oversized one-offs just
+        // free).
+        if Rc::strong_count(&self.chunk) == 1 {
+            if let Some(pool) = self.chunk.pool.upgrade() {
+                if self.chunk.data.borrow().len() == pool.chunk_size {
+                    pool.free.borrow_mut().push(Rc::clone(&self.chunk));
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Buf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Buf(len={})", self.len)
+    }
+}
+
+thread_local! {
+    static SCRATCH_STACK: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A reusable `Vec<u8>` borrowed from a thread-local stack; cleared (but
+/// capacity kept) and returned on drop. Derefs to `Vec<u8>`.
+pub struct Scratch {
+    vec: Vec<u8>,
+}
+
+/// Takes a cleared scratch vector from the thread-local stack (or a fresh
+/// one the first few times).
+pub fn scratch() -> Scratch {
+    let vec = SCRATCH_STACK.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    Scratch { vec }
+}
+
+impl Scratch {
+    /// Detaches the underlying vector (it will not return to the stack).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.vec)
+    }
+}
+
+impl Deref for Scratch {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.vec
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if self.vec.capacity() == 0 {
+            return; // taken by into_vec, or never grew
+        }
+        self.vec.clear();
+        SCRATCH_STACK.with(|s| s.borrow_mut().push(std::mem::take(&mut self.vec)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_recycle_without_new_allocations() {
+        let pool = Pool::new(64);
+        for i in 0..100u8 {
+            let b = pool.copy_in(&[i; 64]);
+            b.with(|s| assert!(s.iter().all(|&x| x == i)));
+        }
+        // One chunk bounced in and out of the free list the whole time.
+        assert_eq!(pool.allocated_chunks(), 1);
+        assert_eq!(pool.recycled_chunks(), 99);
+        assert_eq!(pool.free_chunks(), 1);
+    }
+
+    #[test]
+    fn slices_share_the_chunk_and_defer_recycling() {
+        let pool = Pool::new(32);
+        let b = pool.copy_in(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let tail = b.slice(4, 4);
+        drop(b);
+        assert_eq!(pool.free_chunks(), 0, "live slice pins the chunk");
+        tail.with(|s| assert_eq!(s, &[5, 6, 7, 8]));
+        drop(tail);
+        assert_eq!(pool.free_chunks(), 1);
+    }
+
+    #[test]
+    fn oversized_payloads_get_dedicated_chunks() {
+        let pool = Pool::new(8);
+        let b = pool.copy_in(&[9u8; 100]);
+        assert_eq!(b.len(), 100);
+        b.with(|s| assert_eq!(s.len(), 100));
+        drop(b);
+        assert_eq!(pool.free_chunks(), 0, "oversize chunks are not pooled");
+        // A uniform-size handout still pools.
+        drop(pool.copy_in(&[1u8; 8]));
+        assert_eq!(pool.free_chunks(), 1);
+    }
+
+    #[test]
+    fn copies_in_and_out_round_trip() {
+        let pool = Pool::new(16);
+        let b = pool.copy_in(b"hello world");
+        let mut out = vec![0u8; b.len()];
+        b.copy_to(&mut out);
+        assert_eq!(&out, b"hello world");
+        let mut acc = Vec::new();
+        b.extend_into(&mut acc);
+        b.extend_into(&mut acc);
+        assert_eq!(acc.len(), 22);
+        assert_eq!(b.to_vec(), b"hello world");
+        assert_eq!(b.slice(6, 5).to_vec(), b"world");
+    }
+
+    #[test]
+    fn scratch_keeps_capacity_across_uses() {
+        let cap = {
+            let mut s = scratch();
+            s.extend_from_slice(&[0u8; 4096]);
+            s.capacity()
+        };
+        let s = scratch();
+        assert!(s.is_empty());
+        assert!(s.capacity() >= cap, "capacity retained across uses");
+        assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn scratch_into_vec_detaches() {
+        let mut s = scratch();
+        s.extend_from_slice(b"keep me");
+        let v = s.into_vec();
+        assert_eq!(&v, b"keep me");
+    }
+}

@@ -125,19 +125,24 @@ impl OsuConn {
                 let kcopy = node2.profile().net.kernel_copy_bandwidth;
                 sim::time::sleep(copy_time(u64::from(cqe.byte_len), kcopy)).await;
                 let buf = &bufs[cqe.wr_id as usize];
-                let frame = buf.read_at(0, cqe.byte_len as usize);
+                // Decode in place (before reposting the receive), avoiding a
+                // copy of the frame out of the receive buffer.
+                let decoded = buf.with(|s| {
+                    let frame = &s[..cqe.byte_len as usize];
+                    if frame.len() < 8 {
+                        return None;
+                    }
+                    let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
+                    Some((corr, Response::decode(&frame[8..])))
+                });
                 let _ = qp2.post_recv(RecvWr {
                     wr_id: cqe.wr_id,
                     buf: Some(buf.as_slice()),
                 });
-                if frame.len() < 8 {
+                let Some((corr, resp)) = decoded else {
                     continue;
-                }
-                let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
-                if let (Some(tx), Ok(resp)) = (
-                    pending2.borrow_mut().remove(&corr),
-                    Response::decode(&frame[8..]),
-                ) {
+                };
+                if let (Some(tx), Ok(resp)) = (pending2.borrow_mut().remove(&corr), resp) {
                     let _ = tx.send(resp);
                 }
             }
@@ -170,7 +175,8 @@ impl OsuConn {
         }
         let corr = self.next_corr.get();
         self.next_corr.set(corr + 1);
-        let body = req.encode();
+        let mut body = kdbuf::scratch();
+        req.encode_into(&mut body);
         // Copy into the send buffer.
         let kcopy = self.node.profile().net.kernel_copy_bandwidth;
         sim::time::sleep(copy_time(body.len() as u64, kcopy)).await;

@@ -38,8 +38,13 @@ const RECONNECT_ATTEMPTS: u32 = 12;
 const RECONNECT_BASE: Duration = Duration::from_micros(200);
 const RECONNECT_MAX: Duration = Duration::from_millis(10);
 
-/// A pending produce ack.
-type AckWaiter = oneshot::Sender<(ErrorCode, u64)>;
+/// A pending produce ack: the waiter plus the staging buffer to recycle
+/// once the write is acknowledged (acks arrive strictly in write order, so
+/// by then the WriteImm has long since consumed the bytes).
+type AckWaiter = (oneshot::Sender<(ErrorCode, u64)>, Option<ShmBuf>);
+
+/// Free staging buffers, shared between the producer and its ack reader.
+type StagePool = Rc<RefCell<Vec<ShmBuf>>>;
 
 /// The RDMA producer.
 pub struct RdmaProducer {
@@ -55,11 +60,14 @@ pub struct RdmaProducer {
     topic: String,
     partition: u32,
     mode: ProduceMode,
-    producer_id: u64,
     grant: ProduceAccessResp,
     /// Exclusive mode: next write position (producer-tracked).
     write_pos: u32,
     pending: Rc<RefCell<VecDeque<AckWaiter>>>,
+    /// Recycled staging buffers (see [`RdmaProducer::stage`]).
+    stage_pool: StagePool,
+    /// Reusable batch encoder; reset per record.
+    builder: BatchBuilder,
     faa_result: ShmBuf,
     dead: Rc<std::cell::Cell<bool>>,
     telem: kdtelem::Registry,
@@ -85,12 +93,20 @@ impl RdmaProducer {
         };
         let nic = RNic::new(node);
         let pending: Rc<RefCell<VecDeque<AckWaiter>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let stage_pool: StagePool = Rc::new(RefCell::new(Vec::new()));
         let dead = Rc::new(std::cell::Cell::new(false));
-        let (qp, send_cq) =
-            Self::setup_data_plane(node, &nic, broker, Rc::clone(&pending), Rc::clone(&dead))
-                .await?;
+        let (qp, send_cq) = Self::setup_data_plane(
+            node,
+            &nic,
+            broker,
+            Rc::clone(&pending),
+            Rc::clone(&stage_pool),
+            Rc::clone(&dead),
+        )
+        .await?;
         let telem = kdtelem::current();
         let e2e_ns = telem.histogram("kdclient", "produce_e2e_ns");
+        let producer_id = sim::rng::range_u64(1..u64::MAX);
         let mut producer = RdmaProducer {
             node: node.clone(),
             broker,
@@ -102,10 +118,11 @@ impl RdmaProducer {
             topic: topic.to_string(),
             partition,
             mode,
-            producer_id: sim::rng::range_u64(1..u64::MAX),
             grant: empty_grant(),
             write_pos: 0,
             pending,
+            stage_pool,
+            builder: BatchBuilder::new(producer_id),
             faa_result: ShmBuf::zeroed(8),
             dead,
             telem,
@@ -122,6 +139,7 @@ impl RdmaProducer {
         nic: &RNic,
         broker: BrokerAddr,
         pending: Rc<RefCell<VecDeque<AckWaiter>>>,
+        stage_pool: StagePool,
         dead: Rc<std::cell::Cell<bool>>,
     ) -> Result<(QueuePair, rnic::CompletionQueue), ClientError> {
         let send_cq = nic.create_cq(4096);
@@ -162,19 +180,28 @@ impl RdmaProducer {
                     if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
                         break;
                     }
-                    let payload = bufs[cqe.wr_id as usize].read_at(0, cqe.byte_len as usize);
+                    // Decode through a stack buffer: the ack path allocates
+                    // nothing at steady state.
+                    let n = (cqe.byte_len as usize).min(ACK_BUF);
+                    let mut payload = [0u8; ACK_BUF];
+                    bufs[cqe.wr_id as usize].read_into(0, &mut payload[..n]);
                     let _ = qp.post_recv(RecvWr {
                         wr_id: cqe.wr_id,
                         buf: Some(bufs[cqe.wr_id as usize].as_slice()),
                     });
-                    let (error, base_offset) = kdbroker_ack_decode(&payload);
-                    if let Some(waiter) = pending.borrow_mut().pop_front() {
+                    let (error, base_offset) = kdbroker_ack_decode(&payload[..n]);
+                    if let Some((waiter, staged)) = pending.borrow_mut().pop_front() {
+                        // The acked write has consumed its staging buffer;
+                        // recycle it for a future produce.
+                        if let Some(buf) = staged {
+                            stage_pool.borrow_mut().push(buf);
+                        }
                         let _ = waiter.send((error, base_offset));
                     }
                 }
                 dead.set(true);
                 // Fail anything still pending.
-                for w in pending.borrow_mut().drain(..) {
+                for (w, _) in pending.borrow_mut().drain(..) {
                     let _ = w.send((ErrorCode::Internal, 0));
                 }
             });
@@ -205,19 +232,34 @@ impl RdmaProducer {
     }
 
     /// Encodes `record` into a batch in a (registered) staging buffer —
-    /// the producer's defensive copy of user data (§5.1).
-    async fn stage(&self, record: &Record) -> Result<ShmBuf, ClientError> {
-        let mut builder = BatchBuilder::new(self.producer_id);
-        builder.append(record);
-        let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+    /// the producer's defensive copy of user data (§5.1). Staging buffers
+    /// are recycled through [`StagePool`] as acks retire them, so the
+    /// steady-state produce path allocates nothing here.
+    async fn stage(&mut self, record: &Record) -> Result<ShmBuf, ClientError> {
+        self.builder.reset();
+        self.builder.append(record);
+        let staged = self
+            .stage_pool
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| ShmBuf::from_vec(Vec::new()));
+        let batch_len = {
+            let shared = staged.shared();
+            let mut v = shared.borrow_mut();
+            v.clear();
+            self.builder
+                .build_into(&mut v)
+                .map_err(|_| ClientError::Corrupt)?;
+            v.len()
+        };
         let cpu = &self.node.profile().cpu;
         // Only the defensive copy occupies the caller; the API→network
         // thread handoff is pipeline latency and is charged on the ack path.
         sim::time::sleep(
-            cpu.producer_copy_base + copy_time(batch.len() as u64, cpu.memcpy_bandwidth),
+            cpu.producer_copy_base + copy_time(batch_len as u64, cpu.memcpy_bandwidth),
         )
         .await;
-        Ok(ShmBuf::from_vec(batch))
+        Ok(staged)
     }
 
     /// Produces one record, waiting for the broker acknowledgment; returns
@@ -295,7 +337,9 @@ impl RdmaProducer {
             return Err(NeedAccess);
         }
         let (tx, rx) = oneshot::channel();
-        self.pending.borrow_mut().push_back(tx);
+        self.pending
+            .borrow_mut()
+            .push_back((tx, Some(staged.clone())));
         let wr = SendWr::unsignaled(
             0,
             WorkRequest::WriteImm {
@@ -331,7 +375,9 @@ impl RdmaProducer {
             return Err(NeedAccess);
         }
         let (tx, rx) = oneshot::channel();
-        self.pending.borrow_mut().push_back(tx);
+        self.pending
+            .borrow_mut()
+            .push_back((tx, Some(staged.clone())));
         let wr = SendWr::unsignaled(
             0,
             WorkRequest::WriteImm {
@@ -452,6 +498,7 @@ impl RdmaProducer {
             &self.nic,
             leader,
             Rc::clone(&self.pending),
+            Rc::clone(&self.stage_pool),
             Rc::clone(&self.dead),
         )
         .await?;
@@ -471,6 +518,7 @@ impl RdmaProducer {
             &self.nic,
             self.broker,
             Rc::clone(&self.pending),
+            Rc::clone(&self.stage_pool),
             Rc::clone(&self.dead),
         )
         .await?;

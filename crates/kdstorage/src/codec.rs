@@ -47,6 +47,12 @@ impl Writer {
         }
     }
 
+    /// Wraps an existing buffer, appending to its current contents. Lets hot
+    /// paths encode into a reused allocation instead of a fresh `Vec`.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
     }
@@ -113,6 +119,11 @@ impl Writer {
     pub fn put_string(&mut self, s: &str) {
         self.put_uvarint(s.len() as u64);
         self.put_bytes(s.as_bytes());
+    }
+
+    /// Clears the buffer, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Overwrites 4 bytes at `pos` (used to patch length/CRC fields after

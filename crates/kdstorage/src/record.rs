@@ -171,7 +171,11 @@ impl BatchBuilder {
     pub fn append(&mut self, record: &Record) {
         let base = *self.base_timestamp.get_or_insert(record.timestamp);
         self.max_timestamp = self.max_timestamp.max(record.timestamp);
-        let mut body = Writer::new();
+        // The record body goes through a recycled scratch buffer (the
+        // uvarint length prefix must precede it), so steady-state appends
+        // do not allocate.
+        let mut scratch = kdbuf::scratch();
+        let mut body = Writer::from_vec(std::mem::take(&mut *scratch));
         body.put_varint(record.timestamp - base);
         body.put_opt_bytes(record.key.as_deref());
         body.put_opt_bytes(Some(&record.value));
@@ -182,19 +186,40 @@ impl BatchBuilder {
         }
         self.records.put_uvarint(body.len() as u64);
         self.records.put_bytes(body.as_slice());
+        *scratch = body.into_vec();
         self.record_count += 1;
+    }
+
+    /// Clears the builder for reuse, keeping buffer capacity. Lets a
+    /// producer keep one builder per connection instead of allocating per
+    /// batch.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.record_count = 0;
+        self.base_timestamp = None;
+        self.max_timestamp = 0;
+        self.attributes = 0;
     }
 
     /// Serialises the batch (base offset 0; the broker assigns the real one
     /// at commit).
     pub fn build(self) -> Result<Vec<u8>, BatchError> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.build_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// As [`build`](Self::build), appending the batch to `out` instead of
+    /// allocating — the builder stays usable (call [`reset`](Self::reset)
+    /// before the next batch).
+    pub fn build_into(&self, out: &mut Vec<u8>) -> Result<(), BatchError> {
         if self.record_count == 0 {
             return Err(BatchError::Empty);
         }
-        let records = self.records.into_vec();
-        let mut w = Writer::with_capacity(BATCH_HEADER_LEN + records.len());
+        let start = out.len();
+        let mut w = Writer::from_vec(std::mem::take(out));
         w.put_u64(0); // base_offset
-        w.put_u32((BATCH_HEADER_LEN - LENGTH_FIELD_AT - 4 + records.len()) as u32);
+        w.put_u32((BATCH_HEADER_LEN - LENGTH_FIELD_AT - 4 + self.records.len()) as u32);
         w.put_u8(MAGIC);
         w.put_u16(self.attributes);
         w.put_u32(0); // crc patched below
@@ -202,10 +227,11 @@ impl BatchBuilder {
         w.put_i64(self.base_timestamp.unwrap_or(0));
         w.put_i64(self.max_timestamp);
         w.put_u32(self.record_count);
-        w.put_bytes(&records);
-        let crc = crc32c(&w.as_slice()[CRC_COVER_FROM..]);
-        w.patch_u32(CRC_FIELD_AT, crc);
-        Ok(w.into_vec())
+        w.put_bytes(self.records.as_slice());
+        let crc = crc32c(&w.as_slice()[start + CRC_COVER_FROM..]);
+        w.patch_u32(start + CRC_FIELD_AT, crc);
+        *out = w.into_vec();
+        Ok(())
     }
 }
 

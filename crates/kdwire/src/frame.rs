@@ -57,7 +57,10 @@ pub async fn write_frame(
     payload: &[u8],
 ) -> Result<(), Closed> {
     let total = 24 + payload.len();
-    let mut frame = Vec::with_capacity(4 + total);
+    // Assembled in a recycled scratch buffer: steady-state framing does not
+    // allocate.
+    let mut frame = kdbuf::scratch();
+    frame.reserve(4 + total);
     frame.extend_from_slice(&(total as u32).to_le_bytes());
     frame.extend_from_slice(&correlation.to_le_bytes());
     let (trace_id, span_id) = trace.map_or((0, 0), |t| (t.trace_id, t.span_id));
@@ -74,17 +77,33 @@ pub async fn write_frame(
 pub async fn read_frame(
     r: &mut ReadHalf,
 ) -> Result<(u64, Option<kdtelem::TraceCtx>, Vec<u8>), Closed> {
-    let len_bytes = r.read_exact(4).await?;
-    let total = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    let mut payload = Vec::new();
+    let (correlation, trace) = read_frame_into(r, &mut payload).await?;
+    Ok((correlation, trace, payload))
+}
+
+/// Reads one frame, replacing `out`'s contents with the payload. Returns
+/// `(correlation, trace)`. Allocation-free when `out` already has capacity,
+/// so decode loops can reuse one buffer across frames.
+pub async fn read_frame_into(
+    r: &mut ReadHalf,
+    out: &mut Vec<u8>,
+) -> Result<(u64, Option<kdtelem::TraceCtx>), Closed> {
+    let mut head = kdbuf::scratch();
+    r.read_exact_into(4, &mut head).await?;
+    let total = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
     if !(24..=MAX_FRAME).contains(&total) {
         return Err(Closed);
     }
-    let body = r.read_exact(total).await?;
-    let correlation = u64::from_le_bytes(body[..8].try_into().unwrap());
-    let trace_id = u64::from_le_bytes(body[8..16].try_into().unwrap());
-    let span_id = u64::from_le_bytes(body[16..24].try_into().unwrap());
+    head.clear();
+    r.read_exact_into(24, &mut head).await?;
+    let correlation = u64::from_le_bytes(head[..8].try_into().unwrap());
+    let trace_id = u64::from_le_bytes(head[8..16].try_into().unwrap());
+    let span_id = u64::from_le_bytes(head[16..24].try_into().unwrap());
+    out.clear();
+    r.read_exact_into(total - 24, out).await?;
     let trace = (trace_id != 0).then_some(kdtelem::TraceCtx { trace_id, span_id });
-    Ok((correlation, trace, body[24..].to_vec()))
+    Ok((correlation, trace))
 }
 
 struct RpcShared {
@@ -113,7 +132,8 @@ impl RpcClient {
         });
         let shared2 = Rc::clone(&shared);
         sim::spawn(async move {
-            while let Ok((correlation, _trace, payload)) = read_frame(&mut read).await {
+            let mut payload = Vec::new();
+            while let Ok((correlation, _trace)) = read_frame_into(&mut read, &mut payload).await {
                 let waiter = shared2.pending.borrow_mut().remove(&correlation);
                 if let (Some(tx), Ok(resp)) = (waiter, Response::decode(&payload)) {
                     let _ = tx.send(resp);
@@ -155,8 +175,10 @@ impl RpcClient {
         let (tx, rx) = oneshot::channel();
         self.shared.pending.borrow_mut().insert(correlation, tx);
         {
+            let mut body = kdbuf::scratch();
+            request.encode_into(&mut body);
             let mut w = self.write.lock().await;
-            if write_frame(&mut w, correlation, trace, &request.encode())
+            if write_frame(&mut w, correlation, trace, &body)
                 .await
                 .is_err()
             {

@@ -355,7 +355,15 @@ fn get_bytes_field(r: &mut Reader) -> Result<Vec<u8>, WireError> {
 
 impl Request {
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoding to `out`; allocation-free once `out` has grown
+    /// to steady-state capacity (hot paths pass a reused scratch buffer).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(out));
         match self {
             Request::Metadata { topics } => {
                 w.put_u8(0);
@@ -499,7 +507,7 @@ impl Request {
                 w.put_u8(13);
             }
         }
-        w.into_vec()
+        *out = w.into_vec();
     }
 
     pub fn decode(bytes: &[u8]) -> Result<Request, WireError> {
@@ -601,7 +609,15 @@ impl Request {
 
 impl Response {
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoding to `out`; allocation-free once `out` has grown
+    /// to steady-state capacity.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(out));
         match self {
             Response::Metadata {
                 error,
@@ -726,7 +742,7 @@ impl Response {
                 w.put_string(json);
             }
         }
-        w.into_vec()
+        *out = w.into_vec();
     }
 
     pub fn decode(bytes: &[u8]) -> Result<Response, WireError> {

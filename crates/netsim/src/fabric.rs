@@ -56,6 +56,9 @@ pub(crate) struct FabricInner {
     /// deliver with queueing attribution) for transfers carrying an ambient
     /// [`kdtelem::TraceCtx`] go here.
     pub(crate) telem: kdtelem::Registry,
+    /// Pooled MSS-sized packet buffers for TCP segmentation: steady-state
+    /// traffic recycles chunks instead of allocating per packet.
+    pub(crate) pkt_pool: kdbuf::Pool,
 }
 
 /// A handle to the whole simulated network. Cheap to clone.
@@ -67,6 +70,7 @@ pub struct Fabric {
 impl Fabric {
     pub fn new(profile: Profile) -> Self {
         let telem = kdtelem::current();
+        let pkt_pool = kdbuf::Pool::new(profile.net.tcp_mss as usize);
         Fabric {
             inner: Rc::new(FabricInner {
                 profile: Rc::new(profile),
@@ -79,12 +83,18 @@ impl Fabric {
                 atomic_stalls: telem.counter("netsim", "atomic_stalls"),
                 atomic_stall_ns: telem.histogram("netsim", "atomic_stall_ns"),
                 telem,
+                pkt_pool,
             }),
         }
     }
 
     pub fn profile(&self) -> Rc<Profile> {
         Rc::clone(&self.inner.profile)
+    }
+
+    /// The shared MSS-sized packet buffer pool used by TCP segmentation.
+    pub fn packet_pool(&self) -> &kdbuf::Pool {
+        &self.inner.pkt_pool
     }
 
     /// Adds a machine to the fabric.

@@ -53,7 +53,7 @@ impl std::error::Error for ConnectError {}
 
 struct Chunk {
     arrival: SimTime,
-    data: Vec<u8>,
+    data: kdbuf::Buf,
 }
 
 pub(crate) type ListenerSlot = mpsc::Sender<TcpStream>;
@@ -251,8 +251,8 @@ impl WriteHalf {
                 .await
                 .map_err(|_| Closed)?;
             permit.forget(); // returned by the reader once consumed
-            // The user→kernel copy really happens (chunk.to_vec) and is
-            // charged at kernel copy bandwidth.
+            // The user→kernel copy really happens (into a pooled MSS-sized
+            // packet buffer) and is charged at kernel copy bandwidth.
             sim::time::sleep(copy_time(chunk.len() as u64, net.kernel_copy_bandwidth)).await;
             let (fault_delay, retransmits) = self
                 .fabric
@@ -270,7 +270,7 @@ impl WriteHalf {
             self.tx
                 .try_send(Chunk {
                     arrival,
-                    data: chunk.to_vec(),
+                    data: self.fabric.packet_pool().copy_in(chunk),
                 })
                 .map_err(|_| Closed)?;
         }
@@ -304,7 +304,7 @@ impl ReadHalf {
                 let bw = self.fabric.profile().net.kernel_copy_bandwidth;
                 sim::time::sleep(copy_time(chunk.data.len() as u64, bw)).await;
                 self.window.add_permits(chunk.data.len());
-                self.buffer.extend(chunk.data);
+                chunk.data.with(|s| self.buffer.extend(s));
                 true
             }
         }
@@ -318,6 +318,19 @@ impl ReadHalf {
             }
         }
         Ok(self.buffer.drain(..n).collect())
+    }
+
+    /// Reads exactly `n` bytes, appending them to `out`. Avoids the
+    /// intermediate allocation of [`read_exact`] when the caller owns a
+    /// reusable buffer (e.g. a frame decoder's scratch).
+    pub async fn read_exact_into(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), Closed> {
+        while self.buffer.len() < n {
+            if !self.fill().await {
+                return Err(Closed);
+            }
+        }
+        out.extend(self.buffer.drain(..n));
+        Ok(())
     }
 
     /// Reads whatever is available (up to `max`), waiting for at least one
@@ -348,6 +361,10 @@ impl TcpStream {
 
     pub async fn read_exact(&mut self, n: usize) -> Result<Vec<u8>, Closed> {
         self.read.read_exact(n).await
+    }
+
+    pub async fn read_exact_into(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), Closed> {
+        self.read.read_exact_into(n, out).await
     }
 
     pub async fn read_some(&mut self, max: usize) -> Result<Vec<u8>, Closed> {

@@ -145,9 +145,29 @@ impl BufSlice {
         self.buf.read_at(self.offset, self.len)
     }
 
+    /// Runs `f` over the slice's bytes without copying (no `.await` while
+    /// inside).
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.buf.with(|s| f(&s[self.offset..self.offset + self.len]))
+    }
+
     pub fn copy_from(&self, src: &[u8]) {
         assert!(src.len() <= self.len, "BufSlice::copy_from overflow");
         self.buf.write_at(self.offset, src);
+    }
+
+    /// Copies this slice's bytes into `dst` without an intermediate
+    /// allocation. Alias-safe: when both views share storage (a loopback
+    /// RDMA op), the copy goes through a single mutable borrow via
+    /// `copy_within`.
+    pub fn copy_to(&self, dst: &BufSlice) {
+        assert!(self.len <= dst.len, "BufSlice::copy_to overflow");
+        if self.buf.same_buffer(&dst.buf) {
+            self.buf
+                .with_mut(|d| d.copy_within(self.offset..self.offset + self.len, dst.offset));
+        } else {
+            self.with(|s| dst.buf.write_at(dst.offset, s));
+        }
     }
 
     /// Narrows the slice.

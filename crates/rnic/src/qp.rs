@@ -22,7 +22,7 @@ use sim::sync::Notify;
 use sim::SimTime;
 
 use crate::cq::CompletionQueue;
-use crate::mr::{Access, MrInner};
+use crate::mr::{Access, BufSlice, MrInner};
 use crate::nic::NicInner;
 use crate::verbs::{CqOpcode, CqStatus, Cqe, PostError, RecvWr, SendWr, WorkRequest};
 
@@ -278,9 +278,17 @@ impl QueuePair {
         Ok(())
     }
 
-    /// Posts a single send work request.
+    /// Posts a single send work request. Unlike [`post_send_batch`] this
+    /// allocates nothing for the WR list — it is the hot-path entry point.
+    ///
+    /// [`post_send_batch`]: Self::post_send_batch
     pub fn post_send(&self, wr: SendWr) -> Result<(), PostError> {
-        self.post_send_batch(vec![wr])
+        if !self.shared.is_alive() {
+            return Err(PostError::QpError);
+        }
+        let peer = self.shared.peer().ok_or(PostError::QpError)?;
+        self.launch(wr, &peer);
+        Ok(())
     }
 
     /// Computes the timing of `wr` against the fabric and spawns its
@@ -356,7 +364,7 @@ impl QueuePair {
             },
         };
 
-        sim::spawn(async move {
+        sim::spawn_detached(async move {
             run_wr(qp, peer, wr, ticket, timing).await;
         });
     }
@@ -464,7 +472,7 @@ async fn execute_remote(
             rkey,
         } => {
             let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
-            write_region(&mr, *remote_addr, &local.to_vec());
+            write_region(&mr, *remote_addr, local);
             peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
             peer.nic.one_sided_in.inc();
             Ok(None)
@@ -476,7 +484,7 @@ async fn execute_remote(
             imm,
         } => {
             let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_WRITE)?;
-            write_region(&mr, *remote_addr, &local.to_vec());
+            write_region(&mr, *remote_addr, local);
             peer.nic.writes_in.set(peer.nic.writes_in.get() + 1);
             peer.nic.one_sided_in.inc();
             let recv = wait_recv(qp, peer).await?;
@@ -496,11 +504,10 @@ async fn execute_remote(
         }
         WorkRequest::Send { local } | WorkRequest::SendImm { local, .. } => {
             let recv = wait_recv(qp, peer).await?;
-            let data = local.to_vec();
             match &recv.buf {
-                Some(buf) if buf.len() >= data.len() => buf.copy_from(&data),
+                Some(buf) if buf.len() >= local.len() => local.copy_to(buf),
                 Some(_) => return Err(CqStatus::LocalLengthError),
-                None if data.is_empty() => {}
+                None if local.is_empty() => {}
                 None => return Err(CqStatus::LocalLengthError),
             }
             peer.nic.sends_in.set(peer.nic.sends_in.get() + 1);
@@ -513,7 +520,7 @@ async fn execute_remote(
                 qpn: peer.qpn,
                 status: CqStatus::Success,
                 opcode: CqOpcode::Recv,
-                byte_len: data.len() as u32,
+                byte_len: local.len() as u32,
                 imm,
                 atomic_old: None,
                 trace: wr.trace,
@@ -528,10 +535,9 @@ async fn execute_remote(
             let mr = check_remote(peer, *rkey, *remote_addr, local.len() as u64, Access::REMOTE_READ)?;
             // Snapshot at execution time; deliver after response travel.
             let offset = (*remote_addr - mr.addr) as usize;
-            let snapshot = mr.buf.read_at(offset, local.len());
             peer.nic.reads_served.set(peer.nic.reads_served.get() + 1);
             peer.nic.one_sided_in.inc();
-            local.copy_from(&snapshot);
+            mr.buf.slice(offset, local.len()).copy_to(local);
             Ok(None)
         }
         WorkRequest::CompareSwap {
@@ -572,9 +578,11 @@ async fn execute_remote(
     }
 }
 
-fn write_region(mr: &Rc<MrInner>, remote_addr: u64, data: &[u8]) {
+fn write_region(mr: &Rc<MrInner>, remote_addr: u64, local: &BufSlice) {
     let offset = (remote_addr - mr.addr) as usize;
-    mr.buf.write_at(offset, data);
+    // Borrowed-slice copy straight into the region; alias-safe when the
+    // source slice lives in the same ShmBuf (loopback writes).
+    local.copy_to(&mr.buf.slice(offset, local.len()));
 }
 
 fn check_remote(

@@ -1,50 +1,190 @@
 //! The single-threaded task executor and virtual-clock event loop.
+//!
+//! Engineered for an allocation-free steady state (see DESIGN.md,
+//! "Performance engineering"):
+//!
+//! * timers live in a hierarchical [`Wheel`](crate::wheel::Wheel), not a
+//!   `BinaryHeap` — O(1) amortised insert/fire, capacity retained;
+//! * the ready queue is a plain `VecDeque` behind an owner-checked
+//!   `UnsafeCell` — the runtime is single-threaded, so the old `Mutex` only
+//!   bought uncontended lock traffic;
+//! * each task slot caches its `Waker` once; `cx.waker().clone()` is a
+//!   refcount bump instead of a fresh `Arc` per poll;
+//! * spawned futures are placed in a size-class **task arena**: completing a
+//!   task returns its memory to a free list keyed by rounded future size, so
+//!   a steady-state workload (e.g. one NIC work-request task per record)
+//!   re-uses the same allocations instead of boxing each future.
 
-use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::alloc::{alloc, dealloc, Layout};
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
+use std::ptr::NonNull;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::thread::ThreadId;
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::wheel::Wheel;
 
-/// Ready queue shared with wakers. Wakers may be held by `Send` types (e.g.
-/// stored inside `Waker`), so this piece uses `std::sync` even though the
-/// runtime itself is single-threaded; the lock is never contended.
-type ReadyQueue = Mutex<VecDeque<usize>>;
-
-struct TimerEntry {
-    deadline: u64,
-    seq: u64,
-    waker: Waker,
+/// Ready queue shared with wakers. Wakers may be stored inside `Send` types,
+/// so the queue is reached through an `Arc`, but the runtime is
+/// single-threaded: instead of a `Mutex` we use an `UnsafeCell` guarded by an
+/// owner-thread check (a waker crossing threads panics instead of racing).
+struct ReadyQueue {
+    owner: ThreadId,
+    queue: UnsafeCell<VecDeque<usize>>,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
+// SAFETY: every access goes through `with`, which panics unless called from
+// the thread that created the queue; there is no actual sharing.
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        ReadyQueue {
+            owner: std::thread::current().id(),
+            queue: UnsafeCell::new(VecDeque::new()),
+        }
+    }
+
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut VecDeque<usize>) -> R) -> R {
+        assert!(
+            std::thread::current().id() == self.owner,
+            "sim: waker used off the runtime thread"
+        );
+        // SAFETY: single-threaded by the owner check above, and no caller
+        // re-enters `with` from inside the closure.
+        unsafe { f(&mut *self.queue.get()) }
+    }
+
+    fn push(&self, id: usize) {
+        self.with(|q| q.push_back(id));
+    }
+
+    fn pop(&self) -> Option<usize> {
+        self.with(|q| q.pop_front())
     }
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Pooled task allocations are rounded up to a power-of-two size class:
+/// 16, 32, ... 64 KiB. Larger or over-aligned futures fall back to exact
+/// one-shot allocations.
+const TASK_ALIGN: usize = 16;
+const MIN_CLASS_SHIFT: u32 = 4; // 16 bytes
+const NUM_CLASSES: usize = 13; // up to 16 << 12 = 64 KiB
+const UNPOOLED: usize = usize::MAX;
+
+/// A spawned future placed in arena memory, with monomorphised poll/drop
+/// thunks — a manually laid-out `Box<dyn Future>` whose allocation can be
+/// recycled.
+struct RawTask {
+    ptr: NonNull<u8>,
+    poll_fn: unsafe fn(*mut u8, &mut Context<'_>) -> Poll<()>,
+    drop_fn: unsafe fn(*mut u8),
+    /// Size-class index, or [`UNPOOLED`] for exact-layout one-offs.
+    class: usize,
+    layout: Layout,
 }
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+
+impl RawTask {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<()> {
+        // SAFETY: `ptr` holds a live, pinned `F`; `poll_fn` is the matching
+        // monomorphisation. The future never moves until `drop_fn`.
+        unsafe { (self.poll_fn)(self.ptr.as_ptr(), cx) }
     }
 }
 
-type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+unsafe fn poll_raw<F: Future<Output = ()>>(ptr: *mut u8, cx: &mut Context<'_>) -> Poll<()> {
+    // SAFETY: caller guarantees `ptr` points at a live `F` that is never
+    // moved (arena placement is stable until drop).
+    unsafe { Pin::new_unchecked(&mut *ptr.cast::<F>()).poll(cx) }
+}
+
+unsafe fn drop_raw<F>(ptr: *mut u8) {
+    // SAFETY: caller guarantees `ptr` points at a live `F`, dropped once.
+    unsafe { std::ptr::drop_in_place(ptr.cast::<F>()) }
+}
+
+/// Free lists of recycled task allocations, one per size class.
+struct TaskArena {
+    free: [Vec<NonNull<u8>>; NUM_CLASSES],
+}
+
+impl TaskArena {
+    fn new() -> Self {
+        TaskArena {
+            free: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    fn place<F: Future<Output = ()> + 'static>(&mut self, future: F) -> RawTask {
+        let size = std::mem::size_of::<F>().max(1);
+        let (class, layout) = if std::mem::align_of::<F>() <= TASK_ALIGN
+            && size <= (1usize << MIN_CLASS_SHIFT) << (NUM_CLASSES - 1)
+        {
+            let class = (size.next_power_of_two().trailing_zeros().max(MIN_CLASS_SHIFT)
+                - MIN_CLASS_SHIFT) as usize;
+            let bytes = 1usize << (MIN_CLASS_SHIFT + class as u32);
+            (class, Layout::from_size_align(bytes, TASK_ALIGN).unwrap())
+        } else {
+            (UNPOOLED, Layout::new::<F>())
+        };
+        let ptr = match (class != UNPOOLED).then(|| self.free[class].pop()).flatten() {
+            Some(p) => p,
+            // SAFETY: layout has non-zero size (size >= 1, rounded up).
+            None => NonNull::new(unsafe { alloc(layout) }).expect("sim: task allocation failed"),
+        };
+        // SAFETY: `ptr` is valid for `layout` which covers `F`'s size/align.
+        unsafe { ptr.as_ptr().cast::<F>().write(future) };
+        RawTask {
+            ptr,
+            poll_fn: poll_raw::<F>,
+            drop_fn: drop_raw::<F>,
+            class,
+            layout,
+        }
+    }
+
+    /// Drops the task's future and recycles (or frees) its memory.
+    fn retire(&mut self, task: RawTask) {
+        // SAFETY: the future is live and this is its single drop.
+        unsafe { (task.drop_fn)(task.ptr.as_ptr()) };
+        if task.class == UNPOOLED {
+            // SAFETY: allocated with exactly this layout.
+            unsafe { dealloc(task.ptr.as_ptr(), task.layout) };
+        } else {
+            self.free[task.class].push(task.ptr);
+        }
+    }
+}
+
+impl Drop for TaskArena {
+    fn drop(&mut self) {
+        for (class, list) in self.free.iter_mut().enumerate() {
+            let layout =
+                Layout::from_size_align(1usize << (MIN_CLASS_SHIFT + class as u32), TASK_ALIGN)
+                    .unwrap();
+            for ptr in list.drain(..) {
+                // SAFETY: free-listed pointers were allocated with their
+                // class layout and hold no live future.
+                unsafe { dealloc(ptr.as_ptr(), layout) };
+            }
+        }
+    }
+}
 
 struct Slot {
-    future: Option<LocalFuture>,
+    task: Option<RawTask>,
+    /// Created once per slot; slot reuse keeps the same id, so the waker
+    /// stays valid and `clone()` is a refcount bump.
+    waker: Waker,
 }
 
 pub(crate) struct Inner {
@@ -53,7 +193,10 @@ pub(crate) struct Inner {
     free: RefCell<Vec<usize>>,
     live_tasks: Cell<usize>,
     ready: Arc<ReadyQueue>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timers: RefCell<Wheel<Waker>>,
+    /// Reusable buffer for due-timer batches.
+    firing: RefCell<Vec<(u64, u64, Waker)>>,
+    arena: RefCell<TaskArena>,
     timer_seq: Cell<u64>,
     current_task: Cell<usize>,
     polls: Cell<u64>,
@@ -67,8 +210,10 @@ impl Inner {
             tasks: RefCell::new(Vec::new()),
             free: RefCell::new(Vec::new()),
             live_tasks: Cell::new(0),
-            ready: Arc::new(Mutex::new(VecDeque::new())),
-            timers: RefCell::new(BinaryHeap::new()),
+            ready: Arc::new(ReadyQueue::new()),
+            timers: RefCell::new(Wheel::new()),
+            firing: RefCell::new(Vec::new()),
+            arena: RefCell::new(TaskArena::new()),
             timer_seq: Cell::new(0),
             current_task: Cell::new(usize::MAX),
             polls: Cell::new(0),
@@ -85,27 +230,24 @@ impl Inner {
     pub(crate) fn register_timer(&self, deadline: u64, waker: Waker) {
         let seq = self.timer_seq.get();
         self.timer_seq.set(seq + 1);
-        self.timers.borrow_mut().push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
+        self.timers.borrow_mut().insert(deadline, seq, waker);
     }
 
-    fn insert_task(&self, future: LocalFuture) -> usize {
+    fn insert_task<F: Future<Output = ()> + 'static>(&self, future: F) -> usize {
+        let task = self.arena.borrow_mut().place(future);
         let id = match self.free.borrow_mut().pop() {
             Some(id) => {
-                self.tasks.borrow_mut()[id] = Slot {
-                    future: Some(future),
-                };
+                self.tasks.borrow_mut()[id].task = Some(task);
                 id
             }
             None => {
                 let mut tasks = self.tasks.borrow_mut();
+                let id = tasks.len();
                 tasks.push(Slot {
-                    future: Some(future),
+                    task: Some(task),
+                    waker: make_waker(id, Arc::downgrade(&self.ready)),
                 });
-                tasks.len() - 1
+                id
             }
         };
         self.live_tasks.set(self.live_tasks.get() + 1);
@@ -113,57 +255,67 @@ impl Inner {
     }
 
     fn schedule(&self, id: usize) {
-        self.ready.lock().unwrap().push_back(id);
-    }
-
-    fn make_waker(&self, id: usize) -> Waker {
-        let entry = Arc::new(WakeEntry {
-            id,
-            queue: Arc::downgrade(&self.ready),
-        });
-        waker_from_entry(entry)
+        self.ready.push(id);
     }
 
     /// Polls one task; returns true if a task existed.
     fn poll_task(self: &Rc<Self>, id: usize) -> bool {
-        let mut future = {
+        let (task, waker) = {
             let mut tasks = self.tasks.borrow_mut();
-            match tasks.get_mut(id).and_then(|s| s.future.take()) {
-                Some(f) => f,
+            let Some(slot) = tasks.get_mut(id) else {
+                return false;
+            };
+            match slot.task.take() {
+                Some(t) => (t, slot.waker.clone()),
                 None => return false, // already completed; spurious wake
             }
         };
-        let waker = self.make_waker(id);
+        // If the poll panics, the guard still drops the future and recycles
+        // its arena memory during unwind.
+        struct Retire<'a> {
+            inner: &'a Inner,
+            task: Option<RawTask>,
+        }
+        impl Drop for Retire<'_> {
+            fn drop(&mut self) {
+                if let Some(t) = self.task.take() {
+                    self.inner.arena.borrow_mut().retire(t);
+                }
+            }
+        }
+        let mut guard = Retire {
+            inner: self,
+            task: Some(task),
+        };
         let mut cx = Context::from_waker(&waker);
         let prev = self.current_task.get();
         self.current_task.set(id);
         self.polls.set(self.polls.get() + 1);
-        let poll = future.as_mut().poll(&mut cx);
+        let poll = guard.task.as_mut().unwrap().poll(&mut cx);
         self.current_task.set(prev);
         match poll {
             Poll::Ready(()) => {
+                drop(guard); // retires the task
                 self.free.borrow_mut().push(id);
                 self.live_tasks.set(self.live_tasks.get() - 1);
             }
             Poll::Pending => {
-                self.tasks.borrow_mut()[id].future = Some(future);
+                self.tasks.borrow_mut()[id].task = guard.task.take();
             }
         }
         true
     }
 
-    /// Fires every timer whose deadline is `<= now`.
+    /// Fires every timer whose deadline is `<= now`, in `(deadline, seq)`
+    /// order.
     fn fire_due_timers(&self) {
-        loop {
-            let due = {
-                let timers = self.timers.borrow();
-                matches!(timers.peek(), Some(Reverse(e)) if e.deadline <= self.now.get())
-            };
-            if !due {
-                break;
-            }
-            let entry = self.timers.borrow_mut().pop().unwrap().0;
-            entry.waker.wake();
+        let mut firing = self.firing.borrow_mut();
+        debug_assert!(firing.is_empty());
+        self.timers.borrow_mut().pop_due(self.now.get(), &mut firing);
+        for (_, _, waker) in firing.drain(..) {
+            // Wakes only push task ids onto the ready queue; they cannot
+            // touch the wheel, so no re-entrancy.
+            waker.wake();
         }
     }
 }
@@ -173,7 +325,8 @@ struct WakeEntry {
     queue: Weak<ReadyQueue>,
 }
 
-fn waker_from_entry(entry: Arc<WakeEntry>) -> Waker {
+fn make_waker(id: usize, queue: Weak<ReadyQueue>) -> Waker {
+    let entry = Arc::new(WakeEntry { id, queue });
     unsafe fn clone(data: *const ()) -> RawWaker {
         let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
         let cloned = Arc::clone(&arc);
@@ -183,13 +336,13 @@ fn waker_from_entry(entry: Arc<WakeEntry>) -> Waker {
     unsafe fn wake(data: *const ()) {
         let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
         if let Some(queue) = arc.queue.upgrade() {
-            queue.lock().unwrap().push_back(arc.id);
+            queue.push(arc.id);
         }
     }
     unsafe fn wake_by_ref(data: *const ()) {
         let arc = unsafe { Arc::from_raw(data as *const WakeEntry) };
         if let Some(queue) = arc.queue.upgrade() {
-            queue.lock().unwrap().push_back(arc.id);
+            queue.push(arc.id);
         }
         std::mem::forget(arc);
     }
@@ -291,14 +444,26 @@ where
 {
     with_current(|inner| {
         let (tx, rx) = crate::sync::oneshot::channel();
-        let wrapped = Box::pin(async move {
+        let id = inner.insert_task(async move {
             let out = future.await;
             let _ = tx.send(out);
         });
-        let id = inner.insert_task(wrapped);
         inner.schedule(id);
         JoinHandle { result: rx, id }
     })
+}
+
+/// Spawns a task with no [`JoinHandle`]: no completion channel is allocated.
+/// The hot-path choice for fire-and-forget tasks (NIC work requests, queue
+/// handoffs) whose handle would be dropped anyway.
+pub(crate) fn spawn_detached<F>(future: F)
+where
+    F: Future<Output = ()> + 'static,
+{
+    with_current(|inner| {
+        let id = inner.insert_task(future);
+        inner.schedule(id);
+    });
 }
 
 pub(crate) fn current_task_id() -> u64 {
@@ -359,35 +524,27 @@ impl Runtime {
         let _guard = EnterGuard::new(Rc::clone(&self.inner));
         let result: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
         let result2 = Rc::clone(&result);
-        let root = Box::pin(async move {
+        let root_id = self.inner.insert_task(async move {
             let out = future.await;
             *result2.borrow_mut() = Some(out);
         });
-        let root_id = self.inner.insert_task(root);
         self.inner.schedule(root_id);
 
         loop {
             // Drain the ready queue.
-            loop {
-                let next = self.inner.ready.lock().unwrap().pop_front();
-                match next {
-                    Some(id) => {
-                        self.inner.poll_task(id);
-                        if result.borrow().is_some() {
-                            // Root future finished; remaining tasks are
-                            // detached and dropped with the runtime state.
-                            return result.borrow_mut().take().unwrap();
-                        }
-                    }
-                    None => break,
+            while let Some(id) = self.inner.ready.pop() {
+                self.inner.poll_task(id);
+                if result.borrow().is_some() {
+                    // Root future finished; remaining tasks are detached and
+                    // dropped with the runtime state.
+                    return result.borrow_mut().take().unwrap();
                 }
             }
 
-            // Nothing runnable: advance the clock to the next timer.
-            let next_deadline = {
-                let timers = self.inner.timers.borrow();
-                timers.peek().map(|Reverse(e)| e.deadline)
-            };
+            // Nothing runnable: advance the clock to the next timer. (Bind
+            // first: a `borrow_mut` in the scrutinee would live across the
+            // arms and collide with `fire_due_timers`.)
+            let next_deadline = self.inner.timers.borrow_mut().next_deadline();
             match next_deadline {
                 Some(deadline) => {
                     debug_assert!(deadline >= self.inner.now.get());
@@ -412,8 +569,11 @@ impl Drop for Runtime {
         // Drop remaining task futures before the runtime's shared state so
         // destructors that touch channels still find a consistent world.
         let mut tasks = self.inner.tasks.borrow_mut();
+        let mut arena = self.inner.arena.borrow_mut();
         for slot in tasks.iter_mut() {
-            slot.future = None;
+            if let Some(task) = slot.task.take() {
+                arena.retire(task);
+            }
         }
     }
 }
@@ -511,6 +671,68 @@ mod tests {
             flag.get()
         });
         assert!(v);
+    }
+
+    #[test]
+    fn spawn_detached_runs_to_completion() {
+        let rt = Runtime::new();
+        let v = rt.block_on(async {
+            let hits = Rc::new(Cell::new(0u32));
+            for i in 0..100u64 {
+                let hits = Rc::clone(&hits);
+                crate::spawn_detached(async move {
+                    sleep(Duration::from_nanos(i % 7)).await;
+                    hits.set(hits.get() + 1);
+                });
+            }
+            sleep(Duration::from_micros(1)).await;
+            hits.get()
+        });
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn arena_recycles_across_many_generations() {
+        // Churn far more tasks than are ever live at once: the arena (and
+        // slot slab) must stay bounded and behaviourally invisible.
+        let rt = Runtime::new();
+        let total = rt.block_on(async {
+            let sum = Rc::new(Cell::new(0u64));
+            for round in 0..200u64 {
+                let mut handles = Vec::new();
+                for i in 0..8u64 {
+                    let sum = Rc::clone(&sum);
+                    handles.push(crate::spawn(async move {
+                        sleep(Duration::from_nanos(round + i)).await;
+                        sum.set(sum.get() + 1);
+                    }));
+                }
+                for h in handles {
+                    h.await.unwrap();
+                }
+            }
+            sum.get()
+        });
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn scattered_deadlines_fire_in_deadline_order() {
+        let rt = Runtime::new();
+        let order = rt.block_on(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            // Deliberately spans several wheel levels.
+            for &us in &[500u64, 3, 70_000, 1, 900, 12, 4_096, 64] {
+                let log = Rc::clone(&log);
+                crate::spawn_detached(async move {
+                    sleep(Duration::from_micros(us)).await;
+                    log.borrow_mut().push(us);
+                });
+            }
+            sleep(Duration::from_millis(100)).await;
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![1, 3, 12, 64, 500, 900, 4_096, 70_000]);
     }
 
     #[test]

@@ -31,17 +31,23 @@
 //! * Tasks are `!Send` futures stored in a slab; wakers push task ids onto a
 //!   shared ready queue. Spurious wakeups are allowed, so wakers carry no
 //!   dedup state.
-//! * The timer queue is a binary heap of `(deadline, seq, waker)`. A dropped
-//!   sleep leaves a stale entry behind; waking a finished task is a no-op.
-//! * If the ready queue and timer heap are both empty while the `block_on`
+//! * The timer queue is a hierarchical timer wheel keyed by
+//!   `(deadline, seq)` — same-deadline timers fire in registration order. A
+//!   dropped sleep leaves a stale entry behind; waking a finished task is a
+//!   no-op.
+//! * If the ready queue and timer wheel are both empty while the `block_on`
 //!   future is still pending, the runtime panics: in a closed simulation this
 //!   is always a deadlock bug, and failing loudly beats hanging a test.
+//! * The hot path is allocation-free at steady state: task memory is
+//!   recycled through a size-class arena, per-slot wakers are cached, and
+//!   wheel/ready-queue capacity is retained across events.
 
 mod executor;
 pub mod future;
 pub mod rng;
 pub mod sync;
 pub mod time;
+mod wheel;
 
 pub use executor::{JoinError, JoinHandle, Runtime, SpawnError};
 pub use time::{now, try_now, SimTime};
@@ -58,6 +64,19 @@ where
     F::Output: 'static,
 {
     executor::spawn(future)
+}
+
+/// Spawns a fire-and-forget task without allocating a [`JoinHandle`]
+/// completion channel. Prefer this on hot paths where the handle from
+/// [`spawn`] would be dropped anyway.
+///
+/// # Panics
+/// Panics if called outside of [`Runtime::block_on`].
+pub fn spawn_detached<F>(future: F)
+where
+    F: Future<Output = ()> + 'static,
+{
+    executor::spawn_detached(future)
 }
 
 /// Returns a best-effort identifier of the currently running task, useful in

@@ -48,10 +48,17 @@ impl Notify {
     pub fn notify_waiters(&self) {
         let mut s = self.state.borrow_mut();
         s.epoch += 1;
-        let waiters: Vec<_> = s.waiters.drain(..).collect();
+        // Take the deque out of the borrow so wakes can't re-enter the
+        // RefCell, then hand it back afterwards: its capacity is retained,
+        // so steady-state broadcasts never allocate.
+        let mut waiters = std::mem::take(&mut s.waiters);
         drop(s);
-        for (_, w) in waiters {
+        for (_, w) in waiters.drain(..) {
             w.wake();
+        }
+        let mut s = self.state.borrow_mut();
+        if s.waiters.is_empty() {
+            s.waiters = waiters;
         }
     }
 

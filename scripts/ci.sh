@@ -18,3 +18,10 @@ cargo test -q --offline --test chaos
 
 # Smoke-run the quickstart example end to end.
 cargo run -q --release --offline --example quickstart
+
+# Perf smoke: wall-clock harness over the fig10/11 produce workload with a
+# counting global allocator. Writes BENCH_PR4.json (+ results/PERF_PR4.md)
+# and exits non-zero if the steady-state exclusive-RDMA produce path exceeds
+# its allocation budget (allocs/record <= 2) or a warm 1 MiB TCP send stops
+# being O(1) allocations. Wall-clock throughput is reported, not gated.
+cargo run -q --release --offline -p kdbench --bin kdperf -- --smoke

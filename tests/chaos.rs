@@ -15,160 +15,16 @@
 //! write is fenced after a failover: the revoked rkey faults at the NIC
 //! and the bytes never become consumer-visible.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+mod common;
+
 use std::time::Duration;
 
+use common::{run_seed, seeds_under_test, Outcome, SEEDS};
 use kafkadirect::{SimCluster, SystemKind};
 use kdclient::{Admin, RdmaConsumer, RdmaProducer};
 use kdstorage::Record;
 use kdwire::messages::{ProduceMode, Request, Response};
 use rnic::{QpOptions, RNic, SendWr, ShmBuf, WorkRequest};
-
-const SEEDS: [u64; 8] = [3, 7, 11, 19, 42, 101, 555, 9001];
-const ATTEMPTS: u64 = 80;
-const HORIZON_NS: u64 = 30_000_000; // 30 ms of virtual time for fault triggers
-
-/// `KD_FAULT_SEED=<u64>` narrows a run to one chosen fault plan (see
-/// EXPERIMENTS.md, "Chaos soak" recipe); otherwise the fixed seed set runs.
-fn seeds_under_test(default: &[u64]) -> Vec<u64> {
-    match std::env::var("KD_FAULT_SEED") {
-        Ok(s) => vec![s.parse().expect("KD_FAULT_SEED must be a u64")],
-        Err(_) => default.to_vec(),
-    }
-}
-
-fn payload(attempt: u64) -> Vec<u8> {
-    let mut v = attempt.to_le_bytes().to_vec();
-    v.extend(std::iter::repeat_n((attempt % 251) as u8, 24));
-    v
-}
-
-fn attempt_of(value: &[u8]) -> u64 {
-    u64::from_le_bytes(value[..8].try_into().unwrap())
-}
-
-/// Everything a run produces that the invariants (and the determinism
-/// replay) compare.
-#[derive(PartialEq)]
-struct Outcome {
-    acked: Vec<u64>,
-    consumed: Vec<u64>,
-    injected: u64,
-    end_ns: u64,
-    events: Vec<kdtelem::TraceEvent>,
-    violations: Vec<String>,
-}
-
-fn run_seed(seed: u64) -> Outcome {
-    // Trace ids come from a thread-local allocator; reset it so replays of
-    // the same seed produce bit-identical event logs.
-    kdtelem::reset_trace_ids();
-    let rt = sim::Runtime::with_seed(seed);
-    rt.block_on(async move {
-        // Fresh telemetry + injector per run so drained traces and fault
-        // counters are exactly this run's.
-        let registry = kdtelem::Registry::new();
-        let _t = kdtelem::enter(&registry);
-        let injector = kdfault::Injector::new();
-        let _i = kdfault::enter(&injector);
-
-        let cluster = SimCluster::start(SystemKind::KafkaDirect, 3);
-        cluster.create_topic("chaos", 1, 2).await;
-
-        let mut cfg = kdfault::PlanConfig::new(3, HORIZON_NS);
-        cfg.failover_topic = Some("chaos".to_string());
-        cfg.max_faults = 10;
-        let plan = kdfault::FaultPlan::random(seed, &cfg);
-        assert!(!plan.faults.is_empty(), "{}", plan.describe());
-
-        // Producer task: one uniquely-tagged record per attempt. A timed-out
-        // or failed attempt is simply not retried (its tag may still land in
-        // the log as an unacked extra — at-least-once); an acked attempt is
-        // never re-sent, so acked tags are unique by construction.
-        let acked: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-        let done = Rc::new(Cell::new(false));
-        let pnode = cluster.add_client_node("chaos-producer");
-        let bootstrap = cluster.bootstrap();
-        {
-            let acked = Rc::clone(&acked);
-            let done = Rc::clone(&done);
-            sim::spawn(async move {
-                let mut producer = loop {
-                    match RdmaProducer::connect(&pnode, bootstrap, "chaos", 0, false).await {
-                        Ok(p) => break p,
-                        Err(_) => sim::time::sleep(Duration::from_millis(1)).await,
-                    }
-                };
-                for attempt in 0..ATTEMPTS {
-                    let rec = Record::value(payload(attempt));
-                    match sim::time::timeout(Duration::from_millis(40), producer.send(&rec)).await
-                    {
-                        Ok(Ok(_off)) => acked.borrow_mut().push(attempt),
-                        _ => {
-                            // Broker down or leadership moved: redial (bounded
-                            // backoff) and move on to the next attempt.
-                            let _ = producer.reconnect().await;
-                        }
-                    }
-                    sim::time::sleep(Duration::from_micros(50)).await;
-                }
-                done.set(true);
-            });
-        }
-
-        // Play the fault plan to completion, then wait the workload out.
-        kafkadirect::chaos::run_plan(&cluster, &plan).await;
-        while !done.get() {
-            sim::time::sleep(Duration::from_millis(1)).await;
-        }
-
-        // Let replication settle: poll the (possibly moved) leader until the
-        // high watermark stops advancing.
-        let cnode = cluster.add_client_node("chaos-observer");
-        let leader = cluster.leader_of("chaos", 0).await;
-        let admin = Admin::connect(&cnode, leader).await.expect("admin");
-        let mut hw = 0u64;
-        let mut stable = 0;
-        for _ in 0..2000 {
-            let (_, h) = admin.list_offsets("chaos", 0).await.expect("offsets");
-            if h == hw {
-                stable += 1;
-                if stable >= 20 {
-                    break;
-                }
-            } else {
-                stable = 0;
-                hw = h;
-            }
-            sim::time::sleep(Duration::from_micros(500)).await;
-        }
-
-        // Drain the full committed stream from the final leader.
-        let mut consumer = RdmaConsumer::connect(&cnode, leader, "chaos", 0, 0)
-            .await
-            .expect("consumer");
-        let mut consumed = Vec::new();
-        while (consumed.len() as u64) < hw {
-            for rv in consumer.next_records().await.expect("fetch") {
-                consumed.push(attempt_of(&rv.record.value));
-            }
-        }
-
-        let end_ns = sim::now().as_nanos();
-        let events = registry.drain_trace_events();
-        let violations = kdtelem::check::check(&events).violations;
-        let acked = acked.borrow().clone();
-        Outcome {
-            acked,
-            consumed,
-            injected: injector.injected_total(),
-            end_ns,
-            events,
-            violations,
-        }
-    })
-}
 
 /// Acked records form an exactly-once, in-order subsequence of the
 /// consumed stream.

@@ -1,0 +1,67 @@
+//! Scheduler-order determinism across the timer-wheel swap.
+//!
+//! `tests/golden/chaos_trace_digests.txt` holds one digest per chaos seed,
+//! recorded from the pre-wheel executor (BinaryHeap timer queue). The digest
+//! folds the full ordered trace-id stream — (trace_id, span_id, ts_ns) per
+//! event — plus the final virtual time and the ack/consume sequences, so any
+//! reordering the wheel introduces (even among same-timestamp events) fails
+//! the comparison.
+//!
+//! Re-record with `KD_RECORD_GOLDEN=1 cargo test --test wheel_determinism`
+//! — only legitimate when a change *intentionally* alters virtual-time
+//! behaviour (new sleeps, different task topology), never to paper over an
+//! unexplained divergence.
+
+mod common;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    // The owning package is crates/core; the golden lives beside the tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/chaos_trace_digests.txt")
+}
+
+#[test]
+fn chaos_trace_digests_match_prewheel_golden() {
+    let path = golden_path();
+    if std::env::var("KD_RECORD_GOLDEN").is_ok() {
+        let mut out = String::new();
+        for &seed in &common::SEEDS {
+            let o = common::run_seed(seed);
+            writeln!(
+                out,
+                "seed={} events={} end_ns={} digest={:016x}",
+                seed,
+                o.events.len(),
+                o.end_ns,
+                o.digest()
+            )
+            .unwrap();
+        }
+        std::fs::write(&path, out).expect("write golden");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path)
+        .expect("tests/golden/chaos_trace_digests.txt missing; record with KD_RECORD_GOLDEN=1");
+    for (line, &seed) in golden.lines().zip(&common::SEEDS) {
+        let o = common::run_seed(seed);
+        let got = format!(
+            "seed={} events={} end_ns={} digest={:016x}",
+            seed,
+            o.events.len(),
+            o.end_ns,
+            o.digest()
+        );
+        assert_eq!(
+            got, line,
+            "seed {seed}: trace replay diverged from pre-wheel golden"
+        );
+    }
+    assert_eq!(
+        golden.lines().count(),
+        common::SEEDS.len(),
+        "golden file seed count mismatch"
+    );
+}
