@@ -12,15 +12,27 @@
 //! (Kafka). A third section verifies that a 1 MiB netsim TCP send performs
 //! O(1) allocations once the packet pool is warm.
 //!
-//! Output: a JSON report (default `BENCH_PR4.json`) plus a human-readable
-//! summary (default `results/PERF_PR4.md`). Exit status is non-zero if the
-//! steady-state allocation budget is exceeded:
+//! Output: a JSON report (default `BENCH_PR5.json`) plus a human-readable
+//! summary (default `results/PERF_PR5.md`). Exit status is non-zero if a
+//! steady-state budget is exceeded:
 //!
 //! * exclusive RDMA produce must stay at **<= 2 allocs/record**;
+//! * exclusive RDMA produce must stay at **<= 12 executor polls/record**
+//!   (the CQ-batching dividend — the PR 4 loop needed ~21);
 //! * the warm 1 MiB TCP send must stay under one alloc per MSS packet.
+//!
+//! The report also carries the broker-side `cqe_batch` histogram (CQEs
+//! taken per `ibv_poll_cq`-style drain), the direct measure of how much
+//! completion batching the workload achieved.
 //!
 //! Usage: `kdperf [--smoke] [--records N] [--warmup N] [--window W]
 //! [--size BYTES] [--out PATH] [--summary PATH]`
+//!
+//! `KDPERF_ATTRIB=<class>[:<nth>]` attributes allocations by power-of-two
+//! size class: every allocation in size class `<class>` (i.e. sizes in
+//! `[2^class, 2^(class+1))`) is counted, and the `<nth>` such allocation
+//! (default 300) of the exclusive-RDMA measured region dumps a backtrace.
+//! See EXPERIMENTS.md.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -43,7 +55,12 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Per-power-of-two size-class counts, for `KDPERF_SIZES=1` diagnostics.
 static SIZE_CLASSES: [AtomicU64; 24] = [const { AtomicU64::new(0) }; 24];
 
-static TRAP: AtomicU64 = AtomicU64::new(0);
+/// `KDPERF_ATTRIB` state: the armed size class (`u64::MAX` = off), the
+/// ordinal that triggers a backtrace, and the running count of matching
+/// allocations inside the armed region.
+static ATTRIB_CLASS: AtomicU64 = AtomicU64::new(u64::MAX);
+static ATTRIB_NTH: AtomicU64 = AtomicU64::new(300);
+static ATTRIB_SEEN: AtomicU64 = AtomicU64::new(0);
 thread_local! { static IN_TRAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) }; }
 
 fn count(size: usize) {
@@ -51,18 +68,35 @@ fn count(size: usize) {
     ALLOC_BYTES.fetch_add(size as u64, Relaxed);
     let class = (usize::BITS - size.max(1).leading_zeros() - 1).min(23) as usize;
     SIZE_CLASSES[class].fetch_add(1, Relaxed);
-    if class == 7 && TRAP.load(Relaxed) > 0 {
-        let n = TRAP.fetch_add(1, Relaxed);
-        if n == 300 {
+    if class as u64 == ATTRIB_CLASS.load(Relaxed) {
+        let n = ATTRIB_SEEN.fetch_add(1, Relaxed) + 1;
+        if n == ATTRIB_NTH.load(Relaxed) {
             IN_TRAP.with(|f| {
+                // Capturing a backtrace allocates; the guard stops the
+                // recursive allocations from re-triggering the trap.
                 if !f.get() {
                     f.set(true);
-                    eprintln!("TRAP#{n} class7 alloc of {size}B:\n{}", std::backtrace::Backtrace::force_capture());
+                    eprintln!(
+                        "KDPERF_ATTRIB: allocation #{n} of size class {class} ({size}B):\n{}",
+                        std::backtrace::Backtrace::force_capture()
+                    );
                     f.set(false);
                 }
             });
         }
     }
+}
+
+/// Parses `KDPERF_ATTRIB=<class>[:<nth>]` (off when unset/invalid). Returns
+/// the armed class, if any.
+fn attrib_config() -> Option<u64> {
+    let raw = std::env::var("KDPERF_ATTRIB").ok()?;
+    let (class, nth) = match raw.split_once(':') {
+        Some((c, n)) => (c.parse().ok()?, n.parse().ok()?),
+        None => (raw.parse().ok()?, 300),
+    };
+    ATTRIB_NTH.store(nth, Relaxed);
+    Some(class)
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -113,8 +147,8 @@ impl Config {
             warmup: 500,
             window: 32,
             record_size: 512,
-            out: "BENCH_PR4.json".to_string(),
-            summary: "results/PERF_PR4.md".to_string(),
+            out: "BENCH_PR5.json".to_string(),
+            summary: "results/PERF_PR5.md".to_string(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -152,6 +186,9 @@ struct PathResult {
     polls: u64,
     allocs: u64,
     alloc_bytes: u64,
+    /// Broker-side CQEs-per-drain distribution ("kdbroker"/"cqe_batch"),
+    /// over the whole run (warmup included). Absent on the TCP path.
+    cqe_batch: Option<kdtelem::HistStats>,
 }
 
 impl PathResult {
@@ -170,6 +207,12 @@ impl PathResult {
     fn allocs_per_record(&self) -> f64 {
         self.allocs as f64 / self.records as f64
     }
+
+    /// Executor polls charged per measured record — the scheduling-work
+    /// analogue of allocs/record, and the number CQ batching drives down.
+    fn polls_per_record(&self) -> f64 {
+        self.polls as f64 / self.records as f64
+    }
 }
 
 /// Runs the Fig 10/11 produce loop on one datapath: boots a cluster, warms
@@ -185,6 +228,9 @@ fn run_produce(
     let mut opts = ProduceOpts::new(system, mode, cfg.record_size);
     opts.records = cfg.records;
     opts.window = cfg.window;
+    // Private registry: the brokers' `cqe_batch` histogram lands here.
+    let registry = kdtelem::Registry::new();
+    let _telem = kdtelem::enter(&registry);
     let rt = sim::Runtime::new();
 
     let warmup = cfg.warmup;
@@ -206,7 +252,12 @@ fn run_produce(
         c.store(0, Relaxed);
     }
     let polls0 = rt.poll_count();
-    if std::env::var_os("KDPERF_TRAP").is_some() && label == "rdma_exclusive" { TRAP.store(1, Relaxed); }
+    if label == "rdma_exclusive" {
+        if let Some(class) = attrib_config() {
+            ATTRIB_SEEN.store(0, Relaxed);
+            ATTRIB_CLASS.store(class, Relaxed);
+        }
+    }
     let v0 = rt.now();
     let t0 = Instant::now();
     let records = cfg.records;
@@ -216,7 +267,7 @@ fn run_produce(
         (cluster, producer)
     });
     let wall_ns = t0.elapsed().as_nanos() as u64;
-    TRAP.store(0, Relaxed);
+    ATTRIB_CLASS.store(u64::MAX, Relaxed);
     let (allocs1, bytes1) = alloc_snapshot();
     if std::env::var_os("KDPERF_SIZES").is_some_and(|v| v == "1") {
         for (class, n) in SIZE_CLASSES.iter().enumerate() {
@@ -236,6 +287,13 @@ fn run_produce(
         drop(cluster);
     });
 
+    let cqe_batch = registry
+        .snapshot()
+        .histograms
+        .iter()
+        .find(|h| h.component == "kdbroker" && h.name == "cqe_batch")
+        .map(|h| h.stats);
+
     PathResult {
         label,
         records,
@@ -244,6 +302,7 @@ fn run_produce(
         polls,
         allocs: allocs1 - allocs0,
         alloc_bytes: bytes1 - bytes0,
+        cqe_batch,
     }
 }
 
@@ -308,8 +367,29 @@ fn run_tcp_1mib() -> TcpSendCheck {
 // ---------------------------------------------------------------------------
 
 const RDMA_ALLOC_BUDGET: f64 = 2.0;
+/// Executor polls per exclusive-RDMA record at steady state. The PR 4
+/// one-completion-per-wakeup loop needed ~20.8; batched CQ draining and
+/// chained posting must keep at least a 2x margin on it.
+const RDMA_POLLS_BUDGET: f64 = 12.0;
 
 fn json_path(r: &PathResult) -> String {
+    let cqe_batch = match &r.cqe_batch {
+        Some(h) => format!(
+            concat!(
+                "{{\n",
+                "        \"drains\": {},\n",
+                "        \"cqes\": {},\n",
+                "        \"mean\": {:.2},\n",
+                "        \"p50\": {},\n",
+                "        \"p90\": {},\n",
+                "        \"p99\": {},\n",
+                "        \"max\": {}\n",
+                "      }}"
+            ),
+            h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max,
+        ),
+        None => "null".to_string(),
+    };
     format!(
         concat!(
             "{{\n",
@@ -319,10 +399,12 @@ fn json_path(r: &PathResult) -> String {
             "      \"ns_per_record\": {:.1},\n",
             "      \"records_per_sec\": {:.0},\n",
             "      \"executor_polls\": {},\n",
+            "      \"polls_per_record\": {:.2},\n",
             "      \"events_per_sec\": {:.0},\n",
             "      \"allocs\": {},\n",
             "      \"allocs_per_record\": {:.3},\n",
-            "      \"alloc_bytes\": {}\n",
+            "      \"alloc_bytes\": {},\n",
+            "      \"cqe_batch_histogram\": {}\n",
             "    }}"
         ),
         r.records,
@@ -331,10 +413,12 @@ fn json_path(r: &PathResult) -> String {
         r.ns_per_record(),
         r.records_per_sec(),
         r.polls,
+        r.polls_per_record(),
         r.events_per_sec(),
         r.allocs,
         r.allocs_per_record(),
         r.alloc_bytes,
+        cqe_batch,
     )
 }
 
@@ -367,6 +451,7 @@ fn write_json(
             "  }},\n",
             "  \"budget\": {{\n",
             "    \"rdma_exclusive_allocs_per_record_max\": {:.1},\n",
+            "    \"rdma_exclusive_polls_per_record_max\": {:.1},\n",
             "    \"tcp_1mib_send_allocs_max\": {},\n",
             "    \"pass\": {}\n",
             "  }}\n",
@@ -382,6 +467,7 @@ fn write_json(
         tcp_1mib.packets,
         tcp_1mib.allocs,
         RDMA_ALLOC_BUDGET,
+        RDMA_POLLS_BUDGET,
         tcp_1mib.packets,
         pass,
     );
@@ -390,12 +476,12 @@ fn write_json(
 
 fn summary_row(r: &PathResult) -> String {
     format!(
-        "| {} | {} | {:.0} | {:.0} | {:.0} | {:.3} |\n",
+        "| {} | {} | {:.0} | {:.0} | {:.2} | {:.3} |\n",
         r.label,
         r.records,
         r.records_per_sec(),
         r.ns_per_record(),
-        r.events_per_sec(),
+        r.polls_per_record(),
         r.allocs_per_record(),
     )
 }
@@ -414,18 +500,36 @@ fn write_summary(
          {} warmup + {} measured records per datapath.\n\n",
         cfg.record_size, cfg.window, cfg.warmup, cfg.records
     ));
-    md.push_str("| datapath | records | records/s (wall) | ns/record (wall) | events/s | allocs/record |\n");
+    md.push_str("| datapath | records | records/s (wall) | ns/record (wall) | polls/record | allocs/record |\n");
     md.push_str("|---|---|---|---|---|---|\n");
     md.push_str(&summary_row(rdma));
     md.push_str(&summary_row(tcp));
+    if let Some(h) = &rdma.cqe_batch {
+        md.push_str(&format!(
+            "\nBroker CQ drains (exclusive RDMA): {} drains for {} CQEs — \
+             mean batch {:.2}, p50 {}, p90 {}, p99 {}, max {}.\n",
+            h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max
+        ));
+    }
     md.push_str(&format!(
         "\n1 MiB TCP send (warm, {} MSS packets): **{} allocations** \
          (budget: < 1 per packet).\n",
         tcp_1mib.packets, tcp_1mib.allocs
     ));
     md.push_str(&format!(
-        "\nBudget: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record \
-         at steady state — **{}**.\n",
+        "\nBefore/after (exclusive RDMA, this host class): the pre-batching \
+         loop (PR 4) measured ~111.5k records/s at ~20.8 polls/record and \
+         ~1.0 allocs/record; with CQ batch draining + doorbell-batched \
+         posting this run measures {:.0} records/s at {:.2} polls/record \
+         and {:.3} allocs/record.\n",
+        rdma.records_per_sec(),
+        rdma.polls_per_record(),
+        rdma.allocs_per_record()
+    ));
+    md.push_str(&format!(
+        "\nBudgets: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record \
+         and <= {RDMA_POLLS_BUDGET} executor polls/record at steady state — \
+         **{}**.\n",
         if pass { "PASS" } else { "FAIL" }
     ));
     md.push_str(
@@ -443,11 +547,11 @@ fn write_summary(
 
 fn print_path(r: &PathResult) {
     println!(
-        "  {:<16} {:>9.0} rec/s  {:>8.0} ns/rec  {:>10.0} events/s  {:>7.3} allocs/rec  ({} allocs, {} bytes, {} polls, {} ms wall, {} ms virtual)",
+        "  {:<16} {:>9.0} rec/s  {:>8.0} ns/rec  {:>6.2} polls/rec  {:>7.3} allocs/rec  ({} allocs, {} bytes, {} polls, {} ms wall, {} ms virtual)",
         r.label,
         r.records_per_sec(),
         r.ns_per_record(),
-        r.events_per_sec(),
+        r.polls_per_record(),
         r.allocs_per_record(),
         r.allocs,
         r.alloc_bytes,
@@ -455,6 +559,12 @@ fn print_path(r: &PathResult) {
         r.wall_ns / 1_000_000,
         r.virtual_ns / 1_000_000,
     );
+    if let Some(h) = &r.cqe_batch {
+        println!(
+            "  {:<16} {} drains / {} cqes  mean {:.2}  p50 {}  p90 {}  p99 {}  max {}",
+            "cqe_batch", h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.max
+        );
+    }
 }
 
 fn main() {
@@ -480,8 +590,9 @@ fn main() {
     );
 
     let rdma_ok = rdma.allocs_per_record() <= RDMA_ALLOC_BUDGET;
+    let polls_ok = rdma.polls_per_record() <= RDMA_POLLS_BUDGET;
     let tcp_send_ok = tcp_1mib.allocs < tcp_1mib.packets;
-    let pass = rdma_ok && tcp_send_ok;
+    let pass = rdma_ok && polls_ok && tcp_send_ok;
 
     write_json(&cfg, &rdma, &tcp, &tcp_1mib, pass);
     write_summary(&cfg, &rdma, &tcp, &tcp_1mib, pass);
@@ -491,6 +602,12 @@ fn main() {
         eprintln!(
             "kdperf: FAIL — exclusive RDMA produce allocates {:.3}/record (budget {RDMA_ALLOC_BUDGET})",
             rdma.allocs_per_record()
+        );
+    }
+    if !polls_ok {
+        eprintln!(
+            "kdperf: FAIL — exclusive RDMA produce needs {:.2} executor polls/record (budget {RDMA_POLLS_BUDGET})",
+            rdma.polls_per_record()
         );
     }
     if !tcp_send_ok {

@@ -174,15 +174,39 @@ impl AnyProducer {
                 }
             }
             AnyProducer::Rdma(p) => {
+                // Freed window slots refill as one linked WR chain: when the
+                // awaited ack returns, every ack that landed behind it (acks
+                // are FIFO per QP) retires too, and the whole freed run is
+                // posted with a single doorbell.
+                let max_chain = window.min(count).max(1);
+                let chunk: Vec<Record> = vec![record.clone(); max_chain];
                 let mut inflight: VecDeque<sim::sync::oneshot::Receiver<(kdwire::ErrorCode, u64)>> =
                     VecDeque::new();
-                for _ in 0..count {
+                let mut rxs: Vec<sim::sync::oneshot::Receiver<(kdwire::ErrorCode, u64)>> =
+                    Vec::new();
+                let mut sent = 0usize;
+                while sent < count {
                     if inflight.len() >= window {
-                        let (err, _) = inflight.pop_front().unwrap().await.expect("ack");
-                        assert!(err.is_ok(), "produce failed: {err:?}");
+                        // Retire acks until half the window is free: slots
+                        // freed in a burst refill as one long chain instead
+                        // of dribbling out one doorbell per ack.
+                        while inflight.len() > window / 2 {
+                            let (err, _) = inflight.pop_front().unwrap().await.expect("ack");
+                            assert!(err.is_ok(), "produce failed: {err:?}");
+                        }
+                        while let Some(rx) = inflight.front_mut() {
+                            let Some(ack) = rx.try_recv() else { break };
+                            let (err, _) = ack.expect("ack");
+                            assert!(err.is_ok(), "produce failed: {err:?}");
+                            inflight.pop_front();
+                        }
                     }
-                    let rx = p.send_pipelined(record).await.expect("post");
-                    inflight.push_back(rx);
+                    let free = (window - inflight.len()).min(count - sent).max(1);
+                    p.send_pipelined_chain(&chunk[..free], &mut rxs)
+                        .await
+                        .expect("post");
+                    sent += free;
+                    inflight.extend(rxs.drain(..));
                 }
                 while let Some(rx) = inflight.pop_front() {
                     let (err, _) = rx.await.expect("ack");

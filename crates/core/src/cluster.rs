@@ -20,6 +20,11 @@ pub struct ClusterOptions {
     pub log: LogConfig,
     /// Overrides the per-system default broker config modifier.
     pub api_workers: Option<usize>,
+    /// Overrides the RDMA completion-poller thread count.
+    pub rdma_pollers: Option<usize>,
+    /// Overrides the CQ drain batch size (`1` reproduces the
+    /// one-completion-per-wakeup loop bit for bit).
+    pub cq_batch: Option<usize>,
 }
 
 impl Default for ClusterOptions {
@@ -33,6 +38,8 @@ impl Default for ClusterOptions {
                 max_batch_size: 1024 * 1024 + 4096,
             },
             api_workers: None,
+            rdma_pollers: None,
+            cq_batch: None,
         }
     }
 }
@@ -69,6 +76,12 @@ impl SimCluster {
         let mut config = system.broker_config().with_log(opts.log.clone());
         if let Some(w) = opts.api_workers {
             config = config.with_workers(w);
+        }
+        if let Some(p) = opts.rdma_pollers {
+            config = config.with_rdma_pollers(p);
+        }
+        if let Some(b) = opts.cq_batch {
+            config = config.with_cq_batch(b);
         }
         for i in 0..n {
             let node = fabric.add_node(&format!("broker{i}"));

@@ -20,7 +20,7 @@ use crate::data::Partition;
 use crate::rdma_consume::{self, SlotRef};
 use crate::rdma_net::send_ack;
 use crate::rdma_produce::Grant;
-use crate::requests::{AckRoute, WorkItem};
+use crate::requests::{AckRoute, CommitItem, WorkItem};
 
 /// Cost of trivial control-plane requests (metadata, offsets, grants).
 const CONTROL_COST: Duration = Duration::from_micros(3);
@@ -112,6 +112,12 @@ async fn dispatch(b: &Rc<BrokerInner>, item: WorkItem) {
             if let Some(s) = span {
                 s.end();
             }
+        }
+        WorkItem::RdmaCommitBatch { file_id, items } => {
+            let span = b.telem.registry.span("broker.rdma_commit_batch");
+            handle_rdma_commit_batch(b, file_id, items).await;
+            b.telem.rdma_commit_ns.record_since(start);
+            span.end();
         }
     }
 }
@@ -872,12 +878,17 @@ async fn handle_rdma_commit(
         return;
     }
     let ready = match grant.mode {
-        ProduceMode::Shared => grant.on_shared_arrival(order, byte_len, ack, ctx),
+        // Shared-mode fast path: an in-order completion with no parked
+        // successors commits inline exactly like an exclusive one — no
+        // `ready` vector, no reorder bookkeeping.
+        ProduceMode::Shared if !grant.shared_fast_path(order) => {
+            grant.on_shared_arrival(order, byte_len, ack, ctx)
+        }
         _ => {
-            // Exclusive/replication fast path: exactly one span per
-            // completion and no reorder buffer, so commit inline without
-            // building the intermediate vectors. Same sequence of awaits
-            // and side effects as the general path below.
+            // Exclusive/replication/in-order-shared fast path: exactly one
+            // span per completion and no reorder buffer, so commit inline
+            // without building the intermediate vectors. Same sequence of
+            // awaits and side effects as the general path below.
             let res = {
                 let _guard = p.write_lock.lock().await;
                 if grant.closed.get() {
@@ -947,6 +958,106 @@ async fn handle_rdma_commit(
     }
     if committed {
         after_local_commit(b, &p);
+    }
+}
+
+/// Commits a run of consecutive-sequence completions on one non-shared
+/// file in a single worker pass: the per-file chain is claimed once for the
+/// whole run, the write lock taken once, the verify CPU charged as one
+/// amortised sleep, and the resulting same-QP acks ride one doorbell
+/// through `send_ack_chained`. Per-commit semantics — span accounting,
+/// closed/out-of-space handling, revocation on corruption, replication
+/// deferral — match the per-item path; only the park/wake and doorbell
+/// bookkeeping is amortised. Shared-mode grants never reach here (the
+/// poller keeps them per-item for the Fig 5 reorder machinery).
+async fn handle_rdma_commit_batch(b: &Rc<BrokerInner>, file_id: u16, items: Vec<CommitItem>) {
+    let Some((tp, grant)) = b.produce_module.lookup(file_id) else {
+        for it in items {
+            ack_error(b, it.ack, ErrorCode::AccessDenied);
+        }
+        return;
+    };
+    let first_seq = items[0].seq;
+    let last_seq = items[items.len() - 1].seq;
+    // Claim the whole run on the completion-order chain (§4.2.2): the run's
+    // sequences are consecutive, so passing the first ticket owns them all.
+    grant.chain.wait_turn(first_seq).await;
+    let p = b.store.get(&tp).expect("grant partition exists");
+    if grant.closed.get() {
+        grant.chain.advance_to(last_seq + 1);
+        for it in items {
+            ack_error(b, it.ack, ErrorCode::OutOfSpace);
+        }
+        return;
+    }
+    // Each producer's lifeline gets its own commit span over the batch.
+    let spans: Vec<_> = items
+        .iter()
+        .map(|it| {
+            it.trace
+                .map(|ctx| b.telem.registry.trace_span("broker.rdma_commit", Some(ctx)))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(items.len());
+    {
+        let _guard = p.write_lock.lock().await;
+        let mut cost = Duration::ZERO;
+        for it in &items {
+            cost += b.profile.cpu.api_produce_base
+                + copy_time(u64::from(it.byte_len), b.profile.cpu.crc_bandwidth);
+        }
+        charge_worker(b, cost).await;
+        for it in &items {
+            results.push(if grant.closed.get() {
+                Err(ErrorCode::OutOfSpace)
+            } else {
+                commit_span(b, &p, &grant, it.byte_len)
+            });
+        }
+    }
+    grant.chain.advance_to(last_seq + 1);
+    let mut committed = false;
+    // Immediate success acks, coalesced into one doorbell per QP below.
+    let mut chained: Vec<(u32, u64)> = Vec::with_capacity(results.len());
+    let single_replica = p.replication_factor() <= 1;
+    for (it, res) in items.into_iter().zip(results) {
+        match res {
+            Ok(span) => {
+                committed = true;
+                b.metrics.add(&b.metrics.rdma_commits, 1);
+                b.metrics
+                    .add(&b.metrics.rdma_commit_bytes, u64::from(it.byte_len));
+                trace_commit(b, it.trace, &tp, span.base_offset, span.next_offset);
+                match grant.mode {
+                    ProduceMode::Replication => {
+                        // Follower side of push replication (§4.3.2): the
+                        // credit returns on the chained doorbell.
+                        p.follower_set_hw(p.log.next_offset());
+                        on_hw_advanced(b, &p);
+                        if let AckRoute::Qp(qpn) = it.ack {
+                            chained.push((qpn, span.next_offset));
+                        }
+                    }
+                    _ if single_replica => match it.ack {
+                        AckRoute::Qp(qpn) => chained.push((qpn, span.base_offset)),
+                        route => deliver_ack(b, route, ErrorCode::None, span.base_offset),
+                    },
+                    // Replicated leader: the ack waits off-worker for the
+                    // high watermark, exactly as per-item commits do.
+                    _ => finish_rdma_ack(b, &p, &grant, span, it.ack),
+                }
+            }
+            Err(code) => ack_error(b, it.ack, code),
+        }
+    }
+    if !chained.is_empty() {
+        crate::rdma_net::send_ack_chained(b, &mut chained);
+    }
+    if committed {
+        after_local_commit(b, &p);
+    }
+    for s in spans.into_iter().flatten() {
+        s.end();
     }
 }
 

@@ -83,6 +83,11 @@ pub struct BrokerConfig {
     pub shared_order_timeout: Duration,
     /// Receive-CQ capacity of the RDMA produce module.
     pub cq_capacity: usize,
+    /// Maximum completions one poller takes per CQ drain (`ibv_poll_cq`
+    /// batch size). `1` reproduces the pre-batching one-completion-per-
+    /// wakeup loop exactly (bit-identical schedules); larger values
+    /// amortise the wakeup and poll charges across the batch.
+    pub cq_batch: usize,
     /// Receives pre-posted per accepted produce QP.
     pub recv_depth: usize,
     /// Metadata slots per consumer (Fig 9 region size).
@@ -112,6 +117,7 @@ impl Default for BrokerConfig {
             replica_fetch_max_bytes: 1024 * 1024,
             shared_order_timeout: Duration::from_millis(2),
             cq_capacity: 8192,
+            cq_batch: 16,
             recv_depth: 256,
             slots_per_consumer: 64,
             osu_recv_buf: 1200 * 1024,
@@ -150,6 +156,18 @@ impl BrokerConfig {
 
     pub fn with_workers(mut self, api_workers: usize) -> Self {
         self.api_workers = api_workers;
+        self
+    }
+
+    pub fn with_cq_batch(mut self, cq_batch: usize) -> Self {
+        assert!(cq_batch >= 1);
+        self.cq_batch = cq_batch;
+        self
+    }
+
+    pub fn with_rdma_pollers(mut self, rdma_pollers: usize) -> Self {
+        assert!(rdma_pollers >= 1);
+        self.rdma_pollers = rdma_pollers;
         self
     }
 }

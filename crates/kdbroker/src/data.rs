@@ -41,6 +41,15 @@ impl Chain {
         self.done.set(ticket + 1);
         self.notify.notify_waiters();
     }
+
+    /// Advances past a whole run of consecutive tickets in one step (one
+    /// broadcast instead of one per ticket). The caller must own every
+    /// ticket in `done..next`, i.e. have passed `wait_turn` for the first.
+    pub fn advance_to(&self, next: u64) {
+        debug_assert!(next > self.done.get());
+        self.done.set(next);
+        self.notify.notify_waiters();
+    }
 }
 
 /// One topic partition hosted by this broker (leader or follower replica).

@@ -82,6 +82,21 @@ impl Grant {
         self.enqueue_next.set(next);
     }
 
+    /// Shared-mode in-order fast path: when this completion carries the
+    /// expected order and nothing is parked, claims the order (bumping
+    /// `expected_order`) and returns `true` — the caller commits inline,
+    /// exactly like an exclusive grant, with no `ready` vector. Mirrors
+    /// the [`stage_enqueue`](Self::stage_enqueue) fast path one level up.
+    pub fn shared_fast_path(&self, order: u16) -> bool {
+        let shared = self.shared.as_ref().expect("shared grant");
+        if order == shared.expected_order.get() && shared.pending.borrow().is_empty() {
+            shared.expected_order.set(order.wrapping_add(1));
+            true
+        } else {
+            false
+        }
+    }
+
     /// Outcome of an arriving completion in shared mode: which spans are
     /// now committable, in order.
     pub fn on_shared_arrival(

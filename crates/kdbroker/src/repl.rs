@@ -348,14 +348,13 @@ async fn establish(
         )
         .await
         .ok()?;
-    // Post receives for the follower's credit-return acks.
+    // Post receives for the follower's credit-return acks — one chained
+    // post (one doorbell), not 64.
     let ack_buf = ShmBuf::zeroed(16 * 64);
-    for i in 0..64 {
-        let _ = qp.post_recv(RecvWr {
-            wr_id: i,
-            buf: Some(ack_buf.slice(i as usize * 16, 16)),
-        });
-    }
+    let _ = qp.post_recv_list((0..64).map(|i| RecvWr {
+        wr_id: i,
+        buf: Some(ack_buf.slice(i as usize * 16, 16)),
+    }));
     b.repl_qps.borrow_mut().push(qp.clone());
     // The grant tells us the follower's recovered log end: treat it as an
     // ack so the high watermark can re-advance after a leader restart even
@@ -403,52 +402,80 @@ fn spawn_collector(
     let b2 = Rc::clone(b);
     let p2 = Rc::clone(p);
     let stream = kdtelem::stream_key(p.tp.topic.as_str(), p.tp.partition);
+    let max_batch = b.config.cq_batch.max(1);
     sim::spawn(async move {
-        while let Some(cqe) = send_cq.next().await {
-            if !cqe.ok() {
+        let mut batch: Vec<rnic::Cqe> = Vec::with_capacity(max_batch);
+        'collect: loop {
+            if crate::rdma_net::drain_or_wait(&send_cq, &mut batch, max_batch)
+                .await
+                .is_none()
+            {
                 break;
             }
-            if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
-                acked.set(cqe.wr_id);
-                if let Some(ctx) = cqe.trace {
-                    b2.telem.registry.trace_event_now(
-                        ctx,
-                        kdtelem::EventKind::ReplAck {
-                            stream,
-                            offset: cqe.wr_id,
-                        },
-                    );
+            for cqe in &batch {
+                if !cqe.ok() {
+                    break 'collect;
                 }
-                // Replication latency, push flavour: write posted → follower
-                // NIC ack (a cumulative ack covers all earlier writes).
-                let now = sim::now();
-                let mut q = inflight.borrow_mut();
-                while q.front().is_some_and(|(off, _)| *off <= cqe.wr_id) {
-                    let (_, posted) = q.pop_front().unwrap();
-                    b2.telem.replicate_ns.record_since(posted);
-                    b2.telem.registry.record_span(
-                        "broker.replicate.push",
-                        posted.as_nanos(),
-                        now.as_nanos(),
-                    );
+                if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
+                    acked.set(cqe.wr_id);
+                    if let Some(ctx) = cqe.trace {
+                        b2.telem.registry.trace_event_now(
+                            ctx,
+                            kdtelem::EventKind::ReplAck {
+                                stream,
+                                offset: cqe.wr_id,
+                            },
+                        );
+                    }
+                    // Replication latency, push flavour: write posted →
+                    // follower NIC ack (a cumulative ack covers all earlier
+                    // writes).
+                    let now = sim::now();
+                    let mut q = inflight.borrow_mut();
+                    while q.front().is_some_and(|(off, _)| *off <= cqe.wr_id) {
+                        let (_, posted) = q.pop_front().unwrap();
+                        b2.telem.replicate_ns.record_since(posted);
+                        b2.telem.registry.record_span(
+                            "broker.replicate.push",
+                            posted.as_nanos(),
+                            now.as_nanos(),
+                        );
+                    }
+                    drop(q);
+                    p2.follower_ack(follower_node, cqe.wr_id);
+                    crate::api::on_hw_advanced(&b2, &p2);
                 }
-                drop(q);
-                p2.follower_ack(follower_node, cqe.wr_id);
-                crate::api::on_hw_advanced(&b2, &p2);
             }
         }
     });
-    // Credit returns.
+    // Credit returns: a drained batch replenishes all its permits and
+    // reposts its recvs through one chained post.
     sim::spawn(async move {
-        while let Some(cqe) = recv_cq.next().await {
-            if !cqe.ok() {
+        let mut batch: Vec<rnic::Cqe> = Vec::with_capacity(max_batch);
+        'collect: loop {
+            if crate::rdma_net::drain_or_wait(&recv_cq, &mut batch, max_batch)
+                .await
+                .is_none()
+            {
                 break;
             }
-            credits.add_permits(1);
-            let _ = qp.post_recv(RecvWr {
-                wr_id: cqe.wr_id,
-                buf: Some(ack_buf.slice(cqe.wr_id as usize * 16, 16)),
-            });
+            let mut ok = 0;
+            for cqe in &batch {
+                if !cqe.ok() {
+                    break;
+                }
+                ok += 1;
+            }
+            if ok > 0 {
+                credits.add_permits(ok);
+                let _ = qp.post_recv_list(batch[..ok].iter().map(|cqe| RecvWr {
+                    wr_id: cqe.wr_id,
+                    buf: Some(ack_buf.slice(cqe.wr_id as usize * 16, 16)),
+                }));
+            }
+            if ok < batch.len() {
+                break 'collect;
+            }
         }
     });
 }

@@ -40,4 +40,23 @@ pub enum WorkItem {
         /// Producer's lifeline, carried in by the WriteImm's WR context.
         trace: Option<kdtelem::TraceCtx>,
     },
+    /// A run of consecutive-sequence commits on one (non-shared) file,
+    /// drained from the CQ in a single poll batch: the worker takes the
+    /// write lock once, charges the verify cost once, commits every span in
+    /// sequence order, and rides same-QP acks on one doorbell. Only built
+    /// when `cq_batch > 1`; a single-completion drain always ships the
+    /// plain [`RdmaCommit`](Self::RdmaCommit).
+    RdmaCommitBatch {
+        file_id: u16,
+        items: Vec<CommitItem>,
+    },
+}
+
+/// One commit of an [`WorkItem::RdmaCommitBatch`] run.
+pub struct CommitItem {
+    pub order: u16,
+    pub byte_len: u32,
+    pub seq: u64,
+    pub ack: AckRoute,
+    pub trace: Option<kdtelem::TraceCtx>,
 }

@@ -90,57 +90,75 @@ async fn serve_connection(
         }
     });
 
-    loop {
-        let Some(cqe) = recv_cq.next().await else {
-            break;
-        };
-        if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
-            break;
-        }
-        let buf = &bufs[cqe.wr_id as usize];
-        let frame = buf.read_at(0, cqe.byte_len as usize);
-        // The copy out of the network receive buffer, charged on the
-        // network thread.
-        b.net_pool
-            .thread(net_idx)
-            .run(
-                OSU_REQUEST_COST
-                    + copy_time(frame.len() as u64, b.profile.net.kernel_copy_bandwidth),
-            )
-            .await;
-        // Recycle the buffer.
-        let _ = qp.post_recv(RecvWr {
-            wr_id: cqe.wr_id,
-            buf: Some(buf.as_slice()),
-        });
-        if frame.len() < 8 {
+    // Request path: drain the CQ in batches (pooled, like the produce
+    // pollers) and recycle the consumed buffers with one chained
+    // `post_recv_list` per batch instead of one doorbell per message.
+    let max_batch = b.config.cq_batch.max(1);
+    let mut batch: Vec<rnic::Cqe> = Vec::with_capacity(max_batch);
+    let mut recycle: Vec<u64> = Vec::with_capacity(max_batch);
+    'conn: loop {
+        if crate::rdma_net::drain_or_wait(&recv_cq, &mut batch, max_batch)
+            .await
+            .is_none()
+        {
             break;
         }
-        let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
-        let Ok(request) = kdwire::Request::decode(&frame[8..]) else {
-            break;
-        };
-        let (tx, rx) = oneshot::channel();
-        let reply_tx2 = reply_tx.clone();
-        let handoff = b.profile.cpu.handoff;
-        sim::spawn(async move {
-            if let Ok(resp) = rx.await {
-                let ready_at = sim::now() + handoff;
-                let _ = reply_tx2.try_send((corr, ready_at, resp));
+        recycle.clear();
+        for cqe in &batch {
+            if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
+                break 'conn;
             }
-        });
-        let item = WorkItem::Rpc {
-            peer,
-            request,
-            reply: tx,
-            // OSU requests arrive as verbs Sends; the WR context (if any)
-            // rode in on the receive completion.
-            trace: cqe.trace,
-        };
-        let b2 = Rc::clone(&b);
-        sim::spawn(async move {
-            sim::time::sleep(b2.profile.cpu.handoff).await;
-            let _ = b2.queue.send(item).await;
-        });
+            let buf = &bufs[cqe.wr_id as usize];
+            let frame = buf.read_at(0, cqe.byte_len as usize);
+            // The copy out of the network receive buffer, charged on the
+            // network thread.
+            b.net_pool
+                .thread(net_idx)
+                .run(
+                    OSU_REQUEST_COST
+                        + copy_time(frame.len() as u64, b.profile.net.kernel_copy_bandwidth),
+                )
+                .await;
+            recycle.push(cqe.wr_id);
+            if frame.len() < 8 {
+                break 'conn;
+            }
+            let corr = u64::from_le_bytes(frame[..8].try_into().unwrap());
+            let Ok(request) = kdwire::Request::decode(&frame[8..]) else {
+                break 'conn;
+            };
+            let (tx, rx) = oneshot::channel();
+            let reply_tx2 = reply_tx.clone();
+            let handoff = b.profile.cpu.handoff;
+            sim::spawn(async move {
+                if let Ok(resp) = rx.await {
+                    let ready_at = sim::now() + handoff;
+                    let _ = reply_tx2.try_send((corr, ready_at, resp));
+                }
+            });
+            let item = WorkItem::Rpc {
+                peer,
+                request,
+                reply: tx,
+                // OSU requests arrive as verbs Sends; the WR context (if
+                // any) rode in on the receive completion.
+                trace: cqe.trace,
+            };
+            let b2 = Rc::clone(&b);
+            sim::spawn(async move {
+                sim::time::sleep(b2.profile.cpu.handoff).await;
+                let _ = b2.queue.send(item).await;
+            });
+        }
+        let _ = qp.post_recv_list(recycle.drain(..).map(|wr_id| RecvWr {
+            wr_id,
+            buf: Some(bufs[wr_id as usize].as_slice()),
+        }));
     }
+    // Recvs consumed by a batch that broke the loop still go back: the QP
+    // may outlive this serving task.
+    let _ = qp.post_recv_list(recycle.drain(..).map(|wr_id| RecvWr {
+        wr_id,
+        buf: Some(bufs[wr_id as usize].as_slice()),
+    }));
 }

@@ -17,6 +17,7 @@
 //! wire time) is charged by the caller exactly as before.
 
 use std::cell::{Cell, RefCell};
+use std::mem::MaybeUninit;
 use std::ops::{Deref, DerefMut};
 use std::rc::{Rc, Weak};
 
@@ -240,6 +241,132 @@ impl Drop for Scratch {
     }
 }
 
+/// A fixed-capacity, stack-allocated vector: the bounded scratch space the
+/// batched verbs datapath drains completions into (`ibv_poll_cq` semantics —
+/// "give me up to N"). Never touches the allocator.
+pub struct ArrayVec<T, const N: usize> {
+    items: [MaybeUninit<T>; N],
+    len: usize,
+}
+
+impl<T, const N: usize> ArrayVec<T, N> {
+    pub fn new() -> Self {
+        ArrayVec {
+            // SAFETY: an array of `MaybeUninit` needs no initialisation.
+            items: unsafe { MaybeUninit::uninit().assume_init() },
+            len: 0,
+        }
+    }
+
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len == N
+    }
+
+    /// Appends `value`; returns it back if full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.len == N {
+            return Err(value);
+        }
+        self.items[self.len].write(value);
+        self.len += 1;
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: slot `len` was initialised by `push` and is now unowned.
+        Some(unsafe { self.items[self.len].assume_init_read() })
+    }
+
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: the first `len` slots are initialised.
+        unsafe { std::slice::from_raw_parts(self.items.as_ptr().cast::<T>(), self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: the first `len` slots are initialised.
+        unsafe { std::slice::from_raw_parts_mut(self.items.as_mut_ptr().cast::<T>(), self.len) }
+    }
+
+    /// Removes and returns all elements in order, front to back.
+    pub fn drain(&mut self) -> ArrayVecDrain<'_, T, N> {
+        ArrayVecDrain { av: self, at: 0 }
+    }
+}
+
+impl<T, const N: usize> Default for ArrayVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for ArrayVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for ArrayVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T, const N: usize> Drop for ArrayVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// Front-to-back draining iterator over an [`ArrayVec`].
+pub struct ArrayVecDrain<'a, T, const N: usize> {
+    av: &'a mut ArrayVec<T, N>,
+    at: usize,
+}
+
+impl<T, const N: usize> Iterator for ArrayVecDrain<'_, T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.at == self.av.len {
+            return None;
+        }
+        // SAFETY: slot `at` is initialised and ownership moves out exactly
+        // once; `Drop` below forgets the moved-out prefix.
+        let v = unsafe { self.av.items[self.at].assume_init_read() };
+        self.at += 1;
+        Some(v)
+    }
+}
+
+impl<T, const N: usize> Drop for ArrayVecDrain<'_, T, N> {
+    fn drop(&mut self) {
+        // Drop any elements not yet yielded, then mark the vec empty.
+        while self.next().is_some() {}
+        self.av.len = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +443,49 @@ mod tests {
         s.extend_from_slice(b"keep me");
         let v = s.into_vec();
         assert_eq!(&v, b"keep me");
+    }
+
+    #[test]
+    fn array_vec_push_pop_bounds() {
+        let mut v: ArrayVec<u32, 3> = ArrayVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), 3);
+        v.push(1).unwrap();
+        v.push(2).unwrap();
+        v.push(3).unwrap();
+        assert!(v.is_full());
+        assert_eq!(v.push(4), Err(4));
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn array_vec_drain_is_fifo_and_resets() {
+        let mut v: ArrayVec<String, 4> = ArrayVec::new();
+        v.push("a".into()).unwrap();
+        v.push("b".into()).unwrap();
+        v.push("c".into()).unwrap();
+        let drained: Vec<String> = v.drain().collect();
+        assert_eq!(drained, ["a", "b", "c"]);
+        assert!(v.is_empty());
+        v.push("d".into()).unwrap();
+        assert_eq!(v.as_slice(), ["d"]);
+    }
+
+    #[test]
+    fn array_vec_partial_drain_drops_rest() {
+        use std::rc::Rc;
+        let marker = Rc::new(());
+        let mut v: ArrayVec<Rc<()>, 4> = ArrayVec::new();
+        for _ in 0..3 {
+            v.push(Rc::clone(&marker)).unwrap();
+        }
+        let mut d = v.drain();
+        let first = d.next().unwrap();
+        drop(d); // remaining two dropped here
+        drop(first);
+        assert!(v.is_empty());
+        assert_eq!(Rc::strong_count(&marker), 1, "no leaks");
     }
 }

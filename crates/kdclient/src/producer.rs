@@ -2,6 +2,7 @@
 //! transport), with the client-side costs the paper measures — the
 //! defensive copy of user data and the producer pipeline overheads (§5.1).
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use kdstorage::record::BatchBuilder;
@@ -46,6 +47,28 @@ pub struct TcpProducer {
     /// End-to-end produce latency (same instrument name as the RDMA
     /// producer's, so reports compare the two transports directly).
     e2e_ns: kdtelem::Histogram,
+    /// Recycled batch builders and encoded-batch buffers: a steady-state
+    /// producer encodes every batch into capacity it already owns. Shared
+    /// (`Rc`) so pipelined send tasks draw from the same pool.
+    builder_pool: Rc<RefCell<Vec<BatchBuilder>>>,
+    batch_pool: Rc<RefCell<Vec<Vec<u8>>>>,
+}
+
+/// Takes a builder from the pool (fresh if empty), reset and ready.
+fn take_builder(pool: &Rc<RefCell<Vec<BatchBuilder>>>, producer_id: u64) -> BatchBuilder {
+    let mut b = pool
+        .borrow_mut()
+        .pop()
+        .unwrap_or_else(|| BatchBuilder::new(producer_id));
+    b.reset();
+    b
+}
+
+/// Takes an encoded-batch buffer from the pool (fresh if empty), cleared.
+fn take_batch_buf(pool: &Rc<RefCell<Vec<Vec<u8>>>>) -> Vec<u8> {
+    let mut v = pool.borrow_mut().pop().unwrap_or_default();
+    v.clear();
+    v
 }
 
 impl TcpProducer {
@@ -68,6 +91,8 @@ impl TcpProducer {
             acks: Acks::All,
             telem,
             e2e_ns,
+            builder_pool: Rc::new(RefCell::new(Vec::new())),
+            batch_pool: Rc::new(RefCell::new(Vec::new())),
         })
     }
 
@@ -97,24 +122,33 @@ impl TcpProducer {
         // Root of this produce's lifeline; the ctx crosses to the broker in
         // the RPC frame header.
         let span = self.telem.trace_span("client.produce", None);
-        let mut builder = BatchBuilder::new(self.producer_id);
+        // Pooled builder + batch buffer: encoding reuses capacity from
+        // earlier sends instead of allocating per batch.
+        let mut builder = take_builder(&self.builder_pool, self.producer_id);
         for r in records {
             builder.append(r);
         }
-        let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+        let mut batch = take_batch_buf(&self.batch_pool);
+        let built = builder.build_into(&mut batch);
+        self.builder_pool.borrow_mut().push(builder);
+        if built.is_err() {
+            self.batch_pool.borrow_mut().push(batch);
+            return Err(ClientError::Corrupt);
+        }
         self.charge_send_path(batch.len() as u64).await;
-        let resp = self
-            .conn
-            .call_traced(
-                &Request::Produce {
-                    topic: self.topic.clone(),
-                    partition: self.partition,
-                    acks: self.acks.wire(),
-                    batch,
-                },
-                Some(span.ctx()),
-            )
-            .await?;
+        let request = Request::Produce {
+            topic: self.topic.clone(),
+            partition: self.partition,
+            acks: self.acks.wire(),
+            batch,
+        };
+        let resp = self.conn.call_traced(&request, Some(span.ctx())).await;
+        // The encoded bytes were copied into the frame; reclaim the buffer
+        // before surfacing any RPC error.
+        if let Request::Produce { batch, .. } = request {
+            self.batch_pool.borrow_mut().push(batch);
+        }
+        let resp = resp?;
         // Response dispatch back to the caller thread.
         sim::time::sleep(self.node.profile().cpu.wakeup).await;
         self.e2e_ns.record_since(start);
@@ -140,11 +174,19 @@ impl TcpProducer {
         let producer_id = self.producer_id;
         let record = record.clone();
         let telem = self.telem.clone();
+        let builder_pool = Rc::clone(&self.builder_pool);
+        let batch_pool = Rc::clone(&self.batch_pool);
         sim::spawn(async move {
             let span = telem.trace_span("client.produce", None);
-            let mut builder = BatchBuilder::new(producer_id);
+            let mut builder = take_builder(&builder_pool, producer_id);
             builder.append(&record);
-            let batch = builder.build().map_err(|_| ClientError::Corrupt)?;
+            let mut batch = take_batch_buf(&batch_pool);
+            let built = builder.build_into(&mut batch);
+            builder_pool.borrow_mut().push(builder);
+            if built.is_err() {
+                batch_pool.borrow_mut().push(batch);
+                return Err(ClientError::Corrupt);
+            }
             let cpu = Rc::clone(&node.profile());
             sim::time::sleep(
                 cpu.cpu.producer_copy_base
@@ -153,17 +195,17 @@ impl TcpProducer {
                     + cpu.cpu.handoff,
             )
             .await;
-            let resp = conn
-                .call_traced(
-                    &Request::Produce {
-                        topic,
-                        partition,
-                        acks,
-                        batch,
-                    },
-                    Some(span.ctx()),
-                )
-                .await?;
+            let request = Request::Produce {
+                topic,
+                partition,
+                acks,
+                batch,
+            };
+            let resp = conn.call_traced(&request, Some(span.ctx())).await;
+            if let Request::Produce { batch, .. } = request {
+                batch_pool.borrow_mut().push(batch);
+            }
+            let resp = resp?;
             span.end();
             match resp {
                 Response::Produce { error, base_offset } => {

@@ -68,6 +68,10 @@ pub struct RdmaProducer {
     stage_pool: StagePool,
     /// Reusable batch encoder; reset per record.
     builder: BatchBuilder,
+    /// Chain-path scratch (staged records, work requests): recycled across
+    /// `send_pipelined_chain` calls so posting a chain allocates nothing.
+    chain_staged: Vec<(ShmBuf, kdtelem::TraceSpan)>,
+    chain_wrs: Vec<SendWr>,
     faa_result: ShmBuf,
     dead: Rc<std::cell::Cell<bool>>,
     telem: kdtelem::Registry,
@@ -123,6 +127,8 @@ impl RdmaProducer {
             pending,
             stage_pool,
             builder: BatchBuilder::new(producer_id),
+            chain_staged: Vec::new(),
+            chain_wrs: Vec::new(),
             faa_result: ShmBuf::zeroed(8),
             dead,
             telem,
@@ -167,37 +173,45 @@ impl RdmaProducer {
             let qp = qp.clone();
             let wakeup = node.profile().cpu.wakeup;
             sim::spawn(async move {
-                loop {
-                    let cqe = match recv_cq.poll() {
-                        Some(c) => c,
-                        None => {
-                            let Some(c) = recv_cq.next().await else { break };
-                            // Blocking-poll wakeup (§5.1 client overheads).
-                            sim::time::sleep(wakeup).await;
-                            c
-                        }
-                    };
-                    if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
-                        break;
+                // Acks drain in stack-space batches (`ibv_poll_cq` style):
+                // one wakeup retires every ack that piled up, and the
+                // consumed recvs go back through one chained post.
+                let mut batch: kdbuf::ArrayVec<rnic::Cqe, 64> = kdbuf::ArrayVec::new();
+                let mut recycle: kdbuf::ArrayVec<u64, 64> = kdbuf::ArrayVec::new();
+                'conn: loop {
+                    batch.clear();
+                    if recv_cq.poll_batch(&mut batch) == 0 {
+                        let Some(c) = recv_cq.next().await else { break };
+                        // Blocking-poll wakeup (§5.1 client overheads).
+                        sim::time::sleep(wakeup).await;
+                        let _ = batch.push(c);
+                        recv_cq.poll_batch(&mut batch);
                     }
-                    // Decode through a stack buffer: the ack path allocates
-                    // nothing at steady state.
-                    let n = (cqe.byte_len as usize).min(ACK_BUF);
-                    let mut payload = [0u8; ACK_BUF];
-                    bufs[cqe.wr_id as usize].read_into(0, &mut payload[..n]);
-                    let _ = qp.post_recv(RecvWr {
-                        wr_id: cqe.wr_id,
-                        buf: Some(bufs[cqe.wr_id as usize].as_slice()),
-                    });
-                    let (error, base_offset) = kdbroker_ack_decode(&payload[..n]);
-                    if let Some((waiter, staged)) = pending.borrow_mut().pop_front() {
-                        // The acked write has consumed its staging buffer;
-                        // recycle it for a future produce.
-                        if let Some(buf) = staged {
-                            stage_pool.borrow_mut().push(buf);
+                    recycle.clear();
+                    for cqe in batch.as_slice() {
+                        if !cqe.ok() || cqe.opcode != CqOpcode::Recv {
+                            break 'conn;
                         }
-                        let _ = waiter.send((error, base_offset));
+                        // Decode through a stack buffer: the ack path
+                        // allocates nothing at steady state.
+                        let n = (cqe.byte_len as usize).min(ACK_BUF);
+                        let mut payload = [0u8; ACK_BUF];
+                        bufs[cqe.wr_id as usize].read_into(0, &mut payload[..n]);
+                        let _ = recycle.push(cqe.wr_id);
+                        let (error, base_offset) = kdbroker_ack_decode(&payload[..n]);
+                        if let Some((waiter, staged)) = pending.borrow_mut().pop_front() {
+                            // The acked write has consumed its staging
+                            // buffer; recycle it for a future produce.
+                            if let Some(buf) = staged {
+                                stage_pool.borrow_mut().push(buf);
+                            }
+                            let _ = waiter.send((error, base_offset));
+                        }
                     }
+                    let _ = qp.post_recv_list(recycle.drain().map(|wr_id| RecvWr {
+                        wr_id,
+                        buf: Some(bufs[wr_id as usize].as_slice()),
+                    }));
                 }
                 dead.set(true);
                 // Fail anything still pending.
@@ -235,7 +249,10 @@ impl RdmaProducer {
     /// the producer's defensive copy of user data (§5.1). Staging buffers
     /// are recycled through [`StagePool`] as acks retire them, so the
     /// steady-state produce path allocates nothing here.
-    async fn stage(&mut self, record: &Record) -> Result<ShmBuf, ClientError> {
+    /// Encodes `record` into a pooled staging buffer without charging the
+    /// copy cost (the caller owes `producer_copy_base` + `copy_time` for
+    /// the returned length).
+    fn stage_bytes(&mut self, record: &Record) -> Result<ShmBuf, ClientError> {
         self.builder.reset();
         self.builder.append(record);
         let staged = self
@@ -243,20 +260,24 @@ impl RdmaProducer {
             .borrow_mut()
             .pop()
             .unwrap_or_else(|| ShmBuf::from_vec(Vec::new()));
-        let batch_len = {
+        {
             let shared = staged.shared();
             let mut v = shared.borrow_mut();
             v.clear();
             self.builder
                 .build_into(&mut v)
                 .map_err(|_| ClientError::Corrupt)?;
-            v.len()
-        };
+        }
+        Ok(staged)
+    }
+
+    async fn stage(&mut self, record: &Record) -> Result<ShmBuf, ClientError> {
+        let staged = self.stage_bytes(record)?;
         let cpu = &self.node.profile().cpu;
         // Only the defensive copy occupies the caller; the API→network
         // thread handoff is pipeline latency and is charged on the ack path.
         sim::time::sleep(
-            cpu.producer_copy_base + copy_time(batch_len as u64, cpu.memcpy_bandwidth),
+            cpu.producer_copy_base + copy_time(staged.len() as u64, cpu.memcpy_bandwidth),
         )
         .await;
         Ok(staged)
@@ -324,6 +345,121 @@ impl RdmaProducer {
             }
         }
         Err(ClientError::RetriesExhausted)
+    }
+
+    /// Posts a run of records as one linked WR chain (an `ibv_post_send`
+    /// postlist): every record is staged first, then all WriteImm WRs ride
+    /// a single doorbell. Ack receivers are appended to `out` in record
+    /// order. Shared mode falls back to per-record posting — a shared write
+    /// cannot post before its FAA reservation returns — as do single
+    /// records and any run the head file cannot take whole.
+    pub async fn send_pipelined_chain(
+        &mut self,
+        records: &[Record],
+        out: &mut Vec<oneshot::Receiver<(ErrorCode, u64)>>,
+    ) -> Result<(), ClientError> {
+        if records.len() <= 1 || self.mode == ProduceMode::Shared || self.dead.get() {
+            for r in records {
+                out.push(self.send_pipelined(r).await?);
+            }
+            return Ok(());
+        }
+        // Stage every record (the per-record defensive copy), rooting each
+        // produce's lifeline exactly as `send_pipelined` does. The staging
+        // list is producer-owned scratch, recycled across chains.
+        let mut staged = std::mem::take(&mut self.chain_staged);
+        staged.clear();
+        let mut total = 0u64;
+        for r in records {
+            let span = self.telem.trace_span("client.produce", None);
+            let buf = match self.stage_bytes(r) {
+                Ok(buf) => buf,
+                Err(e) => {
+                    let mut pool = self.stage_pool.borrow_mut();
+                    for (buf, _) in staged.drain(..) {
+                        pool.push(buf);
+                    }
+                    drop(pool);
+                    self.chain_staged = staged;
+                    return Err(e);
+                }
+            };
+            total += buf.len() as u64;
+            staged.push((buf, span));
+        }
+        // The defensive copies run back to back: one per-record base charge
+        // each, but a single timer suspension for the whole chain.
+        {
+            let cpu = &self.node.profile().cpu;
+            sim::time::sleep(
+                cpu.producer_copy_base * records.len() as u32
+                    + copy_time(total, cpu.memcpy_bandwidth),
+            )
+            .await;
+        }
+        // All-or-nothing: if the head file cannot take the whole chain (or
+        // the QP died while staging), recycle the buffers and let the
+        // per-record path re-request access where it needs to.
+        if self.dead.get() || u64::from(self.write_pos) + total > self.grant.region.len {
+            {
+                let mut pool = self.stage_pool.borrow_mut();
+                for (buf, _) in staged.drain(..) {
+                    pool.push(buf);
+                }
+            }
+            self.chain_staged = staged;
+            for r in records {
+                out.push(self.send_pipelined(r).await?);
+            }
+            return Ok(());
+        }
+        let first = out.len();
+        let pos0 = self.write_pos;
+        let mut wrs = std::mem::take(&mut self.chain_wrs);
+        wrs.clear();
+        for (buf, span) in &staged {
+            let len = buf.len() as u32;
+            let (tx, rx) = oneshot::channel();
+            self.pending.borrow_mut().push_back((tx, Some(buf.clone())));
+            wrs.push(
+                SendWr::unsignaled(
+                    0,
+                    WorkRequest::WriteImm {
+                        local: buf.as_slice(),
+                        remote_addr: self.grant.region.addr + u64::from(self.write_pos),
+                        rkey: self.grant.region.rkey,
+                        imm: kdwire::pack_imm(self.grant.file_id, 0),
+                    },
+                )
+                .with_trace(Some(span.ctx())),
+            );
+            self.write_pos += len;
+            out.push(rx);
+        }
+        let posted = self.qp.post_send_list(wrs.drain(..));
+        self.chain_wrs = wrs;
+        if posted.is_err() {
+            // Nothing was posted (the post fails whole): unwind the waiters
+            // and retry record by record, which reconnects as needed.
+            self.write_pos = pos0;
+            out.truncate(first);
+            {
+                let mut pending = self.pending.borrow_mut();
+                let mut pool = self.stage_pool.borrow_mut();
+                for (buf, _) in staged.drain(..) {
+                    pending.pop_back();
+                    pool.push(buf);
+                }
+            }
+            self.chain_staged = staged;
+            for r in records {
+                out.push(self.send_pipelined(r).await?);
+            }
+            return Ok(());
+        }
+        staged.clear();
+        self.chain_staged = staged;
+        Ok(())
     }
 
     /// Exclusive produce: one WriteWithImm at the producer-tracked position.

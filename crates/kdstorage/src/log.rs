@@ -389,24 +389,42 @@ impl Log {
     /// containing `offset`. `committed_only` limits to the high watermark
     /// (consumer fetch); replication fetch reads to the log end.
     pub fn read_from(&self, offset: u64, max_bytes: u32, committed_only: bool) -> FetchSlice {
+        let mut bytes = Vec::new();
+        let (start_offset, next_offset) =
+            self.read_from_into(offset, max_bytes, committed_only, &mut bytes);
+        FetchSlice {
+            start_offset,
+            next_offset,
+            bytes,
+        }
+    }
+
+    /// As [`read_from`](Self::read_from), appending the batch bytes to a
+    /// caller-recycled buffer instead of allocating one. Returns
+    /// `(start_offset, next_offset)`; the copy-out itself goes through
+    /// [`Segment::read_into`], so a warm buffer makes the whole read
+    /// allocation-free.
+    pub fn read_from_into(
+        &self,
+        offset: u64,
+        max_bytes: u32,
+        committed_only: bool,
+        out: &mut Vec<u8>,
+    ) -> (u64, u64) {
+        out.clear();
         let limit = if committed_only {
             self.high_watermark.get()
         } else {
             self.next_offset()
         };
         if offset >= limit {
-            return FetchSlice {
-                bytes: Vec::new(),
-                start_offset: offset,
-                next_offset: offset,
-            };
+            return (offset, offset);
         }
         // Locate the segment containing `offset`.
         let segments = self.segments.borrow();
         let seg_idx = segments
             .partition_point(|s| s.base_offset() <= offset)
             .saturating_sub(1);
-        let mut bytes = Vec::new();
         let mut start_offset = None;
         let mut next_offset = offset;
         'outer: for seg in segments.iter().skip(seg_idx) {
@@ -417,23 +435,19 @@ impl Log {
                 if b.next_offset() > limit {
                     break 'outer;
                 }
-                if !bytes.is_empty() && bytes.len() + b.len as usize > max_bytes as usize {
+                if !out.is_empty() && out.len() + b.len as usize > max_bytes as usize {
                     break 'outer;
                 }
-                bytes.extend_from_slice(&seg.read(b.pos, b.len));
+                seg.read_into(b.pos, b.len, out);
                 start_offset.get_or_insert(b.base_offset);
                 next_offset = b.next_offset();
                 i += 1;
-                if bytes.len() >= max_bytes as usize {
+                if out.len() >= max_bytes as usize {
                     break 'outer;
                 }
             }
         }
-        FetchSlice {
-            start_offset: start_offset.unwrap_or(offset),
-            next_offset,
-            bytes,
-        }
+        (start_offset.unwrap_or(offset), next_offset)
     }
 
     /// Finds the committed batch containing `offset` and its segment index.

@@ -78,6 +78,34 @@ impl Segment {
             sealed: Cell::new(false),
             batches: RefCell::new(Vec::new()),
         });
+        // Structural pre-scan (no CRC): counts batches so the index is
+        // sized in one allocation and the replay loop below never
+        // reallocates — recovery cost per surviving batch is pure CPU.
+        {
+            let mut count = 0usize;
+            let mut pos = 0u32;
+            loop {
+                let avail = seg.capacity() - pos;
+                let prefix = (record::LENGTH_PREFIX_LEN as u32).min(avail);
+                let Ok(total) = seg.with_slice(pos, prefix, record::peek_total_len) else {
+                    break;
+                };
+                let total = total as u32;
+                if u64::from(pos) + u64::from(total) > u64::from(seg.capacity()) {
+                    break;
+                }
+                // Header parse (magic, bounds) without the CRC pass: stops
+                // the count at zeroed/garbage tails the same way the real
+                // scan will, while staying O(1) per batch.
+                let head = (record::BATCH_HEADER_LEN as u32).min(total);
+                if seg.with_slice(pos, head, record::parse_header).is_err() {
+                    break;
+                }
+                count += 1;
+                pos += total;
+            }
+            seg.batches.borrow_mut().reserve(count);
+        }
         loop {
             let pos = seg.committed_pos.get();
             let avail = seg.capacity() - pos;
@@ -189,6 +217,14 @@ impl Segment {
     pub fn read(&self, pos: u32, len: u32) -> Vec<u8> {
         let pos = pos as usize;
         self.buf.borrow()[pos..pos + len as usize].to_vec()
+    }
+
+    /// Appends `len` bytes at `pos` to `out` — the allocation-free variant
+    /// of [`read`](Self::read) for callers that recycle a fetch buffer
+    /// (e.g. `Log::read_from_into`).
+    pub fn read_into(&self, pos: u32, len: u32, out: &mut Vec<u8>) {
+        let pos = pos as usize;
+        out.extend_from_slice(&self.buf.borrow()[pos..pos + len as usize]);
     }
 
     /// Runs `f` over the segment bytes at `[pos, pos+len)` without copying.

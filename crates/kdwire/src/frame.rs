@@ -13,7 +13,6 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use netsim::tcp::{Closed, ReadHalf, TcpStream, WriteHalf};
-use sim::sync::oneshot;
 
 use crate::messages::{Request, Response};
 
@@ -106,10 +105,52 @@ pub async fn read_frame_into(
     Ok((correlation, trace))
 }
 
+/// A reusable reply rendezvous: the caller parks here until the demux
+/// reader fulfills it. Slots cycle through a free list so steady-state
+/// `call`s allocate nothing (the per-call `oneshot::channel` this replaces
+/// cost one `Rc` allocation per request).
+struct ReplySlot {
+    value: RefCell<Option<Result<Response, RpcError>>>,
+    waker: RefCell<Option<std::task::Waker>>,
+}
+
+impl ReplySlot {
+    fn fulfill(&self, v: Result<Response, RpcError>) {
+        *self.value.borrow_mut() = Some(v);
+        if let Some(w) = self.waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+}
+
 struct RpcShared {
-    pending: RefCell<HashMap<u64, oneshot::Sender<Response>>>,
+    pending: RefCell<HashMap<u64, Rc<ReplySlot>>>,
+    free: RefCell<Vec<Rc<ReplySlot>>>,
     next_correlation: std::cell::Cell<u64>,
     dead: std::cell::Cell<bool>,
+}
+
+impl RpcShared {
+    fn take_slot(&self) -> Rc<ReplySlot> {
+        let slot = self.free.borrow_mut().pop().unwrap_or_else(|| {
+            Rc::new(ReplySlot {
+                value: RefCell::new(None),
+                waker: RefCell::new(None),
+            })
+        });
+        *slot.value.borrow_mut() = None;
+        *slot.waker.borrow_mut() = None;
+        slot
+    }
+
+    /// Returns a slot to the free list once the caller is its only owner.
+    /// A slot whose caller was cancelled mid-flight still sits in `pending`
+    /// (count > 1) and is simply dropped when the reader fulfills it.
+    fn recycle(&self, slot: Rc<ReplySlot>) {
+        if Rc::strong_count(&slot) == 1 {
+            self.free.borrow_mut().push(slot);
+        }
+    }
 }
 
 /// A client connection that pipelines requests: `call` may be invoked from
@@ -127,6 +168,7 @@ impl RpcClient {
         let (mut read, write) = stream.into_split();
         let shared = Rc::new(RpcShared {
             pending: RefCell::new(HashMap::new()),
+            free: RefCell::new(Vec::new()),
             next_correlation: std::cell::Cell::new(1),
             dead: std::cell::Cell::new(false),
         });
@@ -135,13 +177,18 @@ impl RpcClient {
             let mut payload = Vec::new();
             while let Ok((correlation, _trace)) = read_frame_into(&mut read, &mut payload).await {
                 let waiter = shared2.pending.borrow_mut().remove(&correlation);
-                if let (Some(tx), Ok(resp)) = (waiter, Response::decode(&payload)) {
-                    let _ = tx.send(resp);
+                if let Some(slot) = waiter {
+                    match Response::decode(&payload) {
+                        Ok(resp) => slot.fulfill(Ok(resp)),
+                        Err(_) => slot.fulfill(Err(RpcError::Closed)),
+                    }
                 }
             }
             // Connection gone: fail everything pending.
             shared2.dead.set(true);
-            shared2.pending.borrow_mut().clear();
+            for (_, slot) in shared2.pending.borrow_mut().drain() {
+                slot.fulfill(Err(RpcError::Closed));
+            }
         });
         RpcClient {
             write: Rc::new(sim::sync::Mutex::new(write)),
@@ -172,8 +219,11 @@ impl RpcClient {
         }
         let correlation = self.shared.next_correlation.get();
         self.shared.next_correlation.set(correlation + 1);
-        let (tx, rx) = oneshot::channel();
-        self.shared.pending.borrow_mut().insert(correlation, tx);
+        let slot = self.shared.take_slot();
+        self.shared
+            .pending
+            .borrow_mut()
+            .insert(correlation, Rc::clone(&slot));
         {
             let mut body = kdbuf::scratch();
             request.encode_into(&mut body);
@@ -182,11 +232,21 @@ impl RpcClient {
                 .await
                 .is_err()
             {
-                self.shared.pending.borrow_mut().remove(&correlation);
+                drop(self.shared.pending.borrow_mut().remove(&correlation));
+                self.shared.recycle(slot);
                 return Err(RpcError::Closed);
             }
         }
-        rx.await.map_err(|_| RpcError::Closed)
+        let res = std::future::poll_fn(|cx| {
+            if let Some(v) = slot.value.borrow_mut().take() {
+                return std::task::Poll::Ready(v);
+            }
+            *slot.waker.borrow_mut() = Some(cx.waker().clone());
+            std::task::Poll::Pending
+        })
+        .await;
+        self.shared.recycle(slot);
+        res
     }
 }
 

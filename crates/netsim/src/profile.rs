@@ -34,6 +34,18 @@ pub struct NetProfile {
     pub rdma_min_op_gap: Duration,
     /// Cost from CQE arrival to a polling thread observing it.
     pub rdma_completion_overhead: Duration,
+    /// Marginal initiator cost per *linked* WR in a posted list beyond the
+    /// head (`ibv_post_send` postlist: one doorbell, then the NIC walks the
+    /// chained WQEs). The head WR pays the full `rdma_post_overhead`; WR
+    /// `i > 0` in the list adds `i * doorbell_overhead` to its post time. A
+    /// one-element list is therefore exactly a single post, whatever this
+    /// constant is.
+    pub doorbell_overhead: Duration,
+    /// Marginal CPU cost per *additional* CQE taken in one batched
+    /// `ibv_poll_cq` drain, beyond the first (which pays the poller's full
+    /// per-poll charge). A batch of one is exactly a single poll, whatever
+    /// this constant is.
+    pub cqe_batch_marginal: Duration,
     /// Responder-side execution time of an 8-byte atomic (PCIe
     /// read-modify-write + fence; atomics are markedly slower than reads on
     /// real RNICs). Calibrated so a serialised FAA round trip costs ~2.5 µs
@@ -133,6 +145,8 @@ impl Profile {
                 rdma_post_overhead: Duration::from_nanos(200),
                 rdma_min_op_gap: Duration::from_nanos(120),
                 rdma_completion_overhead: Duration::from_nanos(500),
+                doorbell_overhead: Duration::from_nanos(40),
+                cqe_batch_marginal: Duration::from_nanos(100),
                 atomic_exec: Duration::from_nanos(1200),
                 atomic_same_addr_gap: Duration::from_nanos(373),
                 read_response_overhead: Duration::from_nanos(300),
@@ -177,6 +191,8 @@ impl Profile {
                 rdma_post_overhead: zero,
                 rdma_min_op_gap: zero,
                 rdma_completion_overhead: zero,
+                doorbell_overhead: zero,
+                cqe_batch_marginal: zero,
                 atomic_exec: zero,
                 atomic_same_addr_gap: zero,
                 read_response_overhead: zero,

@@ -112,6 +112,36 @@ impl CompletionQueue {
         cqe
     }
 
+    /// Non-blocking batch poll, like `ibv_poll_cq(cq, N, wc)`: pops up to
+    /// the free capacity of `out` in completion order. Returns how many were
+    /// taken. Never allocates — the destination is stack space.
+    pub fn poll_batch<const N: usize>(&self, out: &mut kdbuf::ArrayVec<Cqe, N>) -> usize {
+        let mut q = self.inner.queue.borrow_mut();
+        let mut taken = 0;
+        while !out.is_full() {
+            let Some(cqe) = q.pop_front() else { break };
+            self.inner.depth.sub(1);
+            let _ = out.push(cqe);
+            taken += 1;
+        }
+        taken
+    }
+
+    /// As [`poll_batch`](Self::poll_batch) but into a caller-pooled `Vec`
+    /// (appends; retained capacity makes steady-state drains allocation-free)
+    /// bounded by `max`. Returns how many were taken.
+    pub fn drain_into(&self, out: &mut Vec<Cqe>, max: usize) -> usize {
+        let mut q = self.inner.queue.borrow_mut();
+        let mut taken = 0;
+        while taken < max {
+            let Some(cqe) = q.pop_front() else { break };
+            self.inner.depth.sub(1);
+            out.push(cqe);
+            taken += 1;
+        }
+        taken
+    }
+
     /// Waits (virtual time) for the next completion.
     ///
     /// Returns `None` if the CQ has overflowed (fatal).

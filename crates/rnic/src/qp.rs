@@ -55,27 +55,61 @@ enum QpState {
 
 struct Chain {
     done: Cell<u64>,
-    notify: Notify,
+    /// Parked wakers by ticket. Advancing wakes only the next ticket's
+    /// task: with a deep post list in flight, a broadcast here is O(k²)
+    /// spurious polls per chain of k WRs (every advance wakes every
+    /// waiter), which dominated executor polls once senders started
+    /// doorbell-batching.
+    waiters: RefCell<Vec<(u64, std::task::Waker)>>,
 }
 
 impl Chain {
     fn new() -> Self {
         Chain {
             done: Cell::new(0),
-            notify: Notify::new(),
+            waiters: RefCell::new(Vec::new()),
         }
     }
 
     async fn wait_turn(&self, ticket: u64) {
-        while self.done.get() < ticket {
-            self.notify.notified().await;
-        }
+        std::future::poll_fn(|cx| {
+            if self.done.get() >= ticket {
+                return std::task::Poll::Ready(());
+            }
+            let mut ws = self.waiters.borrow_mut();
+            if let Some(slot) = ws.iter_mut().find(|(t, _)| *t == ticket) {
+                slot.1.clone_from(cx.waker());
+            } else {
+                ws.push((ticket, cx.waker().clone()));
+            }
+            std::task::Poll::Pending
+        })
+        .await;
     }
 
     fn advance(&self, ticket: u64) {
         debug_assert_eq!(self.done.get(), ticket);
-        self.done.set(ticket + 1);
-        self.notify.notify_waiters();
+        let next = ticket + 1;
+        self.done.set(next);
+        let woken = {
+            let mut ws = self.waiters.borrow_mut();
+            ws.iter()
+                .position(|(t, _)| *t <= next)
+                .map(|i| ws.swap_remove(i).1)
+        };
+        if let Some(w) = woken {
+            w.wake();
+        }
+    }
+
+    /// Wakes every parked task (QP teardown). Liveness does not depend on
+    /// this — `run_wr` advances the chain even on a dead QP — it only
+    /// hurries the flush along, as the old broadcast did.
+    fn wake_all(&self) {
+        let ws = std::mem::take(&mut *self.waiters.borrow_mut());
+        for (_, w) in ws {
+            w.wake();
+        }
     }
 }
 
@@ -158,8 +192,8 @@ impl QpShared {
         }
         let _ = status;
         qp.recv_posted.notify_waiters();
-        qp.delivery.notify.notify_waiters();
-        qp.completion.notify.notify_waiters();
+        qp.delivery.wake_all();
+        qp.completion.wake_all();
         qp.error_notify.notify_waiters();
         if let Some(peer) = qp.peer() {
             QpShared::fail(&peer, CqStatus::FlushError);
@@ -265,37 +299,99 @@ impl QueuePair {
         Ok(())
     }
 
-    /// Posts a list of send work requests (`ibv_post_send` with a chained
-    /// WR list). Requests execute remotely in list order.
-    pub fn post_send_batch(&self, wrs: Vec<SendWr>) -> Result<(), PostError> {
+    /// Posts a list of receive work requests (`ibv_post_recv` with a chained
+    /// WR list): one receive-queue lock for the whole chain. Receives carry
+    /// no initiator timing, so the only difference from repeated
+    /// [`post_recv`](Self::post_recv) calls is the amortised bookkeeping.
+    pub fn post_recv_list(&self, wrs: impl IntoIterator<Item = RecvWr>) -> Result<(), PostError> {
         if !self.shared.is_alive() {
             return Err(PostError::QpError);
         }
-        let peer = self.shared.peer().ok_or(PostError::QpError)?;
-        for wr in wrs {
-            self.launch(wr, &peer);
+        let mut posted = 0usize;
+        {
+            let mut q = self.shared.recv_queue.borrow_mut();
+            for wr in wrs {
+                assert!(
+                    q.len() < self.shared.opts.max_recv_wr,
+                    "receive queue overflow (max_recv_wr={})",
+                    self.shared.opts.max_recv_wr
+                );
+                q.push_back(wr);
+                posted += 1;
+            }
+        }
+        // One permit per WR: each may satisfy a distinct RNR waiter.
+        for _ in 0..posted {
+            self.shared.recv_posted.notify_one();
         }
         Ok(())
     }
 
-    /// Posts a single send work request. Unlike [`post_send_batch`] this
-    /// allocates nothing for the WR list — it is the hot-path entry point.
+    /// Posts a chained send WR list (`ibv_post_send` postlist): the head WR
+    /// pays the full doorbell/WQE-fetch overhead, each linked WR only the
+    /// marginal `doorbell_overhead` — the initiator-side amortisation real
+    /// verbs applications batch for. Requests execute remotely in list
+    /// order; a one-element list is exactly [`post_send`](Self::post_send).
     ///
-    /// [`post_send_batch`]: Self::post_send_batch
+    /// A chain of two or more WRs runs on one simulation task (`run_wr_chain`)
+    /// instead of one task per WR: the chain holds consecutive tickets on
+    /// both FIFO chains, so a single task stepping through them in order
+    /// produces the same remote effects and CQEs at the same virtual times,
+    /// without per-WR park/wake churn.
+    pub fn post_send_list(&self, wrs: impl IntoIterator<Item = SendWr>) -> Result<(), PostError> {
+        if !self.shared.is_alive() {
+            return Err(PostError::QpError);
+        }
+        let peer = self.shared.peer().ok_or(PostError::QpError)?;
+        let doorbell = self.shared.nic.node.fabric.profile().net.doorbell_overhead;
+        let mut extra = Duration::ZERO;
+        let mut prepared: Vec<(SendWr, u64, Timing)> = Vec::new();
+        for (i, wr) in wrs.into_iter().enumerate() {
+            if i > 0 {
+                extra += doorbell;
+            }
+            prepared.push(self.prepare(wr, &peer, extra));
+        }
+        match prepared.len() {
+            0 => {}
+            1 => {
+                let (wr, ticket, timing) = prepared.pop().unwrap();
+                let qp = Rc::clone(&self.shared);
+                sim::spawn_detached(async move {
+                    run_wr(qp, peer, wr, ticket, timing).await;
+                });
+            }
+            _ => {
+                let qp = Rc::clone(&self.shared);
+                sim::spawn_detached(async move {
+                    run_wr_chain(qp, peer, prepared).await;
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Posts a single send work request — the one-doorbell-per-WR entry
+    /// point; see [`post_send_list`](Self::post_send_list) for chains.
     pub fn post_send(&self, wr: SendWr) -> Result<(), PostError> {
         if !self.shared.is_alive() {
             return Err(PostError::QpError);
         }
         let peer = self.shared.peer().ok_or(PostError::QpError)?;
-        self.launch(wr, &peer);
+        let (wr, ticket, timing) = self.prepare(wr, &peer, Duration::ZERO);
+        let qp = Rc::clone(&self.shared);
+        sim::spawn_detached(async move {
+            run_wr(qp, peer, wr, ticket, timing).await;
+        });
         Ok(())
     }
 
-    /// Computes the timing of `wr` against the fabric and spawns its
-    /// simulation task.
-    fn launch(&self, wr: SendWr, peer: &Rc<QpShared>) {
-        let qp = Rc::clone(&self.shared);
-        let peer = Rc::clone(peer);
+    /// Allocates a ticket and computes the timing of `wr` against the
+    /// fabric (all link reservations commit now, at post time). `extra_post`
+    /// delays the doorbell/WQE fetch — the position-dependent cost of a
+    /// linked WR in a posted list.
+    fn prepare(&self, wr: SendWr, peer: &Rc<QpShared>, extra_post: Duration) -> (SendWr, u64, Timing) {
+        let qp = &self.shared;
         let ticket = qp.next_ticket.get();
         qp.next_ticket.set(ticket + 1);
         qp.nic.qp_posts.inc();
@@ -323,7 +419,7 @@ impl QueuePair {
 
         // All link reservations are committed now (post time): the NIC
         // pipelines WRs and the links serialise them.
-        let post_done = sim::now() + net.rdma_post_overhead;
+        let post_done = sim::now() + net.rdma_post_overhead + extra_post;
         let req_arrival = fabric.reserve_path(
             post_done,
             src,
@@ -364,9 +460,7 @@ impl QueuePair {
             },
         };
 
-        sim::spawn_detached(async move {
-            run_wr(qp, peer, wr, ticket, timing).await;
-        });
+        (wr, ticket, timing)
     }
 }
 
@@ -408,8 +502,14 @@ async fn run_wr(qp: Rc<QpShared>, peer: Rc<QpShared>, wr: SendWr, ticket: u64, t
         }
     };
 
-    // Response / ack travel time.
-    sim::time::sleep_until(t.comp).await;
+    // Response / ack travel time. An unsignaled success produces no
+    // initiator CQE — nothing observable happens at `comp`, so the task
+    // does not stay alive just to sleep until then. The completion chain
+    // still advances in ticket order, and a later signaled WR waits for
+    // its own `comp` before pushing its CQE, so CQE times are unchanged.
+    if status != CqStatus::Success || wr.signaled {
+        sim::time::sleep_until(t.comp).await;
+    }
     if status == CqStatus::Success && wr.signaled {
         qp.nic
             .post_to_comp_ns
@@ -417,6 +517,108 @@ async fn run_wr(qp: Rc<QpShared>, peer: Rc<QpShared>, wr: SendWr, ticket: u64, t
     }
     let byte_len = wr.op.request_bytes().max(wr.op.response_bytes()) as u32;
     complete(&qp, &wr, ticket, status, byte_len, old).await;
+}
+
+/// A completion owed by a chain runner, delivered strictly in ticket order.
+struct PendingComp {
+    wr: SendWr,
+    ticket: u64,
+    status: CqStatus,
+    byte_len: u32,
+    old: Option<u64>,
+    /// CQE delivery time for signaled/failed WRs; `None` for unsignaled
+    /// successes (no CQE — complete as soon as predecessors have).
+    due: Option<SimTime>,
+    posted: SimTime,
+}
+
+/// Completes owed CQEs from the front of `pending`, in ticket order.
+/// Immediate entries (`due == None`) complete without sleeping; timed
+/// entries sleep to their delivery time first. With `horizon` set, timed
+/// entries due after it stay queued (they belong after the caller's next
+/// arrival); with `None` everything flushes.
+async fn flush_comps(qp: &Rc<QpShared>, pending: &mut VecDeque<PendingComp>, horizon: Option<SimTime>) {
+    while let Some(front) = pending.front() {
+        if let (Some(due), Some(h)) = (front.due, horizon) {
+            if due > h {
+                break;
+            }
+        }
+        let c = pending.pop_front().unwrap();
+        if let Some(due) = c.due {
+            sim::time::sleep_until(due).await;
+        }
+        if c.status == CqStatus::Success && c.wr.signaled {
+            qp.nic
+                .post_to_comp_ns
+                .record(c.due.unwrap_or(c.posted).saturating_since(c.posted).as_nanos() as u64);
+        }
+        complete(qp, &c.wr, c.ticket, c.status, c.byte_len, c.old).await;
+    }
+}
+
+/// Runs a whole posted WR list on one task. The list owns consecutive
+/// tickets on both FIFO chains, so stepping through it in order replicates
+/// the per-task path: each WR's remote effect lands at its reserved
+/// `req_arrival`, the delivery chain advances per WR, and completions are
+/// deferred through [`flush_comps`] so CQEs still surface in ticket order at
+/// their reserved times. What the merge removes is the per-WR park/wake on
+/// the two chains — the executor-poll churn doorbell batching exists to
+/// amortise.
+async fn run_wr_chain(qp: Rc<QpShared>, peer: Rc<QpShared>, items: Vec<(SendWr, u64, Timing)>) {
+    let mut pending: VecDeque<PendingComp> = VecDeque::with_capacity(items.len());
+    let first_ticket = items[0].1;
+    qp.delivery.wait_turn(first_ticket).await;
+    for (wr, ticket, t) in items {
+        if !qp.is_alive() {
+            // Same as the per-task path: advance and owe an immediate flush
+            // completion, no sleeps.
+            qp.delivery.advance(ticket);
+            pending.push_back(PendingComp {
+                wr,
+                ticket,
+                status: CqStatus::FlushError,
+                byte_len: 0,
+                old: None,
+                due: None,
+                posted: t.posted,
+            });
+            continue;
+        }
+        // Deliver CQEs that fall before this WR's arrival while the wire is
+        // "in flight" — exactly when their stand-alone tasks would have.
+        flush_comps(&qp, &mut pending, Some(t.req_arrival)).await;
+        sim::time::sleep_until(t.req_arrival).await;
+        let outcome = execute_remote(&qp, &peer, &wr, t).await;
+        qp.delivery.advance(ticket);
+        let (status, old) = match outcome {
+            Ok(old) => (CqStatus::Success, old),
+            Err(status) => {
+                QpShared::fail(&qp, status);
+                (status, None)
+            }
+        };
+        let byte_len = wr.op.request_bytes().max(wr.op.response_bytes()) as u32;
+        let due = if status != CqStatus::Success || wr.signaled {
+            Some(t.comp)
+        } else {
+            None
+        };
+        pending.push_back(PendingComp {
+            wr,
+            ticket,
+            status,
+            byte_len,
+            old,
+            due,
+            posted: t.posted,
+        });
+        // Unsignaled successes complete right after advancing delivery on
+        // the per-task path; match that whenever nothing timed is owed
+        // ahead of them.
+        flush_comps(&qp, &mut pending, Some(sim::now())).await;
+    }
+    flush_comps(&qp, &mut pending, None).await;
 }
 
 async fn complete(

@@ -1,7 +1,6 @@
 //! Small future combinators the simulation needs but std does not provide.
 
 use std::future::Future;
-use std::pin::Pin;
 use std::task::Poll;
 
 /// Result of [`race`]: which of the two futures finished first.
@@ -14,17 +13,20 @@ pub enum Either<A, B> {
 /// Runs two futures concurrently and resolves with the first to finish; the
 /// loser is dropped. `a` is polled first, so a tie at the same virtual
 /// instant deterministically goes to `Left`.
+///
+/// Both futures are pinned on the caller's stack frame (`pin!`), so racing
+/// costs zero heap allocations — this sits on the broker's per-request path.
 pub async fn race<A, B>(
     a: impl Future<Output = A>,
     b: impl Future<Output = B>,
 ) -> Either<A, B> {
-    let mut a = Box::pin(a);
-    let mut b = Box::pin(b);
+    let mut a = std::pin::pin!(a);
+    let mut b = std::pin::pin!(b);
     std::future::poll_fn(move |cx| {
-        if let Poll::Ready(v) = Pin::new(&mut a).poll(cx) {
+        if let Poll::Ready(v) = a.as_mut().poll(cx) {
             return Poll::Ready(Either::Left(v));
         }
-        if let Poll::Ready(v) = Pin::new(&mut b).poll(cx) {
+        if let Poll::Ready(v) = b.as_mut().poll(cx) {
             return Poll::Ready(Either::Right(v));
         }
         Poll::Pending

@@ -20,8 +20,11 @@ cargo test -q --offline --test chaos
 cargo run -q --release --offline --example quickstart
 
 # Perf smoke: wall-clock harness over the fig10/11 produce workload with a
-# counting global allocator. Writes BENCH_PR4.json (+ results/PERF_PR4.md)
-# and exits non-zero if the steady-state exclusive-RDMA produce path exceeds
-# its allocation budget (allocs/record <= 2) or a warm 1 MiB TCP send stops
-# being O(1) allocations. Wall-clock throughput is reported, not gated.
+# counting global allocator and an executor-poll counter. Writes
+# BENCH_PR5.json (+ results/PERF_PR5.md) and exits non-zero if the
+# steady-state exclusive-RDMA produce path exceeds its allocation budget
+# (allocs/record <= 2), its scheduling budget (polls/record <= 12 — the
+# pre-batching loop needed ~20.8, so this pins the CQ-batching win), or a
+# warm 1 MiB TCP send stops being O(1) allocations. Wall-clock throughput
+# is reported, not gated.
 cargo run -q --release --offline -p kdbench --bin kdperf -- --smoke

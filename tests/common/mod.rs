@@ -12,6 +12,9 @@ use kafkadirect::{SimCluster, SystemKind};
 use kdclient::{Admin, RdmaConsumer, RdmaProducer};
 use kdstorage::Record;
 
+// batch_determinism uses its own seed subset, so the full pool is dead code
+// from that binary's point of view.
+#[allow(dead_code)]
 pub const SEEDS: [u64; 8] = [3, 7, 11, 19, 42, 101, 555, 9001];
 pub const ATTEMPTS: u64 = 80;
 pub const HORIZON_NS: u64 = 30_000_000; // 30 ms of virtual time for fault triggers
@@ -84,7 +87,19 @@ impl Outcome {
     }
 }
 
+/// Runs the seed with the default broker datapath configuration (batched CQ
+/// draining as shipped).
+// Used by chaos.rs; the determinism binaries call run_seed_with directly.
+#[allow(dead_code)]
 pub fn run_seed(seed: u64) -> Outcome {
+    run_seed_with(seed, None, None)
+}
+
+/// Runs one seeded fault plan; `rdma_pollers` / `cq_batch` override the
+/// broker's poller count and CQ drain batch (`None` = shipped defaults).
+/// `cq_batch = 1` reproduces the pre-batching one-completion-per-wakeup
+/// poller bit for bit — the golden-digest test pins it.
+pub fn run_seed_with(seed: u64, rdma_pollers: Option<usize>, cq_batch: Option<usize>) -> Outcome {
     // Trace ids come from a thread-local allocator; reset it so replays of
     // the same seed produce bit-identical event logs.
     kdtelem::reset_trace_ids();
@@ -97,7 +112,15 @@ pub fn run_seed(seed: u64) -> Outcome {
         let injector = kdfault::Injector::new();
         let _i = kdfault::enter(&injector);
 
-        let cluster = SimCluster::start(SystemKind::KafkaDirect, 3);
+        let cluster = SimCluster::start_with(
+            SystemKind::KafkaDirect,
+            3,
+            kafkadirect::ClusterOptions {
+                rdma_pollers,
+                cq_batch,
+                ..Default::default()
+            },
+        );
         cluster.create_topic("chaos", 1, 2).await;
 
         let mut cfg = kdfault::PlanConfig::new(3, HORIZON_NS);

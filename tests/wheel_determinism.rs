@@ -11,8 +11,17 @@
 //! — only legitimate when a change *intentionally* alters virtual-time
 //! behaviour (new sleeps, different task topology), never to paper over an
 //! unexplained divergence.
+//!
+//! Runs pin `cq_batch = 1`: the batched CQ-drain poller is specified to
+//! degenerate to the pre-batching loop bit for bit at batch size 1, and
+//! this golden comparison is what enforces that equivalence.
 
 mod common;
+
+/// Golden runs: default poller count, CQ batch pinned to 1.
+fn run_golden_seed(seed: u64) -> common::Outcome {
+    common::run_seed_with(seed, None, Some(1))
+}
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -28,7 +37,7 @@ fn chaos_trace_digests_match_prewheel_golden() {
     if std::env::var("KD_RECORD_GOLDEN").is_ok() {
         let mut out = String::new();
         for &seed in &common::SEEDS {
-            let o = common::run_seed(seed);
+            let o = run_golden_seed(seed);
             writeln!(
                 out,
                 "seed={} events={} end_ns={} digest={:016x}",
@@ -46,7 +55,7 @@ fn chaos_trace_digests_match_prewheel_golden() {
     let golden = std::fs::read_to_string(&path)
         .expect("tests/golden/chaos_trace_digests.txt missing; record with KD_RECORD_GOLDEN=1");
     for (line, &seed) in golden.lines().zip(&common::SEEDS) {
-        let o = common::run_seed(seed);
+        let o = run_golden_seed(seed);
         let got = format!(
             "seed={} events={} end_ns={} digest={:016x}",
             seed,
