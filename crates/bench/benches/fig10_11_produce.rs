@@ -4,8 +4,8 @@
 
 use kafkadirect::SystemKind;
 use kdbench::harness::{
-    maybe_print_telemetry, maybe_write_trace, produce_bandwidth_mibps, produce_latency_us,
-    produce_telemetry, ProduceOpts, ProducerMode,
+    capture_trace, maybe_print_telemetry, maybe_write_series, maybe_write_trace,
+    produce_bandwidth_mibps, produce_latency_us, produce_telemetry, ProduceOpts, ProducerMode,
 };
 use kdbench::stats::{fmt, size_label, Table};
 
@@ -74,9 +74,33 @@ fn fig11() {
     table.print();
 }
 
+/// Critical-path attribution for one representative run per datapath: where
+/// do the end-to-end nanoseconds actually go? Stage sums reconcile exactly
+/// with the measured lifeline totals (the analyzer partitions every
+/// inter-event gap), so "dominant stage" is an accounting fact, not an
+/// estimate.
+fn critpath() {
+    for (label, system) in [
+        ("Kafka (TCP) e2e 256B", SystemKind::Kafka),
+        ("KafkaDirect e2e 256B", SystemKind::KafkaDirect),
+    ] {
+        let events = capture_trace(system, 256, 8);
+        let report = kdtelem::critpath::analyze(&events);
+        println!();
+        println!("# critical path — {label}");
+        print!("{}", report.to_table());
+        assert!(
+            report.ok(),
+            "critpath stage sums must reconcile: {:?}",
+            report.errors
+        );
+    }
+}
+
 fn main() {
     fig10();
     fig11();
+    critpath();
     // KD_TELEM=1: dump the instrument readings of one representative run per
     // produce datapath (broker API latency, NIC/link counters, client e2e).
     for (label, system, mode) in [
@@ -95,4 +119,7 @@ fn main() {
     // KD_TRACE=<path>: export one end-to-end produce→fetch run's lifelines
     // as Chrome trace-event JSON (Perfetto-loadable).
     maybe_write_trace("KafkaDirect e2e 256B", SystemKind::KafkaDirect);
+    // KD_SERIES=<path>: export a sampled produce run's virtual-time
+    // telemetry series as JSON lines (render with the kdtop binary).
+    maybe_write_series("KafkaDirect produce 256B", SystemKind::KafkaDirect);
 }

@@ -12,14 +12,17 @@
 //! (Kafka). A third section verifies that a 1 MiB netsim TCP send performs
 //! O(1) allocations once the packet pool is warm.
 //!
-//! Output: a JSON report (default `BENCH_PR5.json`) plus a human-readable
-//! summary (default `results/PERF_PR5.md`). Exit status is non-zero if a
+//! Output: a JSON report (default `BENCH_PR6.json`) plus a human-readable
+//! summary (default `results/PERF_PR6.md`). Exit status is non-zero if a
 //! steady-state budget is exceeded:
 //!
 //! * exclusive RDMA produce must stay at **<= 2 allocs/record**;
 //! * exclusive RDMA produce must stay at **<= 12 executor polls/record**
 //!   (the CQ-batching dividend — the PR 4 loop needed ~21);
-//! * the warm 1 MiB TCP send must stay under one alloc per MSS packet.
+//! * the warm 1 MiB TCP send must stay under one alloc per MSS packet;
+//! * running the virtual-time telemetry sampler must cost **<= 3%** of
+//!   exclusive-RDMA records/s (best-of-2 each way; override the budget
+//!   with `KDPERF_SAMPLER_BUDGET=<pct>`).
 //!
 //! The report also carries the broker-side `cqe_batch` histogram (CQEs
 //! taken per `ibv_poll_cq`-style drain), the direct measure of how much
@@ -147,8 +150,8 @@ impl Config {
             warmup: 500,
             window: 32,
             record_size: 512,
-            out: "BENCH_PR5.json".to_string(),
-            summary: "results/PERF_PR5.md".to_string(),
+            out: "BENCH_PR6.json".to_string(),
+            summary: "results/PERF_PR6.md".to_string(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -186,9 +189,11 @@ struct PathResult {
     polls: u64,
     allocs: u64,
     alloc_bytes: u64,
-    /// Broker-side CQEs-per-drain distribution ("kdbroker"/"cqe_batch"),
+    /// Broker-side CQEs-per-drain distribution ("kdbroker"/"cq.batch"),
     /// over the whole run (warmup included). Absent on the TCP path.
     cqe_batch: Option<kdtelem::HistStats>,
+    /// Time-series samples taken during the run (sampled runs only).
+    samples: Option<u64>,
 }
 
 impl PathResult {
@@ -224,6 +229,7 @@ fn run_produce(
     system: SystemKind,
     mode: ProducerMode,
     cfg: &Config,
+    sampled: bool,
 ) -> PathResult {
     let mut opts = ProduceOpts::new(system, mode, cfg.record_size);
     opts.records = cfg.records;
@@ -236,7 +242,20 @@ fn run_produce(
     let warmup = cfg.warmup;
     let window = cfg.window;
     let size = cfg.record_size;
-    let (cluster, producer, record) = rt.block_on(async move {
+    let sample_registry = registry.clone();
+    let (cluster, producer, record, series) = rt.block_on(async move {
+        // The sampler (if armed) runs through warmup + measurement, exactly
+        // as a production broker would run it: the overhead gate compares
+        // this run's wall-clock throughput against an unsampled twin.
+        let series = sampled.then(|| {
+            kdtelem::Sampler::start(
+                &sample_registry,
+                kdtelem::SeriesOptions {
+                    interval: std::time::Duration::from_micros(100),
+                    capacity: 1 << 16,
+                },
+            )
+        });
         let cluster = setup(&opts).await;
         let leader = cluster.leader_of("bench", 0).await;
         let node = cluster.add_client_node("perf-client");
@@ -244,7 +263,7 @@ fn run_produce(
             AnyProducer::connect(cluster.system, &node, leader, "bench", 0, mode).await;
         let record = Record::value(vec![0xA5u8; size]);
         producer.send_windowed(&record, warmup, window).await;
-        (cluster, producer, record)
+        (cluster, producer, record, series)
     });
 
     let (allocs0, bytes0) = alloc_snapshot();
@@ -280,6 +299,11 @@ fn run_produce(
     let polls = rt.poll_count() - polls0;
     let virtual_ns = (rt.now() - v0).as_nanos() as u64;
 
+    let samples = series.as_ref().map(|s| {
+        s.stop();
+        s.samples()
+    });
+
     // Tear down inside the runtime so connection/broker drops that talk to
     // the fabric run with an active executor.
     rt.block_on(async move {
@@ -291,7 +315,7 @@ fn run_produce(
         .snapshot()
         .histograms
         .iter()
-        .find(|h| h.component == "kdbroker" && h.name == "cqe_batch")
+        .find(|h| h.component == "kdbroker" && h.name == "cq.batch")
         .map(|h| h.stats);
 
     PathResult {
@@ -303,6 +327,7 @@ fn run_produce(
         allocs: allocs1 - allocs0,
         alloc_bytes: bytes1 - bytes0,
         cqe_batch,
+        samples,
     }
 }
 
@@ -371,6 +396,32 @@ const RDMA_ALLOC_BUDGET: f64 = 2.0;
 /// one-completion-per-wakeup loop needed ~20.8; batched CQ draining and
 /// chained posting must keep at least a 2x margin on it.
 const RDMA_POLLS_BUDGET: f64 = 12.0;
+/// Max wall-clock throughput cost of running the virtual-time sampler, in
+/// percent of unsampled exclusive-RDMA records/s. Override with
+/// `KDPERF_SAMPLER_BUDGET=<pct>` (useful on noisy shared hosts).
+const SAMPLER_OVERHEAD_BUDGET_PCT: f64 = 3.0;
+
+fn sampler_budget_pct() -> f64 {
+    std::env::var("KDPERF_SAMPLER_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SAMPLER_OVERHEAD_BUDGET_PCT)
+}
+
+/// The sampler-overhead measurement: best-of-2 unsampled vs best-of-2
+/// sampled exclusive-RDMA runs (best-of damps scheduler noise; overhead
+/// clamps at zero since a sampled run can win by luck).
+struct SamplerOverhead {
+    base_rps: f64,
+    sampled_rps: f64,
+    samples: u64,
+}
+
+impl SamplerOverhead {
+    fn overhead_pct(&self) -> f64 {
+        ((self.base_rps - self.sampled_rps) / self.base_rps * 100.0).max(0.0)
+    }
+}
 
 fn json_path(r: &PathResult) -> String {
     let cqe_batch = match &r.cqe_batch {
@@ -427,6 +478,7 @@ fn write_json(
     rdma: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
+    sampler: &SamplerOverhead,
     pass: bool,
 ) {
     let json = format!(
@@ -449,10 +501,18 @@ fn write_json(
             "    \"packets\": {},\n",
             "    \"allocs\": {}\n",
             "  }},\n",
+            "  \"sampler_overhead\": {{\n",
+            "    \"base_records_per_sec\": {:.0},\n",
+            "    \"sampled_records_per_sec\": {:.0},\n",
+            "    \"overhead_pct\": {:.2},\n",
+            "    \"budget_pct\": {:.1},\n",
+            "    \"samples\": {}\n",
+            "  }},\n",
             "  \"budget\": {{\n",
             "    \"rdma_exclusive_allocs_per_record_max\": {:.1},\n",
             "    \"rdma_exclusive_polls_per_record_max\": {:.1},\n",
             "    \"tcp_1mib_send_allocs_max\": {},\n",
+            "    \"sampler_overhead_pct_max\": {:.1},\n",
             "    \"pass\": {}\n",
             "  }}\n",
             "}}\n"
@@ -466,9 +526,15 @@ fn write_json(
         tcp_1mib.payload_bytes,
         tcp_1mib.packets,
         tcp_1mib.allocs,
+        sampler.base_rps,
+        sampler.sampled_rps,
+        sampler.overhead_pct(),
+        sampler_budget_pct(),
+        sampler.samples,
         RDMA_ALLOC_BUDGET,
         RDMA_POLLS_BUDGET,
         tcp_1mib.packets,
+        sampler_budget_pct(),
         pass,
     );
     std::fs::write(&cfg.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
@@ -491,6 +557,7 @@ fn write_summary(
     rdma: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
+    sampler: &SamplerOverhead,
     pass: bool,
 ) {
     let mut md = String::new();
@@ -517,6 +584,17 @@ fn write_summary(
         tcp_1mib.packets, tcp_1mib.allocs
     ));
     md.push_str(&format!(
+        "\nSampler overhead (exclusive RDMA, best-of-2 each way): \
+         {:.0} records/s unsampled vs {:.0} records/s with the 100 µs \
+         virtual-time sampler ({} samples) — **{:.2}%** of throughput \
+         (budget {:.1}%).\n",
+        sampler.base_rps,
+        sampler.sampled_rps,
+        sampler.samples,
+        sampler.overhead_pct(),
+        sampler_budget_pct()
+    ));
+    md.push_str(&format!(
         "\nBefore/after (exclusive RDMA, this host class): the pre-batching \
          loop (PR 4) measured ~111.5k records/s at ~20.8 polls/record and \
          ~1.0 allocs/record; with CQ batch draining + doorbell-batched \
@@ -527,9 +605,10 @@ fn write_summary(
         rdma.allocs_per_record()
     ));
     md.push_str(&format!(
-        "\nBudgets: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record \
-         and <= {RDMA_POLLS_BUDGET} executor polls/record at steady state — \
-         **{}**.\n",
+        "\nBudgets: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record, \
+         <= {RDMA_POLLS_BUDGET} executor polls/record, and sampler overhead \
+         <= {:.1}% at steady state — **{}**.\n",
+        sampler_budget_pct(),
         if pass { "PASS" } else { "FAIL" }
     ));
     md.push_str(
@@ -579,9 +658,10 @@ fn main() {
         SystemKind::KafkaDirect,
         ProducerMode::RdmaExclusive,
         &cfg,
+        false,
     );
     print_path(&rdma);
-    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg);
+    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg, false);
     print_path(&tcp);
     let tcp_1mib = run_tcp_1mib();
     println!(
@@ -589,13 +669,57 @@ fn main() {
         "tcp_1mib_send", tcp_1mib.allocs, tcp_1mib.packets
     );
 
+    // Sampler-overhead gate: best-of-2 unsampled vs best-of-2 sampled runs
+    // of the exclusive-RDMA loop. Continuous telemetry must be cheap enough
+    // to leave on.
+    let base2 = run_produce(
+        "rdma_exclusive",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+        false,
+    );
+    let s1 = run_produce(
+        "rdma_sampled",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+        true,
+    );
+    let s2 = run_produce(
+        "rdma_sampled",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+        true,
+    );
+    let best_sampled = if s1.records_per_sec() >= s2.records_per_sec() {
+        &s1
+    } else {
+        &s2
+    };
+    print_path(best_sampled);
+    let sampler = SamplerOverhead {
+        base_rps: rdma.records_per_sec().max(base2.records_per_sec()),
+        sampled_rps: best_sampled.records_per_sec(),
+        samples: best_sampled.samples.unwrap_or(0),
+    };
+    println!(
+        "  {:<16} {:.2}% of base throughput ({} samples; budget {:.1}%)",
+        "sampler_overhead",
+        sampler.overhead_pct(),
+        sampler.samples,
+        sampler_budget_pct()
+    );
+
     let rdma_ok = rdma.allocs_per_record() <= RDMA_ALLOC_BUDGET;
     let polls_ok = rdma.polls_per_record() <= RDMA_POLLS_BUDGET;
     let tcp_send_ok = tcp_1mib.allocs < tcp_1mib.packets;
-    let pass = rdma_ok && polls_ok && tcp_send_ok;
+    let sampler_ok = sampler.overhead_pct() <= sampler_budget_pct();
+    let pass = rdma_ok && polls_ok && tcp_send_ok && sampler_ok;
 
-    write_json(&cfg, &rdma, &tcp, &tcp_1mib, pass);
-    write_summary(&cfg, &rdma, &tcp, &tcp_1mib, pass);
+    write_json(&cfg, &rdma, &tcp, &tcp_1mib, &sampler, pass);
+    write_summary(&cfg, &rdma, &tcp, &tcp_1mib, &sampler, pass);
     println!("# wrote {} and {}", cfg.out, cfg.summary);
 
     if !rdma_ok {
@@ -614,6 +738,13 @@ fn main() {
         eprintln!(
             "kdperf: FAIL — warm 1 MiB TCP send allocated {} times ({} packets; budget < 1/packet)",
             tcp_1mib.allocs, tcp_1mib.packets
+        );
+    }
+    if !sampler_ok {
+        eprintln!(
+            "kdperf: FAIL — telemetry sampler costs {:.2}% of exclusive-RDMA records/s (budget {:.1}%)",
+            sampler.overhead_pct(),
+            sampler_budget_pct()
         );
     }
     if !pass {

@@ -1,0 +1,55 @@
+//! `kdtop` — render a recorded virtual-time telemetry series as ASCII.
+//!
+//! ```text
+//! # render a series file exported with KD_SERIES=<path> (or the broker's
+//! # admin Series dump saved to disk)
+//! cargo run --release -p kdbench --bin kdtop -- results/series.jsonl
+//!
+//! # no argument: record a fresh sampled KafkaDirect produce run and
+//! # render it (a live demo of the sampler)
+//! cargo run --release -p kdbench --bin kdtop
+//! ```
+//!
+//! Optional second argument: sparkline width in columns (default 64).
+
+use kafkadirect::SystemKind;
+use kdbench::{harness, kdtop};
+use kdtelem::SeriesDump;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next();
+    let width: usize = args
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(64);
+
+    let dump: SeriesDump = match &path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("kdtop: cannot read {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match SeriesDump::from_json_lines(&text) {
+                Some(d) => d,
+                None => {
+                    eprintln!("kdtop: {p} is not a series JSON-lines file");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("kdtop: no series file given; recording a sampled KafkaDirect produce run");
+            harness::capture_series(
+                SystemKind::KafkaDirect,
+                256,
+                2000,
+                std::time::Duration::from_micros(50),
+            )
+        }
+    };
+    print!("{}", kdtop::render(&dump, width));
+}

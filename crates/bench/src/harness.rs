@@ -426,6 +426,60 @@ pub fn maybe_write_trace(label: &str, system: SystemKind) {
     }
 }
 
+/// Runs a pipelined produce workload on `system`'s preferred datapath with
+/// the virtual-time sampler armed, inside a private telemetry registry, and
+/// returns the recorded [`kdtelem::SeriesDump`] — every counter, gauge and
+/// histogram sampled on a fixed virtual-time grid.
+pub fn capture_series(
+    system: SystemKind,
+    record_size: usize,
+    count: usize,
+    interval: std::time::Duration,
+) -> kdtelem::SeriesDump {
+    let registry = kdtelem::Registry::new();
+    let _scope = kdtelem::enter(&registry);
+    let rt = sim::Runtime::new();
+    rt.block_on(async move {
+        let log = kdtelem::Sampler::start(
+            &kdtelem::current(),
+            kdtelem::SeriesOptions {
+                interval,
+                capacity: 1 << 16,
+            },
+        );
+        let opts = ProduceOpts::new(system, preferred_mode(system), record_size);
+        let cluster = setup(&opts).await;
+        let leader = cluster.leader_of("bench", 0).await;
+        let node = cluster.add_client_node("client");
+        let mut producer =
+            AnyProducer::connect(cluster.system, &node, leader, "bench", 0, opts.mode).await;
+        let record = Record::value(vec![0xA5u8; record_size]);
+        producer.send_windowed(&record, count, 16).await;
+        log.stop();
+        log.dump()
+    })
+}
+
+/// When `KD_SERIES=<path>` is set, records a sampled produce run on
+/// `system` and writes the time-series as JSON lines to `<path>` — render
+/// it with `cargo run --release -p bench --bin kdtop -- <path>`.
+pub fn maybe_write_series(label: &str, system: SystemKind) {
+    let Some(path) = std::env::var_os("KD_SERIES") else {
+        return;
+    };
+    let dump = capture_series(system, 256, 2000, std::time::Duration::from_micros(50));
+    let path = std::path::PathBuf::from(path);
+    match std::fs::write(&path, dump.to_json_lines()) {
+        Ok(()) => println!(
+            "# series — {label}: wrote {} samples ({} dropped) to {}",
+            dump.samples,
+            dump.dropped,
+            path.display()
+        ),
+        Err(e) => eprintln!("# series — {label}: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// The preferred produce datapath of a system (for preloading data).
 pub fn preferred_mode(system: SystemKind) -> ProducerMode {
     if system.rdma_produce() {

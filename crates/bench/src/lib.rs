@@ -10,5 +10,6 @@
 //! prints the paper's series as an aligned table.
 
 pub mod harness;
+pub mod kdtop;
 pub mod micro;
 pub mod stats;

@@ -25,6 +25,9 @@ pub struct ClusterOptions {
     /// Overrides the CQ drain batch size (`1` reproduces the
     /// one-completion-per-wakeup loop bit for bit).
     pub cq_batch: Option<usize>,
+    /// Continuous telemetry for every broker (virtual-time sampler + health
+    /// watchdog); `None` (default) runs brokers exactly as before.
+    pub observe: Option<kdbroker::ObserveConfig>,
 }
 
 impl Default for ClusterOptions {
@@ -40,6 +43,7 @@ impl Default for ClusterOptions {
             api_workers: None,
             rdma_pollers: None,
             cq_batch: None,
+            observe: None,
         }
     }
 }
@@ -82,6 +86,9 @@ impl SimCluster {
         }
         if let Some(b) = opts.cq_batch {
             config = config.with_cq_batch(b);
+        }
+        if let Some(o) = opts.observe.clone() {
+            config = config.with_observe(o);
         }
         for i in 0..n {
             let node = fabric.add_node(&format!("broker{i}"));
@@ -167,6 +174,26 @@ impl SimCluster {
             .await
             .expect("admin connect");
         admin.telemetry().await.expect("telemetry rpc")
+    }
+
+    /// Fetches broker `i`'s virtual-time time-series recording over the
+    /// admin wire path. Panics unless the cluster was started with
+    /// [`ClusterOptions::observe`] set.
+    pub async fn broker_series(&self, i: usize) -> kdtelem::SeriesDump {
+        let admin = Admin::connect(&self.admin_node, self.broker(i).addr())
+            .await
+            .expect("admin connect");
+        admin.series().await.expect("series rpc")
+    }
+
+    /// Fetches broker `i`'s health-watchdog event log over the admin wire
+    /// path. Panics unless the cluster was started with
+    /// [`ClusterOptions::observe`] set.
+    pub async fn broker_health(&self, i: usize) -> Vec<kdtelem::HealthEvent> {
+        let admin = Admin::connect(&self.admin_node, self.broker(i).addr())
+            .await
+            .expect("admin connect");
+        admin.health().await.expect("health rpc")
     }
 
     /// Crashes broker `i` (see [`Broker::crash`]). Idempotent.

@@ -379,6 +379,25 @@ async fn handle_rpc(
                 },
             );
         }
+        Request::Series => {
+            charge_worker(b, CONTROL_COST).await;
+            let (error, json) = match &b.series {
+                Some(s) => (ErrorCode::None, s.dump().to_json_lines()),
+                None => (ErrorCode::NotSupported, String::new()),
+            };
+            send(reply, Response::Series { error, json });
+        }
+        Request::Health => {
+            charge_worker(b, CONTROL_COST).await;
+            let (error, json) = match &b.watchdog {
+                Some(w) => (
+                    ErrorCode::None,
+                    kdtelem::health::to_json_lines(&w.events()),
+                ),
+                None => (ErrorCode::NotSupported, String::new()),
+            };
+            send(reply, Response::Health { error, json });
+        }
         Request::ConsumeRelease {
             topic,
             partition,

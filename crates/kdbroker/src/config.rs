@@ -48,6 +48,34 @@ impl RdmaToggles {
     }
 }
 
+/// Continuous-observability switches. `None` (the default) runs the broker
+/// exactly as before — no sampler task, no watchdog task, bit-identical
+/// schedules. When set, the broker starts a [`kdtelem::Sampler`] and a
+/// [`kdtelem::Watchdog`] on its registry and serves their dumps over the
+/// admin path (`Request::Series` / `Request::Health`).
+#[derive(Debug, Clone)]
+pub struct ObserveConfig {
+    /// Virtual-time sampling interval for the time-series recorder.
+    pub sample_interval: Duration,
+    /// Ring capacity per instrument series.
+    pub series_capacity: usize,
+    /// Watchdog poll period.
+    pub watchdog_poll: Duration,
+    /// Virtual time without datapath progress before a stall is declared.
+    pub watchdog_budget: Duration,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            sample_interval: Duration::from_millis(1),
+            series_capacity: 4096,
+            watchdog_poll: Duration::from_micros(500),
+            watchdog_budget: Duration::from_millis(5),
+        }
+    }
+}
+
 /// Full broker configuration. Defaults follow the paper's §5 "Settings":
 /// eight API threads, three network threads, preallocated log files.
 #[derive(Debug, Clone)]
@@ -97,6 +125,8 @@ pub struct BrokerConfig {
     pub osu_recv_buf: usize,
     /// OSU transport: pre-posted request buffers per connection.
     pub osu_recv_depth: usize,
+    /// Continuous telemetry (sampler + watchdog); `None` = off (default).
+    pub observe: Option<ObserveConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -122,6 +152,7 @@ impl Default for BrokerConfig {
             slots_per_consumer: 64,
             osu_recv_buf: 1200 * 1024,
             osu_recv_depth: 8,
+            observe: None,
         }
     }
 }
@@ -168,6 +199,11 @@ impl BrokerConfig {
     pub fn with_rdma_pollers(mut self, rdma_pollers: usize) -> Self {
         assert!(rdma_pollers >= 1);
         self.rdma_pollers = rdma_pollers;
+        self
+    }
+
+    pub fn with_observe(mut self, observe: ObserveConfig) -> Self {
+        self.observe = Some(observe);
         self
     }
 }

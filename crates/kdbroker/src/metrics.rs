@@ -47,26 +47,29 @@ impl Default for Metrics {
 
 impl Metrics {
     pub fn new(registry: &kdtelem::Registry) -> Self {
+        // Registry names follow the `subsystem.metric` schema (see the
+        // metric inventory in DESIGN.md); struct fields keep their flat
+        // names for call-site brevity.
         let c = |name| registry.counter("kdbroker", name);
         Metrics {
-            produce_requests: c("produce_requests"),
-            produce_bytes: c("produce_bytes"),
-            rdma_commits: c("rdma_commits"),
-            rdma_commit_bytes: c("rdma_commit_bytes"),
-            fetch_requests: c("fetch_requests"),
-            empty_fetches: c("empty_fetches"),
-            fetch_bytes: c("fetch_bytes"),
-            replica_fetches: c("replica_fetches"),
-            push_writes: c("push_writes"),
-            push_bytes: c("push_bytes"),
-            heap_copied_bytes: c("heap_copied_bytes"),
-            worker_busy_ns: c("worker_busy_ns"),
-            acks_sent: c("acks_sent"),
-            slot_updates: c("slot_updates"),
-            registered_bytes: c("registered_bytes"),
-            produce_aborts: c("produce_aborts"),
-            grants_revoked: c("grants_revoked"),
-            net_busy_ns: c("net_busy_ns"),
+            produce_requests: c("produce.requests"),
+            produce_bytes: c("produce.bytes"),
+            rdma_commits: c("rdma.commits"),
+            rdma_commit_bytes: c("rdma.commit_bytes"),
+            fetch_requests: c("fetch.requests"),
+            empty_fetches: c("fetch.empty"),
+            fetch_bytes: c("fetch.bytes"),
+            replica_fetches: c("fetch.replica"),
+            push_writes: c("repl.push_writes"),
+            push_bytes: c("repl.push_bytes"),
+            heap_copied_bytes: c("copy.heap_bytes"),
+            worker_busy_ns: c("cpu.worker_busy_ns"),
+            acks_sent: c("produce.acks_sent"),
+            slot_updates: c("rdma.slot_updates"),
+            registered_bytes: c("rdma.registered_bytes"),
+            produce_aborts: c("produce.aborts"),
+            grants_revoked: c("rdma.grants_revoked"),
+            net_busy_ns: c("cpu.net_busy_ns"),
         }
     }
 
@@ -127,11 +130,11 @@ impl BrokerTelem {
         let h = |name| registry.histogram("kdbroker", name);
         BrokerTelem {
             registry: registry.clone(),
-            api_produce_ns: h("api_produce_ns"),
-            api_fetch_ns: h("api_fetch_ns"),
-            api_control_ns: h("api_control_ns"),
-            rdma_commit_ns: h("rdma_commit_ns"),
-            replicate_ns: h("replicate_ns"),
+            api_produce_ns: h("api.produce_ns"),
+            api_fetch_ns: h("api.fetch_ns"),
+            api_control_ns: h("api.control_ns"),
+            rdma_commit_ns: h("rdma.commit_ns"),
+            replicate_ns: h("repl.replicate_ns"),
         }
     }
 }
@@ -189,6 +192,6 @@ mod tests {
         assert_eq!(b.snapshot().produce_requests, 5);
         // ... while the registry aggregates by name.
         let snap = r.snapshot();
-        assert_eq!(snap.counter("kdbroker", "produce_requests"), Some(7));
+        assert_eq!(snap.counter("kdbroker", "produce.requests"), Some(7));
     }
 }

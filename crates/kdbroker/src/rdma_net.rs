@@ -26,7 +26,7 @@ pub fn start(b: &Rc<BrokerInner>) {
     start_consume_listener(b);
     // CQEs taken per drain, across all pollers of this broker (the
     // amortisation signal gated by kdperf).
-    let batch_hist = kdtelem::current().histogram("kdbroker", "cqe_batch");
+    let batch_hist = kdtelem::current().histogram("kdbroker", "cq.batch");
     for _ in 0..b.config.rdma_pollers {
         let b = Rc::clone(b);
         let hist = batch_hist.clone();

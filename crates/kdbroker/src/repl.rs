@@ -142,6 +142,11 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
     let mut just_rolled = false;
     let mut session: Option<PushSession> = None;
     let acked = Rc::new(Cell::new(0u64));
+    // Replication lag for this (partition, follower): records the leader
+    // has pushed but the follower has not yet acked. Each pusher holds a
+    // private cell under the shared name, so a registry snapshot reports
+    // total outstanding lag across the cluster (peak = worst instant).
+    let lag = b.telem.registry.gauge("kdbroker", "repl.lag");
     // Post times of in-flight writes (wr_id = follower LEO when acked),
     // consumed by the collector to measure push replication latency.
     let inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>> =
@@ -186,6 +191,7 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
                 just_rolled,
                 Rc::clone(&acked),
                 Rc::clone(&inflight),
+                lag.clone(),
             )
             .await;
             if session.is_none() {
@@ -278,6 +284,7 @@ async fn push_loop(b: Rc<BrokerInner>, p: Rc<Partition>, follower: kdwire::Broke
             continue;
         }
         inflight.borrow_mut().push_back((last_offset, sim::now()));
+        lag.set(last_offset.saturating_sub(acked.get()));
         b.metrics.add(&b.metrics.push_writes, 1);
         b.metrics.add(&b.metrics.push_bytes, u64::from(len));
         cursor_pos = end;
@@ -303,6 +310,7 @@ fn batch_index_at(p: &Rc<Partition>, seg_idx: u32, pos: u32) -> usize {
 
 /// Gets produce access on the follower and connects the push QP; spawns the
 /// completion collector.
+#[allow(clippy::too_many_arguments)]
 async fn establish(
     b: &Rc<BrokerInner>,
     p: &Rc<Partition>,
@@ -310,6 +318,7 @@ async fn establish(
     just_rolled: bool,
     acked: Rc<Cell<u64>>,
     inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>>,
+    lag: kdtelem::Gauge,
 ) -> Option<PushSession> {
     let client = b.peer_client(follower).await?;
     // (Re)attach wherever the follower's head is — except right after our
@@ -377,6 +386,7 @@ async fn establish(
         credits.clone(),
         ack_buf,
         acked,
+        lag,
         inflight,
     );
     Some(PushSession { qp, grant, credits })
@@ -395,6 +405,7 @@ fn spawn_collector(
     credits: Semaphore,
     ack_buf: ShmBuf,
     acked: Rc<Cell<u64>>,
+    lag: kdtelem::Gauge,
     inflight: Rc<RefCell<VecDeque<(u64, sim::SimTime)>>>,
 ) {
     // Write acks: the record "is fully replicated" once the RDMA write is
@@ -418,6 +429,8 @@ fn spawn_collector(
                 }
                 if cqe.opcode == CqOpcode::RdmaWrite && cqe.wr_id > acked.get() {
                     acked.set(cqe.wr_id);
+                    let posted = inflight.borrow().back().map_or(cqe.wr_id, |(off, _)| *off);
+                    lag.set(posted.saturating_sub(cqe.wr_id));
                     if let Some(ctx) = cqe.trace {
                         b2.telem.registry.trace_event_now(
                             ctx,

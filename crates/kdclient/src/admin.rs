@@ -138,6 +138,36 @@ impl Admin {
         }
     }
 
+    /// Fetches the broker's virtual-time time-series recording (every
+    /// counter/gauge/histogram sampled on a fixed virtual-time grid) as a
+    /// parsed [`kdtelem::SeriesDump`]. Errors with
+    /// [`ClientError::Broker`] (`NotSupported`) when the broker runs
+    /// without a sampler (`BrokerConfig::observe` unset).
+    pub async fn series(&self) -> Result<kdtelem::SeriesDump, ClientError> {
+        let resp = self.conn.call(&Request::Series).await?;
+        match resp {
+            Response::Series { error, json } => {
+                check(error)?;
+                kdtelem::SeriesDump::from_json_lines(&json).ok_or(ClientError::Protocol)
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Fetches the broker's health-watchdog event log (stalls, recoveries,
+    /// MTTR measurements). Errors with [`ClientError::Broker`]
+    /// (`NotSupported`) when the broker runs without a watchdog.
+    pub async fn health(&self) -> Result<Vec<kdtelem::HealthEvent>, ClientError> {
+        let resp = self.conn.call(&Request::Health).await?;
+        match resp {
+            Response::Health { error, json } => {
+                check(error)?;
+                kdtelem::health::from_json_lines(&json).ok_or(ClientError::Protocol)
+            }
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
     /// Earliest/latest (high watermark) offsets of a partition.
     pub async fn list_offsets(&self, topic: &str, partition: u32) -> Result<(u64, u64), ClientError> {
         let resp = self

@@ -38,7 +38,7 @@ impl TcpConsumer {
     ) -> Result<TcpConsumer, ClientError> {
         let conn = Conn::connect(node, broker, transport).await?;
         let telem = kdtelem::current();
-        let fetch_e2e_ns = telem.histogram("kdclient", "fetch_e2e_ns");
+        let fetch_e2e_ns = telem.histogram("kdclient", "fetch.e2e_ns");
         Ok(TcpConsumer {
             node: node.clone(),
             conn,

@@ -81,7 +81,7 @@ impl TcpProducer {
     ) -> Result<TcpProducer, ClientError> {
         let conn = Conn::connect(node, broker, transport).await?;
         let telem = kdtelem::current();
-        let e2e_ns = telem.histogram("kdclient", "produce_e2e_ns");
+        let e2e_ns = telem.histogram("kdclient", "produce.e2e_ns");
         Ok(TcpProducer {
             node: node.clone(),
             conn,

@@ -105,7 +105,7 @@ impl RdmaConsumer {
             .await
             .map_err(|_| ClientError::Disconnected)?;
         let telem = kdtelem::current();
-        let fetch_e2e_ns = telem.histogram("kdclient", "fetch_e2e_ns");
+        let fetch_e2e_ns = telem.histogram("kdclient", "fetch.e2e_ns");
         Ok(RdmaConsumer {
             node: node.clone(),
             ctrl,

@@ -109,7 +109,7 @@ impl RdmaProducer {
         )
         .await?;
         let telem = kdtelem::current();
-        let e2e_ns = telem.histogram("kdclient", "produce_e2e_ns");
+        let e2e_ns = telem.histogram("kdclient", "produce.e2e_ns");
         let producer_id = sim::rng::range_u64(1..u64::MAX);
         let mut producer = RdmaProducer {
             node: node.clone(),

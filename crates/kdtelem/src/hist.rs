@@ -46,6 +46,10 @@ pub(crate) struct HistData {
     sum: u64,
     min: u64,
     max: u64,
+    /// One past the highest populated bucket — scans stop here, so walks
+    /// cost O(populated range) instead of O(976) (the sampler ticks every
+    /// histogram every interval).
+    hi: usize,
 }
 
 impl HistData {
@@ -56,11 +60,14 @@ impl HistData {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            hi: 0,
         }
     }
 
     fn record(&mut self, v: u64) {
-        self.counts[bucket_index(v)] += 1;
+        let i = bucket_index(v);
+        self.counts[i] += 1;
+        self.hi = self.hi.max(i + 1);
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
@@ -68,9 +75,10 @@ impl HistData {
     }
 
     fn merge_from(&mut self, other: &HistData) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts[..other.hi]) {
             *a += b;
         }
+        self.hi = self.hi.max(other.hi);
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
@@ -207,6 +215,196 @@ impl Histogram {
             p50: d.quantile(0.50),
             p90: d.quantile(0.90),
             p99: d.quantile(0.99),
+        }
+    }
+
+    /// Full bucket-level snapshot: the basis for interval deltas
+    /// ([`HistSnapshot::delta_since`]) in the time-series sampler.
+    pub fn snapshot_data(&self) -> HistSnapshot {
+        let d = self.inner.borrow();
+        HistSnapshot {
+            counts: d.counts.clone(),
+            count: d.count,
+            sum: d.sum,
+            hi: d.hi,
+        }
+    }
+
+    /// Adds this histogram's buckets into an existing snapshot without
+    /// allocating — the sampler's per-tick accumulation path.
+    pub fn merge_into(&self, out: &mut HistSnapshot) {
+        let d = self.inner.borrow();
+        for (a, b) in out.counts.iter_mut().zip(&d.counts[..d.hi]) {
+            *a = a.saturating_add(*b);
+        }
+        out.hi = out.hi.max(d.hi);
+        out.count = out.count.saturating_add(d.count);
+        out.sum = out.sum.saturating_add(d.sum);
+    }
+}
+
+/// An owned, bucket-level copy of a histogram's state at one instant.
+///
+/// Snapshots taken from a monotonically-growing histogram support exact
+/// interval arithmetic: `later.delta_since(&earlier)` is the histogram of
+/// samples recorded strictly between the two snapshots, and summing every
+/// interval delta with [`HistSnapshot::merge_from`] reconstructs the
+/// full-run histogram bucket for bucket.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// One past the highest possibly-populated bucket (an upper bound, not
+    /// exact after deltas). Excluded from equality — it is a scan bound.
+    hi: usize,
+}
+
+/// Equality is over logical content (buckets and totals); the `hi` scan
+/// watermark is an over-approximation and deliberately ignored.
+impl PartialEq for HistSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count && self.sum == other.sum && self.counts == other.counts
+    }
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no samples — the identity for [`merge_from`]
+    /// (`HistSnapshot::merge_from`) and the baseline for a sampler's first
+    /// interval.
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            hi: 0,
+        }
+    }
+
+    /// Resets to empty in place, keeping the bucket allocation (the sampler
+    /// reuses one scratch snapshot per instrument per tick).
+    pub fn clear(&mut self) {
+        self.counts[..self.hi].fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.hi = 0;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket difference `self - earlier`, saturating at zero so a
+    /// snapshot pair from mismatched histograms (or a saturated `sum`)
+    /// degrades to an under-count instead of wrapping.
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            hi: self.hi.max(earlier.hi),
+        }
+    }
+
+    /// Quantile of the interval histogram `self - earlier`, computed bucket
+    /// by bucket without materialising the delta — the sampler calls this
+    /// twice per histogram per tick, so it must not allocate.
+    pub fn delta_quantile(&self, earlier: &HistSnapshot, q: f64) -> u64 {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let hi = self.hi.max(earlier.hi);
+        for (i, (&a, &b)) in self.counts[..hi].iter().zip(&earlier.counts[..hi]).enumerate() {
+            seen += a.saturating_sub(b);
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        0
+    }
+
+    /// Adds another snapshot's buckets into this one (interval re-summing).
+    pub fn merge_from(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts[..other.hi]) {
+            *a = a.saturating_add(*b);
+        }
+        self.hi = self.hi.max(other.hi);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Value at quantile `q` in `[0, 1]` over the snapshot's buckets. Unlike
+    /// the live histogram there is no true per-interval max, so the bucket
+    /// high value is reported as-is (~6% overstatement worst case).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        0
+    }
+
+    /// Lowest bucket-high value with any sample (interval-min surrogate).
+    pub fn low(&self) -> u64 {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(bucket_high)
+            .unwrap_or(0)
+    }
+
+    /// Highest bucket-high value with any sample (interval-max surrogate).
+    pub fn high(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_high)
+            .unwrap_or(0)
+    }
+
+    /// Summary stats over the snapshot's buckets; min/max are the bucket
+    /// surrogates from [`low`](HistSnapshot::low) / [`high`](HistSnapshot::high).
+    pub fn stats(&self) -> HistStats {
+        HistStats {
+            count: self.count,
+            sum: self.sum,
+            min: self.low(),
+            max: self.high(),
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -404,5 +602,74 @@ mod tests {
         let h2 = h.clone();
         h2.record(42);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_deltas_resum_to_full_run() {
+        // Satellite: delta-since-last-sample summed over intervals must be
+        // bucket-identical to the full-run histogram, empty intervals
+        // included.
+        let h = Histogram::new();
+        let mut last = HistSnapshot::empty();
+        let mut resummed = HistSnapshot::empty();
+        let mut x = 7u64;
+        for interval in 0..10 {
+            if interval != 3 && interval != 7 {
+                // Intervals 3 and 7 record nothing — empty-delta edge case.
+                for _ in 0..50 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    h.record(x >> 40);
+                }
+            }
+            let now = h.snapshot_data();
+            let delta = now.delta_since(&last);
+            if interval == 3 || interval == 7 {
+                assert_eq!(delta.count(), 0, "empty interval must yield empty delta");
+                assert_eq!(delta.stats().p99, 0);
+            }
+            resummed.merge_from(&delta);
+            last = now;
+        }
+        assert_eq!(resummed, h.snapshot_data(), "interval re-sum diverged");
+        assert_eq!(resummed.count(), 400);
+        assert_eq!(resummed.sum(), h.sum());
+    }
+
+    #[test]
+    fn snapshot_delta_saturates_instead_of_wrapping() {
+        let a = Histogram::new();
+        a.record(100);
+        let early = a.snapshot_data();
+        // A snapshot pair taken in the wrong order (or across a reset)
+        // saturates to the empty delta.
+        let wrong = HistSnapshot::empty().delta_since(&early);
+        assert_eq!(wrong.count(), 0);
+        assert_eq!(wrong.sum(), 0);
+        assert_eq!(wrong, HistSnapshot::empty());
+        // Saturated sums stay saturated through delta arithmetic.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum saturates at u64::MAX
+        let snap = h.snapshot_data();
+        assert_eq!(snap.sum(), u64::MAX);
+        let d = snap.delta_since(&HistSnapshot::empty());
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_quantiles_track_live_histogram() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot_data().stats();
+        assert_eq!(s.count, 1000);
+        // Snapshot p50 has no true-max cap but the same bucket resolution.
+        assert!((500..=532).contains(&s.p50), "p50={}", s.p50);
+        assert!(s.max >= 1000 && s.max <= 1000 + 63, "max={}", s.max);
+        assert_eq!(s.min, 1);
+        let empty = HistSnapshot::empty().stats();
+        assert_eq!((empty.count, empty.p50, empty.max), (0, 0, 0));
     }
 }

@@ -32,20 +32,35 @@
 //! boundaries (kdwire frame headers on TCP, WR context on verbs), a
 //! Perfetto-loadable Chrome trace-event exporter ([`chrome`]), and a
 //! happens-before invariant checker ([`check`]).
+//!
+//! PR 6 adds **continuous telemetry** on top of both: a virtual-time
+//! time-series recorder ([`series`] — a wheel-driven sampler snapshotting
+//! every instrument into bounded rings, with exact per-interval histogram
+//! deltas), a critical-path analyzer ([`critpath`] — folds trace lifelines
+//! into per-stage latency attribution whose sums reconcile exactly with
+//! end-to-end latency), and a health watchdog ([`health`] — stall
+//! detection, failover MTTR, typed health events). Metric names follow a
+//! `component` + `subsystem.metric` schema (e.g. `kdbroker` /
+//! `rdma.commits`); the full inventory is tabled in DESIGN.md.
 
 pub mod check;
 pub mod chrome;
+pub mod critpath;
+pub mod health;
 mod hist;
 mod registry;
 mod report;
+pub mod series;
 pub mod trace;
 
-pub use hist::{HistStats, Histogram};
+pub use hist::{HistSnapshot, HistStats, Histogram};
 pub use registry::{
     current, enter, Counter, Gauge, Registry, ScopeGuard, SpanGuard, SpanRecord, TraceSpan,
     EVENT_RING_CAPACITY, SPAN_RING_CAPACITY,
 };
 pub use report::{CounterRow, GaugeRow, HistRow, SpanRow, TelemetryReport};
+pub use series::{Sampler, SeriesDump, SeriesLog, SeriesOptions};
+pub use health::{HealthEvent, HealthKind, Watchdog, WatchdogOptions};
 pub use trace::{
     current_ctx, enter_ctx, reset_trace_ids, stream_key, CtxGuard, EventKind, TraceCtx, TraceEvent,
 };

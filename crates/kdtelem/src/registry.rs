@@ -338,6 +338,56 @@ impl Registry {
         self.inner.spans.borrow().dropped
     }
 
+    /// Identity of the underlying shared registry state: clones compare
+    /// equal, distinct registries differ. The sampler uses this to notice a
+    /// registry swap and drop its per-cell index caches.
+    pub fn id(&self) -> usize {
+        Rc::as_ptr(&self.inner) as usize
+    }
+
+    /// Visits every registered counter cell (not aggregated — same-named
+    /// cells repeat). Allocation-free; the time-series sampler folds these
+    /// into its own per-key accumulators each tick.
+    pub fn fold_counters(&self, mut f: impl FnMut(Key, u64)) {
+        for (key, c) in self.inner.counters.borrow().iter() {
+            f(*key, c.get());
+        }
+    }
+
+    /// Visits every registered gauge cell as `(key, value, peak)`.
+    pub fn fold_gauges(&self, mut f: impl FnMut(Key, u64, u64)) {
+        for (key, g) in self.inner.gauges.borrow().iter() {
+            f(*key, g.get(), g.peak());
+        }
+    }
+
+    /// Visits every registered histogram cell by reference.
+    pub fn fold_histograms(&self, mut f: impl FnMut(Key, &Histogram)) {
+        for (key, h) in self.inner.histograms.borrow().iter() {
+            f(*key, h);
+        }
+    }
+
+    /// Bucket-level snapshots of every registered histogram, merged per
+    /// `(component, name)` key and sorted. The time-series sampler diffs
+    /// successive calls to get exact per-interval distributions
+    /// ([`crate::hist::HistSnapshot::delta_since`]).
+    pub fn merged_histograms(&self) -> Vec<(Key, crate::hist::HistSnapshot)> {
+        let mut merged: Vec<(Key, crate::hist::HistSnapshot)> = Vec::new();
+        for ((component, name), h) in self.inner.histograms.borrow().iter() {
+            let snap = h.snapshot_data();
+            match merged
+                .iter_mut()
+                .find(|(k, _)| k.0 == *component && k.1 == *name)
+            {
+                Some((_, acc)) => acc.merge_from(&snap),
+                None => merged.push(((component, name), snap)),
+            }
+        }
+        merged.sort_by_key(|(k, _)| *k);
+        merged
+    }
+
     /// Aggregated point-in-time report: counters summed, gauge values summed
     /// and peaks maxed, histograms merged — per `(component, name)` key,
     /// sorted for stable output.

@@ -345,12 +345,12 @@ mod tests {
 
     fn sample_report() -> TelemetryReport {
         let r = Registry::new();
-        r.counter("broker", "produce_requests").add(12);
-        r.counter("rnic", "qp_posts").add(99);
-        let g = r.gauge("rnic", "cq_depth");
+        r.counter("kdbroker", "produce.requests").add(12);
+        r.counter("rnic", "qp.posts").add(99);
+        let g = r.gauge("rnic", "cq.depth");
         g.add(5);
         g.sub(2);
-        let h = r.histogram("client", "produce_e2e_ns");
+        let h = r.histogram("kdclient", "produce.e2e_ns");
         for v in [1_000u64, 2_000, 4_000, 8_000, 100_000] {
             h.record(v);
         }
@@ -361,9 +361,9 @@ mod tests {
     #[test]
     fn table_contains_all_rows() {
         let t = sample_report().to_table();
-        assert!(t.contains("broker.produce_requests"));
-        assert!(t.contains("rnic.cq_depth"));
-        assert!(t.contains("client.produce_e2e_ns"));
+        assert!(t.contains("kdbroker.produce.requests"));
+        assert!(t.contains("rnic.cq.depth"));
+        assert!(t.contains("kdclient.produce.e2e_ns"));
         assert!(t.contains("p99"));
         assert!(t.contains("spans: 1 buffered, 0 dropped"));
     }
@@ -376,11 +376,11 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
         let back = TelemetryReport::from_json_lines(&json).expect("parse");
-        assert_eq!(back.counter("broker", "produce_requests"), Some(12));
-        assert_eq!(back.counter("rnic", "qp_posts"), Some(99));
-        let g = back.gauge("rnic", "cq_depth").unwrap();
+        assert_eq!(back.counter("kdbroker", "produce.requests"), Some(12));
+        assert_eq!(back.counter("rnic", "qp.posts"), Some(99));
+        let g = back.gauge("rnic", "cq.depth").unwrap();
         assert_eq!((g.value, g.peak), (3, 5));
-        let h = back.histogram("client", "produce_e2e_ns").unwrap();
+        let h = back.histogram("kdclient", "produce.e2e_ns").unwrap();
         assert_eq!(h.stats.count, 5);
         assert_eq!(h.stats.min, 1_000);
         assert_eq!(back.spans_buffered, 1);

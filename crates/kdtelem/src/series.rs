@@ -1,0 +1,775 @@
+//! Virtual-time time-series: a sampler task driven by the sim timer wheel
+//! periodically snapshots every registered counter/gauge/histogram into
+//! bounded per-metric rings.
+//!
+//! Counters become `(value, delta)` points (delta = increase since the last
+//! sample → windowed rates), gauges `(value, peak)`, histograms exact
+//! per-interval distributions via [`HistSnapshot::delta_since`] (p50/p99 of
+//! just that interval's samples). Rings are bounded: once full the oldest
+//! point is dropped and counted, so month-long soaks stay O(capacity).
+//!
+//! The sampler is a detached task; it records no trace events and never
+//! delays the workload's completion, so deterministic-replay digests (which
+//! fold trace ids, timestamps, and final virtual time) are unaffected by
+//! sampling being on or off.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::hist::HistSnapshot;
+use crate::registry::Registry;
+use crate::report::{json_field_str, json_field_u64, json_str};
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesOptions {
+    /// Virtual-time sampling period (ticks land on a fixed grid).
+    pub interval: Duration,
+    /// Points retained per metric before the oldest are dropped.
+    pub capacity: usize,
+}
+
+impl Default for SeriesOptions {
+    fn default() -> Self {
+        SeriesOptions {
+            interval: Duration::from_millis(1),
+            capacity: 4096,
+        }
+    }
+}
+
+/// One counter sample: the running total and the increase this interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterPoint {
+    pub ts_ns: u64,
+    pub value: u64,
+    pub delta: u64,
+}
+
+/// One gauge sample: current level and all-time peak at sample time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugePoint {
+    pub ts_ns: u64,
+    pub value: u64,
+    pub peak: u64,
+}
+
+/// One histogram sample: the distribution of *this interval's* recordings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistPoint {
+    pub ts_ns: u64,
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p99: u64,
+}
+
+type Key = (&'static str, &'static str);
+
+#[derive(Debug)]
+struct Ring<P> {
+    points: VecDeque<P>,
+}
+
+impl<P> Ring<P> {
+    fn new() -> Self {
+        Ring {
+            points: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, cap: usize, p: P) -> bool {
+        let dropped = self.points.len() >= cap.max(1);
+        if dropped {
+            self.points.pop_front();
+        }
+        self.points.push_back(p);
+        dropped
+    }
+}
+
+struct CounterSlot {
+    key: Key,
+    /// Aggregated value at the previous sample (delta baseline).
+    last: u64,
+    /// Per-tick accumulator: same-named cells sum here before the point is
+    /// cut. Zeroed at the start of every sample.
+    acc: u64,
+    ring: Ring<CounterPoint>,
+}
+
+struct GaugeSlot {
+    key: Key,
+    acc_value: u64,
+    acc_peak: u64,
+    ring: Ring<GaugePoint>,
+}
+
+struct HistSlot {
+    key: Key,
+    /// Aggregated buckets at the previous sample.
+    last: HistSnapshot,
+    /// Reusable per-tick scratch: cleared, re-accumulated from the live
+    /// cells, then swapped into `last`. No allocation in steady state.
+    cur: HistSnapshot,
+    /// Aggregated recording count seen this tick (phase 1); bucket work is
+    /// skipped entirely when it matches `last` — quiet histograms cost two
+    /// integer reads per tick, not a 976-bucket merge.
+    pending_count: u64,
+    active: bool,
+    ring: Ring<HistPoint>,
+}
+
+struct SeriesInner {
+    opts: SeriesOptions,
+    samples: u64,
+    dropped: u64,
+    stopped: bool,
+    /// `Registry::id` the index maps below were built against; a different
+    /// registry invalidates them (cell order is per-registry).
+    registry_id: Option<usize>,
+    /// Registry cell index → slot index. Registry vecs are append-only, so
+    /// these stay valid and turn per-cell keyed searches into array reads.
+    counter_map: Vec<usize>,
+    gauge_map: Vec<usize>,
+    hist_map: Vec<usize>,
+    counters: Vec<CounterSlot>,
+    gauges: Vec<GaugeSlot>,
+    hists: Vec<HistSlot>,
+}
+
+/// Handle to a recording time-series; cheap to clone. Create one directly
+/// for manual sampling ([`SeriesLog::sample_now`]) or let [`Sampler::start`]
+/// drive it from the timer wheel.
+#[derive(Clone)]
+pub struct SeriesLog {
+    inner: Rc<RefCell<SeriesInner>>,
+}
+
+impl SeriesLog {
+    pub fn new(opts: SeriesOptions) -> SeriesLog {
+        SeriesLog {
+            inner: Rc::new(RefCell::new(SeriesInner {
+                opts,
+                samples: 0,
+                dropped: 0,
+                stopped: false,
+                registry_id: None,
+                counter_map: Vec::new(),
+                gauge_map: Vec::new(),
+                hist_map: Vec::new(),
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                hists: Vec::new(),
+            })),
+        }
+    }
+
+    /// Takes one sample of every instrument in `registry` at the current
+    /// virtual time (timestamp 0 outside a runtime — tests sampling by hand).
+    ///
+    /// This is the per-tick hot path: it folds the live cells into reusable
+    /// per-key slots and allocates only on first sight of an instrument
+    /// (ring growth aside), so continuous sampling costs arithmetic, not
+    /// heap churn.
+    pub fn sample_now(&self, registry: &Registry) {
+        let ts_ns = sim::try_now().map(|t| t.as_nanos()).unwrap_or(0);
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let cap = inner.opts.capacity;
+        inner.samples += 1;
+        let mut dropped = 0u64;
+
+        // Cell order is per-registry; a swap invalidates the index caches.
+        if inner.registry_id != Some(registry.id()) {
+            inner.registry_id = Some(registry.id());
+            inner.counter_map.clear();
+            inner.gauge_map.clear();
+            inner.hist_map.clear();
+        }
+
+        for s in inner.counters.iter_mut() {
+            s.acc = 0;
+        }
+        {
+            let counters = &mut inner.counters;
+            let map = &mut inner.counter_map;
+            let mut i = 0usize;
+            registry.fold_counters(|key, v| {
+                if i >= map.len() {
+                    // New cell since last tick: find or create its slot once.
+                    let slot = match counters.iter().position(|s| s.key == key) {
+                        Some(p) => p,
+                        None => {
+                            counters.push(CounterSlot {
+                                key,
+                                last: 0,
+                                acc: 0,
+                                ring: Ring::new(),
+                            });
+                            counters.len() - 1
+                        }
+                    };
+                    map.push(slot);
+                }
+                counters[map[i]].acc += v;
+                i += 1;
+            });
+        }
+        for s in inner.counters.iter_mut() {
+            let delta = s.acc.saturating_sub(s.last);
+            s.last = s.acc;
+            if s.ring.push(
+                cap,
+                CounterPoint {
+                    ts_ns,
+                    value: s.acc,
+                    delta,
+                },
+            ) {
+                dropped += 1;
+            }
+        }
+
+        for s in inner.gauges.iter_mut() {
+            s.acc_value = 0;
+            s.acc_peak = 0;
+        }
+        {
+            let gauges = &mut inner.gauges;
+            let map = &mut inner.gauge_map;
+            let mut i = 0usize;
+            registry.fold_gauges(|key, value, peak| {
+                if i >= map.len() {
+                    let slot = match gauges.iter().position(|s| s.key == key) {
+                        Some(p) => p,
+                        None => {
+                            gauges.push(GaugeSlot {
+                                key,
+                                acc_value: 0,
+                                acc_peak: 0,
+                                ring: Ring::new(),
+                            });
+                            gauges.len() - 1
+                        }
+                    };
+                    map.push(slot);
+                }
+                let s = &mut gauges[map[i]];
+                s.acc_value += value;
+                s.acc_peak = s.acc_peak.max(peak);
+                i += 1;
+            });
+        }
+        for s in inner.gauges.iter_mut() {
+            if s.ring.push(
+                cap,
+                GaugePoint {
+                    ts_ns,
+                    value: s.acc_value,
+                    peak: s.acc_peak,
+                },
+            ) {
+                dropped += 1;
+            }
+        }
+
+        // Histograms in three passes. Phase 1: aggregate recording counts
+        // (two integer reads per cell). A slot whose count is unchanged had
+        // no recordings this interval — its point is empty by construction
+        // and the bucket merge is skipped.
+        for s in inner.hists.iter_mut() {
+            s.pending_count = 0;
+        }
+        {
+            let hists = &mut inner.hists;
+            let map = &mut inner.hist_map;
+            let mut i = 0usize;
+            registry.fold_histograms(|key, h| {
+                if i >= map.len() {
+                    let slot = match hists.iter().position(|s| s.key == key) {
+                        Some(p) => p,
+                        None => {
+                            hists.push(HistSlot {
+                                key,
+                                last: HistSnapshot::empty(),
+                                cur: HistSnapshot::empty(),
+                                pending_count: 0,
+                                active: false,
+                                ring: Ring::new(),
+                            });
+                            hists.len() - 1
+                        }
+                    };
+                    map.push(slot);
+                }
+                hists[map[i]].pending_count += h.count();
+                i += 1;
+            });
+        }
+        for s in inner.hists.iter_mut() {
+            s.active = s.pending_count != s.last.count();
+            if s.active {
+                s.cur.clear();
+            }
+        }
+        // Phase 2: merge buckets for active slots only.
+        {
+            let hists = &mut inner.hists;
+            let map = &inner.hist_map;
+            let mut i = 0usize;
+            registry.fold_histograms(|_, h| {
+                let s = &mut hists[map[i]];
+                if s.active {
+                    h.merge_into(&mut s.cur);
+                }
+                i += 1;
+            });
+        }
+        // Phase 3: cut the interval point and roll `cur` into `last`.
+        for s in inner.hists.iter_mut() {
+            let (count, sum, p50, p99) = if s.active {
+                (
+                    s.cur.count().saturating_sub(s.last.count()),
+                    s.cur.sum().saturating_sub(s.last.sum()),
+                    s.cur.delta_quantile(&s.last, 0.50),
+                    s.cur.delta_quantile(&s.last, 0.99),
+                )
+            } else {
+                (0, 0, 0, 0)
+            };
+            if s.ring.push(
+                cap,
+                HistPoint {
+                    ts_ns,
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                },
+            ) {
+                dropped += 1;
+            }
+            if s.active {
+                std::mem::swap(&mut s.last, &mut s.cur);
+            }
+        }
+
+        inner.dropped += dropped;
+    }
+
+    /// Stops the driving sampler task at its next tick.
+    pub fn stop(&self) {
+        self.inner.borrow_mut().stopped = true;
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.inner.borrow().stopped
+    }
+
+    /// Samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.inner.borrow().samples
+    }
+
+    /// Points lost to ring bounds across all metrics.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Owned copy of everything recorded so far, sorted by key for stable
+    /// output (slots accumulate in first-seen order).
+    pub fn dump(&self) -> SeriesDump {
+        let inner = self.inner.borrow();
+        let mut counters: Vec<CounterSeries> = inner
+            .counters
+            .iter()
+            .map(|s| CounterSeries {
+                component: s.key.0.to_string(),
+                name: s.key.1.to_string(),
+                points: s.ring.points.iter().copied().collect(),
+            })
+            .collect();
+        let mut gauges: Vec<GaugeSeries> = inner
+            .gauges
+            .iter()
+            .map(|s| GaugeSeries {
+                component: s.key.0.to_string(),
+                name: s.key.1.to_string(),
+                points: s.ring.points.iter().copied().collect(),
+            })
+            .collect();
+        let mut histograms: Vec<HistSeries> = inner
+            .hists
+            .iter()
+            .map(|s| HistSeries {
+                component: s.key.0.to_string(),
+                name: s.key.1.to_string(),
+                points: s.ring.points.iter().copied().collect(),
+            })
+            .collect();
+        counters.sort_by(|a, b| (&a.component, &a.name).cmp(&(&b.component, &b.name)));
+        gauges.sort_by(|a, b| (&a.component, &a.name).cmp(&(&b.component, &b.name)));
+        histograms.sort_by(|a, b| (&a.component, &a.name).cmp(&(&b.component, &b.name)));
+        SeriesDump {
+            interval_ns: inner.opts.interval.as_nanos() as u64,
+            samples: inner.samples,
+            dropped: inner.dropped,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Spawns the sampling task. Must be called inside `block_on`.
+pub struct Sampler;
+
+impl Sampler {
+    /// Starts a detached sampler over `registry` and returns the log it
+    /// fills. The task exits at the first tick after [`SeriesLog::stop`]
+    /// (or silently when the runtime ends).
+    pub fn start(registry: &Registry, opts: SeriesOptions) -> SeriesLog {
+        let log = SeriesLog::new(opts);
+        let task_log = log.clone();
+        let registry = registry.clone();
+        sim::spawn_detached(async move {
+            let mut ticker = sim::time::interval(opts.interval);
+            loop {
+                ticker.tick().await;
+                if task_log.is_stopped() {
+                    break;
+                }
+                task_log.sample_now(&registry);
+            }
+        });
+        log
+    }
+}
+
+/// One counter's recorded points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSeries {
+    pub component: String,
+    pub name: String,
+    pub points: Vec<CounterPoint>,
+}
+
+impl CounterSeries {
+    /// Per-interval increases, oldest first.
+    pub fn deltas(&self) -> Vec<u64> {
+        self.points.iter().map(|p| p.delta).collect()
+    }
+}
+
+/// One gauge's recorded points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSeries {
+    pub component: String,
+    pub name: String,
+    pub points: Vec<GaugePoint>,
+}
+
+/// One histogram's recorded interval points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSeries {
+    pub component: String,
+    pub name: String,
+    pub points: Vec<HistPoint>,
+}
+
+/// An owned, exportable time-series dump (the wire/file format of a
+/// [`SeriesLog`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesDump {
+    pub interval_ns: u64,
+    pub samples: u64,
+    pub dropped: u64,
+    pub counters: Vec<CounterSeries>,
+    pub gauges: Vec<GaugeSeries>,
+    pub histograms: Vec<HistSeries>,
+}
+
+impl SeriesDump {
+    pub fn counter(&self, component: &str, name: &str) -> Option<&CounterSeries> {
+        self.counters
+            .iter()
+            .find(|s| s.component == component && s.name == name)
+    }
+
+    pub fn gauge(&self, component: &str, name: &str) -> Option<&GaugeSeries> {
+        self.gauges
+            .iter()
+            .find(|s| s.component == component && s.name == name)
+    }
+
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistSeries> {
+        self.histograms
+            .iter()
+            .find(|s| s.component == component && s.name == name)
+    }
+
+    /// Serialises as JSON lines: one `series` header object, then one object
+    /// per point. Safe to `>` into `results/` and parse with any JSON reader.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"kind\":\"series\",\"interval_ns\":{},\"samples\":{},\"dropped\":{}}}\n",
+            self.interval_ns, self.samples, self.dropped
+        ));
+        for s in &self.counters {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{{\"kind\":\"cpoint\",\"component\":{},\"name\":{},\"ts_ns\":{},\"value\":{},\"delta\":{}}}\n",
+                    json_str(&s.component),
+                    json_str(&s.name),
+                    p.ts_ns,
+                    p.value,
+                    p.delta
+                ));
+            }
+        }
+        for s in &self.gauges {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{{\"kind\":\"gpoint\",\"component\":{},\"name\":{},\"ts_ns\":{},\"value\":{},\"peak\":{}}}\n",
+                    json_str(&s.component),
+                    json_str(&s.name),
+                    p.ts_ns,
+                    p.value,
+                    p.peak
+                ));
+            }
+        }
+        for s in &self.histograms {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{{\"kind\":\"hpoint\",\"component\":{},\"name\":{},\"ts_ns\":{},\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}\n",
+                    json_str(&s.component),
+                    json_str(&s.name),
+                    p.ts_ns,
+                    p.count,
+                    p.sum,
+                    p.p50,
+                    p.p99
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses the output of [`to_json_lines`]. Series keep first-seen order.
+    pub fn from_json_lines(text: &str) -> Option<SeriesDump> {
+        let mut dump = SeriesDump::default();
+        let mut saw_header = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let kind = json_field_str(line, "kind")?;
+            match kind.as_str() {
+                "series" => {
+                    saw_header = true;
+                    dump.interval_ns = json_field_u64(line, "interval_ns")?;
+                    dump.samples = json_field_u64(line, "samples")?;
+                    dump.dropped = json_field_u64(line, "dropped")?;
+                }
+                "cpoint" => {
+                    let component = json_field_str(line, "component")?;
+                    let name = json_field_str(line, "name")?;
+                    let point = CounterPoint {
+                        ts_ns: json_field_u64(line, "ts_ns")?,
+                        value: json_field_u64(line, "value")?,
+                        delta: json_field_u64(line, "delta")?,
+                    };
+                    match dump
+                        .counters
+                        .iter_mut()
+                        .find(|s| s.component == component && s.name == name)
+                    {
+                        Some(s) => s.points.push(point),
+                        None => dump.counters.push(CounterSeries {
+                            component,
+                            name,
+                            points: vec![point],
+                        }),
+                    }
+                }
+                "gpoint" => {
+                    let component = json_field_str(line, "component")?;
+                    let name = json_field_str(line, "name")?;
+                    let point = GaugePoint {
+                        ts_ns: json_field_u64(line, "ts_ns")?,
+                        value: json_field_u64(line, "value")?,
+                        peak: json_field_u64(line, "peak")?,
+                    };
+                    match dump
+                        .gauges
+                        .iter_mut()
+                        .find(|s| s.component == component && s.name == name)
+                    {
+                        Some(s) => s.points.push(point),
+                        None => dump.gauges.push(GaugeSeries {
+                            component,
+                            name,
+                            points: vec![point],
+                        }),
+                    }
+                }
+                "hpoint" => {
+                    let component = json_field_str(line, "component")?;
+                    let name = json_field_str(line, "name")?;
+                    let point = HistPoint {
+                        ts_ns: json_field_u64(line, "ts_ns")?,
+                        count: json_field_u64(line, "count")?,
+                        sum: json_field_u64(line, "sum")?,
+                        p50: json_field_u64(line, "p50")?,
+                        p99: json_field_u64(line, "p99")?,
+                    };
+                    match dump
+                        .histograms
+                        .iter_mut()
+                        .find(|s| s.component == component && s.name == name)
+                    {
+                        Some(s) => s.points.push(point),
+                        None => dump.histograms.push(HistSeries {
+                            component,
+                            name,
+                            points: vec![point],
+                        }),
+                    }
+                }
+                _ => return None,
+            }
+        }
+        if saw_header {
+            Some(dump)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_sampling_records_deltas_and_interval_quantiles() {
+        let r = Registry::new();
+        let c = r.counter("kdbroker", "rdma.commits");
+        let g = r.gauge("rnic", "cq.depth");
+        let h = r.histogram("kdclient", "produce.e2e_ns");
+        let log = SeriesLog::new(SeriesOptions::default());
+
+        c.add(10);
+        g.set(3);
+        h.record(1_000);
+        log.sample_now(&r);
+        // Empty interval: nothing recorded between samples.
+        log.sample_now(&r);
+        c.add(5);
+        g.set(1);
+        h.record(9_000);
+        h.record(9_000);
+        log.sample_now(&r);
+
+        let dump = log.dump();
+        assert_eq!(dump.samples, 3);
+        let cs = dump.counter("kdbroker", "rdma.commits").unwrap();
+        assert_eq!(cs.deltas(), vec![10, 0, 5]);
+        assert_eq!(cs.points[2].value, 15);
+        let gs = dump.gauge("rnic", "cq.depth").unwrap();
+        assert_eq!(
+            gs.points.iter().map(|p| (p.value, p.peak)).collect::<Vec<_>>(),
+            vec![(3, 3), (3, 3), (1, 3)]
+        );
+        let hs = dump.histogram("kdclient", "produce.e2e_ns").unwrap();
+        assert_eq!(hs.points[0].count, 1);
+        assert_eq!(hs.points[1].count, 0);
+        assert_eq!(hs.points[1].p99, 0, "empty interval has empty quantiles");
+        assert_eq!(hs.points[2].count, 2);
+        // Interval p50 reflects only this interval's samples (9_000 bucket),
+        // not the full-run distribution that includes the 1_000 sample.
+        assert!(hs.points[2].p50 >= 9_000, "p50={}", hs.points[2].p50);
+    }
+
+    #[test]
+    fn rings_are_bounded_and_count_drops() {
+        let r = Registry::new();
+        let c = r.counter("a", "b");
+        let log = SeriesLog::new(SeriesOptions {
+            interval: Duration::from_millis(1),
+            capacity: 4,
+        });
+        for _ in 0..10 {
+            c.inc();
+            log.sample_now(&r);
+        }
+        let dump = log.dump();
+        let cs = dump.counter("a", "b").unwrap();
+        assert_eq!(cs.points.len(), 4);
+        assert_eq!(dump.dropped, 6);
+        // The retained points are the newest.
+        assert_eq!(cs.points.last().unwrap().value, 10);
+    }
+
+    #[test]
+    fn sampler_task_runs_on_the_wheel_grid() {
+        let r = Registry::new();
+        let c = r.counter("kdbroker", "produce.requests");
+        let rt = sim::Runtime::new();
+        let log = rt.block_on(async move {
+            let log = Sampler::start(
+                &r,
+                SeriesOptions {
+                    interval: Duration::from_micros(100),
+                    capacity: 64,
+                },
+            );
+            for _ in 0..5 {
+                c.add(2);
+                sim::time::sleep(Duration::from_micros(100)).await;
+            }
+            log.stop();
+            sim::time::sleep(Duration::from_micros(300)).await;
+            log
+        });
+        let dump = log.dump();
+        // Ticks at 100..400us sample; the main task (registered first on the
+        // wheel) wins the 500us tie and stops the sampler before its tick.
+        assert_eq!(dump.samples, 4, "stop really stops the sampler");
+        let cs = dump.counter("kdbroker", "produce.requests").unwrap();
+        // Timestamps land on the fixed 100us grid.
+        assert!(cs.points.iter().all(|p| p.ts_ns % 100_000 == 0));
+        assert_eq!(cs.points.last().unwrap().value, 10);
+    }
+
+    #[test]
+    fn dump_round_trips_json_lines() {
+        let r = Registry::new();
+        let c = r.counter("kdbroker", "rdma.commits");
+        let g = r.gauge("netsim", "link.backlog_ns");
+        let h = r.histogram("kdbroker", "rdma.commit_ns");
+        let log = SeriesLog::new(SeriesOptions::default());
+        for i in 0..3u64 {
+            c.add(i + 1);
+            g.set(i * 10);
+            h.record(1_000 * (i + 1));
+            log.sample_now(&r);
+        }
+        let dump = log.dump();
+        let json = dump.to_json_lines();
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let back = SeriesDump::from_json_lines(&json).expect("parse");
+        assert_eq!(back, dump);
+        // Headerless or garbage input is rejected.
+        assert!(SeriesDump::from_json_lines("{\"kind\":\"wat\"}").is_none());
+        assert!(SeriesDump::from_json_lines("").is_none());
+    }
+}

@@ -56,6 +56,9 @@ pub enum ErrorCode {
     /// The request carries (or the broker holds) a stale leader epoch: a
     /// failover happened and the caller must refresh metadata.
     FencedEpoch = 10,
+    /// The broker is not running the requested optional facility (e.g. a
+    /// `Series`/`Health` request against a broker with no sampler/watchdog).
+    NotSupported = 11,
 }
 
 impl ErrorCode {
@@ -76,6 +79,7 @@ impl ErrorCode {
             8 => ErrorCode::OrderTimeout,
             9 => ErrorCode::Internal,
             10 => ErrorCode::FencedEpoch,
+            11 => ErrorCode::NotSupported,
             _ => return Err(WireError::BadValue),
         })
     }
@@ -213,6 +217,14 @@ pub enum Request {
     /// Admin: dump the broker's telemetry registry (counters, gauges,
     /// latency histograms) as JSON lines.
     Telemetry,
+    /// Admin: dump the broker's virtual-time time-series recorder
+    /// (`kdtelem::SeriesDump`) as JSON lines. Errors with
+    /// [`ErrorCode::NotSupported`] when the broker runs without a sampler.
+    Series,
+    /// Admin: dump the broker's health-watchdog event log
+    /// (`kdtelem::HealthEvent`s) as JSON lines. Errors with
+    /// [`ErrorCode::NotSupported`] when the broker runs without a watchdog.
+    Health,
 }
 
 /// Broker→client responses.
@@ -249,6 +261,10 @@ pub enum Response {
     InternalAddPartition { error: ErrorCode },
     /// JSON-lines encoding of a `kdtelem::TelemetryReport`.
     Telemetry { error: ErrorCode, json: String },
+    /// JSON-lines encoding of a `kdtelem::SeriesDump`.
+    Series { error: ErrorCode, json: String },
+    /// JSON-lines encoding of the watchdog's `kdtelem::HealthEvent` log.
+    Health { error: ErrorCode, json: String },
 }
 
 /// Fetch response payload.
@@ -506,6 +522,12 @@ impl Request {
             Request::Telemetry => {
                 w.put_u8(13);
             }
+            Request::Series => {
+                w.put_u8(14);
+            }
+            Request::Health => {
+                w.put_u8(15);
+            }
         }
         *out = w.into_vec();
     }
@@ -601,6 +623,8 @@ impl Request {
                 partition: r.get_u32()?,
             },
             13 => Request::Telemetry,
+            14 => Request::Series,
+            15 => Request::Health,
             _ => return Err(WireError::BadValue),
         };
         Ok(req)
@@ -738,6 +762,16 @@ impl Response {
             }
             Response::Telemetry { error, json } => {
                 w.put_u8(13);
+                w.put_u8(*error as u8);
+                w.put_string(json);
+            }
+            Response::Series { error, json } => {
+                w.put_u8(14);
+                w.put_u8(*error as u8);
+                w.put_string(json);
+            }
+            Response::Health { error, json } => {
+                w.put_u8(15);
                 w.put_u8(*error as u8);
                 w.put_string(json);
             }
@@ -884,6 +918,14 @@ impl Response {
                 error: ErrorCode::from_u8(r.get_u8()?)?,
                 json: r.get_string()?,
             },
+            14 => Response::Series {
+                error: ErrorCode::from_u8(r.get_u8()?)?,
+                json: r.get_string()?,
+            },
+            15 => Response::Health {
+                error: ErrorCode::from_u8(r.get_u8()?)?,
+                json: r.get_string()?,
+            },
             _ => return Err(WireError::BadValue),
         };
         Ok(resp)
@@ -977,6 +1019,8 @@ mod tests {
                 segment: 3,
             },
             Request::Telemetry,
+            Request::Series,
+            Request::Health,
         ];
         for req in reqs {
             let enc = req.encode();
@@ -1088,6 +1132,14 @@ mod tests {
             Response::Telemetry {
                 error: ErrorCode::None,
                 json: "{\"kind\":\"counter\"}\n".into(),
+            },
+            Response::Series {
+                error: ErrorCode::None,
+                json: "{\"kind\":\"series\",\"interval_ns\":1000000}\n".into(),
+            },
+            Response::Health {
+                error: ErrorCode::NotSupported,
+                json: String::new(),
             },
         ];
         for resp in resps {

@@ -79,9 +79,9 @@ impl Fabric {
                 blocked: RefCell::new(HashSet::new()),
                 next_auto_port: std::cell::Cell::new(40000),
                 extensions: RefCell::new(HashMap::new()),
-                atomic_ops: telem.counter("netsim", "atomic_ops"),
-                atomic_stalls: telem.counter("netsim", "atomic_stalls"),
-                atomic_stall_ns: telem.histogram("netsim", "atomic_stall_ns"),
+                atomic_ops: telem.counter("netsim", "atomic.ops"),
+                atomic_stalls: telem.counter("netsim", "atomic.stalls"),
+                atomic_stall_ns: telem.histogram("netsim", "atomic.stall_ns"),
                 telem,
                 pkt_pool,
             }),

@@ -43,6 +43,10 @@ pub struct Link {
     busy_ns: kdtelem::Counter,
     bytes_counter: kdtelem::Counter,
     drops: kdtelem::Counter,
+    /// Instantaneous backlog (ns of queued serialisation work) observed at
+    /// each reservation; the time-series sampler reads the current value and
+    /// the per-sample peak, making link congestion visible in `kdtop`.
+    backlog_ns: kdtelem::Gauge,
 }
 
 /// Outcome of a [`Link::reserve`]: when the message starts and finishes
@@ -64,10 +68,11 @@ impl Link {
             messages: Cell::new(0),
             down: Cell::new(false),
             faults: RefCell::new(None),
-            queue_delay_ns: telem.histogram("netsim", "link_queue_delay_ns"),
-            busy_ns: telem.counter("netsim", "link_busy_ns"),
-            bytes_counter: telem.counter("netsim", "link_bytes"),
-            drops: telem.counter("netsim", "link_drops"),
+            queue_delay_ns: telem.histogram("netsim", "link.queue_delay_ns"),
+            busy_ns: telem.counter("netsim", "link.busy_ns"),
+            bytes_counter: telem.counter("netsim", "link.bytes"),
+            drops: telem.counter("netsim", "link.drops"),
+            backlog_ns: telem.gauge("netsim", "link.backlog_ns"),
         }
     }
 
@@ -175,6 +180,7 @@ impl Link {
         self.queue_delay_ns.record(start_ns - now.as_nanos());
         self.busy_ns.add(end_ns - start_ns);
         self.bytes_counter.add(bytes);
+        self.backlog_ns.set(end_ns - now.as_nanos());
         Reservation {
             start: SimTime::from_nanos(start_ns),
             end: SimTime::from_nanos(end_ns),
@@ -310,12 +316,12 @@ mod tests {
         l.reserve(t(0), 1000, Duration::ZERO); // starts at 0, no queueing
         l.reserve(t(0), 1000, Duration::ZERO); // queues 1000ns behind the first
         let snap = reg.snapshot();
-        let h = snap.histogram("netsim", "link_queue_delay_ns").unwrap();
+        let h = snap.histogram("netsim", "link.queue_delay_ns").unwrap();
         assert_eq!(h.stats.count, 2);
         assert_eq!(h.stats.min, 0);
         // 1000 lands in a log-linear bucket whose high end is < 1063.
         assert!(h.stats.max >= 1000 && h.stats.max < 1063);
-        assert_eq!(snap.counter("netsim", "link_busy_ns"), Some(2000));
-        assert_eq!(snap.counter("netsim", "link_bytes"), Some(2000));
+        assert_eq!(snap.counter("netsim", "link.busy_ns"), Some(2000));
+        assert_eq!(snap.counter("netsim", "link.bytes"), Some(2000));
     }
 }

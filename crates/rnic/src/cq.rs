@@ -48,9 +48,9 @@ impl CompletionQueue {
                 overflowed: Cell::new(false),
                 attached: RefCell::new(Vec::new()),
                 completions_total: Cell::new(0),
-                depth: telem.gauge("rnic", "cq_depth"),
-                cqes: telem.counter("rnic", "cqes"),
-                overflows: telem.counter("rnic", "cq_overflows"),
+                depth: telem.gauge("rnic", "cq.depth"),
+                cqes: telem.counter("rnic", "cq.cqes"),
+                overflows: telem.counter("rnic", "cq.overflows"),
             }),
         }
     }

@@ -124,9 +124,9 @@ impl RNic {
             reads_served: Cell::new(0),
             atomics_served: Cell::new(0),
             sends_in: Cell::new(0),
-            qp_posts: telem.counter("rnic", "qp_posts"),
-            one_sided_in: telem.counter("rnic", "one_sided_in"),
-            post_to_comp_ns: telem.histogram("rnic", "post_to_comp_ns"),
+            qp_posts: telem.counter("rnic", "qp.posts"),
+            one_sided_in: telem.counter("rnic", "qp.one_sided_in"),
+            post_to_comp_ns: telem.histogram("rnic", "qp.post_to_comp_ns"),
             telem,
         });
         registry

@@ -154,6 +154,40 @@ impl Future for YieldNow {
     }
 }
 
+/// A fixed-period virtual-time ticker: each [`Interval::tick`] sleeps until
+/// the next multiple of the period past the creation instant. Ticks never
+/// skip — if a tick is serviced late the next one still fires `period`
+/// after the *scheduled* (not actual) time, keeping sample timestamps on a
+/// deterministic grid.
+pub struct Interval {
+    next: SimTime,
+    period: Duration,
+}
+
+impl Interval {
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Waits for the next tick and returns its scheduled instant.
+    pub async fn tick(&mut self) -> SimTime {
+        let at = self.next;
+        sleep_until(at).await;
+        self.next = at + self.period;
+        at
+    }
+}
+
+/// Creates an [`Interval`] whose first tick fires `period` from now.
+/// `period` must be non-zero (a zero period would live-lock the wheel).
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        next: now() + period,
+        period,
+    }
+}
+
 /// Error returned by [`timeout`] when the deadline fires first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Elapsed;
@@ -259,6 +293,25 @@ mod tests {
             // FIFO tie-break: the simulation's cross-task orderings (e.g.
             // RDMA completion handoffs) rely on this.
             assert_eq!(*log.borrow(), (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn interval_ticks_on_a_fixed_grid() {
+        let rt = Runtime::new();
+        rt.block_on(async {
+            sleep(Duration::from_nanos(100)).await;
+            let mut iv = interval(Duration::from_micros(2));
+            let mut ticks = Vec::new();
+            for _ in 0..3 {
+                ticks.push(iv.tick().await.as_nanos());
+            }
+            assert_eq!(ticks, vec![2_100, 4_100, 6_100]);
+            // A late servicer stays on the grid rather than drifting.
+            sleep(Duration::from_micros(5)).await; // now = 11_100, past two ticks
+            assert_eq!(iv.tick().await.as_nanos(), 8_100); // fires immediately
+            assert_eq!(iv.tick().await.as_nanos(), 10_100);
+            assert_eq!(iv.tick().await.as_nanos(), 12_100);
         });
     }
 

@@ -8,15 +8,30 @@
 //! through the zero-copy RDMA produce datapath (§4.2.2), reads them back
 //! with one-sided RDMA Reads (§4.4.2), and prints what happened — including
 //! the broker-side evidence that no CPU copies occurred.
+//!
+//! The broker runs under its continuous-telemetry sampler and health
+//! watchdog; at the end the example pulls the recorded time-series and
+//! health log over the admin wire path and runs the critical-path checker
+//! over the run's trace lifelines. Any watchdog stall or critpath
+//! reconciliation error exits non-zero — CI runs this as a live
+//! observability gate.
 
-use kafkadirect::{Record, SimCluster, SystemKind};
+use kafkadirect::{ClusterOptions, ObserveConfig, Record, SimCluster, SystemKind};
 use kdclient::{RdmaConsumer, RdmaProducer};
 
 fn main() {
     let rt = sim::Runtime::new();
     rt.block_on(async {
-        // A one-broker KafkaDirect cluster on a simulated 56 Gbit/s fabric.
-        let cluster = SimCluster::start(SystemKind::KafkaDirect, 1);
+        // A one-broker KafkaDirect cluster on a simulated 56 Gbit/s fabric,
+        // sampled continuously at the default observability cadence.
+        let cluster = SimCluster::start_with(
+            SystemKind::KafkaDirect,
+            1,
+            ClusterOptions {
+                observe: Some(ObserveConfig::default()),
+                ..Default::default()
+            },
+        );
         cluster.create_topic("greetings", 1, 1).await;
         println!("cluster up: broker at node {}", cluster.bootstrap().node);
 
@@ -62,5 +77,46 @@ fn main() {
         println!("  NIC-served reads     : {}", nic.reads_served);
         println!("  TCP fetch requests   : {}", m.fetch_requests);
         println!("  virtual time elapsed : {}", sim::now());
+
+        // Continuous telemetry: the broker sampled itself the whole run.
+        let series = cluster.broker_series(0).await;
+        let health = cluster.broker_health(0).await;
+        println!();
+        println!("observability:");
+        println!(
+            "  series samples       : {} @ {} us/interval",
+            series.samples,
+            series.interval_ns / 1_000
+        );
+        if let Some(c) = series.counter("kdbroker", "rdma.commits") {
+            println!("  commit deltas        : {:?}", c.deltas());
+        }
+        let stalls = health
+            .iter()
+            .filter(|e| matches!(e.kind, kdtelem::HealthKind::Stall { .. }))
+            .count();
+        println!("  watchdog stalls      : {stalls}");
+        if stalls > 0 {
+            eprintln!("quickstart: health watchdog reported {stalls} stall event(s)");
+            std::process::exit(1);
+        }
     });
+
+    // Critical-path check over the run's trace lifelines: stage sums must
+    // reconcile with the measured end-to-end totals.
+    let events = kdtelem::current().drain_trace_events();
+    let report = kdtelem::critpath::analyze(&events);
+    match report.dominant() {
+        Some((stage, ns)) => println!(
+            "critical path: dominant stage {} ({} ns across {} lifelines)",
+            stage.name(),
+            ns,
+            report.lifelines.len()
+        ),
+        None => println!("critical path: no lifelines recorded"),
+    }
+    if !report.ok() {
+        eprintln!("quickstart: critical-path checker errors: {:?}", report.errors);
+        std::process::exit(1);
+    }
 }

@@ -16,15 +16,19 @@ cargo clippy --all-targets --offline -- -D warnings
 # pinned even if the default test filter ever changes.
 cargo test -q --offline --test chaos
 
-# Smoke-run the quickstart example end to end.
+# Smoke-run the quickstart example end to end. It runs the broker under the
+# continuous-telemetry sampler and health watchdog and exits non-zero on any
+# watchdog stall event or critical-path checker error, so this doubles as
+# the live observability gate.
 cargo run -q --release --offline --example quickstart
 
 # Perf smoke: wall-clock harness over the fig10/11 produce workload with a
 # counting global allocator and an executor-poll counter. Writes
-# BENCH_PR5.json (+ results/PERF_PR5.md) and exits non-zero if the
+# BENCH_PR6.json (+ results/PERF_PR6.md) and exits non-zero if the
 # steady-state exclusive-RDMA produce path exceeds its allocation budget
 # (allocs/record <= 2), its scheduling budget (polls/record <= 12 — the
-# pre-batching loop needed ~20.8, so this pins the CQ-batching win), or a
-# warm 1 MiB TCP send stops being O(1) allocations. Wall-clock throughput
-# is reported, not gated.
+# pre-batching loop needed ~20.8, so this pins the CQ-batching win), a warm
+# 1 MiB TCP send stops being O(1) allocations, or running with the telemetry
+# sampler on costs more than 3% of the exclusive-RDMA records/s baseline.
+# Wall-clock throughput is reported, not gated.
 cargo run -q --release --offline -p kdbench --bin kdperf -- --smoke

@@ -51,9 +51,9 @@ fn e2e_run_exports_critical_path_percentiles() {
 
     let report = registry.snapshot();
     for (component, name) in [
-        ("kdclient", "produce_e2e_ns"),
-        ("kdbroker", "replicate_ns"),
-        ("kdclient", "fetch_e2e_ns"),
+        ("kdclient", "produce.e2e_ns"),
+        ("kdbroker", "repl.replicate_ns"),
+        ("kdclient", "fetch.e2e_ns"),
     ] {
         let h = report
             .histogram(component, name)
@@ -70,8 +70,8 @@ fn e2e_run_exports_critical_path_percentiles() {
     // client's end-to-end view and must be strictly smaller on average
     // (RDMA produces bypass the Produce RPC, so the broker-side stage is
     // the commit handler, not `api_produce_ns`).
-    let commit = report.histogram("kdbroker", "rdma_commit_ns").unwrap();
-    let e2e = report.histogram("kdclient", "produce_e2e_ns").unwrap();
+    let commit = report.histogram("kdbroker", "rdma.commit_ns").unwrap();
+    let e2e = report.histogram("kdclient", "produce.e2e_ns").unwrap();
     assert!(commit.stats.count > 0);
     assert!(commit.stats.mean < e2e.stats.mean, "service >= e2e latency");
 
@@ -108,13 +108,13 @@ fn rdma_produce_is_zero_copy_via_registry() {
     });
     let report = registry.snapshot();
     assert_eq!(
-        report.counter("kdbroker", "heap_copied_bytes"),
+        report.counter("kdbroker", "copy.heap_bytes"),
         Some(0),
         "RDMA produce copied bytes through the broker CPU"
     );
-    assert_eq!(report.counter("kdbroker", "rdma_commits"), Some(20));
+    assert_eq!(report.counter("kdbroker", "rdma.commits"), Some(20));
     // The NIC did real one-sided work for it.
-    assert!(report.counter("rnic", "one_sided_in").unwrap() > 0);
+    assert!(report.counter("rnic", "qp.one_sided_in").unwrap() > 0);
 }
 
 /// The TCP produce path *does* copy on the broker — the control for the
@@ -138,7 +138,7 @@ fn tcp_produce_copies_on_the_broker() {
     });
     let copied = registry
         .snapshot()
-        .counter("kdbroker", "heap_copied_bytes")
+        .counter("kdbroker", "copy.heap_bytes")
         .unwrap();
     assert!(copied > 10 * 256, "TCP produce must copy every batch: {copied}");
 }
@@ -161,19 +161,19 @@ fn telemetry_rpc_round_trips_over_admin_path() {
             }
             let wire = cluster.broker_telemetry().await;
             // Counter values as seen from the wire match the local registry.
-            assert_eq!(wire.counter("kdbroker", "rdma_commits"), Some(5));
-            assert_eq!(wire.counter("kdbroker", "heap_copied_bytes"), Some(0));
-            let h = wire.histogram("kdbroker", "rdma_commit_ns").unwrap();
+            assert_eq!(wire.counter("kdbroker", "rdma.commits"), Some(5));
+            assert_eq!(wire.counter("kdbroker", "copy.heap_bytes"), Some(0));
+            let h = wire.histogram("kdbroker", "rdma.commit_ns").unwrap();
             assert!(h.stats.count >= 5 && h.stats.p99 >= h.stats.p50);
             // The text table renders every section.
             let table = wire.to_table();
-            assert!(table.contains("kdbroker.rdma_commits"));
+            assert!(table.contains("kdbroker.rdma.commits"));
             assert!(table.contains("p99"));
         });
     });
     // And the same counters are visible locally.
     assert_eq!(
-        registry.snapshot().counter("kdbroker", "rdma_commits"),
+        registry.snapshot().counter("kdbroker", "rdma.commits"),
         Some(5)
     );
 }
@@ -200,5 +200,5 @@ fn net_busy_time_is_accounted() {
             assert!(m.worker_busy_ns > 0);
         });
     });
-    assert!(registry.snapshot().counter("kdbroker", "net_busy_ns").unwrap() > 0);
+    assert!(registry.snapshot().counter("kdbroker", "cpu.net_busy_ns").unwrap() > 0);
 }
