@@ -7,18 +7,23 @@
 //! counting global allocator — heap allocations per record at steady state.
 //!
 //! The workload is the Fig 10/11 produce loop: one producer, one broker,
-//! replication disabled, windowed pipelining. Two datapaths are measured:
-//! exclusive one-sided RDMA produce (KafkaDirect) and the TCP baseline
-//! (Kafka). A third section verifies that a 1 MiB netsim TCP send performs
-//! O(1) allocations once the packet pool is warm.
+//! replication disabled, windowed pipelining. Three datapaths are measured:
+//! exclusive one-sided RDMA produce (KafkaDirect) over the in-memory store,
+//! the same loop over the **file-backed tiered store** (the hot tier must
+//! not tax the RDMA path), and the TCP baseline (Kafka). A fourth section
+//! verifies that a 1 MiB netsim TCP send performs O(1) allocations once the
+//! packet pool is warm, and a fifth measures cold-tier fetch throughput
+//! (sparse-index file reads of evicted segments) across read sizes.
 //!
-//! Output: a JSON report (default `BENCH_PR6.json`) plus a human-readable
-//! summary (default `results/PERF_PR6.md`). Exit status is non-zero if a
+//! Output: a JSON report (default `BENCH_PR8.json`) plus a human-readable
+//! summary (default `results/PERF_PR8.md`). Exit status is non-zero if a
 //! steady-state budget is exceeded:
 //!
-//! * exclusive RDMA produce must stay at **<= 2 allocs/record**;
-//! * exclusive RDMA produce must stay at **<= 12 executor polls/record**
-//!   (the CQ-batching dividend — the PR 4 loop needed ~21);
+//! * exclusive RDMA produce — memory **and** tiered — must stay at
+//!   **<= 2 allocs/record**;
+//! * exclusive RDMA produce — memory **and** tiered — must stay at
+//!   **<= 12 executor polls/record** (the CQ-batching dividend — the PR 4
+//!   loop needed ~21);
 //! * the warm 1 MiB TCP send must stay under one alloc per MSS packet;
 //! * running the virtual-time telemetry sampler must cost **<= 3%** of
 //!   exclusive-RDMA records/s (best-of-2 each way; override the budget
@@ -150,8 +155,8 @@ impl Config {
             warmup: 500,
             window: 32,
             record_size: 512,
-            out: "BENCH_PR6.json".to_string(),
-            summary: "results/PERF_PR6.md".to_string(),
+            out: "BENCH_PR8.json".to_string(),
+            summary: "results/PERF_PR8.md".to_string(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -229,11 +234,13 @@ fn run_produce(
     system: SystemKind,
     mode: ProducerMode,
     cfg: &Config,
+    storage: Option<kdstorage::StorageConfig>,
     sampled: bool,
 ) -> PathResult {
     let mut opts = ProduceOpts::new(system, mode, cfg.record_size);
     opts.records = cfg.records;
     opts.window = cfg.window;
+    opts.storage = storage;
     // Private registry: the brokers' `cqe_batch` histogram lands here.
     let registry = kdtelem::Registry::new();
     let _telem = kdtelem::enter(&registry);
@@ -388,6 +395,93 @@ fn run_tcp_1mib() -> TcpSendCheck {
 }
 
 // ---------------------------------------------------------------------------
+// Cold-tier fetch throughput.
+// ---------------------------------------------------------------------------
+
+/// One cold-fetch measurement: sequential `read_from` passes over a fully
+/// evicted tiered log at a fixed per-read byte cap.
+struct ColdFetchPoint {
+    max_bytes: u32,
+    reads: u64,
+    mib_per_sec: f64,
+}
+
+struct ColdFetchResult {
+    segments: u32,
+    bytes: u64,
+    series: Vec<ColdFetchPoint>,
+}
+
+/// Builds a tiered log (small segments), evicts every sealed segment to the
+/// file tier, then measures wall-clock throughput of reading the whole log
+/// back through the sparse-index cold path at several read-size caps. Reads
+/// go through `SegmentStore::read_cold` without paging segments back in, so
+/// every pass stays cold.
+fn run_cold_fetch() -> ColdFetchResult {
+    use std::rc::Rc;
+
+    let dir = std::env::temp_dir().join(format!("kdperf-cold-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = kdstorage::StorageConfig::tiered(&dir).with_sync(kdstorage::SyncMode::Never);
+    let store = Rc::new(kdstorage::FileStore::create(&dir, &cfg).expect("cold-fetch store"));
+    let log = kdstorage::Log::with_store(
+        kdstorage::LogConfig {
+            segment_size: 256 * 1024,
+            max_batch_size: 64 * 1024,
+        },
+        store,
+    );
+
+    // ~8 MiB of 1 KiB records, 16 per batch.
+    let mut builder = kdstorage::BatchBuilder::new(1);
+    for _ in 0..16 {
+        builder.append(&Record::value(vec![0xC7u8; 1024]));
+    }
+    let batch = builder.build().expect("batch");
+    const TARGET: u64 = 8 << 20;
+    let mut appended = 0u64;
+    while appended < TARGET {
+        log.append_batch(&batch).expect("append");
+        appended += batch.len() as u64;
+    }
+    log.set_high_watermark(log.next_offset());
+    log.sync_all();
+    for i in 0..log.head_index() {
+        assert!(log.evict_segment(i), "segment {i} must evict");
+    }
+
+    let hw = log.next_offset();
+    let mut series = Vec::new();
+    let mut out = Vec::new();
+    for max_bytes in [16 * 1024u32, 64 * 1024, 256 * 1024, 1 << 20] {
+        let mut reads = 0u64;
+        let mut bytes = 0u64;
+        let t0 = Instant::now();
+        let mut offset = 0u64;
+        while offset < hw {
+            let (_, next) = log.read_from_into(offset, max_bytes, true, &mut out);
+            assert!(next > offset, "cold read stalled at {offset}");
+            bytes += out.len() as u64;
+            reads += 1;
+            offset = next;
+        }
+        let wall = t0.elapsed().as_nanos().max(1) as f64;
+        series.push(ColdFetchPoint {
+            max_bytes,
+            reads,
+            mib_per_sec: bytes as f64 / (1 << 20) as f64 * 1e9 / wall,
+        });
+    }
+    let result = ColdFetchResult {
+        segments: log.head_index(),
+        bytes: appended,
+        series,
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+// ---------------------------------------------------------------------------
 // Reporting.
 // ---------------------------------------------------------------------------
 
@@ -473,11 +567,42 @@ fn json_path(r: &PathResult) -> String {
     )
 }
 
+fn json_cold_fetch(cold: &ColdFetchResult) -> String {
+    let points: Vec<String> = cold
+        .series
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{ \"max_bytes\": {}, \"reads\": {}, ",
+                    "\"mib_per_sec\": {:.1} }}"
+                ),
+                p.max_bytes, p.reads, p.mib_per_sec
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"segments\": {},\n",
+            "    \"bytes\": {},\n",
+            "    \"series\": [\n      {}\n    ]\n",
+            "  }}"
+        ),
+        cold.segments,
+        cold.bytes,
+        points.join(",\n      "),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     cfg: &Config,
     rdma: &PathResult,
+    tiered: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
+    cold: &ColdFetchResult,
     sampler: &SamplerOverhead,
     pass: bool,
 ) {
@@ -494,6 +619,7 @@ fn write_json(
             "  }},\n",
             "  \"datapaths\": {{\n",
             "    \"rdma_exclusive\": {},\n",
+            "    \"rdma_tiered\": {},\n",
             "    \"tcp\": {}\n",
             "  }},\n",
             "  \"tcp_1mib_send\": {{\n",
@@ -501,6 +627,7 @@ fn write_json(
             "    \"packets\": {},\n",
             "    \"allocs\": {}\n",
             "  }},\n",
+            "  \"cold_fetch\": {},\n",
             "  \"sampler_overhead\": {{\n",
             "    \"base_records_per_sec\": {:.0},\n",
             "    \"sampled_records_per_sec\": {:.0},\n",
@@ -522,10 +649,12 @@ fn write_json(
         cfg.window,
         cfg.record_size,
         json_path(rdma),
+        json_path(tiered),
         json_path(tcp),
         tcp_1mib.payload_bytes,
         tcp_1mib.packets,
         tcp_1mib.allocs,
+        json_cold_fetch(cold),
         sampler.base_rps,
         sampler.sampled_rps,
         sampler.overhead_pct(),
@@ -552,11 +681,14 @@ fn summary_row(r: &PathResult) -> String {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_summary(
     cfg: &Config,
     rdma: &PathResult,
+    tiered: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
+    cold: &ColdFetchResult,
     sampler: &SamplerOverhead,
     pass: bool,
 ) {
@@ -570,7 +702,13 @@ fn write_summary(
     md.push_str("| datapath | records | records/s (wall) | ns/record (wall) | polls/record | allocs/record |\n");
     md.push_str("|---|---|---|---|---|---|\n");
     md.push_str(&summary_row(rdma));
+    md.push_str(&summary_row(tiered));
     md.push_str(&summary_row(tcp));
+    md.push_str(
+        "\n`rdma_tiered` is the same exclusive-RDMA loop over the file-backed \
+         tiered store (EveryMs(5) flushing): the hot tier shares the memory \
+         path's allocation and scheduling budgets.\n",
+    );
     if let Some(h) = &rdma.cqe_batch {
         md.push_str(&format!(
             "\nBroker CQ drains (exclusive RDMA): {} drains for {} CQEs — \
@@ -583,6 +721,21 @@ fn write_summary(
          (budget: < 1 per packet).\n",
         tcp_1mib.packets, tcp_1mib.allocs
     ));
+    md.push_str(&format!(
+        "\nCold-tier fetch ({} segments, {} MiB, fully evicted — every read \
+         goes through the sparse-index file path):\n\n",
+        cold.segments,
+        cold.bytes >> 20
+    ));
+    md.push_str("| read cap | reads | MiB/s (wall) |\n|---|---|---|\n");
+    for p in &cold.series {
+        md.push_str(&format!(
+            "| {} KiB | {} | {:.0} |\n",
+            p.max_bytes / 1024,
+            p.reads,
+            p.mib_per_sec
+        ));
+    }
     md.push_str(&format!(
         "\nSampler overhead (exclusive RDMA, best-of-2 each way): \
          {:.0} records/s unsampled vs {:.0} records/s with the 100 µs \
@@ -605,9 +758,10 @@ fn write_summary(
         rdma.allocs_per_record()
     ));
     md.push_str(&format!(
-        "\nBudgets: exclusive RDMA produce <= {RDMA_ALLOC_BUDGET} allocs/record, \
-         <= {RDMA_POLLS_BUDGET} executor polls/record, and sampler overhead \
-         <= {:.1}% at steady state — **{}**.\n",
+        "\nBudgets: exclusive RDMA produce (memory and tiered) <= \
+         {RDMA_ALLOC_BUDGET} allocs/record, <= {RDMA_POLLS_BUDGET} executor \
+         polls/record, and sampler overhead <= {:.1}% at steady state — \
+         **{}**.\n",
         sampler_budget_pct(),
         if pass { "PASS" } else { "FAIL" }
     ));
@@ -658,16 +812,48 @@ fn main() {
         SystemKind::KafkaDirect,
         ProducerMode::RdmaExclusive,
         &cfg,
+        None,
         false,
     );
     print_path(&rdma);
-    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg, false);
+
+    // The same loop over the durable tier: the active segment stays
+    // MR-registered in memory, so RDMA produce must not get slower per
+    // record in scheduling or allocation terms. (Periodic flushing — the
+    // EveryMs mode — is what a throughput deployment would run.)
+    let tiered_dir = std::env::temp_dir().join(format!("kdperf-tiered-{}", std::process::id()));
+    std::fs::remove_dir_all(&tiered_dir).ok();
+    let tiered_storage = kdstorage::StorageConfig::tiered(&tiered_dir)
+        .with_sync(kdstorage::SyncMode::EveryMs(5));
+    let tiered = run_produce(
+        "rdma_tiered",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+        Some(tiered_storage),
+        false,
+    );
+    std::fs::remove_dir_all(&tiered_dir).ok();
+    print_path(&tiered);
+
+    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg, None, false);
     print_path(&tcp);
     let tcp_1mib = run_tcp_1mib();
     println!(
         "  {:<16} {} allocs for a warm 1 MiB send ({} packets)",
         "tcp_1mib_send", tcp_1mib.allocs, tcp_1mib.packets
     );
+    let cold = run_cold_fetch();
+    for p in &cold.series {
+        println!(
+            "  {:<16} {:>6} KiB reads: {:>7.0} MiB/s ({} reads over {} MiB cold)",
+            "cold_fetch",
+            p.max_bytes / 1024,
+            p.mib_per_sec,
+            p.reads,
+            cold.bytes >> 20
+        );
+    }
 
     // Sampler-overhead gate: best-of-2 unsampled vs best-of-2 sampled runs
     // of the exclusive-RDMA loop. Continuous telemetry must be cheap enough
@@ -677,6 +863,7 @@ fn main() {
         SystemKind::KafkaDirect,
         ProducerMode::RdmaExclusive,
         &cfg,
+        None,
         false,
     );
     let s1 = run_produce(
@@ -684,6 +871,7 @@ fn main() {
         SystemKind::KafkaDirect,
         ProducerMode::RdmaExclusive,
         &cfg,
+        None,
         true,
     );
     let s2 = run_produce(
@@ -691,6 +879,7 @@ fn main() {
         SystemKind::KafkaDirect,
         ProducerMode::RdmaExclusive,
         &cfg,
+        None,
         true,
     );
     let best_sampled = if s1.records_per_sec() >= s2.records_per_sec() {
@@ -714,12 +903,15 @@ fn main() {
 
     let rdma_ok = rdma.allocs_per_record() <= RDMA_ALLOC_BUDGET;
     let polls_ok = rdma.polls_per_record() <= RDMA_POLLS_BUDGET;
+    let tiered_alloc_ok = tiered.allocs_per_record() <= RDMA_ALLOC_BUDGET;
+    let tiered_polls_ok = tiered.polls_per_record() <= RDMA_POLLS_BUDGET;
     let tcp_send_ok = tcp_1mib.allocs < tcp_1mib.packets;
     let sampler_ok = sampler.overhead_pct() <= sampler_budget_pct();
-    let pass = rdma_ok && polls_ok && tcp_send_ok && sampler_ok;
+    let pass =
+        rdma_ok && polls_ok && tiered_alloc_ok && tiered_polls_ok && tcp_send_ok && sampler_ok;
 
-    write_json(&cfg, &rdma, &tcp, &tcp_1mib, &sampler, pass);
-    write_summary(&cfg, &rdma, &tcp, &tcp_1mib, &sampler, pass);
+    write_json(&cfg, &rdma, &tiered, &tcp, &tcp_1mib, &cold, &sampler, pass);
+    write_summary(&cfg, &rdma, &tiered, &tcp, &tcp_1mib, &cold, &sampler, pass);
     println!("# wrote {} and {}", cfg.out, cfg.summary);
 
     if !rdma_ok {
@@ -732,6 +924,18 @@ fn main() {
         eprintln!(
             "kdperf: FAIL — exclusive RDMA produce needs {:.2} executor polls/record (budget {RDMA_POLLS_BUDGET})",
             rdma.polls_per_record()
+        );
+    }
+    if !tiered_alloc_ok {
+        eprintln!(
+            "kdperf: FAIL — tiered RDMA produce allocates {:.3}/record (budget {RDMA_ALLOC_BUDGET})",
+            tiered.allocs_per_record()
+        );
+    }
+    if !tiered_polls_ok {
+        eprintln!(
+            "kdperf: FAIL — tiered RDMA produce needs {:.2} executor polls/record (budget {RDMA_POLLS_BUDGET})",
+            tiered.polls_per_record()
         );
     }
     if !tcp_send_ok {

@@ -40,6 +40,8 @@ pub struct ProduceOpts {
     pub replication: u32,
     pub api_workers: Option<usize>,
     pub segment_size: u32,
+    /// Storage backend; `None` = the in-memory default.
+    pub storage: Option<kdstorage::StorageConfig>,
 }
 
 impl ProduceOpts {
@@ -56,6 +58,7 @@ impl ProduceOpts {
             replication: 1,
             api_workers: None,
             segment_size: 32 * 1024 * 1024,
+            storage: None,
         }
     }
 }
@@ -67,6 +70,7 @@ fn cluster_options(opts: &ProduceOpts) -> ClusterOptions {
             max_batch_size: 1024 * 1024 + 4096,
         },
         api_workers: opts.api_workers,
+        storage: opts.storage.clone(),
         ..Default::default()
     }
 }

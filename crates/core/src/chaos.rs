@@ -133,6 +133,16 @@ pub fn apply_fault(cluster: &SimCluster, kind: &FaultKind) -> bool {
                 None => false,
             }
         }
+        FaultKind::TornWrite { broker, bytes } => {
+            // Only meaningful against the files of a tiered broker — and
+            // only once it is down (a live broker would keep writing past
+            // the tear). Garbles real file bytes; recovery reads them back.
+            let b = cluster.broker(*broker as usize);
+            if b.is_alive() {
+                return false;
+            }
+            b.garble_storage_tail(*bytes) > 0
+        }
         // Client processes live outside the cluster harness; the chaos test
         // harness resolves client indices itself and applies these before
         // handing the plan to `run_plan`.

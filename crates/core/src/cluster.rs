@@ -28,6 +28,11 @@ pub struct ClusterOptions {
     /// Continuous telemetry for every broker (virtual-time sampler + health
     /// watchdog); `None` (default) runs brokers exactly as before.
     pub observe: Option<kdbroker::ObserveConfig>,
+    /// Storage backend for every broker's partition logs; `None` (default)
+    /// keeps the historical in-memory store. `Some(tiered)` spills sealed
+    /// segments to real files under the config's directory, one
+    /// `node<N>/<topic>-<partition>` subtree per broker partition.
+    pub storage: Option<kdstorage::StorageConfig>,
 }
 
 impl Default for ClusterOptions {
@@ -44,6 +49,7 @@ impl Default for ClusterOptions {
             rdma_pollers: None,
             cq_batch: None,
             observe: None,
+            storage: None,
         }
     }
 }
@@ -89,6 +95,9 @@ impl SimCluster {
         }
         if let Some(o) = opts.observe.clone() {
             config = config.with_observe(o);
+        }
+        if let Some(st) = opts.storage.clone() {
+            config = config.with_storage(st);
         }
         for i in 0..n {
             let node = fabric.add_node(&format!("broker{i}"));
@@ -281,7 +290,7 @@ impl SimCluster {
         &self,
         tp: &TopicPartition,
         leader: BrokerAddr,
-        bufs: &[Rc<RefCell<Vec<u8>>>],
+        bufs: &[(u64, Rc<RefCell<Vec<u8>>>)],
     ) {
         let Some(lb) = self
             .brokers
@@ -295,14 +304,25 @@ impl SimCluster {
         let Some(lp) = lb.inner().store.get(tp) else {
             return;
         };
-        for (k, buf) in bufs.iter().enumerate() {
-            match lp.log.segment(k as u32) {
-                Some(ls) => {
-                    let lbuf = ls.shared_buf();
-                    let lseg = lbuf.borrow();
+        for (base, buf) in bufs.iter() {
+            // Match leader segments by base offset, not index: a tiered
+            // leader may have reclaimed its oldest files, shifting indices.
+            let matched = (0..lp.log.segment_count())
+                .filter_map(|k| lp.log.segment(k).map(|s| (k, s)))
+                .find(|(_, s)| !s.is_reclaimed() && s.base_offset() == *base);
+            match matched {
+                Some((k, ls)) => {
+                    // Evicted leader segments compare against file bytes.
+                    let lbytes = if ls.is_resident() {
+                        ls.shared_buf().borrow().clone()
+                    } else {
+                        lp.log.store().load(k).unwrap_or_default()
+                    };
                     let mut fseg = buf.borrow_mut();
-                    let lim = (ls.committed_pos() as usize).min(lseg.len()).min(fseg.len());
-                    let n = lseg[..lim]
+                    let lim = (ls.committed_pos() as usize)
+                        .min(lbytes.len())
+                        .min(fseg.len());
+                    let n = lbytes[..lim]
                         .iter()
                         .zip(fseg.iter())
                         .take_while(|(a, b)| a == b)

@@ -216,7 +216,7 @@ async fn handle_rpc(
             let resp = match b.store.get(&TopicPartition::new(&*topic, partition)) {
                 Some(p) if p.is_leader() => Response::ListOffsets {
                     error: ErrorCode::None,
-                    earliest: 0,
+                    earliest: p.log.start_offset(),
                     latest: p.log.high_watermark(),
                 },
                 Some(_) => Response::ListOffsets {
@@ -411,6 +411,8 @@ async fn handle_rpc(
                 p.slot_refs
                     .borrow_mut()
                     .retain(|r| !(r.consumer_id == consumer_id && r.segment == segment));
+                // Last reader gone: the sealed segment may spill back out.
+                maybe_evict(b, &p, segment);
             }
             send(
                 reply,
@@ -514,7 +516,8 @@ pub fn apply_add_partition(
     if !(is_leader || is_follower) {
         return ErrorCode::None;
     }
-    let p = Partition::new(tp, b.config.log.clone(), leader, followers, is_leader, epoch);
+    let log = partition_log(b, &tp);
+    let p = Partition::with_log(tp, log, leader, followers, is_leader, epoch);
     b.store.insert(Rc::clone(&p));
     start_replication(b, &p);
     ErrorCode::None
@@ -531,7 +534,7 @@ pub fn install_recovered_partition(
     epoch: u64,
     leader: kdwire::BrokerAddr,
     followers: Vec<kdwire::BrokerAddr>,
-    buffers: Vec<Rc<std::cell::RefCell<Vec<u8>>>>,
+    buffers: crate::broker::SegmentBuffers,
 ) {
     b.store.record_meta(
         topic,
@@ -544,7 +547,14 @@ pub fn install_recovered_partition(
     );
     let tp = TopicPartition::new(topic, partition);
     let is_leader = leader.node == b.me.node;
-    let log = kdstorage::Log::recover(b.config.log.clone(), buffers);
+    let store: Rc<dyn kdstorage::SegmentStore> = match tiered_store(b, &tp) {
+        Some(store) => store,
+        None => Rc::new(kdstorage::MemStore),
+    };
+    let log = kdstorage::Log::recover_with_store(b.config.log.clone(), store, buffers);
+    if b.config.storage.mode == kdstorage::StorageMode::Tiered {
+        log.set_clock(Box::new(|| sim::now().as_nanos()));
+    }
     let p = Partition::with_log(tp, log, leader, followers, is_leader, epoch);
     b.store.insert(Rc::clone(&p));
     if is_leader {
@@ -558,6 +568,123 @@ pub fn install_recovered_partition(
         }
     }
     start_replication(b, &p);
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier (segment files) plumbing.
+// ---------------------------------------------------------------------------
+
+/// Tiered mode: creates (wiping any stale files) the partition's segment
+/// file store under `<storage.dir>/node<N>/<topic>-<partition>`. Memory
+/// mode returns `None`.
+fn tiered_store(b: &Rc<BrokerInner>, tp: &TopicPartition) -> Option<Rc<kdstorage::FileStore>> {
+    if b.config.storage.mode != kdstorage::StorageMode::Tiered {
+        return None;
+    }
+    let root = b
+        .config
+        .storage
+        .dir
+        .as_ref()
+        .expect("tiered storage requires a directory");
+    let dir = root
+        .join(format!("node{}", b.me.node))
+        .join(format!("{}-{}", tp.topic.as_str(), tp.partition));
+    let store =
+        kdstorage::FileStore::create(&dir, &b.config.storage).expect("create segment file store");
+    Some(Rc::new(store))
+}
+
+/// Builds a fresh partition log on the configured storage backend.
+fn partition_log(b: &Rc<BrokerInner>, tp: &TopicPartition) -> kdstorage::Log {
+    match tiered_store(b, tp) {
+        Some(store) => {
+            let log = kdstorage::Log::with_store(b.config.log.clone(), store);
+            log.set_clock(Box::new(|| sim::now().as_nanos()));
+            log
+        }
+        None => kdstorage::Log::new(b.config.log.clone()),
+    }
+}
+
+/// Drains the partition's accumulated storage I/O charge: bumps the
+/// `storage.*` counters and sleeps the modeled latency on the virtual
+/// clock. Memory mode never accrues a charge, so this returns without
+/// awaiting and the pre-durability schedule is untouched.
+pub async fn charge_storage(b: &Rc<BrokerInner>, p: &Partition) {
+    let io = p.log.take_io();
+    if io.is_zero() {
+        return;
+    }
+    let m = &b.metrics;
+    m.add(&m.storage_bytes_flushed, io.flushed_bytes);
+    m.add(&m.storage_fsyncs, io.fsyncs);
+    m.add(&m.storage_segments_rotated, io.rotated);
+    m.add(&m.storage_segments_reclaimed, io.reclaimed);
+    m.add(&m.storage_cold_read_bytes, io.cold_read_bytes);
+    if io.fsyncs > 0 {
+        b.telem.storage_fsync_ns.record(io.ns);
+    }
+    sim::time::sleep(Duration::from_nanos(io.ns)).await;
+}
+
+/// Background flusher for `SyncMode::EveryMs`: periodically pushes every
+/// partition's unsynced committed suffix out to its segment files.
+pub async fn flusher_loop(b: Rc<BrokerInner>, every_ms: u64) {
+    let period = Duration::from_millis(every_ms.max(1));
+    loop {
+        sim::time::sleep(period).await;
+        if !b.alive.get() {
+            return;
+        }
+        for p in b.store.local_partitions() {
+            p.log.sync_all();
+            charge_storage(&b, &p).await;
+        }
+    }
+}
+
+/// Background retention sweep: reclaims sealed segments past the size/age
+/// budget and re-spills sealed segments left resident (e.g. paged in for a
+/// consumer that has since disconnected).
+pub async fn retention_loop(b: Rc<BrokerInner>) {
+    let cfg = b.config.storage.retention;
+    let period = Duration::from_millis(cfg.check_every_ms.max(1));
+    loop {
+        sim::time::sleep(period).await;
+        if !b.alive.get() {
+            return;
+        }
+        for p in b.store.local_partitions() {
+            p.log.apply_retention(sim::now().as_nanos(), &cfg);
+            for i in 0..p.log.head_index() {
+                maybe_evict(&b, &p, i);
+            }
+            charge_storage(&b, &p).await;
+        }
+    }
+}
+
+/// Tiered mode: spill a sealed segment's bytes out of broker memory once
+/// nothing pins the buffer — no open produce grant and no consumer read
+/// registration (zero-copy access always wins over memory reclaim).
+/// `Log::evict_segment` additionally refuses head/unsealed/unsynced/
+/// reclaimed segments, so the call is safe to make speculatively.
+fn maybe_evict(b: &Rc<BrokerInner>, p: &Rc<Partition>, segment: u32) {
+    if b.config.storage.mode != kdstorage::StorageMode::Tiered {
+        return;
+    }
+    if p.read_regs.borrow().contains_key(&segment) {
+        return;
+    }
+    if p.grant
+        .borrow()
+        .as_ref()
+        .is_some_and(|g| g.segment == segment && !g.closed.get())
+    {
+        return;
+    }
+    p.log.evict_segment(segment);
 }
 
 fn start_replication(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
@@ -709,6 +836,7 @@ async fn handle_produce(
                 info.base_offset + u64::from(info.record_count),
             );
             after_local_commit(b, &p);
+            charge_storage(b, &p).await;
             finish_produce_rpc(b, &p, acks, info.base_offset, info.record_count, reply);
         }
         Err(e) => send(
@@ -831,6 +959,7 @@ async fn produce_via_shared(
                     info.base_offset + u64::from(info.record_count),
                 );
                 after_local_commit(b, p);
+                charge_storage(b, p).await;
                 finish_produce_rpc(b, p, 2, info.base_offset, info.record_count, reply);
             }
             Err(e) => send(
@@ -930,6 +1059,7 @@ async fn handle_rdma_commit(
                     trace_commit(b, ctx, &tp, span.base_offset, span.next_offset);
                     finish_rdma_ack(b, &p, &grant, span, ack);
                     after_local_commit(b, &p);
+                    charge_storage(b, &p).await;
                 }
                 Err(code) => ack_error(b, ack, code),
             }
@@ -977,6 +1107,7 @@ async fn handle_rdma_commit(
     }
     if committed {
         after_local_commit(b, &p);
+        charge_storage(b, &p).await;
     }
 }
 
@@ -1074,6 +1205,7 @@ async fn handle_rdma_commit_batch(b: &Rc<BrokerInner>, file_id: u16, items: Vec<
     }
     if committed {
         after_local_commit(b, &p);
+        charge_storage(b, &p).await;
     }
     for s in spans.into_iter().flatten() {
         s.end();
@@ -1235,9 +1367,11 @@ pub fn revoke_grants_of_node(b: &Rc<BrokerInner>, node: NodeId) {
 // ---------------------------------------------------------------------------
 
 fn roll_head(b: &Rc<BrokerInner>, p: &Rc<Partition>) {
+    let sealed = p.log.head_index();
     p.log.roll();
     // The old head just became immutable: let consumers know (§4.4.2).
     on_hw_advanced(b, p);
+    maybe_evict(b, p, sealed);
 }
 
 async fn handle_produce_access(
@@ -1399,7 +1533,12 @@ async fn handle_fetch(
         if p.log.high_watermark() != before {
             on_hw_advanced(b, &p);
         }
+        if offset < p.log.start_offset() {
+            send(reply, fail(ErrorCode::OffsetOutOfRange));
+            return;
+        }
         let f = p.log.read_from(offset, max_bytes, false);
+        charge_storage(b, &p).await;
         if f.bytes.is_empty() {
             // Long-poll: park off-worker until data appears (Kafka's fetch
             // purgatory).
@@ -1416,6 +1555,7 @@ async fn handle_fetch(
                     }
                 }
                 let f = p2.log.read_from(offset, max_bytes, false);
+                charge_storage(&b2, &p2).await;
                 b2.metrics.add(&b2.metrics.fetch_bytes, f.bytes.len() as u64);
                 send(reply, fetch_response(&p2, f));
             });
@@ -1425,7 +1565,21 @@ async fn handle_fetch(
         send(reply, fetch_response(&p, f));
     } else {
         b.metrics.add(&b.metrics.fetch_requests, 1);
+        // Below the retention floor: the typed out-of-range error, not an
+        // empty read (the data is gone, not merely unwritten).
+        if offset < p.log.start_offset() {
+            send(reply, fail(ErrorCode::OffsetOutOfRange));
+            return;
+        }
+        if b.config.storage.mode == kdstorage::StorageMode::Tiered {
+            match p.log.is_offset_resident(offset) {
+                Some(true) => b.metrics.add(&b.metrics.storage_hot_hits, 1),
+                Some(false) => b.metrics.add(&b.metrics.storage_hot_misses, 1),
+                None => {}
+            }
+        }
         let f = p.log.read_from(offset, max_bytes, true);
+        charge_storage(b, &p).await;
         if f.bytes.is_empty() {
             b.metrics.add(&b.metrics.empty_fetches, 1);
         }
@@ -1501,6 +1655,10 @@ async fn handle_consume_access(
     }
     let hw = p.log.high_watermark();
     let hwp = p.log.high_watermark_position();
+    if offset < p.log.start_offset() {
+        send(reply, fail(ErrorCode::OffsetOutOfRange));
+        return;
+    }
     let (segment, start_pos, start_offset) = if offset < hw {
         match p.log.locate(offset) {
             Some((seg, entry)) => (seg, entry.pos, entry.base_offset),
@@ -1512,6 +1670,20 @@ async fn handle_consume_access(
     } else {
         (hwp.segment, hwp.pos, hw)
     };
+    // Tiered: page a spilled segment back into memory before registering
+    // it — the zero-copy read region must expose real bytes.
+    if b.config.storage.mode == kdstorage::StorageMode::Tiered {
+        if p.log.segment(segment).is_some_and(|s| s.is_resident()) {
+            b.metrics.add(&b.metrics.storage_hot_hits, 1);
+        } else {
+            b.metrics.add(&b.metrics.storage_hot_misses, 1);
+            if !p.log.restore_segment(segment) {
+                send(reply, fail(ErrorCode::OffsetOutOfRange));
+                return;
+            }
+            charge_storage(b, &p).await;
+        }
+    }
     let mr = rdma_consume::register_read(&b.nic, &b.metrics, &p, segment);
     let view = rdma_consume::slot_view_for(&p, segment);
     let slot = if view.mutable {

@@ -26,9 +26,11 @@ pub type OffsetSlot = (rnic::ShmBuf, rnic::MemoryRegion);
 /// ack WRs that can be in flight at once, which is bounded by CQ capacity.
 const ACK_RING_DEPTH: usize = 1024;
 
-/// One partition's raw segment buffers — the shared "disk" that survives a
-/// broker crash (see [`Broker::durable_state`]).
-pub type SegmentBuffers = Vec<Rc<RefCell<Vec<u8>>>>;
+/// One partition's raw segment images as `(base_offset, bytes)` — the
+/// "disk" that survives a broker crash (see [`Broker::durable_state`]). In
+/// memory mode these are the live shared buffers; in tiered mode they are
+/// read back from the segment files, so only synced bytes survive.
+pub type SegmentBuffers = Vec<(u64, Rc<RefCell<Vec<u8>>>)>;
 
 /// Lazily-created loopback QP the broker uses to issue atomics to itself
 /// (§4.2.2: a TCP produce into a shared file "needs to reserve a memory
@@ -255,6 +257,19 @@ impl Broker {
             let b = Rc::clone(&inner);
             sim::spawn(async move { crate::api::worker_loop(b).await });
         }
+        // Durable-tier background tasks: the every-N-ms flusher and the
+        // retention sweep. Memory mode spawns neither — schedules stay
+        // bit-identical to the pre-durability broker.
+        if inner.config.storage.mode == kdstorage::StorageMode::Tiered {
+            if let kdstorage::SyncMode::EveryMs(ms) = inner.config.storage.sync {
+                let b = Rc::clone(&inner);
+                sim::spawn(async move { crate::api::flusher_loop(b, ms).await });
+            }
+            if inner.config.storage.retention.is_enabled() {
+                let b = Rc::clone(&inner);
+                sim::spawn(async move { crate::api::retention_loop(b).await });
+            }
+        }
         Broker { inner }
     }
 
@@ -348,8 +363,14 @@ impl Broker {
     }
 
     /// Harvests the surviving "disk": every hosted partition's raw segment
-    /// buffers, sorted by topic partition. Usable before or after `crash`;
+    /// images, sorted by topic partition. Usable before or after `crash`;
     /// the buffers stay valid (and shared) after the broker object is gone.
+    ///
+    /// Memory mode hands out the live shared buffers (the historical
+    /// model: RAM is the durable medium). Tiered mode reads the images
+    /// back from the segment files — a machine crash keeps only what a
+    /// sync point made durable, and torn-write faults that garbled file
+    /// bytes are faithfully visible to recovery.
     pub fn durable_state(&self) -> Vec<(kdstorage::TopicPartition, SegmentBuffers)> {
         let mut out: Vec<_> = self
             .inner
@@ -357,14 +378,36 @@ impl Broker {
             .local_partitions()
             .into_iter()
             .map(|p| {
-                let bufs = (0..=p.log.head_index())
-                    .filter_map(|i| p.log.segment(i).map(|s| s.shared_buf()))
-                    .collect();
+                let bufs = match p.log.store().durable_snapshot() {
+                    Some(parts) => parts
+                        .into_iter()
+                        .map(|(base, bytes)| (base, Rc::new(RefCell::new(bytes))))
+                        .collect(),
+                    None => (0..=p.log.head_index())
+                        .filter_map(|i| {
+                            p.log
+                                .segment(i)
+                                .map(|s| (s.base_offset(), s.shared_buf()))
+                        })
+                        .collect(),
+                };
                 (p.tp.clone(), bufs)
             })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Fault hook: garble the last `k` durable bytes of the active segment
+    /// file of every hosted partition (torn-write injection). Returns total
+    /// bytes garbled — zero on memory-mode brokers.
+    pub fn garble_storage_tail(&self, k: u32) -> u64 {
+        self.inner
+            .store
+            .local_partitions()
+            .into_iter()
+            .map(|p| p.log.garble_active_tail(k))
+            .sum()
     }
 
     /// Installs a partition recovered from pre-crash segment buffers; used

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use kdstorage::LogConfig;
+use kdstorage::{LogConfig, StorageConfig};
 
 /// Which transport serves the *request/response* datapaths (produce RPCs,
 /// fetches, control plane). This is the axis that separates the paper's
@@ -127,6 +127,9 @@ pub struct BrokerConfig {
     pub osu_recv_depth: usize,
     /// Continuous telemetry (sampler + watchdog); `None` = off (default).
     pub observe: Option<ObserveConfig>,
+    /// Storage backend selection: in-memory (default) or tiered
+    /// file-backed with a zero-copy hot tier.
+    pub storage: StorageConfig,
 }
 
 impl Default for BrokerConfig {
@@ -153,6 +156,7 @@ impl Default for BrokerConfig {
             osu_recv_buf: 1200 * 1024,
             osu_recv_depth: 8,
             observe: None,
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -204,6 +208,11 @@ impl BrokerConfig {
 
     pub fn with_observe(mut self, observe: ObserveConfig) -> Self {
         self.observe = Some(observe);
+        self
+    }
+
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
         self
     }
 }

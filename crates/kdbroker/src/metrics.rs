@@ -37,6 +37,20 @@ pub struct Metrics {
     /// Virtual nanoseconds network threads spent processing (fed by the
     /// broker's `ServicePool`).
     pub net_busy_ns: Counter,
+    /// Bytes written to segment files by the durable tier.
+    pub storage_bytes_flushed: Counter,
+    /// Fsyncs issued by the durable tier.
+    pub storage_fsyncs: Counter,
+    /// Segments sealed (rotated to a new head file).
+    pub storage_segments_rotated: Counter,
+    /// Segments reclaimed by retention.
+    pub storage_segments_reclaimed: Counter,
+    /// Reads served from the in-memory (hot) tier.
+    pub storage_hot_hits: Counter,
+    /// Reads that had to go to the file (cold) tier.
+    pub storage_hot_misses: Counter,
+    /// Bytes read back from segment files (cold fetches + page-ins).
+    pub storage_cold_read_bytes: Counter,
 }
 
 impl Default for Metrics {
@@ -70,6 +84,13 @@ impl Metrics {
             produce_aborts: c("produce.aborts"),
             grants_revoked: c("rdma.grants_revoked"),
             net_busy_ns: c("cpu.net_busy_ns"),
+            storage_bytes_flushed: c("storage.bytes_flushed"),
+            storage_fsyncs: c("storage.fsyncs"),
+            storage_segments_rotated: c("storage.segments_rotated"),
+            storage_segments_reclaimed: c("storage.segments_reclaimed"),
+            storage_hot_hits: c("storage.hot_hits"),
+            storage_hot_misses: c("storage.hot_misses"),
+            storage_cold_read_bytes: c("storage.cold_read_bytes"),
         }
     }
 
@@ -97,6 +118,13 @@ impl Metrics {
             produce_aborts: self.produce_aborts.get(),
             grants_revoked: self.grants_revoked.get(),
             net_busy_ns: self.net_busy_ns.get(),
+            storage_bytes_flushed: self.storage_bytes_flushed.get(),
+            storage_fsyncs: self.storage_fsyncs.get(),
+            storage_segments_rotated: self.storage_segments_rotated.get(),
+            storage_segments_reclaimed: self.storage_segments_reclaimed.get(),
+            storage_hot_hits: self.storage_hot_hits.get(),
+            storage_hot_misses: self.storage_hot_misses.get(),
+            storage_cold_read_bytes: self.storage_cold_read_bytes.get(),
         }
     }
 }
@@ -117,6 +145,9 @@ pub struct BrokerTelem {
     /// Replication latency: push write post → follower NIC ack, or pull
     /// fetch round-trips that returned data (§4.3).
     pub replicate_ns: kdtelem::Histogram,
+    /// Modeled latency of one durable-tier drain (flush bytes + fsyncs) as
+    /// charged on the virtual clock — the fsync latency distribution.
+    pub storage_fsync_ns: kdtelem::Histogram,
 }
 
 impl Default for BrokerTelem {
@@ -135,6 +166,7 @@ impl BrokerTelem {
             api_control_ns: h("api.control_ns"),
             rdma_commit_ns: h("rdma.commit_ns"),
             replicate_ns: h("repl.replicate_ns"),
+            storage_fsync_ns: h("storage.fsync_ns"),
         }
     }
 }
@@ -162,6 +194,13 @@ pub struct MetricsSnapshot {
     /// Network-thread busy time (fed live by the broker's `ServicePool`; no
     /// longer patched in after the fact).
     pub net_busy_ns: u64,
+    pub storage_bytes_flushed: u64,
+    pub storage_fsyncs: u64,
+    pub storage_segments_rotated: u64,
+    pub storage_segments_reclaimed: u64,
+    pub storage_hot_hits: u64,
+    pub storage_hot_misses: u64,
+    pub storage_cold_read_bytes: u64,
 }
 
 #[cfg(test)]

@@ -104,6 +104,7 @@ async fn apply_replicated(b: &Rc<BrokerInner>, p: &Rc<Partition>, bytes: &[u8]) 
         if p.log.append_replica(&bytes[at..at + total]).is_err() {
             return; // offset mismatch: retry from our log end next round
         }
+        crate::api::charge_storage(b, p).await;
         at += total;
     }
     p.announce_leo();

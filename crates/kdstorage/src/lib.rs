@@ -19,10 +19,15 @@ pub mod crc32c;
 pub mod log;
 pub mod record;
 pub mod segment;
+pub mod store;
 pub mod topics;
 
 pub use codec::{Reader, WireError, Writer};
-pub use log::{AppendError, AppendInfo, Log, LogConfig, LogPosition};
+pub use log::{AppendError, AppendInfo, Log, LogConfig, LogPosition, ReadError};
+pub use store::{
+    ColdRead, FileStore, IoCharge, IoCostModel, MemStore, RetentionConfig, SegmentStore,
+    StorageConfig, StorageMode, SyncMode,
+};
 pub use record::{
     assign_base_offset, parse_header, verify_batch, BatchBuilder, BatchError, BatchHeader, Record,
     RecordView, BATCH_HEADER_LEN,

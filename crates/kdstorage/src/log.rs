@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use crate::record::{self, BatchError};
 use crate::segment::{BatchIndexEntry, Segment};
+use crate::store::{IoCharge, MemStore, RetentionConfig, SegmentStore};
 
 /// Log configuration.
 #[derive(Debug, Clone)]
@@ -91,6 +92,26 @@ impl std::fmt::Display for AppendError {
 
 impl std::error::Error for AppendError {}
 
+/// Errors from checked reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The requested offset precedes the retention floor: its segment was
+    /// reclaimed and its bytes no longer exist on any tier.
+    OutOfRetention { requested: u64, start: u64 },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::OutOfRetention { requested, start } => {
+                write!(f, "offset {requested} below retention floor {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
 impl From<BatchError> for AppendError {
     fn from(e: BatchError) -> Self {
         AppendError::Batch(e)
@@ -112,22 +133,36 @@ pub struct FetchSlice {
 /// A topic-partition log.
 pub struct Log {
     config: LogConfig,
+    /// Storage backend notified at segment lifecycle points; the in-memory
+    /// backend makes every notification a no-op.
+    store: Rc<dyn SegmentStore>,
     segments: RefCell<Vec<Rc<Segment>>>,
     /// First offset not yet replicated to the configured in-sync replicas;
     /// consumers may not read at or past this (§4.4.2).
     high_watermark: Cell<u64>,
     /// Byte position equivalent of `high_watermark`.
     hw_position: Cell<LogPosition>,
+    /// Virtual-time source for segment seal stamps (age-based retention).
+    /// Unset (0) outside a runtime; the broker installs `sim::now`.
+    clock: RefCell<Option<Box<dyn Fn() -> u64>>>,
 }
 
 impl Log {
     pub fn new(config: LogConfig) -> Log {
+        Log::with_store(config, Rc::new(MemStore))
+    }
+
+    /// A fresh log on an explicit storage backend.
+    pub fn with_store(config: LogConfig, store: Rc<dyn SegmentStore>) -> Log {
         let head = Segment::new(0, config.segment_size);
+        store.on_create(0, 0, config.segment_size);
         Log {
             config,
+            store,
             segments: RefCell::new(vec![head]),
             high_watermark: Cell::new(0),
             hw_position: Cell::new(LogPosition { segment: 0, pos: 0 }),
+            clock: RefCell::new(None),
         }
     }
 
@@ -139,9 +174,24 @@ impl Log {
     /// at zero — it is volatile state that replication (or the single-
     /// replica commit rule) re-advances.
     pub fn recover(config: LogConfig, buffers: Vec<Rc<RefCell<Vec<u8>>>>) -> Log {
-        let mut segments: Vec<Rc<Segment>> = Vec::with_capacity(buffers.len().max(1));
-        let mut next = 0u64;
-        for buf in buffers {
+        let parts = buffers.into_iter().map(|b| (0, b)).collect();
+        Log::recover_with_store(config, Rc::new(MemStore), parts)
+    }
+
+    /// As [`recover`](Self::recover), onto an explicit backend. Each part
+    /// is `(base_offset, bytes)`; offsets re-chain densely from the first
+    /// part's base (non-zero after retention reclaimed a prefix). Every
+    /// recovered segment is adopted by the store — the file tier rewrites
+    /// its files from the recovered committed prefix, so the disk image and
+    /// the memory image agree from the first commit after restart.
+    pub fn recover_with_store(
+        config: LogConfig,
+        store: Rc<dyn SegmentStore>,
+        parts: Vec<(u64, Rc<RefCell<Vec<u8>>>)>,
+    ) -> Log {
+        let mut segments: Vec<Rc<Segment>> = Vec::with_capacity(parts.len().max(1));
+        let mut next = parts.first().map_or(0, |(base, _)| *base);
+        for (_, buf) in parts {
             let seg = Segment::recover(next, buf);
             next = seg.next_offset();
             segments.push(seg);
@@ -152,16 +202,41 @@ impl Log {
         for s in &segments[..segments.len() - 1] {
             s.seal();
         }
+        for (i, s) in segments.iter().enumerate() {
+            store.adopt(i as u32, s);
+        }
         Log {
             config,
+            store,
             segments: RefCell::new(segments),
             high_watermark: Cell::new(0),
             hw_position: Cell::new(LogPosition { segment: 0, pos: 0 }),
+            clock: RefCell::new(None),
         }
     }
 
     pub fn config(&self) -> &LogConfig {
         &self.config
+    }
+
+    /// The storage backend.
+    pub fn store(&self) -> &Rc<dyn SegmentStore> {
+        &self.store
+    }
+
+    /// Installs the virtual-time source used to stamp segment seals.
+    pub fn set_clock(&self, clock: Box<dyn Fn() -> u64>) {
+        *self.clock.borrow_mut() = Some(clock);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.borrow().as_ref().map_or(0, |c| c())
+    }
+
+    /// Drains the backend's accumulated I/O cost and counters. Always zero
+    /// in memory mode — callers skip charging entirely then.
+    pub fn take_io(&self) -> IoCharge {
+        self.store.take_charge()
     }
 
     /// The mutable head file.
@@ -200,11 +275,117 @@ impl Log {
     /// Seals the head and opens a new preallocated head file.
     pub fn roll(&self) -> Rc<Segment> {
         let next_offset = self.next_offset();
-        let mut segments = self.segments.borrow_mut();
-        segments.last().unwrap().seal();
-        let head = Segment::new(next_offset, self.config.segment_size);
-        segments.push(Rc::clone(&head));
+        let (old, old_idx, head) = {
+            let mut segments = self.segments.borrow_mut();
+            let old = Rc::clone(segments.last().unwrap());
+            old.seal();
+            old.set_sealed_at_ns(self.now_ns());
+            let head = Segment::new(next_offset, self.config.segment_size);
+            segments.push(Rc::clone(&head));
+            (old, segments.len() as u32 - 2, Rc::clone(&head))
+        };
+        self.store.on_seal(old_idx, &old);
+        self.store
+            .on_create(old_idx + 1, next_offset, self.config.segment_size);
         head
+    }
+
+    /// First offset still readable (the retention floor). Zero until
+    /// retention reclaims a segment.
+    pub fn start_offset(&self) -> u64 {
+        let segments = self.segments.borrow();
+        segments
+            .iter()
+            .find(|s| !s.is_reclaimed())
+            .map_or_else(|| segments.last().unwrap().next_offset(), |s| s.base_offset())
+    }
+
+    /// Flushes the head segment's dirty suffix to the file tier (the
+    /// every-N-ms flusher and explicit sync points).
+    pub fn sync_all(&self) {
+        let head = self.head();
+        self.store.flush(self.head_index(), &head);
+    }
+
+    /// Evicts a sealed, fully durable segment's bytes from memory (cold
+    /// spill). Returns false when the segment is the head, not sealed, not
+    /// fully synced, already evicted, or reclaimed — the caller is
+    /// responsible for checking RDMA registrations pin nothing on it.
+    pub fn evict_segment(&self, index: u32) -> bool {
+        if index >= self.head_index() {
+            return false;
+        }
+        let Some(seg) = self.segment(index) else {
+            return false;
+        };
+        if !seg.is_sealed()
+            || seg.is_reclaimed()
+            || !seg.is_resident()
+            || self.store.synced_pos(index) < seg.committed_pos()
+        {
+            return false;
+        }
+        seg.evict();
+        true
+    }
+
+    /// Pages an evicted segment's bytes back in from the file tier, into
+    /// the **same** shared buffer existing `Rc` clones point at.
+    pub fn restore_segment(&self, index: u32) -> bool {
+        let Some(seg) = self.segment(index) else {
+            return false;
+        };
+        if seg.is_resident() || seg.is_reclaimed() {
+            return false;
+        }
+        let Some(bytes) = self.store.load(index) else {
+            return false;
+        };
+        seg.restore(&bytes);
+        true
+    }
+
+    /// Applies size/time-based retention: reclaims sealed segments strictly
+    /// below the high-watermark segment, oldest first, while the live
+    /// segment count exceeds `max_segments` or the segment's seal age
+    /// exceeds `max_age_ms`. Returns the number reclaimed. Reclaimed
+    /// segments stay in the chain as tombstones so segment indices held by
+    /// grants, read registrations, and `LogPosition`s stay valid.
+    pub fn apply_retention(&self, now_ns: u64, cfg: &RetentionConfig) -> u32 {
+        if !cfg.is_enabled() {
+            return 0;
+        }
+        let hw_segment = self.hw_position.get().segment;
+        let (live, first_live) = {
+            let segments = self.segments.borrow();
+            let live = segments.iter().filter(|s| !s.is_reclaimed()).count() as u32;
+            let first_live = segments.iter().position(|s| !s.is_reclaimed());
+            (live, first_live)
+        };
+        let Some(first_live) = first_live else {
+            return 0;
+        };
+        let mut live = live;
+        let mut reclaimed = 0u32;
+        for index in first_live as u32..hw_segment {
+            let seg = self.segment(index).expect("segment below hw exists");
+            if seg.is_reclaimed() {
+                continue;
+            }
+            debug_assert!(seg.is_sealed(), "segments below the hw segment are sealed");
+            let too_many = cfg.max_segments.is_some_and(|max| live > max);
+            let too_old = cfg.max_age_ms.is_some_and(|max_ms| {
+                now_ns.saturating_sub(seg.sealed_at_ns()) > max_ms * 1_000_000
+            });
+            if !too_many && !too_old {
+                break; // older segments reclaim first; stop at the first keeper
+            }
+            seg.reclaim();
+            self.store.on_reclaim(index);
+            live -= 1;
+            reclaimed += 1;
+        }
+        reclaimed
     }
 
     fn check_size(&self, len: usize) -> Result<(), AppendError> {
@@ -271,6 +452,7 @@ impl Log {
             len: total,
             record_count: header.record_count,
         });
+        self.store.on_commit(self.head_index(), &head);
         Ok(AppendInfo {
             base_offset: header.base_offset,
             record_count: header.record_count,
@@ -332,6 +514,7 @@ impl Log {
             len: total,
             record_count,
         });
+        self.store.on_commit(self.head_index(), head);
         Ok(AppendInfo {
             base_offset,
             record_count,
@@ -427,7 +610,30 @@ impl Log {
             .saturating_sub(1);
         let mut start_offset = None;
         let mut next_offset = offset;
-        'outer: for seg in segments.iter().skip(seg_idx) {
+        'outer: for (idx, seg) in segments.iter().enumerate().skip(seg_idx) {
+            if seg.is_reclaimed() {
+                continue;
+            }
+            if !seg.is_resident() {
+                // Cold segment: serve whole batches from the file tier
+                // through the sparse index (offsets in the file are already
+                // assigned — flushes cover only committed bytes).
+                let r = self.store.read_cold(
+                    idx as u32,
+                    next_offset.max(seg.base_offset()),
+                    limit,
+                    max_bytes,
+                    out,
+                );
+                if let Some(s) = r.start_offset {
+                    start_offset.get_or_insert(s);
+                    next_offset = r.next_offset;
+                }
+                if r.done || out.len() >= max_bytes as usize {
+                    break 'outer;
+                }
+                continue;
+            }
             let Some(mut i) = seg.batch_index_of(next_offset.max(seg.base_offset())) else {
                 continue;
             };
@@ -450,6 +656,26 @@ impl Log {
         (start_offset.unwrap_or(offset), next_offset)
     }
 
+    /// As [`read_from_into`](Self::read_from_into), but reads below the
+    /// retention floor fail with a typed error instead of silently starting
+    /// at the next surviving batch.
+    pub fn read_from_checked(
+        &self,
+        offset: u64,
+        max_bytes: u32,
+        committed_only: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<(u64, u64), ReadError> {
+        let start = self.start_offset();
+        if offset < start {
+            return Err(ReadError::OutOfRetention {
+                requested: offset,
+                start,
+            });
+        }
+        Ok(self.read_from_into(offset, max_bytes, committed_only, out))
+    }
+
     /// Finds the committed batch containing `offset` and its segment index.
     pub fn locate(&self, offset: u64) -> Option<(u32, BatchIndexEntry)> {
         let segments = self.segments.borrow();
@@ -460,6 +686,20 @@ impl Log {
         // suggests only if offsets were sparse — they are dense here.
         let entry = segments[seg_idx].find_batch(offset)?;
         Some((seg_idx as u32, entry))
+    }
+
+    /// Whether the segment holding `offset` is in the hot (memory) tier.
+    /// `None` when the offset is not committed anywhere.
+    pub fn is_offset_resident(&self, offset: u64) -> Option<bool> {
+        let (seg_idx, _) = self.locate(offset)?;
+        Some(self.segment(seg_idx)?.is_resident())
+    }
+
+    /// Fault hook: garble the last `k` durable bytes of the active segment
+    /// file (torn-write injection against real file bytes). Returns bytes
+    /// garbled — zero on the in-memory backend.
+    pub fn garble_active_tail(&self, k: u32) -> u64 {
+        self.store.garble_active_tail(k)
     }
 
     /// Total committed bytes across all segments (telemetry).

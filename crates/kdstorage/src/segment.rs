@@ -39,11 +39,24 @@ impl BatchIndexEntry {
 pub struct Segment {
     base_offset: u64,
     buf: Rc<RefCell<Vec<u8>>>,
+    /// Preallocated size. Stored separately from the buffer because an
+    /// evicted (cold-tier) segment's buffer is emptied to reclaim memory.
+    capacity: u32,
     /// Bytes written (or reserved) so far; the append point.
     write_pos: Cell<u32>,
     /// Bytes covered by committed (verified, offset-assigned) batches.
     committed_pos: Cell<u32>,
     sealed: Cell<bool>,
+    /// False when the bytes live only in the file tier (buffer evicted).
+    resident: Cell<bool>,
+    /// Set when retention reclaimed the segment: bytes and index are gone,
+    /// only the offset range survives as a tombstone.
+    reclaimed: Cell<bool>,
+    /// `next_offset` frozen at reclaim time (the batch index is cleared).
+    frozen_next: Cell<u64>,
+    /// Virtual time the segment sealed (0 when unknown); age-based
+    /// retention measures from here.
+    sealed_at_ns: Cell<u64>,
     batches: RefCell<Vec<BatchIndexEntry>>,
 }
 
@@ -54,9 +67,14 @@ impl Segment {
         Rc::new(Segment {
             base_offset,
             buf: Rc::new(RefCell::new(vec![0u8; capacity as usize])),
+            capacity,
             write_pos: Cell::new(0),
             committed_pos: Cell::new(0),
             sealed: Cell::new(false),
+            resident: Cell::new(true),
+            reclaimed: Cell::new(false),
+            frozen_next: Cell::new(0),
+            sealed_at_ns: Cell::new(0),
             batches: RefCell::new(Vec::new()),
         })
     }
@@ -70,12 +88,18 @@ impl Segment {
     /// batches that were fully written but never offset-assigned — a crash
     /// between the one-sided RDMA write and the commit — recover too.
     pub fn recover(base_offset: u64, buf: Rc<RefCell<Vec<u8>>>) -> Rc<Segment> {
+        let capacity = buf.borrow().len() as u32;
         let seg = Rc::new(Segment {
             base_offset,
             buf,
+            capacity,
             write_pos: Cell::new(0),
             committed_pos: Cell::new(0),
             sealed: Cell::new(false),
+            resident: Cell::new(true),
+            reclaimed: Cell::new(false),
+            frozen_next: Cell::new(0),
+            sealed_at_ns: Cell::new(0),
             batches: RefCell::new(Vec::new()),
         });
         // Structural pre-scan (no CRC): counts batches so the index is
@@ -137,7 +161,7 @@ impl Segment {
     }
 
     pub fn capacity(&self) -> u32 {
-        self.buf.borrow().len() as u32
+        self.capacity
     }
 
     pub fn write_pos(&self) -> u32 {
@@ -158,10 +182,61 @@ impl Segment {
 
     /// Offset after the last committed record, if any batch is committed.
     pub fn next_offset(&self) -> u64 {
+        if self.reclaimed.get() {
+            return self.frozen_next.get();
+        }
         self.batches
             .borrow()
             .last()
             .map_or(self.base_offset, BatchIndexEntry::next_offset)
+    }
+
+    /// True while the segment's bytes are in memory (hot tier).
+    pub fn is_resident(&self) -> bool {
+        self.resident.get()
+    }
+
+    /// True once retention reclaimed the segment (tombstone).
+    pub fn is_reclaimed(&self) -> bool {
+        self.reclaimed.get()
+    }
+
+    /// Drops the in-memory bytes of a sealed segment (cold-tier spill).
+    /// The shared buffer is emptied **in place** so existing `Rc` clones
+    /// (and any re-registration through them) observe the eviction rather
+    /// than keeping a stale copy alive.
+    pub fn evict(&self) {
+        assert!(self.sealed.get(), "only sealed segments evict");
+        let mut buf = self.buf.borrow_mut();
+        buf.clear();
+        buf.shrink_to_fit();
+        self.resident.set(false);
+    }
+
+    /// Restores evicted bytes from the file tier into the same shared
+    /// buffer (page-in for RDMA consumers of cold segments).
+    pub fn restore(&self, bytes: &[u8]) {
+        assert!(!self.reclaimed.get(), "reclaimed segments cannot restore");
+        assert_eq!(bytes.len(), self.capacity as usize, "full segment image");
+        let mut buf = self.buf.borrow_mut();
+        buf.clear();
+        buf.extend_from_slice(bytes);
+        self.resident.set(true);
+    }
+
+    /// Turns the segment into a retention tombstone: bytes and batch index
+    /// are discarded; only `[base_offset, next_offset)` survives so the
+    /// segment chain keeps its shape (indices into it stay valid).
+    pub fn reclaim(&self) {
+        assert!(self.sealed.get(), "only sealed segments reclaim");
+        self.frozen_next.set(self.next_offset());
+        self.reclaimed.set(true);
+        let mut buf = self.buf.borrow_mut();
+        buf.clear();
+        buf.shrink_to_fit();
+        self.resident.set(false);
+        self.batches.borrow_mut().clear();
+        self.batches.borrow_mut().shrink_to_fit();
     }
 
     /// The raw storage, shareable with `rnic::ShmBuf::from_shared` for RDMA
@@ -173,6 +248,16 @@ impl Segment {
     /// Marks the segment immutable.
     pub fn seal(&self) {
         self.sealed.set(true);
+    }
+
+    /// Virtual time the segment sealed (0 when unknown).
+    pub fn sealed_at_ns(&self) -> u64 {
+        self.sealed_at_ns.get()
+    }
+
+    /// Records the seal time (set by `Log::roll` from its clock).
+    pub fn set_sealed_at_ns(&self, ns: u64) {
+        self.sealed_at_ns.set(ns);
     }
 
     /// Reserves `len` bytes at the current append point (local/exclusive

@@ -59,6 +59,9 @@ pub enum ErrorCode {
     /// The broker is not running the requested optional facility (e.g. a
     /// `Series`/`Health` request against a broker with no sampler/watchdog).
     NotSupported = 11,
+    /// The requested offset precedes the retention floor: its segment was
+    /// reclaimed from every storage tier.
+    OffsetOutOfRange = 12,
 }
 
 impl ErrorCode {
@@ -80,6 +83,7 @@ impl ErrorCode {
             9 => ErrorCode::Internal,
             10 => ErrorCode::FencedEpoch,
             11 => ErrorCode::NotSupported,
+            12 => ErrorCode::OffsetOutOfRange,
             _ => return Err(WireError::BadValue),
         })
     }

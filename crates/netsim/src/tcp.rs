@@ -56,7 +56,23 @@ struct Chunk {
     data: kdbuf::Buf,
 }
 
-pub(crate) type ListenerSlot = mpsc::Sender<TcpStream>;
+/// A bound port's accept channel, stamped with the bind generation so a
+/// stale [`TcpListener`]'s `Drop` (e.g. a crashed broker's accept loop
+/// winding down after the port was force-unbound and rebound) cannot evict
+/// a successor that re-bound the same port.
+pub(crate) type ListenerSlot = (u64, mpsc::Sender<TcpStream>);
+
+thread_local! {
+    static NEXT_BIND_GEN: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
+}
+
+fn next_bind_gen() -> u64 {
+    NEXT_BIND_GEN.with(|g| {
+        let v = g.get();
+        g.set(v + 1);
+        v
+    })
+}
 
 /// The write side of one direction of a connection.
 pub struct WriteHalf {
@@ -113,6 +129,7 @@ fn pipe(fabric: &Fabric, src: NodeId, dst: NodeId) -> (WriteHalf, ReadHalf) {
 pub struct TcpListener {
     node: NodeHandle,
     port: u16,
+    gen: u64,
     incoming: mpsc::Receiver<TcpStream>,
 }
 
@@ -124,12 +141,13 @@ impl TcpListener {
     /// simulation scenario).
     pub fn bind(node: &NodeHandle, port: u16) -> TcpListener {
         let (tx, rx) = mpsc::unbounded();
+        let gen = next_bind_gen();
         let prev = node
             .fabric
             .inner
             .tcp_listeners
             .borrow_mut()
-            .insert((node.id, port), tx);
+            .insert((node.id, port), (gen, tx));
         assert!(
             prev.is_none(),
             "port {port} already bound on {}",
@@ -138,6 +156,7 @@ impl TcpListener {
         TcpListener {
             node: node.clone(),
             port,
+            gen,
             incoming: rx,
         }
     }
@@ -165,12 +184,17 @@ impl TcpListener {
 
 impl Drop for TcpListener {
     fn drop(&mut self) {
-        self.node
-            .fabric
-            .inner
-            .tcp_listeners
-            .borrow_mut()
-            .remove(&(self.node.id, self.port));
+        // Remove the slot only if it is still OUR bind: after a force
+        // `unbind` the port may have been re-bound by a fresh process
+        // before this stale listener unwound, and evicting the successor
+        // would refuse every future connect to the port.
+        let mut map = self.node.fabric.inner.tcp_listeners.borrow_mut();
+        if map
+            .get(&(self.node.id, self.port))
+            .is_some_and(|(gen, _)| *gen == self.gen)
+        {
+            map.remove(&(self.node.id, self.port));
+        }
     }
 }
 
@@ -203,7 +227,7 @@ pub async fn connect(
         .tcp_listeners
         .borrow()
         .get(&(dst, port))
-        .cloned();
+        .map(|(_, tx)| tx.clone());
     let slot = slot.ok_or(ConnectError::ConnectionRefused)?;
     sim::time::sleep(fabric.profile().net.tcp_connect).await;
 

@@ -81,10 +81,29 @@ impl IncomingConnection {
     }
 }
 
+/// A rendezvous-table slot: the bind generation that owns the port plus the
+/// accept-queue sender. The generation lets a stale listener's `Drop` detect
+/// that the port has been rebound since (crash + synchronous restart) and
+/// leave the fresh slot alone.
+pub(crate) type ListenerSlot = (u64, sim::sync::mpsc::Sender<ConnRequest>);
+
+thread_local! {
+    static NEXT_BIND_GEN: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
+}
+
+fn next_bind_gen() -> u64 {
+    NEXT_BIND_GEN.with(|g| {
+        let v = g.get();
+        g.set(v + 1);
+        v
+    })
+}
+
 /// A listening RDMA service id (port).
 pub struct RdmaListener {
     nic: RNic,
     port: u16,
+    gen: u64,
     incoming: mpsc::Receiver<ConnRequest>,
 }
 
@@ -96,14 +115,16 @@ impl RdmaListener {
     pub fn bind(nic: &RNic, port: u16) -> RdmaListener {
         let registry = Registry::get(&nic.node().fabric);
         let (tx, rx) = mpsc::unbounded();
+        let gen = next_bind_gen();
         let prev = registry
             .cm_listeners
             .borrow_mut()
-            .insert((nic.node().id, port), tx);
+            .insert((nic.node().id, port), (gen, tx));
         assert!(prev.is_none(), "rdma port {port} already bound");
         RdmaListener {
             nic: nic.clone(),
             port,
+            gen,
             incoming: rx,
         }
     }
@@ -123,11 +144,18 @@ impl RdmaListener {
 
 impl Drop for RdmaListener {
     fn drop(&mut self) {
+        // Remove the slot only if it is still OUR bind: after a force
+        // `unbind` the service id may have been re-bound by a restarted
+        // broker before this stale listener unwound, and evicting the
+        // successor would refuse every future connect to the port.
         let registry = Registry::get(&self.nic.node().fabric);
-        registry
-            .cm_listeners
-            .borrow_mut()
-            .remove(&(self.nic.node().id, self.port));
+        let mut map = registry.cm_listeners.borrow_mut();
+        if map
+            .get(&(self.nic.node().id, self.port))
+            .is_some_and(|(gen, _)| *gen == self.gen)
+        {
+            map.remove(&(self.nic.node().id, self.port));
+        }
     }
 }
 
@@ -157,7 +185,11 @@ impl RNic {
         opts: QpOptions,
     ) -> Result<QueuePair, RdmaConnectError> {
         let registry = Registry::get(&self.node().fabric);
-        let slot = registry.cm_listeners.borrow().get(&(dst, port)).cloned();
+        let slot = registry
+            .cm_listeners
+            .borrow()
+            .get(&(dst, port))
+            .map(|(_, tx)| tx.clone());
         let slot = slot.ok_or(RdmaConnectError::ConnectionRefused)?;
         // QP attribute exchange happens over TCP in real deployments.
         sim::time::sleep(self.node().profile().net.tcp_connect).await;

@@ -13,8 +13,7 @@ use crate::mr::{Access, MemoryRegion, MrInner, ShmBuf};
 /// the connection-manager rendezvous table. Stored as a [`Fabric`] extension.
 pub(crate) struct Registry {
     pub(crate) nics: RefCell<HashMap<NodeId, Weak<NicInner>>>,
-    pub(crate) cm_listeners:
-        RefCell<HashMap<(NodeId, u16), sim::sync::mpsc::Sender<crate::cm::ConnRequest>>>,
+    pub(crate) cm_listeners: RefCell<HashMap<(NodeId, u16), crate::cm::ListenerSlot>>,
     next_vaddr: Cell<u64>,
     next_rkey: Cell<u32>,
     next_qpn: Cell<u32>,

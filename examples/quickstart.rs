@@ -2,12 +2,19 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- --durable
 //! ```
 //!
 //! Starts a simulated KafkaDirect broker, produces a handful of records
 //! through the zero-copy RDMA produce datapath (§4.2.2), reads them back
 //! with one-sided RDMA Reads (§4.4.2), and prints what happened — including
 //! the broker-side evidence that no CPU copies occurred.
+//!
+//! With `--durable` the broker runs the file-backed tiered store
+//! (per-commit fsync) in a temporary directory: after the produce/consume
+//! round the broker is hard-crashed, restarted from its segment files, and
+//! every record is read back again — exiting non-zero if the recovered log
+//! differs.
 //!
 //! The broker runs under its continuous-telemetry sampler and health
 //! watchdog; at the end the example pulls the recorded time-series and
@@ -20,8 +27,16 @@ use kafkadirect::{ClusterOptions, ObserveConfig, Record, SimCluster, SystemKind}
 use kdclient::{RdmaConsumer, RdmaProducer};
 
 fn main() {
+    let durable = std::env::args().any(|a| a == "--durable");
+    let dir = std::env::temp_dir().join(format!("kd-quickstart-{}", std::process::id()));
+    let storage = durable.then(|| {
+        std::fs::remove_dir_all(&dir).ok();
+        kdstorage::StorageConfig::tiered(&dir).with_sync(kdstorage::SyncMode::PerCommit)
+    });
     let rt = sim::Runtime::new();
-    rt.block_on(async {
+    let dir2 = dir.clone();
+    rt.block_on(async move {
+        let dir = dir2;
         // A one-broker KafkaDirect cluster on a simulated 56 Gbit/s fabric,
         // sampled continuously at the default observability cadence.
         let cluster = SimCluster::start_with(
@@ -29,6 +44,7 @@ fn main() {
             1,
             ClusterOptions {
                 observe: Some(ObserveConfig::default()),
+                storage,
                 ..Default::default()
             },
         );
@@ -76,7 +92,39 @@ fn main() {
         println!("  broker CPU copies    : {} bytes (zero copy!)", m.heap_copied_bytes);
         println!("  NIC-served reads     : {}", nic.reads_served);
         println!("  TCP fetch requests   : {}", m.fetch_requests);
+        if durable {
+            println!("  segment bytes synced : {}", m.storage_bytes_flushed);
+            println!("  fsyncs               : {}", m.storage_fsyncs);
+        }
         println!("  virtual time elapsed : {}", sim::now());
+
+        // Durability drill: kill the broker process, recover from the
+        // segment files, and prove every acked record survived.
+        if durable {
+            drop(producer);
+            drop(consumer);
+            cluster.crash_broker(0);
+            cluster.restart_broker(0);
+            println!();
+            println!("durable tier: broker crashed and restarted from {dir:?}");
+            let mut consumer = RdmaConsumer::connect(&client, cluster.bootstrap(), "greetings", 0, 0)
+                .await
+                .expect("post-restart consumer connect");
+            let mut recovered = Vec::new();
+            while recovered.len() < 5 {
+                for rv in consumer.next_records().await.expect("post-restart consume") {
+                    recovered.push(String::from_utf8_lossy(&rv.record.value).into_owned());
+                }
+            }
+            for (i, v) in recovered.iter().enumerate() {
+                let want = format!("hello #{i}");
+                if *v != want {
+                    eprintln!("quickstart: recovered record {i} is {v:?}, expected {want:?}");
+                    std::process::exit(1);
+                }
+            }
+            println!("durable tier: all {} records re-read after restart", recovered.len());
+        }
 
         // Continuous telemetry: the broker sampled itself the whole run.
         let series = cluster.broker_series(0).await;
@@ -118,5 +166,8 @@ fn main() {
     if !report.ok() {
         eprintln!("quickstart: critical-path checker errors: {:?}", report.errors);
         std::process::exit(1);
+    }
+    if durable {
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,19 +16,31 @@ cargo clippy --all-targets --offline -- -D warnings
 # pinned even if the default test filter ever changes.
 cargo test -q --offline --test chaos
 
+# File-backed recovery soak: chaos seeds over the tiered store (crash +
+# torn-tail garbling of real segment files, CRC-scan recovery, bit-identical
+# replay) plus the per-sync-mode RF=1 crash/restart contracts. Segment files
+# live in per-seed temp dirs that the tests wipe themselves. Runs in
+# `cargo test` above too — kept explicit so a durability regression is named
+# in CI output.
+cargo test -q --offline --test durable
+
 # Smoke-run the quickstart example end to end. It runs the broker under the
 # continuous-telemetry sampler and health watchdog and exits non-zero on any
 # watchdog stall event or critical-path checker error, so this doubles as
-# the live observability gate.
+# the live observability gate. The --durable variant reruns it over the
+# file-backed tier and re-reads every record after a crash + restart.
 cargo run -q --release --offline --example quickstart
+cargo run -q --release --offline --example quickstart -- --durable
 
 # Perf smoke: wall-clock harness over the fig10/11 produce workload with a
 # counting global allocator and an executor-poll counter. Writes
-# BENCH_PR6.json (+ results/PERF_PR6.md) and exits non-zero if the
-# steady-state exclusive-RDMA produce path exceeds its allocation budget
-# (allocs/record <= 2), its scheduling budget (polls/record <= 12 — the
-# pre-batching loop needed ~20.8, so this pins the CQ-batching win), a warm
-# 1 MiB TCP send stops being O(1) allocations, or running with the telemetry
+# BENCH_PR8.json (+ results/PERF_PR8.md) and exits non-zero if the
+# steady-state exclusive-RDMA produce path — over the in-memory store OR
+# the file-backed hot tier — exceeds its allocation budget (allocs/record
+# <= 2) or its scheduling budget (polls/record <= 12 — the pre-batching
+# loop needed ~20.8, so this pins the CQ-batching win), if a warm 1 MiB TCP
+# send stops being O(1) allocations, or if running with the telemetry
 # sampler on costs more than 3% of the exclusive-RDMA records/s baseline.
-# Wall-clock throughput is reported, not gated.
+# Wall-clock throughput (including the cold-tier fetch series) is reported,
+# not gated.
 cargo run -q --release --offline -p kdbench --bin kdperf -- --smoke

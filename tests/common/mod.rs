@@ -100,6 +100,44 @@ pub fn run_seed(seed: u64) -> Outcome {
 /// `cq_batch = 1` reproduces the pre-batching one-completion-per-wakeup
 /// poller bit for bit — the golden-digest test pins it.
 pub fn run_seed_with(seed: u64, rdma_pollers: Option<usize>, cq_batch: Option<usize>) -> Outcome {
+    run_seed_opts(
+        seed,
+        kafkadirect::ClusterOptions {
+            rdma_pollers,
+            cq_batch,
+            ..Default::default()
+        },
+        false,
+    )
+}
+
+/// Runs one seeded fault plan against a **tiered-storage** cluster: every
+/// partition's segments live in real files under a per-(tag, seed) temp
+/// dir (wiped before the run), sync mode per-commit, and the plan injects
+/// [`kdfault::FaultKind::TornWrite`] riders that garble the dead broker's
+/// active segment file before recovery reads it back.
+#[allow(dead_code)]
+pub fn run_seed_durable(seed: u64, tag: &str) -> Outcome {
+    let dir = std::env::temp_dir().join(format!(
+        "kd-chaos-{tag}-{seed}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let storage = kdstorage::StorageConfig::tiered(&dir)
+        .with_sync(kdstorage::SyncMode::PerCommit);
+    let out = run_seed_opts(
+        seed,
+        kafkadirect::ClusterOptions {
+            storage: Some(storage),
+            ..Default::default()
+        },
+        true,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+fn run_seed_opts(seed: u64, opts: kafkadirect::ClusterOptions, torn_writes: bool) -> Outcome {
     // Trace ids come from a thread-local allocator; reset it so replays of
     // the same seed produce bit-identical event logs.
     kdtelem::reset_trace_ids();
@@ -112,20 +150,13 @@ pub fn run_seed_with(seed: u64, rdma_pollers: Option<usize>, cq_batch: Option<us
         let injector = kdfault::Injector::new();
         let _i = kdfault::enter(&injector);
 
-        let cluster = SimCluster::start_with(
-            SystemKind::KafkaDirect,
-            3,
-            kafkadirect::ClusterOptions {
-                rdma_pollers,
-                cq_batch,
-                ..Default::default()
-            },
-        );
+        let cluster = SimCluster::start_with(SystemKind::KafkaDirect, 3, opts);
         cluster.create_topic("chaos", 1, 2).await;
 
         let mut cfg = kdfault::PlanConfig::new(3, HORIZON_NS);
         cfg.failover_topic = Some("chaos".to_string());
         cfg.max_faults = 10;
+        cfg.allow_torn_write = torn_writes;
         let plan = kdfault::FaultPlan::random(seed, &cfg);
         assert!(!plan.faults.is_empty(), "{}", plan.describe());
 

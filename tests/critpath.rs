@@ -5,9 +5,9 @@
 
 use std::time::Duration;
 
-use kafkadirect::{SimCluster, SystemKind};
+use kafkadirect::{ClusterOptions, SimCluster, SystemKind};
 use kdclient::{ClientTransport, RdmaProducer, TcpProducer};
-use kdstorage::Record;
+use kdstorage::{Record, StorageConfig, SyncMode};
 use kdtelem::critpath::{analyze, Stage};
 
 /// Runs `f` under a private telemetry registry and returns the drained
@@ -93,6 +93,52 @@ fn rdma_stage_sums_reconcile_with_measured_e2e() {
         report.stage_total(Stage::LinkPropagation) > 0,
         "no time attributed to the wire"
     );
+    assert_eq!(report.stage_total(Stage::CpuCopy), 0);
+}
+
+/// Hot-tier RDMA produce over the file-backed store: durability must not
+/// put a broker CPU copy on the datapath. The active segment stays
+/// MR-registered in memory, so WriteWithImm lands records exactly as in
+/// memory mode; the file tier syncs asynchronously off the lifeline.
+#[test]
+fn tiered_rdma_produce_attributes_zero_broker_copies() {
+    let dir = std::env::temp_dir().join(format!("kd-critpath-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let storage = StorageConfig::tiered(&dir).with_sync(SyncMode::EveryMs(5));
+    let events = trace_run(|| {
+        let rt = sim::Runtime::new();
+        rt.block_on(async move {
+            let cluster = SimCluster::start_with(
+                SystemKind::KafkaDirect,
+                1,
+                ClusterOptions {
+                    storage: Some(storage),
+                    ..Default::default()
+                },
+            );
+            cluster.create_topic("t", 1, 1).await;
+            let cnode = cluster.add_client_node("c");
+            let mut producer = RdmaProducer::connect(&cnode, cluster.bootstrap(), "t", 0, false)
+                .await
+                .unwrap();
+            for i in 0..8u8 {
+                producer.send(&Record::value(vec![i; 256])).await.unwrap();
+                sim::time::sleep(Duration::from_micros(50)).await;
+            }
+        });
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = analyze(&events);
+    assert!(report.ok(), "stage sums must reconcile: {:?}", report.errors);
+    assert_eq!(report.lifelines.len(), 8, "one committing lifeline per send");
+    for l in &report.lifelines {
+        assert_eq!(
+            l.broker_copies, 0,
+            "durable hot tier must keep the produce path zero-copy"
+        );
+        assert_eq!(l.stage_ns.iter().sum::<u64>(), l.total_ns);
+    }
     assert_eq!(report.stage_total(Stage::CpuCopy), 0);
 }
 
