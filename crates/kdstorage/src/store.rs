@@ -135,6 +135,12 @@ pub struct StorageConfig {
     pub retention: RetentionConfig,
     /// Sparse-index density: one index entry every N committed batches.
     pub index_interval: u32,
+    /// Issue real `fdatasync` calls at flush points. The *modeled* fsync
+    /// latency always flows through the virtual clock regardless; the
+    /// physical call only protects against host-OS crashes (which the
+    /// simulator never experiences in-process) and blocks the simulation
+    /// thread for ~0.5-1ms per flush, so it defaults to off.
+    pub physical_fsync: bool,
 }
 
 impl Default for StorageConfig {
@@ -146,6 +152,7 @@ impl Default for StorageConfig {
             cost: IoCostModel::default(),
             retention: RetentionConfig::none(),
             index_interval: 4,
+            physical_fsync: false,
         }
     }
 }
@@ -167,6 +174,13 @@ impl StorageConfig {
 
     pub fn with_retention(mut self, retention: RetentionConfig) -> Self {
         self.retention = retention;
+        self
+    }
+
+    /// Opt back in to physical `fdatasync` at flush points (see
+    /// [`StorageConfig::physical_fsync`]).
+    pub fn with_physical_fsync(mut self, on: bool) -> Self {
+        self.physical_fsync = on;
         self
     }
 }
@@ -347,6 +361,7 @@ pub struct FileStore {
     sync: SyncMode,
     cost: IoCostModel,
     index_interval: u32,
+    physical_fsync: bool,
     states: RefCell<Vec<SegState>>,
     charge: Cell<IoCharge>,
 }
@@ -365,6 +380,7 @@ impl FileStore {
             sync: cfg.sync,
             cost: cfg.cost,
             index_interval: cfg.index_interval.max(1),
+            physical_fsync: cfg.physical_fsync,
             states: RefCell::new(Vec::new()),
             charge: Cell::new(IoCharge::default()),
         })
@@ -439,7 +455,14 @@ impl FileStore {
                 c.flushed_bytes += u64::from(len);
             });
         }
-        st.file.sync_data().expect("segment fsync");
+        // The modeled fsync cost always flows through virtual time; the
+        // *physical* fdatasync only matters if the host OS dies mid-run
+        // (in-process crash recovery reads page-cache-backed file bytes
+        // either way) and stalls the simulation thread ~0.5-1ms per call,
+        // so it is opt-in.
+        if self.physical_fsync {
+            st.file.sync_data().expect("segment fsync");
+        }
         self.add_charge(|c| {
             c.ns += self.cost.fsync_ns;
             c.fsyncs += 1;

@@ -117,6 +117,140 @@ pub struct TraceEvent {
     pub kind: EventKind,
 }
 
+/// Placement-independent digest of a drained trace-event stream.
+///
+/// Two runs of the *same* workload on *different* shard layouts allocate
+/// different raw trace ids (the thread-local id counter interleaves with
+/// whatever else shares the thread), so raw ids cannot be compared across
+/// configurations. This digest renumbers trace and span ids by first
+/// appearance in the stream — the canonical lifeline numbering — and then
+/// folds every event's full content (canonical ids, virtual timestamp, and
+/// all [`EventKind`] payload fields). Equal digests mean the two streams
+/// describe identical lifelines doing identical things at identical virtual
+/// times; any divergence in event order, timing, or payload changes the
+/// digest.
+pub fn canonical_trace_digest(events: &[TraceEvent]) -> u64 {
+    let mut ids: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut next = 1u64;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fold = |h: &mut u64, v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let fold_str = |h: &mut u64, s: &str| {
+        for &b in s.as_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        *h ^= 0xff;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    fold(&mut h, events.len() as u64);
+    for e in events {
+        for raw in [e.trace_id, e.span_id] {
+            let canon = *ids.entry(raw).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            fold(&mut h, canon);
+        }
+        fold(&mut h, e.ts_ns);
+        match e.kind {
+            EventKind::SpanBegin { name, parent } => {
+                fold(&mut h, 1);
+                fold_str(&mut h, name);
+                // Parent span ids are canonicalized through the same map so
+                // parent/child structure survives renumbering (0 = root).
+                let p = if parent == 0 {
+                    0
+                } else {
+                    *ids.entry(parent).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                };
+                fold(&mut h, p);
+            }
+            EventKind::SpanEnd { name } => {
+                fold(&mut h, 2);
+                fold_str(&mut h, name);
+            }
+            EventKind::WqePosted { qpn, ticket } => {
+                fold(&mut h, 3);
+                fold(&mut h, qpn as u64);
+                fold(&mut h, ticket);
+            }
+            EventKind::PacketEnqueued {
+                node,
+                egress,
+                bytes,
+                queue_ns,
+            } => {
+                fold(&mut h, 4);
+                fold(&mut h, node as u64);
+                fold(&mut h, egress as u64);
+                fold(&mut h, bytes);
+                fold(&mut h, queue_ns);
+            }
+            EventKind::PacketDelivered { node, egress, bytes } => {
+                fold(&mut h, 5);
+                fold(&mut h, node as u64);
+                fold(&mut h, egress as u64);
+                fold(&mut h, bytes);
+            }
+            EventKind::Completion {
+                qpn,
+                ticket,
+                opcode,
+                ok,
+            } => {
+                fold(&mut h, 6);
+                fold(&mut h, qpn as u64);
+                fold(&mut h, ticket);
+                fold_str(&mut h, opcode);
+                fold(&mut h, ok as u64);
+            }
+            EventKind::CpuCopy { site, bytes } => {
+                fold(&mut h, 7);
+                fold_str(&mut h, site);
+                fold(&mut h, bytes);
+            }
+            EventKind::Commit {
+                stream,
+                base_offset,
+                next_offset,
+            } => {
+                fold(&mut h, 8);
+                fold(&mut h, stream);
+                fold(&mut h, base_offset);
+                fold(&mut h, next_offset);
+            }
+            EventKind::ReplAck { stream, offset } => {
+                fold(&mut h, 9);
+                fold(&mut h, stream);
+                fold(&mut h, offset);
+            }
+            EventKind::FetchServed {
+                stream,
+                start_offset,
+                next_offset,
+                bytes,
+            } => {
+                fold(&mut h, 10);
+                fold(&mut h, stream);
+                fold(&mut h, start_offset);
+                fold(&mut h, next_offset);
+                fold(&mut h, bytes);
+            }
+        }
+    }
+    h
+}
+
 /// Stable identifier for one partition's record stream, used to correlate
 /// `Commit` and `FetchServed` events across different lifelines (the
 /// consumer's fetch is a different trace than the producer's commit).

@@ -1,0 +1,206 @@
+//! Cross-shard delivery routing for sharded parallel simulation.
+//!
+//! A [`Fabric`](crate::Fabric) is single-threaded by construction (all state
+//! is `Rc`/`RefCell`), so a sharded run gives each worker shard its own
+//! fabric and routes traffic *between* fabrics through the mailbox layer of
+//! [`sim::shard`]. This module is that routing layer: an [`XShardNet`] per
+//! shard binds numbered ingress endpoints (a node's NIC, a bridge port, a
+//! control tap) to local delivery closures, and ships [`XPacket`]s to remote
+//! endpoints stamped with a virtual arrival time derived from the net
+//! profile — at least the propagation delay, which is exactly the
+//! conservative lookahead the shard scheduler synchronizes on
+//! ([`NetProfile::min_link_latency`](crate::profile::NetProfile::min_link_latency)).
+//!
+//! Delivery order is canonical: the shard layer sorts same-instant arrivals
+//! by `(deliver_at, stream, seq)`, and this module uses the sender-chosen
+//! `stream` (one per simulated link) with the shard layer's per-stream
+//! sequence numbers — so the delivery schedule is a function of the
+//! simulated workload only, not of shard placement or wall-clock races.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use sim::shard::{ShardCtx, XSender};
+
+use crate::profile::NetProfile;
+
+/// A packet crossing shard boundaries: destination endpoint plus payload
+/// bytes. `stream` identifies the simulated link for canonical ordering.
+pub struct XPacket {
+    /// Destination ingress endpoint on the target shard.
+    pub endpoint: u64,
+    /// Simulated-link id used as the canonical ordering stream.
+    pub stream: u64,
+    /// Payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+type Ingress = Box<dyn FnMut(XPacket)>;
+
+/// Per-shard cross-fabric router. Cheap to clone via `Rc`.
+pub struct XShardNet {
+    tx: XSender<XPacket>,
+    shard: usize,
+    /// Flight-time model for cross-shard hops.
+    net: NetProfile,
+    endpoints: RefCell<HashMap<u64, Ingress>>,
+}
+
+impl XShardNet {
+    /// Builds the router for `ctx`'s shard and installs it as the shard's
+    /// mailbox handler. Call once per shard, before [`ShardCtx::run`].
+    pub fn install(ctx: &ShardCtx<XPacket>, net: &NetProfile) -> Rc<XShardNet> {
+        let router = Rc::new(XShardNet {
+            tx: ctx.sender(),
+            shard: ctx.shard(),
+            net: net.clone(),
+            endpoints: RefCell::new(HashMap::new()),
+        });
+        let r = Rc::clone(&router);
+        ctx.set_handler(move |pkt: XPacket| r.deliver(pkt));
+        router
+    }
+
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Registers the ingress closure for `endpoint`; packets addressed to
+    /// it run inside this shard's runtime at their stamped arrival time.
+    /// Rebinding an endpoint replaces the previous closure.
+    pub fn bind(&self, endpoint: u64, ingress: impl FnMut(XPacket) + 'static) {
+        self.endpoints
+            .borrow_mut()
+            .insert(endpoint, Box::new(ingress));
+    }
+
+    /// Removes an endpoint binding (e.g. a crashed node); in-flight packets
+    /// to it are dropped on arrival, like a NIC with no listener.
+    pub fn unbind(&self, endpoint: u64) {
+        self.endpoints.borrow_mut().remove(&endpoint);
+    }
+
+    /// Flight time of `bytes` across a cross-shard hop: wire serialization
+    /// at link goodput plus propagation. Never less than the propagation
+    /// delay, the shard scheduler's lookahead floor.
+    pub fn flight_time(&self, bytes: u64) -> Duration {
+        self.net.propagation + self.net.wire_time(bytes)
+    }
+
+    /// Ships `bytes` to `endpoint` on `dst_shard` over simulated link
+    /// `stream`, arriving after [`XShardNet::flight_time`]. Sending to the
+    /// local shard is legal and takes the same mailbox path (placement must
+    /// not change delivery semantics).
+    pub fn send(&self, dst_shard: usize, endpoint: u64, stream: u64, bytes: Vec<u8>) {
+        let at = sim::now() + self.flight_time(bytes.len() as u64);
+        self.tx.send(
+            dst_shard,
+            at,
+            stream,
+            XPacket {
+                endpoint,
+                stream,
+                bytes,
+            },
+        );
+    }
+
+    fn deliver(&self, pkt: XPacket) {
+        // Take the closure out of the map during the call so an ingress
+        // that itself binds/unbinds endpoints doesn't deadlock the RefCell.
+        let ingress = self.endpoints.borrow_mut().remove(&pkt.endpoint);
+        let Some(mut ingress) = ingress else {
+            return; // unbound endpoint: packet dropped
+        };
+        let endpoint = pkt.endpoint;
+        ingress(pkt);
+        self.endpoints
+            .borrow_mut()
+            .entry(endpoint)
+            .or_insert(ingress);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::shard::{run_sharded, ShardOptions};
+    use std::sync::{Arc, Mutex};
+
+    fn net() -> NetProfile {
+        crate::profile::Profile::testbed().net
+    }
+
+    #[test]
+    fn packets_route_between_shards_at_flight_time() {
+        let seen: Arc<Mutex<Vec<(u64, u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let profile = net();
+        let opts = ShardOptions::new(2, profile.min_link_latency(), 1);
+        run_sharded::<XPacket, _, _>(&opts, move |ctx| {
+            let shard = ctx.shard();
+            let router = XShardNet::install(ctx, &net());
+            let seen = Arc::clone(&seen2);
+            router.bind(7, move |pkt| {
+                seen.lock()
+                    .unwrap()
+                    .push((sim::now().as_nanos(), pkt.stream, pkt.bytes.len()));
+            });
+            let r2 = Rc::clone(&router);
+            ctx.run(async move {
+                if shard == 0 {
+                    r2.send(1, 7, 42, vec![0u8; 1000]);
+                } else {
+                    sim::time::sleep(Duration::from_micros(50)).await;
+                }
+            })
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        let (at, stream, len) = seen[0];
+        assert_eq!((stream, len), (42, 1000));
+        // Arrival = propagation (650ns) + wire time of 1030 bytes at 6 GiB/s.
+        let expect = net().propagation + net().wire_time(1000);
+        assert_eq!(at, expect.as_nanos() as u64);
+    }
+
+    #[test]
+    fn local_shard_sends_take_the_mailbox_path_too() {
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let profile = net();
+        let opts = ShardOptions::new(1, profile.min_link_latency(), 2);
+        run_sharded::<XPacket, _, _>(&opts, move |ctx| {
+            let router = XShardNet::install(ctx, &net());
+            let seen = Arc::clone(&seen2);
+            router.bind(1, move |_| seen.lock().unwrap().push(sim::now().as_nanos()));
+            let r2 = Rc::clone(&router);
+            ctx.run(async move {
+                r2.send(0, 1, 9, vec![1, 2, 3]);
+                sim::time::sleep(Duration::from_micros(20)).await;
+            })
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unbound_endpoint_drops_packet() {
+        let profile = net();
+        let opts = ShardOptions::new(2, profile.min_link_latency(), 3);
+        let run = run_sharded::<XPacket, _, _>(&opts, move |ctx| {
+            let shard = ctx.shard();
+            let router = XShardNet::install(ctx, &net());
+            let r2 = Rc::clone(&router);
+            ctx.run(async move {
+                if shard == 0 {
+                    r2.send(1, 99, 0, vec![0]);
+                }
+                sim::time::sleep(Duration::from_micros(10)).await;
+            })
+        });
+        // No panic, message counted as received by the shard layer.
+        assert_eq!(run.stats[1].received, 1);
+    }
+}

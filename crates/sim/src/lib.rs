@@ -45,6 +45,7 @@
 mod executor;
 pub mod future;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod time;
 mod wheel;

@@ -133,9 +133,40 @@ impl<T> Wheel<T> {
         self.next_deadline_bounded(u64::MAX)
     }
 
+    /// The earliest pending deadline, **without** touching the cursor.
+    ///
+    /// Used by the sharded executor to compute a shard's next-event time
+    /// between lookahead windows: advancing the cursor there would misfile
+    /// timers registered later for nearer deadlines (mailbox deliveries land
+    /// *after* this query but may precede the wheel's current minimum), so
+    /// the destructive [`Wheel::next_deadline`] walk cannot be used.
+    ///
+    /// Correctness leans on the level invariant (module docs): an entry at
+    /// level `L` matches the cursor in every digit above `L` and exceeds it
+    /// at digit `L`, so entries at lower levels are strictly nearer than
+    /// entries at higher ones — the minimum lives in the lowest occupied
+    /// level, in its lowest occupied slot.
+    pub fn peek_min_deadline(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        if level == 0 {
+            // Level-0 slots hold exactly one deadline each.
+            return Some((self.cursor & !SLOT_MASK) | slot as u64);
+        }
+        // A higher-level slot mixes deadlines that share digits >= `level`;
+        // scan the vec for the true minimum.
+        self.slots[level * SLOTS + slot]
+            .iter()
+            .map(|&(d, _, _)| d)
+            .min()
+    }
+
     /// Like [`Wheel::next_deadline`], but never advances the cursor past
     /// `bound`; returns `None` when the minimum deadline exceeds `bound`.
-    fn next_deadline_bounded(&mut self, bound: u64) -> Option<u64> {
+    pub fn next_deadline_bounded(&mut self, bound: u64) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
@@ -306,6 +337,88 @@ mod tests {
         w.insert(5, 1, 1);
         assert_eq!(w.next_deadline(), Some(100));
         assert_eq!(drain(&mut w, 100), vec![(100, 1)]);
+    }
+
+    /// Property: under arbitrary interleavings of inserts, non-mutating
+    /// peeks, bounded cursor walks (the sharded executor's window probes),
+    /// and pops, the wheel expires entries in exact `(deadline, seq)` order
+    /// and `peek_min_deadline` always equals the true pending minimum.
+    ///
+    /// Insert deadlines stay at/above a watermark covering every time and
+    /// bound handed to the wheel so far — the same guarantee the sharded
+    /// executor provides (mailbox deliveries land at `>= bound`, and
+    /// `run_window` probes with `bound - 1`), so the cursor never clamps.
+    #[test]
+    fn prop_interleaved_inserts_preserve_deadline_seq_order() {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = move || {
+            // splitmix64 — self-contained, deterministic.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _case in 0..40 {
+            let mut w: Wheel<u64> = Wheel::new();
+            let mut model: Vec<(u64, u64)> = Vec::new(); // (deadline, seq)
+            let mut watermark: u64 = 0;
+            let mut seq: u64 = 0;
+            let mut out = Vec::new();
+            for _op in 0..400 {
+                match rng() % 4 {
+                    0 | 1 => {
+                        // A burst of inserts: mixed horizons, frequent ties.
+                        for _ in 0..(rng() % 8 + 1) {
+                            let horizon = match rng() % 4 {
+                                0 => rng() % 64,            // same level-0 frame
+                                1 => rng() % 4_096,         // nearby levels
+                                2 => rng() % 1_000_000,     // mid wheel
+                                _ => rng() % (1 << 40),     // far future
+                            };
+                            let d = watermark + horizon;
+                            w.insert(d, seq, seq);
+                            model.push((d, seq));
+                            seq += 1;
+                        }
+                    }
+                    2 => {
+                        // Window probe below the minimum: must not disturb
+                        // expiry order even though the cursor may advance.
+                        if let Some(min) = model.iter().map(|&(d, _)| d).min() {
+                            if min > watermark {
+                                let bound = watermark + rng() % (min - watermark);
+                                assert_eq!(w.next_deadline_bounded(bound), None);
+                                watermark = watermark.max(bound);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Pop everything due at a random time.
+                        let t = watermark + rng() % 10_000;
+                        out.clear();
+                        w.pop_due(t, &mut out);
+                        let mut expect: Vec<(u64, u64)> = model
+                            .iter()
+                            .copied()
+                            .filter(|&(d, _)| d <= t)
+                            .collect();
+                        expect.sort(); // (deadline, seq): exact expiry order
+                        model.retain(|&(d, _)| d > t);
+                        let got: Vec<(u64, u64)> =
+                            out.iter().map(|&(d, s, _)| (d, s)).collect();
+                        assert_eq!(got, expect, "pop at t={t} diverged from model");
+                        watermark = watermark.max(t);
+                    }
+                }
+                assert_eq!(
+                    w.peek_min_deadline(),
+                    model.iter().map(|&(d, _)| d).min(),
+                    "peek_min_deadline diverged from model minimum"
+                );
+                assert_eq!(w.len(), model.len());
+            }
+        }
     }
 
     #[test]

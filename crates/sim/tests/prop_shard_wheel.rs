@@ -1,0 +1,176 @@
+//! Property: timers scheduled from mailbox-delivered cross-shard events
+//! expire in exact `(effective deadline, insertion order)` order within a
+//! shard, for arbitrary interleavings of delivery times, streams, and
+//! deadline offsets (including "late" deadlines at or before the delivery
+//! instant, which must fire immediately in insertion order).
+//!
+//! The model is computed without running anything: deliveries sort by
+//! `(deliver_at, stream, seq)` (the shard mailbox's canonical order), each
+//! delivery schedules its sleeps in payload order, and a sleep's effective
+//! deadline is `max(target, deliver_at)` — the executor clamps late timers
+//! to "now". The observed wake order on the receiving shard must equal the
+//! model's stable sort by `(effective deadline, global insertion index)`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sim::shard::{run_sharded, ShardOptions};
+use sim::SimTime;
+
+struct Delivery {
+    deliver_at: u64,
+    stream: u64,
+    /// Sleep targets as signed offsets from the delivery time; negative
+    /// offsets are "late" timers that must fire at the delivery instant.
+    sleepers: Vec<i64>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates one random scenario: `n` messages from shard 0 to shard 1,
+/// scattered over a few lookahead windows with heavy collisions in both
+/// delivery time and deadline.
+fn gen_case(seed: u64, n: usize, lookahead_ns: u64) -> Vec<Delivery> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            let deliver_at = lookahead_ns + splitmix(&mut s) % (20 * lookahead_ns);
+            // Few distinct streams so same-(deliver_at, stream) seq ties occur.
+            let stream = splitmix(&mut s) % 4;
+            let sleepers = (0..(splitmix(&mut s) % 4))
+                .map(|_| {
+                    let magnitude = (splitmix(&mut s) % (3 * lookahead_ns)) as i64;
+                    // A third of the targets are late (at/before delivery).
+                    if splitmix(&mut s).is_multiple_of(3) {
+                        -magnitude
+                    } else {
+                        magnitude
+                    }
+                })
+                .collect();
+            Delivery {
+                deliver_at,
+                stream,
+                sleepers,
+            }
+        })
+        .collect()
+}
+
+/// The expected wake sequence: (wake time, insertion index) pairs in the
+/// exact order the receiving shard must observe them.
+fn model(case: &[Delivery]) -> Vec<(u64, usize)> {
+    // Mailbox delivery order: (deliver_at, stream, send seq per stream).
+    let mut order: Vec<(u64, u64, u64, usize)> = Vec::new();
+    let mut per_stream_seq = std::collections::HashMap::new();
+    for (i, d) in case.iter().enumerate() {
+        let seq = per_stream_seq.entry(d.stream).or_insert(0u64);
+        order.push((d.deliver_at, d.stream, *seq, i));
+        *seq += 1;
+    }
+    order.sort();
+    let mut expected = Vec::new();
+    for &(deliver_at, _, _, i) in &order {
+        for &off in &case[i].sleepers {
+            let target = deliver_at as i64 + off;
+            let effective = target.max(deliver_at as i64) as u64;
+            let idx = expected.len();
+            expected.push((effective, idx));
+        }
+    }
+    expected.sort(); // exact expiry key: (deadline, insertion index)
+    expected
+}
+
+#[test]
+fn mailbox_scheduled_timers_expire_in_deadline_seq_order() {
+    for seed in [1u64, 7, 42, 1234, 0xDEAD_BEEF] {
+        let lookahead_ns = 650;
+        let case = Arc::new(gen_case(seed, 60, lookahead_ns));
+        let expected = model(&case);
+        assert!(!expected.is_empty());
+
+        struct Msg {
+            sleepers: Vec<i64>,
+            base_idx: usize,
+        }
+
+        // Pre-compute each delivery's first global insertion index so the
+        // receiving shard can label wakes without coordination.
+        let mut order: Vec<(u64, u64, u64, usize)> = Vec::new();
+        let mut per_stream_seq = std::collections::HashMap::new();
+        for (i, d) in case.iter().enumerate() {
+            let seq = per_stream_seq.entry(d.stream).or_insert(0u64);
+            order.push((d.deliver_at, d.stream, *seq, i));
+            *seq += 1;
+        }
+        order.sort();
+        let mut base = 0usize;
+        let mut base_of = vec![0usize; case.len()];
+        for &(_, _, _, i) in &order {
+            base_of[i] = base;
+            base += case[i].sleepers.len();
+        }
+
+        let case2 = Arc::new((Arc::clone(&case), base_of));
+        let opts = ShardOptions::new(2, Duration::from_nanos(lookahead_ns), seed);
+        let case_outer = Arc::clone(&case2);
+        let run = run_sharded::<Msg, Vec<(u64, usize)>, _>(&opts, move |ctx| {
+            let wakes: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            if ctx.shard() == 1 {
+                let wakes2 = Rc::clone(&wakes);
+                ctx.set_handler(move |msg: Msg| {
+                    let deliver_at = sim::now().as_nanos();
+                    for (j, &off) in msg.sleepers.iter().enumerate() {
+                        let target = deliver_at as i64 + off;
+                        let idx = msg.base_idx + j;
+                        let wakes3 = Rc::clone(&wakes2);
+                        sim::spawn_detached(async move {
+                            let at = SimTime::from_nanos(target.max(0) as u64);
+                            sim::time::sleep_until(at).await;
+                            wakes3.borrow_mut().push((sim::now().as_nanos(), idx));
+                        });
+                    }
+                });
+            }
+            let shard = ctx.shard();
+            let tx = ctx.sender();
+            let (case, base_of) = (&case_outer.0, &case_outer.1);
+            let case = Arc::clone(case);
+            let base_of = base_of.clone();
+            let wakes2 = Rc::clone(&wakes);
+            ctx.run(async move {
+                if shard == 0 {
+                    for (i, d) in case.iter().enumerate() {
+                        tx.send(
+                            1,
+                            SimTime::from_nanos(d.deliver_at),
+                            d.stream,
+                            Msg {
+                                sleepers: d.sleepers.clone(),
+                                base_idx: base_of[i],
+                            },
+                        );
+                    }
+                } else {
+                    // Outlive every delivery and every (possibly late) sleep.
+                    sim::time::sleep(Duration::from_nanos(60 * lookahead_ns)).await;
+                }
+                wakes2.borrow_mut().clone()
+            })
+        });
+        let observed = &run.results[1];
+        assert_eq!(
+            observed, &expected,
+            "seed {seed}: wake order diverged from (deadline, insertion-seq) model"
+        );
+    }
+}

@@ -24,6 +24,24 @@ cargo test -q --offline --test chaos
 # in CI output.
 cargo test -q --offline --test durable
 
+# Parallel-simulation equivalence gate (DESIGN.md §12): the full chaos
+# workload must be bit-identical between the legacy block_on executor and
+# the sharded executor at shards=1 (order-sensitive trace digest), and a
+# 4-group chaos topology — seeded fault plans, crash/restart/failover —
+# must produce identical acked/consumed record sets and identical
+# canonically-ordered trace digests at shards=1 vs shards=4 across the
+# seed set. Runs in `cargo test` above too — kept explicit so a
+# parallel-determinism regression is named in CI output. std threads only,
+# fully offline.
+cargo test -q --offline --test shard_equivalence
+
+# Timer-wheel property tests: exact (deadline, insertion-seq) expiry order
+# under arbitrary interleavings of inserts, bounded probes, and pops — both
+# on the raw wheel and for timers scheduled from cross-shard mailbox
+# deliveries.
+cargo test -q --offline -p sim wheel
+cargo test -q --offline -p sim --test prop_shard_wheel
+
 # Smoke-run the quickstart example end to end. It runs the broker under the
 # continuous-telemetry sampler and health watchdog and exits non-zero on any
 # watchdog stall event or critical-path checker error, so this doubles as
@@ -34,13 +52,16 @@ cargo run -q --release --offline --example quickstart -- --durable
 
 # Perf smoke: wall-clock harness over the fig10/11 produce workload with a
 # counting global allocator and an executor-poll counter. Writes
-# BENCH_PR8.json (+ results/PERF_PR8.md) and exits non-zero if the
-# steady-state exclusive-RDMA produce path — over the in-memory store OR
-# the file-backed hot tier — exceeds its allocation budget (allocs/record
-# <= 2) or its scheduling budget (polls/record <= 12 — the pre-batching
-# loop needed ~20.8, so this pins the CQ-batching win), if a warm 1 MiB TCP
-# send stops being O(1) allocations, or if running with the telemetry
-# sampler on costs more than 3% of the exclusive-RDMA records/s baseline.
-# Wall-clock throughput (including the cold-tier fetch series) is reported,
-# not gated.
+# BENCH_<TAG>.json (+ results/PERF_<TAG>.md; TAG from --tag/KD_BENCH_TAG,
+# default PR9) and exits non-zero if the steady-state exclusive-RDMA
+# produce path — over the in-memory store OR the file-backed hot tier —
+# exceeds its allocation budget (allocs/record <= 2) or its scheduling
+# budget (polls/record <= 12 — the pre-batching loop needed ~20.8, so this
+# pins the CQ-batching win), if a warm 1 MiB TCP send stops being O(1)
+# allocations, or if running with the telemetry sampler on costs more than
+# 3% of records/s — measured both on the single-runtime baseline and in
+# parallel mode (every group sampling at the largest sweep shard count).
+# Wall-clock throughput (including the cold-tier fetch series and the
+# sharded-simulation --shards sweep) is reported, not gated: sweep speedup
+# depends on host cores, so the JSON records hw_threads alongside it.
 cargo run -q --release --offline -p kdbench --bin kdperf -- --smoke
