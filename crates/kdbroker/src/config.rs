@@ -48,6 +48,35 @@ impl RdmaToggles {
     }
 }
 
+/// How the broker's RDMA produce module provisions receive state for its
+/// client connections — the connection-scaling axis (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnMode {
+    /// One receive queue per accepted QP, `recv_depth` buffers each:
+    /// broker recv memory is O(clients × recv_depth) and every client
+    /// pins a NIC QP context (the paper's 12-node configuration).
+    #[default]
+    PerQp,
+    /// One shared receive queue feeds every accepted produce QP:
+    /// `srq_depth` buffers total, O(1) in client count. QPs still pin
+    /// NIC contexts.
+    Srq,
+    /// SRQ plus DCT-style QP multiplexing: accepted connections borrow a
+    /// small lent QP pool (`mux_pool` contexts pinned once) instead of
+    /// pinning a context each — NIC cache footprint stays O(pool).
+    SrqMux,
+}
+
+impl ConnMode {
+    pub fn uses_srq(self) -> bool {
+        matches!(self, ConnMode::Srq | ConnMode::SrqMux)
+    }
+
+    pub fn multiplexed(self) -> bool {
+        self == ConnMode::SrqMux
+    }
+}
+
 /// Continuous-observability switches. `None` (the default) runs the broker
 /// exactly as before — no sampler task, no watchdog task, bit-identical
 /// schedules. When set, the broker starts a [`kdtelem::Sampler`] and a
@@ -118,6 +147,14 @@ pub struct BrokerConfig {
     pub cq_batch: usize,
     /// Receives pre-posted per accepted produce QP.
     pub recv_depth: usize,
+    /// Receive-state provisioning for produce connections (per-QP queues,
+    /// a shared receive queue, or SRQ + QP multiplexing).
+    pub conn_mode: ConnMode,
+    /// Buffers posted on the produce SRQ (SRQ modes only): the broker's
+    /// *total* produce receive depth, independent of client count.
+    pub srq_depth: usize,
+    /// Lending QPs in the multiplexed pool (`SrqMux` only).
+    pub mux_pool: usize,
     /// Metadata slots per consumer (Fig 9 region size).
     pub slots_per_consumer: usize,
     /// OSU transport: request receive buffer size (must fit the largest
@@ -152,6 +189,9 @@ impl Default for BrokerConfig {
             cq_capacity: 8192,
             cq_batch: 16,
             recv_depth: 256,
+            conn_mode: ConnMode::PerQp,
+            srq_depth: 4096,
+            mux_pool: 8,
             slots_per_consumer: 64,
             osu_recv_buf: 1200 * 1024,
             osu_recv_depth: 8,
@@ -203,6 +243,29 @@ impl BrokerConfig {
     pub fn with_rdma_pollers(mut self, rdma_pollers: usize) -> Self {
         assert!(rdma_pollers >= 1);
         self.rdma_pollers = rdma_pollers;
+        self
+    }
+
+    pub fn with_conn_mode(mut self, conn_mode: ConnMode) -> Self {
+        self.conn_mode = conn_mode;
+        self
+    }
+
+    pub fn with_srq_depth(mut self, srq_depth: usize) -> Self {
+        assert!(srq_depth >= 1);
+        self.srq_depth = srq_depth;
+        self
+    }
+
+    pub fn with_mux_pool(mut self, mux_pool: usize) -> Self {
+        assert!(mux_pool >= 1);
+        self.mux_pool = mux_pool;
+        self
+    }
+
+    pub fn with_recv_depth(mut self, recv_depth: usize) -> Self {
+        assert!(recv_depth >= 1);
+        self.recv_depth = recv_depth;
         self
     }
 

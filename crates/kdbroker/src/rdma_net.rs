@@ -49,14 +49,27 @@ fn start_produce_listener(b: &Rc<BrokerInner>) {
                 &b.nic,
                 b.ack_send_cq.clone(),
                 b.recv_cq.clone(),
-                QpOptions::default(),
+                QpOptions {
+                    srq: b.srq.clone(),
+                    multiplexed: b.config.conn_mode.multiplexed(),
+                    ..QpOptions::default()
+                },
             );
-            for i in 0..b.config.recv_depth {
-                let _ = qp.post_recv(RecvWr {
-                    wr_id: i as u64,
-                    buf: None,
-                });
+            if b.srq.is_none() {
+                // Per-QP mode: every connection gets its own pre-posted
+                // receive queue. SRQ modes posted the shared pool once in
+                // `Broker::start`.
+                for i in 0..b.config.recv_depth {
+                    let _ = qp.post_recv(RecvWr {
+                        wr_id: i as u64,
+                        buf: None,
+                    });
+                }
             }
+            // A multiplexed connection time-shares the lent QP pool; the
+            // lease lives exactly as long as the connection (held by the
+            // disconnect watcher below).
+            let lease = b.mux_pool.as_ref().map(|pool| pool.lease());
             let qpn = qp.qpn();
             b.produce_qps.borrow_mut().insert(qpn, qp.clone());
             // Watch for client failure: revoke produce grants held by that
@@ -64,6 +77,7 @@ fn start_produce_listener(b: &Rc<BrokerInner>) {
             let b2 = Rc::clone(&b);
             sim::spawn(async move {
                 qp.disconnected().await;
+                drop(lease);
                 b2.produce_qps.borrow_mut().remove(&qpn);
                 crate::api::revoke_grants_of_node(&b2, from);
             });
@@ -146,26 +160,39 @@ async fn poller_loop(b: Rc<BrokerInner>, batch_hist: kdtelem::Histogram) {
             sim::time::sleep(wakeup).await;
         }
         sim::time::sleep(POLL_COST + marginal * (batch.len() as u32 - 1)).await;
-        // Replenish the consumed receives: one chained post per QP.
+        // Replenish the consumed receives: one chained post per QP, or —
+        // in SRQ modes — one chained post back onto the shared queue
+        // (buffers return to the pool regardless of which QP consumed
+        // them, so a dead client never leaks receive state).
         replenish.clear();
         for cqe in &batch {
             if cqe.ok() && cqe.opcode == CqOpcode::RecvRdmaWithImm {
                 replenish.push((cqe.qpn, cqe.wr_id));
             }
         }
-        replenish.sort_unstable();
-        let mut i = 0;
-        while i < replenish.len() {
-            let qpn = replenish[i].0;
-            let j = replenish[i..].partition_point(|&(q, _)| q == qpn) + i;
-            let qp = b.produce_qps.borrow().get(&qpn).cloned();
-            if let Some(qp) = qp {
-                let _ = qp.post_recv_list(replenish[i..j].iter().map(|&(_, wr_id)| RecvWr {
-                    wr_id,
-                    buf: None,
-                }));
+        if let Some(srq) = &b.srq {
+            if !replenish.is_empty() {
+                let _ = srq.post_recv_list(
+                    replenish
+                        .iter()
+                        .map(|&(_, wr_id)| RecvWr { wr_id, buf: None }),
+                );
             }
-            i = j;
+        } else {
+            replenish.sort_unstable();
+            let mut i = 0;
+            while i < replenish.len() {
+                let qpn = replenish[i].0;
+                let j = replenish[i..].partition_point(|&(q, _)| q == qpn) + i;
+                let qp = b.produce_qps.borrow().get(&qpn).cloned();
+                if let Some(qp) = qp {
+                    let _ = qp.post_recv_list(replenish[i..j].iter().map(|&(_, wr_id)| RecvWr {
+                        wr_id,
+                        buf: None,
+                    }));
+                }
+                i = j;
+            }
         }
         // Route each completion, still in drained order.
         err_acks.clear();

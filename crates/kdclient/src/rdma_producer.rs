@@ -29,6 +29,9 @@ use crate::conn::{ClientTransport, Conn};
 use crate::error::{check, ClientError};
 
 const ACK_BUF: usize = 16;
+/// Default ack receive depth. Fan-in sweeps with tens of thousands of
+/// simulated producers shrink this via [`RdmaProducer::connect_with_ack_depth`]
+/// — each pre-posted ack buffer costs real host memory per client.
 const ACK_DEPTH: usize = 512;
 
 /// Bounded reconnect policy: attempts are spaced by exponential backoff so
@@ -73,6 +76,8 @@ pub struct RdmaProducer {
     chain_staged: Vec<(ShmBuf, kdtelem::TraceSpan)>,
     chain_wrs: Vec<SendWr>,
     faa_result: ShmBuf,
+    /// Ack receive buffers posted per data-plane QP (see `ACK_DEPTH`).
+    ack_depth: usize,
     dead: Rc<std::cell::Cell<bool>>,
     telem: kdtelem::Registry,
     /// End-to-end produce latency (record handed to `send` → ack delivered).
@@ -89,6 +94,22 @@ impl RdmaProducer {
         partition: u32,
         shared: bool,
     ) -> Result<RdmaProducer, ClientError> {
+        Self::connect_with_ack_depth(node, broker, topic, partition, shared, ACK_DEPTH).await
+    }
+
+    /// [`RdmaProducer::connect`] with an explicit ack receive depth. The
+    /// depth bounds how many produce writes may be in flight before acks
+    /// stall the pipeline; large fan-in sweeps use a small depth so 100k
+    /// simulated clients don't each pin 512 ack buffers.
+    pub async fn connect_with_ack_depth(
+        node: &NodeHandle,
+        broker: BrokerAddr,
+        topic: &str,
+        partition: u32,
+        shared: bool,
+        ack_depth: usize,
+    ) -> Result<RdmaProducer, ClientError> {
+        assert!(ack_depth >= 1);
         let ctrl = Conn::connect(node, broker, ClientTransport::Tcp).await?;
         let mode = if shared {
             ProduceMode::Shared
@@ -106,6 +127,7 @@ impl RdmaProducer {
             Rc::clone(&pending),
             Rc::clone(&stage_pool),
             Rc::clone(&dead),
+            ack_depth,
         )
         .await?;
         let telem = kdtelem::current();
@@ -130,6 +152,7 @@ impl RdmaProducer {
             chain_staged: Vec::new(),
             chain_wrs: Vec::new(),
             faa_result: ShmBuf::zeroed(8),
+            ack_depth,
             dead,
             telem,
             e2e_ns,
@@ -147,9 +170,10 @@ impl RdmaProducer {
         pending: Rc<RefCell<VecDeque<AckWaiter>>>,
         stage_pool: StagePool,
         dead: Rc<std::cell::Cell<bool>>,
+        ack_depth: usize,
     ) -> Result<(QueuePair, rnic::CompletionQueue), ClientError> {
         let send_cq = nic.create_cq(4096);
-        let recv_cq = nic.create_cq(ACK_DEPTH * 2);
+        let recv_cq = nic.create_cq(ack_depth * 2);
         let qp = nic
             .connect(
                 netsim::NodeId(broker.node),
@@ -162,7 +186,7 @@ impl RdmaProducer {
             .map_err(|_| ClientError::Disconnected)?;
         // Ack receive buffers + reader task: acks resolve pending waiters
         // strictly FIFO (RC ordering guarantees this matches write order).
-        let bufs: Vec<ShmBuf> = (0..ACK_DEPTH).map(|_| ShmBuf::zeroed(ACK_BUF)).collect();
+        let bufs: Vec<ShmBuf> = (0..ack_depth).map(|_| ShmBuf::zeroed(ACK_BUF)).collect();
         for (i, buf) in bufs.iter().enumerate() {
             let _ = qp.post_recv(RecvWr {
                 wr_id: i as u64,
@@ -636,6 +660,7 @@ impl RdmaProducer {
             Rc::clone(&self.pending),
             Rc::clone(&self.stage_pool),
             Rc::clone(&self.dead),
+            self.ack_depth,
         )
         .await?;
         self.ctrl = ctrl;
@@ -656,6 +681,7 @@ impl RdmaProducer {
             Rc::clone(&self.pending),
             Rc::clone(&self.stage_pool),
             Rc::clone(&self.dead),
+            self.ack_depth,
         )
         .await?;
         self.qp = qp;

@@ -171,12 +171,31 @@ impl Fabric {
         bytes: u64,
         min_occupancy: Duration,
     ) -> SimTime {
+        self.reserve_path_with(now, src, dst, bytes, min_occupancy, min_occupancy)
+    }
+
+    /// As [`reserve_path`](Self::reserve_path) but with independent per-op
+    /// occupancy on the two ports: `src_gap` on the sender's egress,
+    /// `dst_gap` on the receiver's ingress. This is how per-endpoint NIC
+    /// state costs (e.g. the QP-context cache miss penalty past the
+    /// connection-count knee) are charged where they arise — a slow
+    /// receiver NIC throttles its ingress without slowing the sender's
+    /// egress injection.
+    pub fn reserve_path_with(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        src_gap: Duration,
+        dst_gap: Duration,
+    ) -> SimTime {
         let p = &self.inner.profile.net;
         let total = bytes + p.header_bytes;
         let src_node = self.node(src);
         let dst_node = self.node(dst);
         let trace = kdtelem::current_ctx();
-        let egress = src_node.egress.reserve(now, total, min_occupancy);
+        let egress = src_node.egress.reserve(now, total, src_gap);
         if let Some(ctx) = trace {
             self.trace_hop(ctx, src, true, total, now, &egress);
         }
@@ -187,7 +206,7 @@ impl Fabric {
             return egress.end + p.propagation;
         }
         let at_switch = egress.end + p.propagation;
-        let ingress = dst_node.ingress.reserve(at_switch, total, min_occupancy);
+        let ingress = dst_node.ingress.reserve(at_switch, total, dst_gap);
         if let Some(ctx) = trace {
             self.trace_hop(ctx, dst, false, total, at_switch, &ingress);
         }

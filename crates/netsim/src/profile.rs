@@ -58,6 +58,20 @@ pub struct NetProfile {
     pub atomic_same_addr_gap: Duration,
     /// Responder DMA-fetch cost for serving an RDMA Read.
     pub read_response_overhead: Duration,
+    /// NIC QP-context cache capacity, in resident QP contexts per device.
+    /// Past this many connected (non-multiplexed) QPs, every op risks an
+    /// on-NIC cache miss that fetches QP/WQE/CQ state over PCIe — the
+    /// connection-scaling knee RDMAvisor §2 measures on real RNICs. `0`
+    /// disables the model entirely (like `doorbell_overhead` in
+    /// `fast_test`).
+    pub nic_cache_qps: u64,
+    /// Full-miss port-occupancy penalty per op once the context cache is
+    /// overcommitted. Charged as extra per-op occupancy on the affected
+    /// NIC's port, scaled by the miss rate `(resident - capacity) /
+    /// resident`, so aggregate throughput — not just latency — collapses
+    /// past the knee. Calibrated as ~3 PCIe round trips (QP context, WQE,
+    /// CQ context at ~400 ns each).
+    pub qp_cache_miss: Duration,
 
     /// One-way latency of the kernel TCP/IP (IPoIB) stack beyond the
     /// sender's syscall: softirq, IPoIB encapsulation, interrupt, socket
@@ -150,6 +164,8 @@ impl Profile {
                 atomic_exec: Duration::from_nanos(1200),
                 atomic_same_addr_gap: Duration::from_nanos(373),
                 read_response_overhead: Duration::from_nanos(300),
+                nic_cache_qps: 1024,
+                qp_cache_miss: Duration::from_nanos(1200),
                 tcp_stack_oneway: Duration::from_micros(30),
                 tcp_syscall: Duration::from_micros(8),
                 tcp_bandwidth_factor: 0.45,
@@ -202,6 +218,8 @@ impl Profile {
                 atomic_exec: zero,
                 atomic_same_addr_gap: zero,
                 read_response_overhead: zero,
+                nic_cache_qps: 0,
+                qp_cache_miss: zero,
                 tcp_stack_oneway: tick,
                 tcp_syscall: zero,
                 tcp_bandwidth_factor: 1.0,

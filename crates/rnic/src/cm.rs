@@ -4,14 +4,105 @@
 //! TCP control channel before moving to verbs; the model charges the same
 //! connection-setup latency without simulating the exchange byte-by-byte.
 
+use std::cell::Cell;
 use std::fmt;
+use std::rc::Rc;
 
 use netsim::NodeId;
 use sim::sync::{mpsc, oneshot};
 
 use crate::cq::CompletionQueue;
-use crate::nic::{RNic, Registry};
+use crate::nic::{NicInner, RNic, Registry};
 use crate::qp::{QpOptions, QueuePair};
+
+/// A DCT-style QP-lending pool: a small, fixed set of broker-side QP
+/// contexts multiplexed across many logical client connections.
+///
+/// The pool pins its `capacity` contexts on the device once, at creation;
+/// connections accepted with [`QpOptions::multiplexed`] then borrow a
+/// lending slot via [`MuxPool::lease`] instead of pinning a context each —
+/// so the device's QP-context cache footprint stays O(pool), not
+/// O(clients), and the cache-knee penalty never engages (Storm's
+/// minimal-NIC-state design point). The connect/detach bookkeeping is what
+/// real DC-transport implementations do in their CM: acquire on accept,
+/// release on disconnect.
+pub struct MuxPool {
+    inner: Rc<MuxPoolInner>,
+}
+
+struct MuxPoolInner {
+    nic: Rc<NicInner>,
+    capacity: usize,
+    active: Cell<usize>,
+    // Registry-backed telemetry (`rnic qpmux.*`).
+    acquires: kdtelem::Counter,
+    releases: kdtelem::Counter,
+    gauge: kdtelem::Gauge,
+}
+
+impl MuxPool {
+    /// Creates a pool of `capacity` lending QPs on `nic`, pinning their
+    /// NIC contexts up front.
+    pub fn new(nic: &RNic, capacity: usize) -> MuxPool {
+        assert!(capacity > 0);
+        let telem = kdtelem::current();
+        nic.inner.pin_contexts(capacity as u64);
+        MuxPool {
+            inner: Rc::new(MuxPoolInner {
+                nic: Rc::clone(&nic.inner),
+                capacity,
+                active: Cell::new(0),
+                acquires: telem.counter("rnic", "qpmux.lease_acquire"),
+                releases: telem.counter("rnic", "qpmux.lease_release"),
+                gauge: telem.gauge("rnic", "qpmux.active"),
+            }),
+        }
+    }
+
+    /// Borrows a lending slot for one logical connection. Dropping the
+    /// lease (disconnect/detach) releases it. Leases are not a scarce
+    /// resource — many logical connections time-share each lending QP, as
+    /// with hardware DCTs — so this never blocks; `active()` reports the
+    /// multiplexing degree.
+    pub fn lease(&self) -> MuxLease {
+        self.inner.acquires.inc();
+        self.inner.active.set(self.inner.active.get() + 1);
+        self.inner.gauge.add(1);
+        MuxLease {
+            pool: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Logical connections currently leased onto the pool.
+    pub fn active(&self) -> usize {
+        self.inner.active.get()
+    }
+
+    /// Lending QPs (pinned NIC contexts) in the pool.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl Drop for MuxPool {
+    fn drop(&mut self) {
+        self.inner.nic.unpin_contexts(self.inner.capacity as u64);
+    }
+}
+
+/// One logical connection's borrow of a [`MuxPool`] lending slot; dropped
+/// on disconnect.
+pub struct MuxLease {
+    pool: Rc<MuxPoolInner>,
+}
+
+impl Drop for MuxLease {
+    fn drop(&mut self) {
+        self.pool.releases.inc();
+        self.pool.active.set(self.pool.active.get().saturating_sub(1));
+        self.pool.gauge.sub(1);
+    }
+}
 
 /// Error establishing an RDMA connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -439,6 +530,43 @@ mod tests {
             .unwrap();
             let sc = a_send.next().await.unwrap();
             assert_eq!(sc.status, crate::verbs::CqStatus::RnrRetryExceeded);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "receive queue overflow (max_recv_wr=2)")]
+    fn post_recv_enforces_capacity() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let opts = QpOptions {
+                max_recv_wr: 2,
+                ..QpOptions::default()
+            };
+            let (_qp_a, qp_b, _a_send, _b_recv) =
+                connected_pair(&f, QpOptions::default(), opts).await;
+            for i in 0..3 {
+                qp_b.post_recv(RecvWr { wr_id: i, buf: None }).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "receive queue overflow (max_recv_wr=2)")]
+    fn post_recv_list_enforces_same_capacity_bound() {
+        let rt = sim::Runtime::new();
+        rt.block_on(async {
+            let f = Fabric::new(Profile::fast_test());
+            let opts = QpOptions {
+                max_recv_wr: 2,
+                ..QpOptions::default()
+            };
+            let (_qp_a, qp_b, _a_send, _b_recv) =
+                connected_pair(&f, QpOptions::default(), opts).await;
+            // A chained list must hit exactly the bound a loop of single
+            // posts would: the third WR overflows.
+            qp_b.post_recv_list((0..3).map(|i| RecvWr { wr_id: i, buf: None }))
+                .unwrap();
         });
     }
 

@@ -28,13 +28,15 @@ pub mod cm;
 pub mod cq;
 pub mod mr;
 pub mod qp;
+pub mod srq;
 pub mod verbs;
 
 mod nic;
 
-pub use cm::{RdmaConnectError, RdmaListener};
+pub use cm::{MuxLease, MuxPool, RdmaConnectError, RdmaListener};
 pub use cq::CompletionQueue;
 pub use mr::{Access, BufSlice, MemoryRegion, RemoteMr, ShmBuf};
-pub use nic::{NicStats, RNic};
+pub use nic::{NicStats, RNic, WQE_BYTES};
 pub use qp::{QpOptions, QueuePair};
+pub use srq::Srq;
 pub use verbs::{CqOpcode, CqStatus, Cqe, PostError, RecvWr, SendWr, WorkRequest};

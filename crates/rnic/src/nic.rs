@@ -4,10 +4,20 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
+use std::time::Duration;
+
+use netsim::profile::NetProfile;
 use netsim::{Fabric, NodeHandle, NodeId};
 
 use crate::cq::CompletionQueue;
 use crate::mr::{Access, MemoryRegion, MrInner, ShmBuf};
+
+/// Modeled NIC memory held by one posted receive WQE, beyond its data
+/// buffer (the WQE itself plus scatter-gather bookkeeping). Used for the
+/// receive-buffer accounting behind the connection-scaling sweeps: per-QP
+/// receive posting costs `clients × depth × (WQE_BYTES + buf)`, an SRQ
+/// costs `srq_depth × (WQE_BYTES + buf)` regardless of client count.
+pub const WQE_BYTES: u64 = 128;
 
 /// Fabric-global RDMA state: device lookup (for resolving remote memory) and
 /// the connection-manager rendezvous table. Stored as a [`Fabric`] extension.
@@ -78,6 +88,18 @@ pub(crate) struct NicInner {
     pub(crate) qp_posts: kdtelem::Counter,
     pub(crate) one_sided_in: kdtelem::Counter,
     pub(crate) post_to_comp_ns: kdtelem::Histogram,
+    /// Resident QP contexts on this device: connected QPs that occupy a
+    /// slot in the NIC's on-chip context cache. Multiplexed (DCT-style
+    /// lent) QPs do not count — their pinned pool is charged once via
+    /// [`NicInner::pin_contexts`]. Drives the connection-count cache-knee
+    /// penalty ([`NicInner::cache_penalty`]).
+    pub(crate) qp_contexts: Cell<u64>,
+    pub(crate) qp_contexts_peak: Cell<u64>,
+    /// Bytes of posted receive state on this device (WQEs + data buffers,
+    /// per-QP queues and SRQs combined) — the quantity the fan-in sweep
+    /// asserts is O(1) in client count under an SRQ.
+    pub(crate) recv_wr_bytes: Cell<u64>,
+    pub(crate) recv_wr_bytes_peak: Cell<u64>,
     /// Registry captured at construction; trace events (WqePosted,
     /// Completion) for WRs carrying a [`kdtelem::TraceCtx`] go here.
     pub(crate) telem: kdtelem::Registry,
@@ -91,6 +113,65 @@ impl NicInner {
             .get(&rkey)
             .filter(|mr| mr.valid.get())
             .cloned()
+    }
+
+    /// Pins `n` QP contexts on the device (QP creation, or a multiplexed
+    /// pool reserving its lending QPs up front).
+    pub(crate) fn pin_contexts(&self, n: u64) {
+        let v = self.qp_contexts.get() + n;
+        self.qp_contexts.set(v);
+        if v > self.qp_contexts_peak.get() {
+            self.qp_contexts_peak.set(v);
+        }
+    }
+
+    /// Releases `n` pinned QP contexts (QP teardown).
+    pub(crate) fn unpin_contexts(&self, n: u64) {
+        self.qp_contexts.set(self.qp_contexts.get().saturating_sub(n));
+    }
+
+    pub(crate) fn recv_buf_add(&self, bytes: u64) {
+        let v = self.recv_wr_bytes.get() + bytes;
+        self.recv_wr_bytes.set(v);
+        if v > self.recv_wr_bytes_peak.get() {
+            self.recv_wr_bytes_peak.set(v);
+        }
+    }
+
+    pub(crate) fn recv_buf_sub(&self, bytes: u64) {
+        self.recv_wr_bytes
+            .set(self.recv_wr_bytes.get().saturating_sub(bytes));
+    }
+
+    /// Fraction of this device's ops that miss the QP-context cache:
+    /// `(resident - capacity) / resident` once resident contexts exceed
+    /// the profile's `nic_cache_qps`, else 0. Deterministic — a pure
+    /// function of the connection count, no randomness.
+    pub(crate) fn cache_miss_rate(&self, net: &NetProfile) -> f64 {
+        let cap = net.nic_cache_qps;
+        if cap == 0 {
+            return 0.0;
+        }
+        let n = self.qp_contexts.get();
+        if n <= cap {
+            0.0
+        } else {
+            (n - cap) as f64 / n as f64
+        }
+    }
+
+    /// Extra per-op port occupancy from QP-context cache misses: the
+    /// profile's full-miss cost scaled by the current miss rate. Charged
+    /// on this NIC's port for every verbs op it initiates or serves, so
+    /// past the knee the whole device — not one QP — slows down, which is
+    /// what RDMAvisor §2 measures.
+    pub(crate) fn cache_penalty(&self, net: &NetProfile) -> Duration {
+        let miss = self.cache_miss_rate(net);
+        if miss == 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((net.qp_cache_miss.as_nanos() as f64 * miss) as u64)
+        }
     }
 }
 
@@ -126,6 +207,10 @@ impl RNic {
             qp_posts: telem.counter("rnic", "qp.posts"),
             one_sided_in: telem.counter("rnic", "qp.one_sided_in"),
             post_to_comp_ns: telem.histogram("rnic", "qp.post_to_comp_ns"),
+            qp_contexts: Cell::new(0),
+            qp_contexts_peak: Cell::new(0),
+            recv_wr_bytes: Cell::new(0),
+            recv_wr_bytes_peak: Cell::new(0),
             telem,
         });
         registry
@@ -168,6 +253,34 @@ impl RNic {
     /// Creates a completion queue of the given capacity.
     pub fn create_cq(&self, capacity: usize) -> CompletionQueue {
         CompletionQueue::with_capacity(capacity)
+    }
+
+    /// Resident QP contexts on this device right now (multiplexed QPs
+    /// count only through their pool's pinned contexts).
+    pub fn qp_contexts(&self) -> u64 {
+        self.inner.qp_contexts.get()
+    }
+
+    /// Peak resident QP contexts ever on this device.
+    pub fn qp_contexts_peak(&self) -> u64 {
+        self.inner.qp_contexts_peak.get()
+    }
+
+    /// Bytes of posted receive state (WQEs + buffers) on this device now.
+    pub fn recv_buffer_bytes(&self) -> u64 {
+        self.inner.recv_wr_bytes.get()
+    }
+
+    /// Peak bytes of posted receive state ever on this device.
+    pub fn recv_buffer_bytes_peak(&self) -> u64 {
+        self.inner.recv_wr_bytes_peak.get()
+    }
+
+    /// Current modeled QP-context cache miss rate of this device under the
+    /// fabric's profile (0 below the knee or with the model disabled).
+    pub fn cache_miss_rate(&self) -> f64 {
+        let profile = self.inner.node.fabric.profile();
+        self.inner.cache_miss_rate(&profile.net)
     }
 
     /// Telemetry: one-sided operations served by this NIC.

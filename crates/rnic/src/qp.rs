@@ -23,7 +23,8 @@ use sim::SimTime;
 
 use crate::cq::CompletionQueue;
 use crate::mr::{Access, BufSlice, MrInner};
-use crate::nic::NicInner;
+use crate::nic::{NicInner, WQE_BYTES};
+use crate::srq::Srq;
 use crate::verbs::{CqOpcode, CqStatus, Cqe, PostError, RecvWr, SendWr, WorkRequest};
 
 /// QP configuration.
@@ -36,6 +37,18 @@ pub struct QpOptions {
     /// Receive-queue depth: posting more receives than this panics (it is a
     /// program bug in the simulation, not a runtime condition).
     pub max_recv_wr: usize,
+    /// Attach this endpoint to a shared receive queue: incoming
+    /// Send/WriteWithImm consume the SRQ's buffers instead of a per-QP
+    /// receive queue (posting per-QP receives on such an endpoint is a
+    /// bug and panics). Completions still land in this QP's receive CQ
+    /// with this QP's number.
+    pub srq: Option<Srq>,
+    /// DCT-style multiplexed endpoint: this logical connection borrows a
+    /// QP from a small lent pool instead of pinning its own NIC context,
+    /// so it does not count toward the device's QP-context cache
+    /// footprint (the pool pins its contexts once — see
+    /// [`MuxPool`](crate::MuxPool)).
+    pub multiplexed: bool,
 }
 
 impl Default for QpOptions {
@@ -43,6 +56,8 @@ impl Default for QpOptions {
         QpOptions {
             rnr_timeout: None,
             max_recv_wr: 4096,
+            srq: None,
+            multiplexed: false,
         }
     }
 }
@@ -140,6 +155,9 @@ impl QpShared {
         recv_cq: CompletionQueue,
         opts: QpOptions,
     ) -> Rc<QpShared> {
+        if !opts.multiplexed {
+            nic.pin_contexts(1);
+        }
         let qp = Rc::new(QpShared {
             qpn,
             nic,
@@ -176,9 +194,16 @@ impl QpShared {
             return;
         }
         qp.state.set(QpState::Error);
-        // Flush posted receives.
+        if !qp.opts.multiplexed {
+            qp.nic.unpin_contexts(1);
+        }
+        // Flush posted receives. Only this QP's own queue: buffers on an
+        // attached SRQ belong to the SRQ and stay available to every
+        // other attached QP — an error flush must not strand them.
         let recvs: Vec<RecvWr> = qp.recv_queue.borrow_mut().drain(..).collect();
         for wr in recvs {
+            qp.nic
+                .recv_buf_sub(WQE_BYTES + wr.buf.as_ref().map_or(0, |b| b.len() as u64));
             qp.recv_cq.push(Cqe {
                 wr_id: wr.wr_id,
                 qpn: qp.qpn,
@@ -201,7 +226,24 @@ impl QpShared {
     }
 
     fn pop_recv(&self) -> Option<RecvWr> {
-        self.recv_queue.borrow_mut().pop_front()
+        if let Some(srq) = &self.opts.srq {
+            return srq.pop();
+        }
+        let wr = self.recv_queue.borrow_mut().pop_front();
+        if let Some(wr) = &wr {
+            self.nic
+                .recv_buf_sub(WQE_BYTES + wr.buf.as_ref().map_or(0, |b| b.len() as u64));
+        }
+        wr
+    }
+
+    /// The notify a sender parks on while this endpoint has no receive
+    /// posted: the attached SRQ's, or this QP's own.
+    fn recv_notify(&self) -> &Notify {
+        match &self.opts.srq {
+            Some(srq) => &srq.inner.posted_notify,
+            None => &self.recv_posted,
+        }
     }
 }
 
@@ -287,12 +329,19 @@ impl QueuePair {
         if !self.shared.is_alive() {
             return Err(PostError::QpError);
         }
+        assert!(
+            self.shared.opts.srq.is_none(),
+            "post_recv on an SRQ-attached QP: post to the SRQ instead"
+        );
         let mut q = self.shared.recv_queue.borrow_mut();
         assert!(
             q.len() < self.shared.opts.max_recv_wr,
             "receive queue overflow (max_recv_wr={})",
             self.shared.opts.max_recv_wr
         );
+        self.shared
+            .nic
+            .recv_buf_add(WQE_BYTES + wr.buf.as_ref().map_or(0, |b| b.len() as u64));
         q.push_back(wr);
         drop(q);
         self.shared.recv_posted.notify_one();
@@ -307,6 +356,10 @@ impl QueuePair {
         if !self.shared.is_alive() {
             return Err(PostError::QpError);
         }
+        assert!(
+            self.shared.opts.srq.is_none(),
+            "post_recv_list on an SRQ-attached QP: post to the SRQ instead"
+        );
         let mut posted = 0usize;
         {
             let mut q = self.shared.recv_queue.borrow_mut();
@@ -316,6 +369,9 @@ impl QueuePair {
                     "receive queue overflow (max_recv_wr={})",
                     self.shared.opts.max_recv_wr
                 );
+                self.shared
+                    .nic
+                    .recv_buf_add(WQE_BYTES + wr.buf.as_ref().map_or(0, |b| b.len() as u64));
                 q.push_back(wr);
                 posted += 1;
             }
@@ -418,21 +474,33 @@ impl QueuePair {
         let dst = peer.nic.node.id;
 
         // All link reservations are committed now (post time): the NIC
-        // pipelines WRs and the links serialise them.
+        // pipelines WRs and the links serialise them. Each endpoint's
+        // per-op gap widens by its NIC's QP-context cache miss penalty —
+        // occupancy, not latency, so past the connection-count knee the
+        // affected port's aggregate op rate collapses (RDMAvisor §2).
+        let src_gap = net.rdma_min_op_gap + qp.nic.cache_penalty(net);
+        let dst_gap = net.rdma_min_op_gap + peer.nic.cache_penalty(net);
         let post_done = sim::now() + net.rdma_post_overhead + extra_post;
-        let req_arrival = fabric.reserve_path(
+        let req_arrival = fabric.reserve_path_with(
             post_done,
             src,
             dst,
             wr.op.request_bytes(),
-            net.rdma_min_op_gap,
+            src_gap,
+            dst_gap,
         );
         let timing = match &wr.op {
             WorkRequest::CompareSwap { remote_addr, .. }
             | WorkRequest::FetchAdd { remote_addr, .. } => {
                 let exec = fabric.reserve_atomic(dst, *remote_addr, req_arrival);
-                let resp =
-                    fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
+                let resp = fabric.reserve_path_with(
+                    exec,
+                    dst,
+                    src,
+                    wr.op.response_bytes(),
+                    dst_gap,
+                    src_gap,
+                );
                 Timing {
                     posted,
                     req_arrival,
@@ -442,8 +510,14 @@ impl QueuePair {
             }
             WorkRequest::Read { .. } => {
                 let exec = req_arrival + net.read_response_overhead;
-                let resp =
-                    fabric.reserve_path(exec, dst, src, wr.op.response_bytes(), net.rdma_min_op_gap);
+                let resp = fabric.reserve_path_with(
+                    exec,
+                    dst,
+                    src,
+                    wr.op.response_bytes(),
+                    dst_gap,
+                    src_gap,
+                );
                 Timing {
                     posted,
                     req_arrival,
@@ -844,14 +918,19 @@ async fn wait_recv(qp: &Rc<QpShared>, peer: &Rc<QpShared>) -> Result<RecvWr, CqS
         if let Some(r) = peer.pop_recv() {
             return Ok(r);
         }
+        // Telemetry: the receiver's SRQ ran dry and this sender parks on
+        // RNR semantics until a buffer is replenished.
+        if let Some(srq) = &peer.opts.srq {
+            srq.inner.rnr_dry.inc();
+        }
         match deadline {
-            None => peer.recv_posted.notified().await,
+            None => peer.recv_notify().notified().await,
             Some(dl) => {
                 let remaining = dl.saturating_since(sim::now());
                 if remaining.is_zero() {
                     return Err(CqStatus::RnrRetryExceeded);
                 }
-                let _ = sim::time::timeout(remaining, peer.recv_posted.notified()).await;
+                let _ = sim::time::timeout(remaining, peer.recv_notify().notified()).await;
             }
         }
     }

@@ -111,6 +111,23 @@ pub fn run_seed_with(seed: u64, rdma_pollers: Option<usize>, cq_batch: Option<us
     )
 }
 
+/// Runs one seeded fault plan with an explicit produce-connection mode
+/// (per-QP receive queues, a shared receive queue, or SRQ + QP
+/// multiplexing). Used by `tests/conn_scaling.rs`: below the NIC cache
+/// knee all three modes must be *bit-identical*, so the full digest — not
+/// just the acked set — is comparable across modes.
+#[allow(dead_code)]
+pub fn run_seed_conn(seed: u64, conn_mode: kafkadirect::ConnMode) -> Outcome {
+    run_seed_opts(
+        seed,
+        kafkadirect::ClusterOptions {
+            conn_mode: Some(conn_mode),
+            ..Default::default()
+        },
+        false,
+    )
+}
+
 /// Runs one seeded fault plan against a **tiered-storage** cluster: every
 /// partition's segments live in real files under a per-(tag, seed) temp
 /// dir (wiped before the run), sync mode per-commit, and the plan injects

@@ -1,0 +1,105 @@
+//! Connection-scaling equivalence (DESIGN.md §13): the receive-state
+//! provisioning mode — per-QP receive queues, a shared receive queue, or
+//! SRQ + QP multiplexing — is a *resource* axis, not a *behaviour* axis.
+//!
+//! Below the NIC cache knee (`nic_cache_qps`), all three modes must run the
+//! exact same schedule: SRQ pops and per-QP pops cost nothing, receive
+//! posting has no virtual-time cost, and QP lending only changes context
+//! accounting. So the same seeded fault plan must produce not just the same
+//! acked/consumed sets but a **bit-identical canonical trace digest** in
+//! every mode — mirroring `tests/batch_determinism.rs` for the CQ-batch
+//! axis.
+//!
+//! The SRQ chaos soak replays the full 8-seed fault pool with the shared
+//! receive queue enabled: broker crashes flush error CQEs through QPs that
+//! are attached to an SRQ, and the invariants prove no acked record is lost
+//! — i.e. an error flush never strands (or double-frees) SRQ buffers that
+//! surviving connections depend on.
+
+mod common;
+
+use common::{seeds_under_test, Outcome, SEEDS};
+use kafkadirect::ConnMode;
+
+const MODES: [ConnMode; 3] = [ConnMode::PerQp, ConnMode::Srq, ConnMode::SrqMux];
+
+/// Acked records form an exactly-once, in-order subsequence of the
+/// consumed stream (same invariant as the chaos soak).
+fn assert_no_loss(seed: u64, mode: ConnMode, o: &Outcome) {
+    for &a in &o.acked {
+        let n = o.consumed.iter().filter(|&&c| c == a).count();
+        assert_eq!(
+            n, 1,
+            "seed {seed} mode {mode:?}: acked attempt {a} appears {n} times"
+        );
+    }
+    let mut it = o.consumed.iter();
+    for &a in &o.acked {
+        assert!(
+            it.any(|&c| c == a),
+            "seed {seed} mode {mode:?}: acked records reordered (attempt {a})"
+        );
+    }
+}
+
+#[test]
+fn conn_modes_bit_identical_below_cache_knee() {
+    for &seed in &[SEEDS[4], SEEDS[7]] {
+        let mut baseline: Option<(u64, Vec<u64>, Vec<u64>)> = None;
+        for &mode in &MODES {
+            let o = common::run_seed_conn(seed, mode);
+            assert!(
+                o.violations.is_empty(),
+                "seed {seed} mode {mode:?}: invariant violations: {:?}",
+                o.violations
+            );
+            match &baseline {
+                None => baseline = Some((o.digest(), o.acked.clone(), o.consumed.clone())),
+                Some((digest, acked, consumed)) => {
+                    assert_eq!(
+                        &o.acked, acked,
+                        "seed {seed}: acked set diverged between PerQp and {mode:?}"
+                    );
+                    assert_eq!(
+                        &o.consumed, consumed,
+                        "seed {seed}: consumed stream diverged between PerQp and {mode:?}"
+                    );
+                    assert_eq!(
+                        o.digest(),
+                        *digest,
+                        "seed {seed}: trace digest diverged between PerQp and {mode:?} — \
+                         the connection mode leaked into the schedule"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_soak_stays_green_with_srq() {
+    for seed in seeds_under_test(&SEEDS) {
+        let o = common::run_seed_conn(seed, ConnMode::Srq);
+        assert!(o.injected >= 1, "seed {seed}: plan injected nothing");
+        assert!(
+            o.violations.is_empty(),
+            "seed {seed} (SRQ): trace invariants violated: {:?}",
+            o.violations
+        );
+        assert!(
+            !o.acked.is_empty(),
+            "seed {seed} (SRQ): no attempt survived the faults"
+        );
+        assert_no_loss(seed, ConnMode::Srq, &o);
+    }
+}
+
+#[test]
+fn srq_mode_replays_bit_identically() {
+    let seed = SEEDS[2];
+    let a = common::run_seed_conn(seed, ConnMode::SrqMux);
+    let b = common::run_seed_conn(seed, ConnMode::SrqMux);
+    assert_eq!(a.digest(), b.digest(), "seed {seed}: SrqMux replay diverged");
+    assert_eq!(a.acked, b.acked);
+    assert_eq!(a.consumed, b.consumed);
+}
